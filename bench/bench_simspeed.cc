@@ -1,0 +1,35 @@
+/** google-benchmark microbenchmarks of the simulators themselves. */
+#include <benchmark/benchmark.h>
+
+#include "core/machines.hh"
+using namespace trips;
+
+static void BM_FuncSim(benchmark::State &state) {
+    const auto &w = workloads::find("autocor");
+    for (auto _ : state) {
+        auto r = core::runTrips(w, compiler::Options::compiled(), false);
+        benchmark::DoNotOptimize(r.retVal);
+    }
+}
+BENCHMARK(BM_FuncSim)->Unit(benchmark::kMillisecond);
+
+static void BM_CycleSim(benchmark::State &state) {
+    const auto &w = workloads::find("a2time");
+    for (auto _ : state) {
+        auto r = core::runTrips(w, compiler::Options::compiled(), true);
+        benchmark::DoNotOptimize(r.uarch.cycles);
+    }
+}
+BENCHMARK(BM_CycleSim)->Unit(benchmark::kMillisecond);
+
+static void BM_OooModel(benchmark::State &state) {
+    const auto &w = workloads::find("rspeed");
+    for (auto _ : state) {
+        auto r = core::runPlatform(w, ooo::OooConfig::core2(),
+                                   risc::RiscOptions::gcc());
+        benchmark::DoNotOptimize(r.cycles);
+    }
+}
+BENCHMARK(BM_OooModel)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries: suite
+ * iteration, means, and consistent "paper vs measured" framing.
+ */
+
+#ifndef TRIPSIM_BENCH_BENCH_UTIL_HH
+#define TRIPSIM_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <vector>
+
+#include "core/machines.hh"
+#include "support/table.hh"
+#include "workloads/workload.hh"
+
+namespace trips::bench {
+
+inline void
+header(const std::string &what, const std::string &paper_claim)
+{
+    std::cout << "==========================================================\n"
+              << what << "\n"
+              << "Paper reference: " << paper_claim << "\n"
+              << "==========================================================\n";
+}
+
+/** Names of the simple-suite benchmarks in the paper's Fig. 3 order. */
+inline std::vector<const workloads::Workload *>
+figureOrderSimple()
+{
+    std::vector<std::string> order = {
+        "a2time", "rspeed", "ospf", "routelookup", "autocor", "conven",
+        "fbital", "fft", "802.11a", "8b10b", "fmradio", "ct", "conv",
+        "matrix", "vadd",
+    };
+    std::vector<const workloads::Workload *> out;
+    for (const auto &n : order)
+        out.push_back(&workloads::find(n));
+    return out;
+}
+
+} // namespace trips::bench
+
+#endif // TRIPSIM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,42 @@
+/** Fig. 10: IPC of idealized EDGE machines vs the hardware model. */
+#include "bench_util.hh"
+using namespace trips;
+
+int main() {
+    bench::header("Figure 10: ideal EDGE machine limit study",
+                  "ideal/1K window ~2.5x hardware; zero dispatch cost "
+                  "~5x more; 128K window exposes 50-1000 IPC");
+    TextTable t;
+    t.header({"bench", "hw IPC", "ideal 1K/8cy", "ideal 1K/0cy",
+              "ideal 128K/0cy"});
+    ideal::IdealConfig base;            // 1K window, 8-cycle dispatch
+    ideal::IdealConfig nodispatch;
+    nodispatch.dispatchCost = 0;
+    ideal::IdealConfig huge;
+    huge.dispatchCost = 0;
+    huge.windowInsts = 128 * 1024;
+    std::vector<double> hw_all, base_all;
+    auto opts = compiler::Options::compiled();
+    auto run_one = [&](const workloads::Workload *w) {
+        auto hw = core::runTrips(*w, opts, true);
+        auto i1 = core::runIdeal(*w, opts, base);
+        auto i2 = core::runIdeal(*w, opts, nodispatch);
+        auto i3 = core::runIdeal(*w, opts, huge);
+        t.row({w->name, TextTable::fmt(hw.uarch.ipc(), 2),
+               TextTable::fmt(i1.ipc(), 1), TextTable::fmt(i2.ipc(), 1),
+               TextTable::fmt(i3.ipc(), 1)});
+        hw_all.push_back(hw.uarch.ipc());
+        base_all.push_back(i1.ipc());
+    };
+    for (auto *w : bench::figureOrderSimple())
+        run_one(w);
+    t.rule();
+    for (const char *s : {"specint", "specfp"})
+        for (auto *w : workloads::suite(s))
+            run_one(w);
+    t.print(std::cout);
+    std::cout << "\nMean ideal(1K,8cy)/hardware ratio: "
+              << TextTable::fmt(amean(base_all) / amean(hw_all), 2)
+              << " (paper ~2.5x)\n";
+    return 0;
+}

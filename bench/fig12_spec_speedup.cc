@@ -1,0 +1,53 @@
+/** Fig. 12: SPEC speedups relative to Core 2 (gcc). */
+#include "bench_util.hh"
+using namespace trips;
+
+int main() {
+    bench::header("Figure 12: SPEC proxies, speedup vs Core2-gcc",
+                  "TRIPS INT ~0.5x Core 2; FP roughly parity; "
+                  "Core2-icc ~1.6x TRIPS on FP");
+    TextTable t;
+    t.header({"bench", "P3-gcc", "P4-gcc", "Core2-icc", "TRIPS-C"});
+    for (const char *s : {"specint", "specfp"}) {
+        std::vector<double> tc, p3s, p4s, icc;
+        for (auto *w : workloads::suite(s)) {
+            auto g = risc::RiscOptions::gcc();
+            auto base = core::runPlatform(*w, ooo::OooConfig::core2(), g);
+            double b = static_cast<double>(base.cycles);
+            auto p3 = core::runPlatform(*w, ooo::OooConfig::pentium3(),
+                                        g);
+            auto p4 = core::runPlatform(*w, ooo::OooConfig::pentium4(),
+                                        g);
+            auto c2i = core::runPlatform(*w, ooo::OooConfig::core2(),
+                                         risc::RiscOptions::icc());
+            auto rc = core::runTrips(*w, compiler::Options::compiled(),
+                                     true);
+            double s3 = b / p3.cycles, s4 = b / p4.cycles,
+                   si = b / c2i.cycles, sc = b / rc.uarch.cycles;
+            t.row({w->name, TextTable::fmt(s3, 2), TextTable::fmt(s4, 2),
+                   TextTable::fmt(si, 2), TextTable::fmt(sc, 2)});
+            p3s.push_back(s3);
+            p4s.push_back(s4);
+            icc.push_back(si);
+            tc.push_back(sc);
+        }
+        t.row({std::string(s) + " geomean", TextTable::fmt(geomean(p3s), 2),
+               TextTable::fmt(geomean(p4s), 2),
+               TextTable::fmt(geomean(icc), 2),
+               TextTable::fmt(geomean(tc), 2)});
+        t.rule();
+    }
+    // EEMBC geomean for the rightmost bar of the paper's figure.
+    std::vector<double> tc;
+    for (auto *w : workloads::suite("eembc")) {
+        auto base = core::runPlatform(*w, ooo::OooConfig::core2(),
+                                      risc::RiscOptions::gcc());
+        auto rc = core::runTrips(*w, compiler::Options::compiled(), true);
+        tc.push_back(static_cast<double>(base.cycles) /
+                     rc.uarch.cycles);
+    }
+    t.row({"eembc geomean (TRIPS-C)", "-", "-", "-",
+           TextTable::fmt(geomean(tc), 2)});
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,47 @@
+/** Fig. 4: TRIPS fetched instructions normalized to the RISC baseline. */
+#include "bench_util.hh"
+using namespace trips;
+
+int main() {
+    bench::header("Figure 4: TRIPS instructions normalized to PowerPC",
+                  "useful counts similar; total fetched 2-6x due to "
+                  "predication, moves and speculation");
+    TextTable t;
+    t.header({"bench", "ppcInsts", "useful/ppc", "moves/ppc",
+              "execNotUsed/ppc", "fetchNotExec/ppc", "total/ppc"});
+    auto emit = [&](const std::string &name, const sim::IsaStats &s,
+                    u64 ppc) {
+        double d = static_cast<double>(ppc);
+        t.row({name, TextTable::fmtInt(ppc),
+               TextTable::fmt(s.useful / d, 2),
+               TextTable::fmt(s.moves / d, 2),
+               TextTable::fmt(s.executedNotUsed / d, 2),
+               TextTable::fmt(s.fetchedNotExecuted / d, 2),
+               TextTable::fmt(s.fetched / d, 2)});
+    };
+    std::vector<double> ratios;
+    for (auto *w : bench::figureOrderSimple()) {
+        auto r = core::runRisc(*w);
+        auto c = core::runTrips(*w, compiler::Options::compiled(), false);
+        emit(w->name + " C", c.isa, r.counters.insts);
+        auto h = core::runTrips(*w, compiler::Options::hand(), false);
+        emit(w->name + " H", h.isa, r.counters.insts);
+        ratios.push_back(c.isa.fetched /
+                         static_cast<double>(r.counters.insts));
+    }
+    t.rule();
+    for (const char *s : {"eembc", "specint", "specfp"}) {
+        std::vector<double> rr;
+        for (auto *w : workloads::suite(s)) {
+            auto r = core::runRisc(*w);
+            auto c = core::runTrips(*w, compiler::Options::compiled(),
+                                    false);
+            rr.push_back(c.isa.fetched /
+                         static_cast<double>(r.counters.insts));
+        }
+        t.row({std::string(s) + " geomean total/ppc", "-", "-", "-", "-",
+               "-", TextTable::fmt(geomean(rr), 2)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,55 @@
+/** Fig. 5: storage accesses (memory + registers) normalized to RISC. */
+#include "bench_util.hh"
+using namespace trips;
+
+int main() {
+    bench::header("Figure 5: storage accesses normalized to PowerPC",
+                  "TRIPS executes ~half the memory accesses and only "
+                  "10-20% of the register accesses; direct operand "
+                  "communication replaces the rest");
+    TextTable t;
+    t.header({"bench", "mem/ppcMem", "regRW/ppcRegRW", "operand/ppcRegRW",
+              "(reads+writes+opn)/ppcRegRW"});
+    std::vector<double> memr, regr;
+    auto emit = [&](const std::string &n, const sim::IsaStats &s,
+                    const risc::RiscCounters &p) {
+        double pmem = static_cast<double>(p.loads + p.stores);
+        double preg = static_cast<double>(p.regReads + p.regWrites);
+        double mem = (s.loadsExecuted + s.storesCommitted) / pmem;
+        double reg = (s.readsFetched + s.writesCommitted) / preg;
+        double opn = s.operandMessages / preg;
+        t.row({n, TextTable::fmt(mem, 2), TextTable::fmt(reg, 2),
+               TextTable::fmt(opn, 2), TextTable::fmt(reg + opn, 2)});
+        memr.push_back(mem);
+        regr.push_back(reg);
+    };
+    for (auto *w : bench::figureOrderSimple()) {
+        auto r = core::runRisc(*w);
+        auto c = core::runTrips(*w, compiler::Options::compiled(), false);
+        emit(w->name + " C", c.isa, r.counters);
+        auto h = core::runTrips(*w, compiler::Options::hand(), false);
+        emit(w->name + " H", h.isa, r.counters);
+    }
+    t.rule();
+    for (const char *s : {"eembc", "specint", "specfp"}) {
+        std::vector<double> mm, gg;
+        for (auto *w : workloads::suite(s)) {
+            auto r = core::runRisc(*w);
+            auto c = core::runTrips(*w, compiler::Options::compiled(),
+                                    false);
+            mm.push_back((c.isa.loadsExecuted + c.isa.storesCommitted) /
+                         static_cast<double>(r.counters.loads +
+                                             r.counters.stores));
+            gg.push_back((c.isa.readsFetched + c.isa.writesCommitted) /
+                         static_cast<double>(r.counters.regReads +
+                                             r.counters.regWrites));
+        }
+        t.row({std::string(s) + " geomean", TextTable::fmt(geomean(mm), 2),
+               TextTable::fmt(geomean(gg), 2), "-", "-"});
+    }
+    t.print(std::cout);
+    std::cout << "\nSimple-suite geomean: mem "
+              << TextTable::fmt(geomean(memr), 2) << " (paper ~0.5), reg "
+              << TextTable::fmt(geomean(regr), 2) << " (paper 0.1-0.2)\n";
+    return 0;
+}

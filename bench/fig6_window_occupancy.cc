@@ -1,0 +1,46 @@
+/** Fig. 6: average number of instructions in the 1K-entry window. */
+#include "bench_util.hh"
+using namespace trips;
+
+int main() {
+    bench::header("Figure 6: instructions in flight",
+                  "compiled mean ~450 total (200 useful); hand ~630 "
+                  "(380+ useful); SPEC lower than simple benchmarks");
+    TextTable t;
+    t.header({"bench", "avgBlocks", "avgInsts", "peak", "usefulInFlight"});
+    auto emit = [&](const std::string &n, const core::TripsRun &r) {
+        double useful_frac = r.isa.fetched
+            ? static_cast<double>(r.isa.useful) / r.isa.fetched : 0;
+        t.row({n, TextTable::fmt(r.uarch.avgBlocksInFlight, 2),
+               TextTable::fmt(r.uarch.avgInstsInFlight, 0),
+               TextTable::fmtInt(r.uarch.peakInstsInFlight),
+               TextTable::fmt(r.uarch.avgInstsInFlight * useful_frac, 0)});
+    };
+    std::vector<double> totals_c, totals_h;
+    for (auto *w : bench::figureOrderSimple()) {
+        auto c = core::runTrips(*w, compiler::Options::compiled(), true);
+        emit(w->name + " C", c);
+        totals_c.push_back(c.uarch.avgInstsInFlight);
+        auto h = core::runTrips(*w, compiler::Options::hand(), true);
+        emit(w->name + " H", h);
+        totals_h.push_back(h.uarch.avgInstsInFlight);
+    }
+    t.rule();
+    for (const char *s : {"specint", "specfp"}) {
+        std::vector<double> tt;
+        for (auto *w : workloads::suite(s)) {
+            auto c = core::runTrips(*w, compiler::Options::compiled(),
+                                    true);
+            emit(std::string(w->name), c);
+            tt.push_back(c.uarch.avgInstsInFlight);
+        }
+        t.row({std::string(s) + " mean", "-", TextTable::fmt(amean(tt), 0),
+               "-", "-"});
+    }
+    t.print(std::cout);
+    std::cout << "\nSimple-suite mean in-flight: C="
+              << TextTable::fmt(amean(totals_c), 0)
+              << " H=" << TextTable::fmt(amean(totals_h), 0)
+              << " of 1024 (paper: 450 / 630)\n";
+    return 0;
+}

@@ -1,0 +1,37 @@
+/** Section 4.4: dynamic code size vs the RISC baseline. */
+#include "bench_util.hh"
+using namespace trips;
+
+int main() {
+    bench::header("Section 4.4: code size",
+                  "TRIPS ~6x PowerPC uncompressed, ~4x with 32/64/96/128 "
+                  "compression classes");
+    TextTable t;
+    t.header({"bench", "riscB", "tripsB(comp)", "tripsB(full)",
+              "comp/risc", "full/risc"});
+    std::vector<double> comp, full;
+    for (const auto &w : workloads::all()) {
+        wir::Module mod;
+        w.build(mod);
+        auto tp = compiler::compileToTrips(mod,
+                                           compiler::Options::compiled());
+        auto rp = risc::compileToRisc(mod);
+        u64 compressed = tp.codeBytes();
+        u64 uncompressed = 0;
+        for (u32 b = 0; b < tp.numBlocks(); ++b)
+            uncompressed += 128 + 4 * isa::MAX_INSTS;
+        double rb = static_cast<double>(rp.codeBytes());
+        t.row({w.name, TextTable::fmtInt(rp.codeBytes()),
+               TextTable::fmtInt(compressed),
+               TextTable::fmtInt(uncompressed),
+               TextTable::fmt(compressed / rb, 2),
+               TextTable::fmt(uncompressed / rb, 2)});
+        comp.push_back(compressed / rb);
+        full.push_back(uncompressed / rb);
+    }
+    t.print(std::cout);
+    std::cout << "\nGeomean expansion: compressed "
+              << TextTable::fmt(geomean(comp), 2) << "x (paper ~4x), full "
+              << TextTable::fmt(geomean(full), 2) << "x (paper ~6x)\n";
+    return 0;
+}

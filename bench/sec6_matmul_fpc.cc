@@ -1,0 +1,29 @@
+/** Section 6: matrix-multiply FLOPS per cycle (hand-optimized). */
+#include "bench_util.hh"
+using namespace trips;
+
+int main() {
+    bench::header("Section 6: matmul FLOPS per cycle",
+                  "TRIPS hand matmul 5.20 FPC vs Core 2 SSE 3.58 and "
+                  "P4 1.87 (GotoBLAS); TRIPS ~40% above Core 2");
+    const auto &w = workloads::find("matrix");
+    // 40x40x40 matmul: 2 flops per inner iteration.
+    double flops = 2.0 * 40 * 40 * 40;
+    auto rh = core::runTrips(w, compiler::Options::hand(), true);
+    auto c2 = core::runPlatform(w, ooo::OooConfig::core2(),
+                                risc::RiscOptions::icc());
+    auto p4 = core::runPlatform(w, ooo::OooConfig::pentium4(),
+                                risc::RiscOptions::icc());
+    TextTable t;
+    t.header({"machine", "cycles", "FPC", "paper"});
+    t.row({"TRIPS hand", TextTable::fmtInt(rh.uarch.cycles),
+           TextTable::fmt(flops / rh.uarch.cycles, 2), "5.20"});
+    t.row({"Core2 (icc)", TextTable::fmtInt(c2.cycles),
+           TextTable::fmt(flops / c2.cycles, 2), "3.58 (SSE)"});
+    t.row({"Pentium4 (icc)", TextTable::fmtInt(p4.cycles),
+           TextTable::fmt(flops / p4.cycles, 2), "1.87 (SSE)"});
+    t.print(std::cout);
+    std::cout << "\nNote: our scalar models omit SSE, so absolute FPC is "
+                 "lower everywhere; the ordering is the claim checked.\n";
+    return 0;
+}

@@ -1,0 +1,29 @@
+/** Table 1: reference platform configurations. */
+#include "bench_util.hh"
+using namespace trips;
+int main() {
+    bench::header("Table 1: Reference platforms",
+                  "processor/memory speeds and cache capacities");
+    TextTable t;
+    t.header({"System", "Proc", "Mem", "Ratio", "L1 D/I", "L2", "Model"});
+    t.row({"TRIPS", "366 MHz", "200 MHz", "1.83", "32KB / 80KB", "1MB",
+           "cycle-level tiled simulator (src/uarch)"});
+    auto c2 = ooo::OooConfig::core2();
+    auto p4 = ooo::OooConfig::pentium4();
+    auto p3 = ooo::OooConfig::pentium3();
+    auto row = [&](const char *n, const char *pr, const char *me,
+                   const char *ra, const ooo::OooConfig &c) {
+        t.row({n, pr, me, ra,
+               TextTable::fmtInt(c.l1d.sizeBytes / 1024) + "KB / " +
+                   TextTable::fmtInt(c.l1i.sizeBytes / 1024) + "KB",
+               TextTable::fmtInt(c.l2.sizeBytes / (1024 * 1024)) + "MB",
+               "OoO model: " + TextTable::fmtInt(c.issueWidth) +
+                   "-wide, ROB " + TextTable::fmtInt(c.robSize) +
+                   ", mem " + TextTable::fmtInt(c.memLatency) + "cy"});
+    };
+    row("Core 2", "1600 MHz", "800 MHz", "2.00", c2);
+    row("Pentium 4", "3600 MHz", "533 MHz", "6.75", p4);
+    row("Pentium III", "450 MHz", "100 MHz", "4.50", p3);
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,25 @@
+/** Table 2: benchmark suites. */
+#include "bench_util.hh"
+using namespace trips;
+int main() {
+    bench::header("Table 2: Benchmark suites",
+                  "kernels, VersaBench, EEMBC, Simple, SPEC 2000");
+    TextTable t;
+    t.header({"Suite", "Count", "Members"});
+    for (const char *s : {"kernel", "versa", "eembc", "specint", "specfp"}) {
+        auto ws = workloads::suite(s);
+        std::string names;
+        for (auto *w : ws)
+            names += w->name + " ";
+        t.row({s, TextTable::fmtInt(ws.size()), names});
+    }
+    auto simple = workloads::simpleSuite();
+    std::string names;
+    for (auto *w : simple)
+        names += w->name + " ";
+    t.row({"simple(hand)", TextTable::fmtInt(simple.size()), names});
+    t.print(std::cout);
+    std::cout << "\nSPEC proxies: see DESIGN.md section 4 for the proxy "
+                 "-> original mapping.\n";
+    return 0;
+}

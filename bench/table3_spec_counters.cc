@@ -1,0 +1,41 @@
+/** Table 3: performance-counter events per 1000 useful instructions. */
+#include "bench_util.hh"
+using namespace trips;
+
+int main() {
+    bench::header("Table 3: SPEC event counters per 1000 useful insts",
+                  "I-cache misses and call/ret mispredicts hurt crafty/"
+                  "perlbmk/twolf/vortex; load flushes <0.6; window "
+                  "utilization tracks flush rates");
+    TextTable t;
+    t.header({"bench", "c2.brMiss", "t.brMiss", "t.callRet", "c2.icMiss",
+              "t.icMiss", "t.ldFlush", "blk*8", "instsInFlight"});
+    for (const char *s : {"specint", "specfp"}) {
+        for (auto *w : workloads::suite(s)) {
+            auto rc = core::runTrips(*w, compiler::Options::compiled(),
+                                     true);
+            auto c2 = core::runPlatform(*w, ooo::OooConfig::core2(),
+                                        risc::RiscOptions::gcc());
+            double useful = static_cast<double>(rc.isa.useful);
+            auto per1k = [&](double v) {
+                return TextTable::fmt(1000.0 * v / useful, 2);
+            };
+            double blk8 = rc.isa.meanBlockSize() * 8;
+            t.row({w->name, per1k(static_cast<double>(c2.branchMispredicts)),
+                   per1k(static_cast<double>(
+                       rc.uarch.predictor.mispredictions -
+                       rc.uarch.predictor.callRetMispredicts)),
+                   per1k(static_cast<double>(
+                       rc.uarch.predictor.callRetMispredicts)),
+                   per1k(static_cast<double>(c2.icacheMisses)),
+                   per1k(static_cast<double>(rc.uarch.icacheMissStalls)),
+                   per1k(static_cast<double>(
+                       rc.uarch.loadViolationFlushes)),
+                   TextTable::fmt(blk8, 1),
+                   TextTable::fmt(rc.uarch.avgInstsInFlight, 1)});
+        }
+        t.rule();
+    }
+    t.print(std::cout);
+    return 0;
+}

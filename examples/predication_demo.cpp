@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Dataflow predication in action: an if/then/else compiled three ways
+ * (basic blocks, predicated hyperblocks, hand preset), showing the
+ * paper's Fetched-Not-Executed and Executed-Not-Used categories and
+ * how if-conversion removes block boundaries.
+ */
+
+#include <iostream>
+
+#include "core/machines.hh"
+#include "wir/builder.hh"
+
+using namespace trips;
+
+int
+main()
+{
+    const auto &w = workloads::find("a2time");  // the paper's example
+    struct Mode { const char *name; compiler::Options opts; };
+    Mode modes[] = {
+        {"basic-block", compiler::Options::basicBlock()},
+        {"hyperblock ", compiler::Options::compiled()},
+        {"hand       ", compiler::Options::hand()},
+    };
+    std::cout << "a2time (nested if/then/else) under three code "
+                 "generation modes:\n\n";
+    for (auto &m : modes) {
+        auto r = core::runTrips(w, m.opts, false);
+        const auto &s = r.isa;
+        std::cout << m.name << ": blocks=" << s.blocks
+                  << " avgSize=" << s.meanBlockSize()
+                  << " moves=" << 100.0 * s.moves / s.fetched << "%"
+                  << " fetchedNotExec="
+                  << 100.0 * s.fetchedNotExecuted / s.fetched << "%"
+                  << " execNotUsed="
+                  << 100.0 * s.executedNotUsed / s.fetched << "%\n";
+    }
+    std::cout << "\nPredicated modes fetch both arms (speculation): the "
+                 "untaken arm's gated ops are Fetched-Not-Executed, the "
+                 "speculated arithmetic whose results lose the predicate "
+                 "race is Executed-Not-Used (paper Fig. 3).\n";
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The paper's vadd bandwidth scenario: stream two vectors through the
+ * banked L1, and show how hand-style block packing (bigger unrolled
+ * blocks) raises memory-level parallelism on the tiled core.
+ */
+
+#include <iostream>
+
+#include "core/machines.hh"
+
+using namespace trips;
+
+int
+main()
+{
+    const auto &w = workloads::find("vadd");
+    auto c = core::runTrips(w, compiler::Options::compiled(), true);
+    auto h = core::runTrips(w, compiler::Options::hand(), true);
+
+    auto report = [](const char *name, const core::TripsRun &r) {
+        double bpc = static_cast<double>(r.uarch.bytesL1) /
+                     std::max<u64>(1, r.uarch.cycles);
+        std::cout << name << ": cycles=" << r.uarch.cycles
+                  << " blockSize=" << r.isa.meanBlockSize()
+                  << " L1 bytes/cycle=" << bpc
+                  << " (peak 32 B/cycle = 4 banks x 8B)\n";
+    };
+    report("compiled", c);
+    report("hand    ", h);
+    std::cout << "\nThe hand preset packs more loads per block, raising "
+                 "bank-level parallelism per fetched block.\n";
+    return c.retVal == h.retVal ? 0 : 1;
+}

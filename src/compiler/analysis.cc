@@ -1,0 +1,163 @@
+#include "compiler/analysis.hh"
+
+#include <algorithm>
+#include <functional>
+
+namespace trips::compiler {
+
+using wir::Function;
+using wir::Instr;
+using wir::NO_VREG;
+using wir::TermKind;
+using wir::WOp;
+
+Liveness::Liveness(const Function &f)
+{
+    const size_t nb = f.blocks.size();
+    liveIn.assign(nb, VregSet(f.nextVreg));
+    liveOut.assign(nb, VregSet(f.nextVreg));
+
+    // use/def per block.
+    std::vector<VregSet> use(nb, VregSet(f.nextVreg));
+    std::vector<VregSet> def(nb, VregSet(f.nextVreg));
+    for (size_t b = 0; b < nb; ++b) {
+        for (const Instr &in : f.blocks[b].instrs) {
+            for (u32 s : in.srcs) {
+                if (!def[b].test(s))
+                    use[b].set(s);
+            }
+            if (in.dst != NO_VREG)
+                def[b].set(in.dst);
+        }
+        const auto &t = f.blocks[b].term;
+        if (t.kind == TermKind::Br && !def[b].test(t.cond))
+            use[b].set(t.cond);
+        if (t.kind == TermKind::Ret && t.retVal != NO_VREG &&
+            !def[b].test(t.retVal))
+            use[b].set(t.retVal);
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t bi = nb; bi-- > 0;) {
+            u32 b = static_cast<u32>(bi);
+            for (u32 s : f.successors(b))
+                changed |= liveOut[b].merge(liveIn[s]);
+            // liveIn = use | (liveOut - def)
+            VregSet ni = use[b];
+            for (u32 v = 0; v < f.nextVreg; ++v) {
+                if (liveOut[b].test(v) && !def[b].test(v))
+                    ni.set(v);
+            }
+            changed |= liveIn[b].merge(ni);
+        }
+    }
+}
+
+std::vector<u32>
+reversePostOrder(const Function &f)
+{
+    std::vector<u8> visited(f.blocks.size(), 0);
+    std::vector<u32> post;
+    std::function<void(u32)> dfs = [&](u32 b) {
+        visited[b] = 1;
+        for (u32 s : f.successors(b)) {
+            if (!visited[s])
+                dfs(s);
+        }
+        post.push_back(b);
+    };
+    dfs(0);
+    std::reverse(post.begin(), post.end());
+    return post;
+}
+
+std::vector<NaturalLoop>
+findLoops(const Function &f)
+{
+    const size_t nb = f.blocks.size();
+
+    // Dominators (iterative set intersection; fine at our sizes).
+    std::vector<std::vector<u8>> dom(nb, std::vector<u8>(nb, 1));
+    std::vector<std::vector<u32>> preds(nb);
+    for (u32 b = 0; b < nb; ++b) {
+        for (u32 s : f.successors(b))
+            preds[s].push_back(b);
+    }
+    for (u32 b = 0; b < nb; ++b) {
+        if (b != 0)
+            continue;
+        std::fill(dom[b].begin(), dom[b].end(), 0);
+        dom[b][b] = 1;
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (u32 b = 1; b < nb; ++b) {
+            std::vector<u8> nd(nb, 1);
+            if (preds[b].empty()) {
+                std::fill(nd.begin(), nd.end(), 0);
+            } else {
+                for (u32 p : preds[b]) {
+                    for (u32 i = 0; i < nb; ++i)
+                        nd[i] = nd[i] && dom[p][i];
+                }
+            }
+            nd[b] = 1;
+            if (nd != dom[b]) {
+                dom[b] = nd;
+                changed = true;
+            }
+        }
+    }
+
+    std::vector<NaturalLoop> loops;
+    for (u32 b = 0; b < nb; ++b) {
+        for (u32 h : f.successors(b)) {
+            if (!dom[b][h])
+                continue;
+            // back edge b->h: body = natural loop.
+            NaturalLoop loop;
+            loop.header = h;
+            loop.latch = b;
+            std::vector<u8> in_loop(nb, 0);
+            in_loop[h] = 1;
+            std::vector<u32> work;
+            if (!in_loop[b]) {
+                in_loop[b] = 1;
+                work.push_back(b);
+            }
+            while (!work.empty()) {
+                u32 x = work.back();
+                work.pop_back();
+                for (u32 p : preds[x]) {
+                    if (!in_loop[p]) {
+                        in_loop[p] = 1;
+                        work.push_back(p);
+                    }
+                }
+            }
+            for (u32 i = 0; i < nb; ++i) {
+                if (in_loop[i])
+                    loop.body.push_back(i);
+            }
+            loops.push_back(std::move(loop));
+        }
+    }
+    // Mark innermost flags: a loop is not innermost if another loop's
+    // body is a strict subset of its body.
+    for (auto &outer : loops) {
+        for (const auto &inner : loops) {
+            if (&outer == &inner)
+                continue;
+            if (inner.body.size() < outer.body.size() &&
+                std::includes(outer.body.begin(), outer.body.end(),
+                              inner.body.begin(), inner.body.end()))
+                outer.innermost = false;
+        }
+    }
+    return loops;
+}
+
+} // namespace trips::compiler

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * TRIPS backend code generation: hyperblock region formation over the
+ * WIR CFG, conversion of regions to predicated dataflow (TIL) graphs,
+ * mov-fanout, register allocation, and emission of isa::Blocks.
+ *
+ * The predication scheme follows the paper's model:
+ *  - each region is a single-entry DAG of WIR blocks whose internal
+ *    join points are proper diamond joins, so every block's predicate
+ *    is a chain [(test1,pol1),...,(testk,polk)] of chained tests;
+ *  - conditional-arm arithmetic is speculated (left unpredicated),
+ *    which produces the paper's Executed-Not-Used instructions;
+ *  - stores and register writes are merged through predicated movs with
+ *    NULLW tokens covering the complement paths (the paper's null/st
+ *    idiom), so all block outputs complete on every path;
+ *  - values consumed by more than a producer's target capacity get
+ *    trees of MOV instructions (the paper's ~20% move overhead).
+ */
+
+#ifndef TRIPSIM_COMPILER_CODEGEN_HH
+#define TRIPSIM_COMPILER_CODEGEN_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/options.hh"
+#include "isa/program.hh"
+#include "wir/wir.hh"
+
+namespace trips::compiler {
+
+/** Aggregate per-compilation statistics (reported by benches/tests). */
+struct CompileStats
+{
+    unsigned functions = 0;
+    unsigned regions = 0;
+    unsigned blocks = 0;
+    u64 totalInsts = 0;
+    u64 movInsts = 0;
+    u64 nullInsts = 0;
+    u64 testInsts = 0;
+};
+
+/**
+ * Compile a WIR module to a TRIPS program.
+ * Fatal on programs that exceed prototype limits the backend cannot
+ * split around (documented in DESIGN.md).
+ */
+isa::Program compileToTrips(const wir::Module &mod, const Options &opts,
+                            CompileStats *stats = nullptr);
+
+} // namespace trips::compiler
+
+#endif // TRIPSIM_COMPILER_CODEGEN_HH

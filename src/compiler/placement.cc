@@ -1,0 +1,143 @@
+#include "compiler/placement.hh"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "isa/topology.hh"
+
+namespace trips::compiler {
+
+using isa::Block;
+using isa::Coord;
+using isa::Target;
+
+namespace {
+
+/** Producers per (instruction, operand-kind folded together). */
+struct ProducerInfo
+{
+    /** For each instruction: producing instructions (-1 for reads). */
+    std::vector<std::vector<i32>> instProducers;
+    /** Register-read producers: RT bank per consuming instruction. */
+    std::vector<std::vector<unsigned>> readBanks;
+};
+
+ProducerInfo
+gatherProducers(const Block &b)
+{
+    ProducerInfo info;
+    info.instProducers.resize(b.insts.size());
+    info.readBanks.resize(b.insts.size());
+    auto note = [&](const Target &t, i32 prod, int read_bank) {
+        if (t.kind == Target::Kind::None ||
+            t.kind == Target::Kind::Write)
+            return;
+        if (prod >= 0)
+            info.instProducers[t.index].push_back(prod);
+        else
+            info.readBanks[t.index].push_back(
+                static_cast<unsigned>(read_bank));
+    };
+    for (const auto &r : b.reads) {
+        for (const auto &t : r.targets)
+            note(t, -1, static_cast<int>(Block::regBank(r.reg)));
+    }
+    for (size_t i = 0; i < b.insts.size(); ++i) {
+        for (const auto &t : b.insts[i].targets)
+            note(t, static_cast<i32>(i), -1);
+    }
+    return info;
+}
+
+/** Topological order over intra-block dependences (Kahn). */
+std::vector<u16>
+topoOrder(const Block &b, const ProducerInfo &info)
+{
+    const size_t n = b.insts.size();
+    std::vector<unsigned> indeg(n, 0);
+    std::vector<std::vector<u16>> consumers(n);
+    for (size_t i = 0; i < n; ++i) {
+        for (i32 p : info.instProducers[i]) {
+            ++indeg[i];
+            consumers[p].push_back(static_cast<u16>(i));
+        }
+    }
+    std::vector<u16> order;
+    std::vector<u16> ready;
+    for (size_t i = 0; i < n; ++i) {
+        if (indeg[i] == 0)
+            ready.push_back(static_cast<u16>(i));
+    }
+    // Stable: lowest index first keeps program order among peers.
+    while (!ready.empty()) {
+        std::sort(ready.begin(), ready.end(), std::greater<>());
+        u16 i = ready.back();
+        ready.pop_back();
+        order.push_back(i);
+        for (u16 c : consumers[i]) {
+            if (--indeg[c] == 0)
+                ready.push_back(c);
+        }
+    }
+    // Defensive: cycles (malformed) fall back to index order.
+    if (order.size() != n) {
+        order.clear();
+        for (size_t i = 0; i < n; ++i)
+            order.push_back(static_cast<u16>(i));
+    }
+    return order;
+}
+
+} // namespace
+
+void
+placeBlock(Block &b)
+{
+    const size_t n = b.insts.size();
+    b.placement.assign(n, 0);
+    auto info = gatherProducers(b);
+    auto order = topoOrder(b, info);
+
+    std::array<unsigned, isa::NUM_ETS> used{};
+    std::vector<i32> pos(n, -1);  // assigned ET per inst
+
+    for (u16 i : order) {
+        double best = 1e18;
+        unsigned best_et = 0;
+        for (unsigned et = 0; et < isa::NUM_ETS; ++et) {
+            if (used[et] >= isa::SLOTS_PER_ET)
+                continue;
+            Coord c = isa::etCoord(et);
+            double cost = 0.35 * used[et];
+            for (i32 p : info.instProducers[i]) {
+                if (pos[p] >= 0)
+                    cost += isa::hopDist(isa::etCoord(pos[p]), c);
+                else
+                    cost += 1.0;  // unplaced producer: mild penalty
+            }
+            for (unsigned bank : info.readBanks[i])
+                cost += 0.5 * isa::hopDist(isa::rtCoord(bank), c);
+            if (isMemory(b.insts[i].op))
+                cost += 0.75 * c.col;  // data tiles sit in column 0
+            if (isBranch(b.insts[i].op))
+                cost += 0.25 * isa::hopDist(isa::gtCoord(), c);
+            if (cost < best - 1e-9) {
+                best = cost;
+                best_et = et;
+            }
+        }
+        pos[i] = static_cast<i32>(best_et);
+        ++used[best_et];
+        b.placement[i] = static_cast<u8>(best_et);
+    }
+}
+
+void
+placeProgram(isa::Program &prog)
+{
+    for (u32 i = 0; i < prog.numBlocks(); ++i)
+        placeBlock(prog.mutableBlock(i));
+}
+
+} // namespace trips::compiler

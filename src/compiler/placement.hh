@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Greedy spatial instruction placement (after Coons et al. [2]): maps
+ * each block's instructions onto the 4x4 execution-tile grid to
+ * minimize operand hop distance along dependence chains while spreading
+ * load across tiles. Loads/stores are biased toward the data-tile
+ * column, register-read consumers toward the register-tile row.
+ */
+
+#ifndef TRIPSIM_COMPILER_PLACEMENT_HH
+#define TRIPSIM_COMPILER_PLACEMENT_HH
+
+#include "isa/program.hh"
+
+namespace trips::compiler {
+
+/** Fill in Block::placement for one block. */
+void placeBlock(isa::Block &block);
+
+/** Place every block of a program. */
+void placeProgram(isa::Program &prog);
+
+} // namespace trips::compiler
+
+#endif // TRIPSIM_COMPILER_PLACEMENT_HH

@@ -1,0 +1,174 @@
+#include "compiler/transform.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "compiler/analysis.hh"
+
+namespace trips::compiler {
+
+using wir::BasicBlock;
+using wir::Function;
+using wir::Instr;
+using wir::TermKind;
+using wir::WOp;
+
+namespace {
+
+u64
+blockOps(const BasicBlock &b)
+{
+    return b.instrs.size();
+}
+
+bool
+hasCall(const Function &f, const std::vector<u32> &body)
+{
+    for (u32 b : body) {
+        for (const auto &in : f.blocks[b].instrs) {
+            if (in.op == WOp::Call)
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+void
+unrollLoops(Function &f, const Options &opts)
+{
+    if (opts.maxUnroll <= 1)
+        return;
+    auto loops = findLoops(f);
+    // Smallest-body loops first; skip overlapping ones.
+    std::sort(loops.begin(), loops.end(),
+              [](const NaturalLoop &a, const NaturalLoop &b) {
+                  return a.body.size() < b.body.size();
+              });
+    std::set<u32> consumed;
+
+    for (const auto &loop : loops) {
+        if (!loop.innermost)
+            continue;
+        bool overlaps = false;
+        for (u32 b : loop.body)
+            overlaps |= consumed.count(b) != 0;
+        if (overlaps || hasCall(f, loop.body))
+            continue;
+
+        u64 body_ops = 0;
+        for (u32 b : loop.body)
+            body_ops += blockOps(f.blocks[b]);
+        if (body_ops == 0)
+            continue;
+        unsigned factor = static_cast<unsigned>(
+            std::min<u64>(opts.maxUnroll,
+                          std::max<u64>(1, opts.unrollBudgetOps / body_ops)));
+        if (factor <= 1) {
+            for (u32 b : loop.body)
+                consumed.insert(b);
+            continue;
+        }
+
+        std::set<u32> in_body(loop.body.begin(), loop.body.end());
+
+        // clone_id[c][orig] = block id of copy c (c in 1..factor-1).
+        std::vector<std::map<u32, u32>> clone_id(factor);
+        for (unsigned c = 1; c < factor; ++c) {
+            for (u32 b : loop.body) {
+                clone_id[c][b] = static_cast<u32>(f.blocks.size());
+                BasicBlock copy = f.blocks[b];
+                copy.name += ".u" + std::to_string(c);
+                f.blocks.push_back(std::move(copy));
+            }
+        }
+
+        // Remap terminators: copy c's internal edges go to copy c;
+        // copy c's back edge (-> header) goes to copy c+1's header
+        // (or the original header for the last copy). The original
+        // latch's back edge goes to copy 1's header.
+        auto remap = [&](u32 src_copy, u32 target) -> u32 {
+            if (!in_body.count(target))
+                return target;  // loop exit
+            if (target == loop.header) {
+                // Back edge.
+                unsigned next = src_copy + 1;
+                if (next >= factor)
+                    return loop.header;
+                return clone_id[next][loop.header];
+            }
+            if (src_copy == 0)
+                return target;
+            return clone_id[src_copy][target];
+        };
+        for (unsigned c = 1; c < factor; ++c) {
+            for (u32 b : loop.body) {
+                auto &t = f.blocks[clone_id[c][b]].term;
+                if (t.kind == TermKind::Br) {
+                    t.thenBlock = remap(c, t.thenBlock);
+                    t.elseBlock = remap(c, t.elseBlock);
+                } else if (t.kind == TermKind::Jmp) {
+                    t.thenBlock = remap(c, t.thenBlock);
+                }
+            }
+        }
+        // Original copy: only back edges out of body blocks re-target
+        // copy 1. (Edges to the header from *outside* the loop stay.)
+        for (u32 b : loop.body) {
+            auto &t = f.blocks[b].term;
+            auto fix = [&](u32 tgt) {
+                return tgt == loop.header ? clone_id[1][loop.header] : tgt;
+            };
+            if (t.kind == TermKind::Br) {
+                t.thenBlock = fix(t.thenBlock);
+                t.elseBlock = fix(t.elseBlock);
+            } else if (t.kind == TermKind::Jmp) {
+                t.thenBlock = fix(t.thenBlock);
+            }
+        }
+
+        for (u32 b : loop.body)
+            consumed.insert(b);
+    }
+}
+
+void
+normalizeBlocks(Function &f, unsigned max_ops, unsigned max_mem)
+{
+    for (u32 b = 0; b < f.blocks.size(); ++b) {
+        auto &blk = f.blocks[b];
+        unsigned ops = 0, mems = 0;
+        size_t split_at = blk.instrs.size();
+        for (size_t i = 0; i < blk.instrs.size(); ++i) {
+            const auto &in = blk.instrs[i];
+            ++ops;
+            if (in.op == WOp::Load || in.op == WOp::Store)
+                ++mems;
+            bool is_call = in.op == WOp::Call;
+            bool last = i + 1 == blk.instrs.size();
+            if ((is_call && !last) ||
+                (!last && (ops >= max_ops || mems >= max_mem))) {
+                split_at = i + 1;
+                break;
+            }
+        }
+        if (split_at >= blk.instrs.size())
+            continue;
+        // Move the tail into a new block; current block jumps to it.
+        BasicBlock tail;
+        tail.name = blk.name + ".s";
+        tail.instrs.assign(blk.instrs.begin() + split_at,
+                           blk.instrs.end());
+        tail.term = blk.term;
+        blk.instrs.resize(split_at);
+        blk.term = wir::Terminator{};
+        blk.term.kind = TermKind::Jmp;
+        blk.term.thenBlock = static_cast<u32>(f.blocks.size());
+        f.blocks.push_back(std::move(tail));
+        // Re-examine the new block later (it is appended at the end).
+    }
+}
+
+} // namespace trips::compiler

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * WIR-to-WIR transformations run before hyperblock formation: loop
+ * unrolling, call isolation (every Call terminates its basic block, as
+ * calls end TRIPS blocks), and oversized-block splitting.
+ */
+
+#ifndef TRIPSIM_COMPILER_TRANSFORM_HH
+#define TRIPSIM_COMPILER_TRANSFORM_HH
+
+#include "compiler/options.hh"
+#include "wir/wir.hh"
+
+namespace trips::compiler {
+
+/**
+ * Unroll innermost natural loops of @p f in place. The body (including
+ * all its internal control flow and early exits) is cloned factor-1
+ * times; each clone's back edge chains to the next copy. Non-SSA vregs
+ * make cloning semantics-preserving without phi repair.
+ */
+void unrollLoops(wir::Function &f, const Options &opts);
+
+/**
+ * Split blocks so that every Call instruction is the last instruction
+ * of its block (the call continuation starts a new block), and no block
+ * exceeds @p max_ops instructions or @p max_mem memory operations.
+ */
+void normalizeBlocks(wir::Function &f, unsigned max_ops, unsigned max_mem);
+
+} // namespace trips::compiler
+
+#endif // TRIPSIM_COMPILER_TRANSFORM_HH

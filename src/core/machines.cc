@@ -1,0 +1,122 @@
+#include "core/machines.hh"
+
+#include "wir/interp.hh"
+
+namespace trips::core {
+
+TripsRun
+runTrips(const workloads::Workload &w, const compiler::Options &opts,
+         bool cycle_level, const uarch::UarchConfig &ucfg)
+{
+    wir::Module mod;
+    w.build(mod);
+    TripsRun run;
+    auto prog = compiler::compileToTrips(mod, opts, &run.compile);
+    run.codeBytes = prog.codeBytes();
+
+    MemImage fmem;
+    wir::Interp::loadGlobals(mod, fmem);
+    sim::FuncSim fsim(prog, fmem);
+    auto fres = fsim.run();
+    TRIPS_ASSERT(!fres.fuelExhausted, "functional fuel exhausted on ",
+                 w.name);
+    run.retVal = fres.retVal;
+    run.isa = fres.stats;
+
+    if (cycle_level) {
+        MemImage cmem;
+        wir::Interp::loadGlobals(mod, cmem);
+        uarch::CycleSim csim(prog, cmem, ucfg);
+        run.uarch = csim.run();
+        run.cycleLevel = true;
+        TRIPS_ASSERT(run.uarch.retVal == run.retVal,
+                     "cycle/functional mismatch on ", w.name);
+    }
+    return run;
+}
+
+TripsRun
+runTripsObserved(const workloads::Workload &w,
+                 const compiler::Options &opts,
+                 const std::vector<sim::BlockObserver *> &obs)
+{
+    wir::Module mod;
+    w.build(mod);
+    TripsRun run;
+    auto prog = compiler::compileToTrips(mod, opts, &run.compile);
+    run.codeBytes = prog.codeBytes();
+
+    MemImage fmem;
+    wir::Interp::loadGlobals(mod, fmem);
+    sim::FuncSim fsim(prog, fmem);
+    for (auto *o : obs)
+        fsim.addObserver(o);
+    auto fres = fsim.run();
+    TRIPS_ASSERT(!fres.fuelExhausted, "functional fuel exhausted on ",
+                 w.name);
+    run.retVal = fres.retVal;
+    run.isa = fres.stats;
+    return run;
+}
+
+RiscRun
+runRisc(const workloads::Workload &w, const risc::RiscOptions &opts)
+{
+    wir::Module mod;
+    w.build(mod);
+    auto prog = risc::compileToRisc(mod, opts);
+    MemImage mem;
+    wir::Interp::loadGlobals(mod, mem);
+    risc::Core core(prog, mem);
+    RiscRun run;
+    run.retVal = core.run();
+    TRIPS_ASSERT(!core.fuelExhausted(), "RISC fuel exhausted on ",
+                 w.name);
+    run.counters = core.counters();
+    run.codeBytes = prog.codeBytes();
+    return run;
+}
+
+ooo::OooResult
+runPlatform(const workloads::Workload &w, const ooo::OooConfig &platform,
+            const risc::RiscOptions &compiler_opts)
+{
+    wir::Module mod;
+    w.build(mod);
+    auto prog = risc::compileToRisc(mod, compiler_opts);
+    MemImage mem;
+    wir::Interp::loadGlobals(mod, mem);
+    return ooo::runOoo(prog, mem, platform);
+}
+
+i64
+runGolden(const workloads::Workload &w)
+{
+    wir::Module mod;
+    w.build(mod);
+    MemImage mem;
+    wir::Interp::loadGlobals(mod, mem);
+    auto res = wir::Interp{}.run(mod, mem);
+    TRIPS_ASSERT(!res.fuelExhausted, "interp fuel exhausted on ",
+                 w.name);
+    return res.retVal;
+}
+
+ideal::IdealResult
+runIdeal(const workloads::Workload &w, const compiler::Options &opts,
+         const ideal::IdealConfig &icfg)
+{
+    wir::Module mod;
+    w.build(mod);
+    auto prog = compiler::compileToTrips(mod, opts);
+    MemImage mem;
+    wir::Interp::loadGlobals(mod, mem);
+    sim::FuncSim fsim(prog, mem);
+    ideal::IdealSim ideal_sim(icfg);
+    fsim.addObserver(&ideal_sim);
+    auto fres = fsim.run();
+    TRIPS_ASSERT(!fres.fuelExhausted, "fuel exhausted on ", w.name);
+    return ideal_sim.result();
+}
+
+} // namespace trips::core

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Top-level experiment facade: run a workload on any of the execution
+ * models (WIR interpreter, TRIPS functional, TRIPS cycle-level, ideal
+ * EDGE machine, RISC baseline, OoO reference platforms) and collect
+ * the metrics the paper's tables and figures are built from.
+ */
+
+#ifndef TRIPSIM_CORE_MACHINES_HH
+#define TRIPSIM_CORE_MACHINES_HH
+
+#include "compiler/codegen.hh"
+#include "ideal/ideal.hh"
+#include "ooo/ooo.hh"
+#include "risc/core.hh"
+#include "risc/wirtorisc.hh"
+#include "trips/func_sim.hh"
+#include "uarch/cycle_sim.hh"
+#include "workloads/workload.hh"
+
+namespace trips::core {
+
+/** Results of a TRIPS run (functional always; cycle-level optional). */
+struct TripsRun
+{
+    i64 retVal = 0;
+    sim::IsaStats isa;
+    compiler::CompileStats compile;
+    u64 codeBytes = 0;
+    bool cycleLevel = false;
+    uarch::UarchResult uarch;
+};
+
+/** Functional + optional cycle-level TRIPS execution. */
+TripsRun runTrips(const workloads::Workload &w,
+                  const compiler::Options &opts, bool cycle_level,
+                  const uarch::UarchConfig &ucfg = uarch::UarchConfig{});
+
+/** Functional TRIPS run with extra observers attached (Fig. 7/10). */
+TripsRun runTripsObserved(const workloads::Workload &w,
+                          const compiler::Options &opts,
+                          const std::vector<sim::BlockObserver *> &obs);
+
+struct RiscRun
+{
+    i64 retVal = 0;
+    risc::RiscCounters counters;
+    u64 codeBytes = 0;
+};
+
+/** RISC (PowerPC-like) functional run. */
+RiscRun runRisc(const workloads::Workload &w,
+                const risc::RiscOptions &opts = risc::RiscOptions::gcc());
+
+/** OoO reference platform run (Core 2 / P4 / P3 models). */
+ooo::OooResult runPlatform(const workloads::Workload &w,
+                           const ooo::OooConfig &platform,
+                           const risc::RiscOptions &compiler_opts);
+
+/** Golden result from the WIR interpreter. */
+i64 runGolden(const workloads::Workload &w);
+
+/** Ideal EDGE machine (Fig. 10). */
+ideal::IdealResult runIdeal(const workloads::Workload &w,
+                            const compiler::Options &opts,
+                            const ideal::IdealConfig &icfg);
+
+} // namespace trips::core
+
+#endif // TRIPSIM_CORE_MACHINES_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Idealized EDGE machine for the paper's ILP limit study (Fig. 10):
+ * perfect next-block prediction, perfect caches, infinite execution
+ * resources, zero inter-tile routing delay, and perfect memory
+ * dependence prediction. Constrained only by true dataflow
+ * dependences, a configurable instruction window, and a per-block
+ * dispatch cost (8 cycles in the paper's base ideal machine, 0 in the
+ * zero-dispatch variant).
+ *
+ * Implemented as an observer of the functional simulator's committed
+ * block stream: each fired instruction is timestamped at the max of
+ * its producers' completion times.
+ */
+
+#ifndef TRIPSIM_IDEAL_IDEAL_HH
+#define TRIPSIM_IDEAL_IDEAL_HH
+
+#include <deque>
+#include <unordered_map>
+
+#include "trips/func_sim.hh"
+
+namespace trips::ideal {
+
+struct IdealConfig
+{
+    u64 windowInsts = 1024;
+    unsigned dispatchCost = 8;   ///< cycles between block starts
+    unsigned loadLatency = 2;    ///< perfect L1 hit
+};
+
+struct IdealResult
+{
+    u64 executed = 0;
+    Cycle makespan = 0;
+
+    double ipc() const
+    {
+        return makespan
+            ? static_cast<double>(executed) / makespan : 0;
+    }
+};
+
+class IdealSim : public sim::BlockObserver
+{
+  public:
+    explicit IdealSim(const IdealConfig &cfg) : cfg(cfg) {}
+
+    void onBlockCommit(const isa::Block &block,
+                       const sim::BlockRecord &rec) override;
+
+    IdealResult result() const;
+
+  private:
+    IdealConfig cfg;
+    std::array<Cycle, isa::NUM_REGS> regReady{};
+    std::unordered_map<Addr, Cycle> storeReady;  ///< per 8-byte chunk
+    std::deque<Cycle> blockCompletions;          ///< window ring
+    Cycle lastDispatch = 0;
+    bool first = true;
+    u64 executed = 0;
+    Cycle makespan = 0;
+};
+
+} // namespace trips::ideal
+
+#endif // TRIPSIM_IDEAL_IDEAL_HH

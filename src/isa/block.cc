@@ -1,0 +1,216 @@
+#include "isa/block.hh"
+
+#include <array>
+#include <set>
+#include <sstream>
+
+namespace trips::isa {
+
+unsigned
+Block::numExits() const
+{
+    unsigned n = 0;
+    for (const auto &in : insts) {
+        if (isBranch(in.op))
+            ++n;
+    }
+    return n;
+}
+
+unsigned
+Block::sizeClass() const
+{
+    size_t n = insts.size();
+    if (n <= 32)
+        return 32;
+    if (n <= 64)
+        return 64;
+    if (n <= 96)
+        return 96;
+    return 128;
+}
+
+namespace {
+
+/** Tracks which operand slots of which instructions have producers. */
+struct OperandCoverage
+{
+    // [inst][0]=op0, [1]=op1, [2]=pred
+    std::vector<std::array<bool, 3>> covered;
+    std::vector<bool> write_covered;
+
+    OperandCoverage(size_t insts, size_t writes)
+        : covered(insts, {false, false, false}),
+          write_covered(writes, false)
+    {}
+
+    std::string
+    mark(const Target &t, size_t num_insts)
+    {
+        switch (t.kind) {
+          case Target::Kind::None:
+            return "";
+          case Target::Kind::Op0:
+          case Target::Kind::Op1:
+          case Target::Kind::Pred: {
+            if (t.index >= num_insts) {
+                std::ostringstream os;
+                os << "target references instruction slot "
+                   << unsigned(t.index) << " beyond block size "
+                   << num_insts;
+                return os.str();
+            }
+            unsigned operand = t.kind == Target::Kind::Op0 ? 0
+                             : t.kind == Target::Kind::Op1 ? 1 : 2;
+            covered[t.index][operand] = true;
+            return "";
+          }
+          case Target::Kind::Write:
+            if (t.index >= write_covered.size()) {
+                std::ostringstream os;
+                os << "target references write slot " << unsigned(t.index)
+                   << " beyond write count " << write_covered.size();
+                return os.str();
+            }
+            write_covered[t.index] = true;
+            return "";
+        }
+        return "bad target kind";
+    }
+};
+
+} // namespace
+
+std::string
+validateBlock(const Block &block, i32 num_program_blocks)
+{
+    std::ostringstream os;
+    if (block.insts.empty())
+        return "block has no instructions";
+    if (block.insts.size() > MAX_INSTS) {
+        os << "block has " << block.insts.size() << " instructions (max "
+           << MAX_INSTS << ")";
+        return os.str();
+    }
+    if (block.reads.size() > MAX_READS)
+        return "too many read instructions";
+    if (block.writes.size() > MAX_WRITES)
+        return "too many write instructions";
+
+    OperandCoverage cov(block.insts.size(), block.writes.size());
+
+    for (const auto &r : block.reads) {
+        if (r.reg >= NUM_REGS)
+            return "read of out-of-range register";
+        for (const auto &t : r.targets) {
+            auto err = cov.mark(t, block.insts.size());
+            if (!err.empty())
+                return "read: " + err;
+        }
+    }
+    for (const auto &w : block.writes) {
+        if (w.reg >= NUM_REGS)
+            return "write of out-of-range register";
+    }
+
+    u32 store_lsids = 0;
+    std::set<unsigned> exits;
+    unsigned num_branches = 0;
+    for (size_t i = 0; i < block.insts.size(); ++i) {
+        const auto &in = block.insts[i];
+        const auto &info = opInfo(in.op);
+        for (unsigned t = 0; t < 2; ++t) {
+            if (t >= info.numTargets && in.targets[t].valid())
+                return "instruction uses more targets than its format has";
+            auto err = cov.mark(in.targets[t], block.insts.size());
+            if (!err.empty())
+                return err;
+        }
+        if (info.hasImm && !isMemory(in.op) &&
+            in.op != Opcode::GENS && in.op != Opcode::APP) {
+            if (in.imm < IMM9_MIN || in.imm > IMM9_MAX)
+                return "ALU immediate out of 9-bit range";
+        }
+        if (isMemory(in.op)) {
+            if (in.imm < IMM9_MIN || in.imm > IMM9_MAX)
+                return "memory offset out of 9-bit range";
+            if (in.lsid >= MAX_LSIDS)
+                return "LSID out of range";
+            if (isStore(in.op))
+                store_lsids |= 1u << in.lsid;
+        }
+        if (in.op == Opcode::GENS || in.op == Opcode::APP) {
+            if (in.imm < IMM16_MIN || in.imm > IMM16_MAX)
+                return "constant immediate out of 16-bit range";
+        }
+        if (isBranch(in.op)) {
+            ++num_branches;
+            if (in.exit >= MAX_EXITS)
+                return "exit number out of range";
+            exits.insert(in.exit);
+            if (in.op != Opcode::RET) {
+                if (in.targetBlock < 0)
+                    return "branch without resolved target block";
+                if (num_program_blocks >= 0 &&
+                    in.targetBlock >= num_program_blocks)
+                    return "branch target out of program range";
+            }
+            if (in.op == Opcode::CALLO && in.returnBlock < 0)
+                return "call without return continuation";
+        }
+    }
+
+    if (num_branches == 0)
+        return "block has no exit branch";
+    if (exits.size() != num_branches) {
+        // Multiple branches may share an exit only if they are
+        // predicate-complementary; the prototype required distinct exit
+        // numbers, which the compiler guarantees.
+        return "duplicate exit numbers";
+    }
+    if (store_lsids != block.storeMask)
+        return "store mask does not match store LSIDs";
+
+    // Every declared operand of every instruction needs >= 1 producer.
+    for (size_t i = 0; i < block.insts.size(); ++i) {
+        const auto &in = block.insts[i];
+        const auto &info = opInfo(in.op);
+        if (info.numInputs >= 1 && !cov.covered[i][0]) {
+            os << "instruction " << i << " (" << info.name
+               << ") operand 0 has no producer";
+            return os.str();
+        }
+        if (info.numInputs >= 2 && !cov.covered[i][1]) {
+            os << "instruction " << i << " (" << info.name
+               << ") operand 1 has no producer";
+            return os.str();
+        }
+        if (in.predicated() && !cov.covered[i][2]) {
+            os << "instruction " << i << " (" << info.name
+               << ") predicate has no producer";
+            return os.str();
+        }
+    }
+    for (size_t w = 0; w < block.writes.size(); ++w) {
+        if (!cov.write_covered[w]) {
+            os << "write slot " << w << " (reg "
+               << unsigned(block.writes[w].reg) << ") has no producer";
+            return os.str();
+        }
+    }
+
+    if (!block.placement.empty()) {
+        if (block.placement.size() != block.insts.size())
+            return "placement size mismatch";
+        std::array<unsigned, NUM_ETS> per_et{};
+        for (u8 et : block.placement) {
+            if (et >= NUM_ETS)
+                return "placement to invalid ET";
+            if (++per_et[et] > SLOTS_PER_ET)
+                return "ET reservation-station overflow";
+        }
+    }
+    return "";
+}
+
+} // namespace trips::isa

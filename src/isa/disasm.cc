@@ -1,0 +1,111 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+namespace trips::isa {
+
+namespace {
+
+std::string
+targetStr(const Target &t)
+{
+    std::ostringstream os;
+    switch (t.kind) {
+      case Target::Kind::None:
+        return "";
+      case Target::Kind::Op0:
+        os << "[" << unsigned(t.index) << ",op0]";
+        break;
+      case Target::Kind::Op1:
+        os << "[" << unsigned(t.index) << ",op1]";
+        break;
+      case Target::Kind::Pred:
+        os << "[" << unsigned(t.index) << ",pred]";
+        break;
+      case Target::Kind::Write:
+        os << "[W" << unsigned(t.index) << "]";
+        break;
+    }
+    return os.str();
+}
+
+const char *
+prSuffix(PredMode pr)
+{
+    switch (pr) {
+      case PredMode::None: return "";
+      case PredMode::OnTrue: return "_t";
+      case PredMode::OnFalse: return "_f";
+    }
+    return "";
+}
+
+} // namespace
+
+std::string
+disasmInstruction(const Instruction &inst)
+{
+    std::ostringstream os;
+    os << opName(inst.op) << prSuffix(inst.pr);
+    if (isMemory(inst.op))
+        os << " " << inst.imm << "(lsid=" << unsigned(inst.lsid) << ")";
+    else if (opInfo(inst.op).hasImm)
+        os << " #" << inst.imm;
+    if (isBranch(inst.op)) {
+        os << " exit" << unsigned(inst.exit);
+        if (inst.op != Opcode::RET)
+            os << " ->B" << inst.targetBlock;
+        if (inst.op == Opcode::CALLO)
+            os << " ret=B" << inst.returnBlock;
+    }
+    for (const auto &t : inst.targets) {
+        auto s = targetStr(t);
+        if (!s.empty())
+            os << " " << s;
+    }
+    return os.str();
+}
+
+std::string
+disasmBlock(const Block &block)
+{
+    std::ostringstream os;
+    os << block.label << ":  (" << block.insts.size() << " insts, "
+       << block.reads.size() << " reads, " << block.writes.size()
+       << " writes, storeMask=0x" << std::hex << block.storeMask
+       << std::dec << ")\n";
+    for (size_t i = 0; i < block.reads.size(); ++i) {
+        const auto &r = block.reads[i];
+        os << "  R" << i << ": read r" << unsigned(r.reg);
+        for (const auto &t : r.targets) {
+            auto s = targetStr(t);
+            if (!s.empty())
+                os << " " << s;
+        }
+        os << "\n";
+    }
+    for (size_t w = 0; w < block.writes.size(); ++w) {
+        os << "  W" << w << ": write r" << unsigned(block.writes[w].reg)
+           << "\n";
+    }
+    for (size_t i = 0; i < block.insts.size(); ++i) {
+        os << "  I" << i << ": " << disasmInstruction(block.insts[i]);
+        if (!block.placement.empty())
+            os << "   @ET" << unsigned(block.placement[i]);
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+disasmProgram(const Program &prog)
+{
+    std::ostringstream os;
+    for (u32 i = 0; i < prog.numBlocks(); ++i) {
+        os << "B" << i << " ";
+        os << disasmBlock(prog.block(i)) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace trips::isa

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Textual disassembly of TRIPS blocks and programs for debugging,
+ * examples and documentation output.
+ */
+
+#ifndef TRIPSIM_ISA_DISASM_HH
+#define TRIPSIM_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace trips::isa {
+
+/** One-line rendering of a compute instruction (e.g. "add_t [3,op0]"). */
+std::string disasmInstruction(const Instruction &inst);
+
+/** Multi-line rendering of a block including header reads/writes. */
+std::string disasmBlock(const Block &block);
+
+/** Full program listing. */
+std::string disasmProgram(const Program &prog);
+
+} // namespace trips::isa
+
+#endif // TRIPSIM_ISA_DISASM_HH

@@ -1,0 +1,199 @@
+#include "isa/encode.hh"
+
+namespace trips::isa {
+
+namespace {
+
+enum class Format { G, I, L, S, C, B };
+
+Format
+formatOf(Opcode op)
+{
+    if (op == Opcode::GENS || op == Opcode::APP)
+        return Format::C;
+    if (isLoad(op))
+        return Format::L;
+    if (isStore(op))
+        return Format::S;
+    if (isBranch(op))
+        return Format::B;
+    return opInfo(op).hasImm ? Format::I : Format::G;
+}
+
+u32
+encodeTarget10(const Target &t)
+{
+    u32 kind = 0;
+    switch (t.kind) {
+      case Target::Kind::None: kind = 0; break;
+      case Target::Kind::Op0: kind = 1; break;
+      case Target::Kind::Op1: kind = 2; break;
+      case Target::Kind::Pred: kind = 3; break;
+      case Target::Kind::Write: kind = 4; break;
+    }
+    return (kind << 7) | (t.index & 0x7f);
+}
+
+std::optional<Target>
+decodeTarget10(u32 field)
+{
+    Target t;
+    t.index = field & 0x7f;
+    switch ((field >> 7) & 0x7) {
+      case 0: t.kind = Target::Kind::None; t.index = 0; break;
+      case 1: t.kind = Target::Kind::Op0; break;
+      case 2: t.kind = Target::Kind::Op1; break;
+      case 3: t.kind = Target::Kind::Pred; break;
+      case 4: t.kind = Target::Kind::Write; break;
+      default: return std::nullopt;
+    }
+    return t;
+}
+
+u32
+encodeTarget9(const Target &t)
+{
+    u32 kind = 0;
+    switch (t.kind) {
+      case Target::Kind::Op0: kind = 0; break;
+      case Target::Kind::Op1: kind = 1; break;
+      case Target::Kind::Pred: kind = 2; break;
+      case Target::Kind::Write: kind = 3; break;
+      case Target::Kind::None:
+        TRIPS_PANIC("9-bit target field requires a valid target");
+    }
+    return (kind << 7) | (t.index & 0x7f);
+}
+
+Target
+decodeTarget9(u32 field)
+{
+    Target t;
+    t.index = field & 0x7f;
+    switch ((field >> 7) & 0x3) {
+      case 0: t.kind = Target::Kind::Op0; break;
+      case 1: t.kind = Target::Kind::Op1; break;
+      case 2: t.kind = Target::Kind::Pred; break;
+      default: t.kind = Target::Kind::Write; break;
+    }
+    return t;
+}
+
+} // namespace
+
+u32
+encodeInstruction(const Instruction &inst)
+{
+    const u32 op = static_cast<u32>(inst.op);
+    const u32 pr = static_cast<u32>(inst.pr);
+    TRIPS_ASSERT(op < 128);
+    switch (formatOf(inst.op)) {
+      case Format::G:
+        return (op << 25) | (pr << 23)
+             | (encodeTarget10(inst.targets[0]) << 13)
+             | (encodeTarget10(inst.targets[1]) << 3);
+      case Format::I:
+        return (op << 25) | (pr << 23)
+             | ((static_cast<u32>(inst.imm) & 0x1ff) << 14)
+             | (encodeTarget10(inst.targets[0]) << 4);
+      case Format::L:
+        return (op << 25) | (pr << 23)
+             | ((static_cast<u32>(inst.imm) & 0x1ff) << 14)
+             | ((inst.lsid & 0x1f) << 9)
+             | encodeTarget9(inst.targets[0]);
+      case Format::S:
+        return (op << 25) | (pr << 23)
+             | ((static_cast<u32>(inst.imm) & 0x1ff) << 14)
+             | ((inst.lsid & 0x1f) << 9);
+      case Format::C:
+        TRIPS_ASSERT(inst.pr == PredMode::None,
+                     "constant generation cannot be predicated");
+        return (op << 25)
+             | ((static_cast<u32>(inst.imm) & 0xffff) << 9)
+             | encodeTarget9(inst.targets[0]);
+      case Format::B: {
+        u32 target = inst.op == Opcode::RET
+            ? 0 : static_cast<u32>(inst.targetBlock) & 0xfffff;
+        return (op << 25) | (pr << 23)
+             | ((inst.exit & 0x7) << 20) | target;
+      }
+    }
+    TRIPS_PANIC("unreachable");
+}
+
+namespace {
+
+i32
+signExtend(u32 value, unsigned bits)
+{
+    u32 mask = 1u << (bits - 1);
+    return static_cast<i32>((value ^ mask) - mask);
+}
+
+} // namespace
+
+std::optional<Instruction>
+decodeInstruction(u32 word)
+{
+    u32 op_bits = word >> 25;
+    if (op_bits >= static_cast<u32>(Opcode::NUM_OPCODES))
+        return std::nullopt;
+    Instruction inst;
+    inst.op = static_cast<Opcode>(op_bits);
+    auto pr_of = [](u32 bits) { return static_cast<PredMode>(bits & 0x3); };
+    switch (formatOf(inst.op)) {
+      case Format::G: {
+        inst.pr = pr_of(word >> 23);
+        auto t0 = decodeTarget10((word >> 13) & 0x3ff);
+        auto t1 = decodeTarget10((word >> 3) & 0x3ff);
+        if (!t0 || !t1)
+            return std::nullopt;
+        inst.targets[0] = *t0;
+        inst.targets[1] = *t1;
+        break;
+      }
+      case Format::I: {
+        inst.pr = pr_of(word >> 23);
+        inst.imm = signExtend((word >> 14) & 0x1ff, 9);
+        auto t0 = decodeTarget10((word >> 4) & 0x3ff);
+        if (!t0)
+            return std::nullopt;
+        inst.targets[0] = *t0;
+        break;
+      }
+      case Format::L:
+        inst.pr = pr_of(word >> 23);
+        inst.imm = signExtend((word >> 14) & 0x1ff, 9);
+        inst.lsid = (word >> 9) & 0x1f;
+        inst.targets[0] = decodeTarget9(word & 0x1ff);
+        break;
+      case Format::S:
+        inst.pr = pr_of(word >> 23);
+        inst.imm = signExtend((word >> 14) & 0x1ff, 9);
+        inst.lsid = (word >> 9) & 0x1f;
+        break;
+      case Format::C:
+        inst.imm = signExtend((word >> 9) & 0xffff, 16);
+        inst.targets[0] = decodeTarget9(word & 0x1ff);
+        break;
+      case Format::B:
+        inst.pr = pr_of(word >> 23);
+        inst.exit = (word >> 20) & 0x7;
+        if (inst.op != Opcode::RET)
+            inst.targetBlock = static_cast<i32>(word & 0xfffff);
+        break;
+    }
+    return inst;
+}
+
+std::vector<u32>
+encodeBlock(const Block &block)
+{
+    std::vector<u32> words;
+    words.reserve(block.insts.size());
+    for (const auto &in : block.insts)
+        words.push_back(encodeInstruction(in));
+    return words;
+}
+
+} // namespace trips::isa

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Binary encoding of TRIPS compute instructions into 32-bit words.
+ *
+ * Formats (bit widths):
+ *   G  (2-target ALU/test/mov/null): op[7] pr[2] t0[10] t1[10]
+ *   I  (imm9, 1 target):             op[7] pr[2] imm[9] t0[10]
+ *   L  (load):                       op[7] pr[2] imm[9] lsid[5] t0[9]
+ *   S  (store):                      op[7] pr[2] imm[9] lsid[5]
+ *   C  (GENS/APP, unpredicated):     op[7] imm[16] t0[9]
+ *   B  (branch):                     op[7] pr[2] exit[3] target[20]
+ *
+ * 10-bit targets: kind[3] (0 none, 1 op0, 2 op1, 3 pred, 4 write) +
+ * index[7]. 9-bit targets omit the "none" encoding (kind[2]: op0, op1,
+ * pred, write) because those formats require a valid target.
+ *
+ * CALLO's return continuation does not fit in 32 bits; it lives in the
+ * block header sideband (see DESIGN.md), as the prototype materialized
+ * return addresses through the register file.
+ */
+
+#ifndef TRIPSIM_ISA_ENCODE_HH
+#define TRIPSIM_ISA_ENCODE_HH
+
+#include <optional>
+#include <vector>
+
+#include "isa/block.hh"
+
+namespace trips::isa {
+
+/** Encode one instruction; panics on field overflow (validator's job). */
+u32 encodeInstruction(const Instruction &inst);
+
+/**
+ * Decode a 32-bit word back into an instruction. Returns std::nullopt on
+ * an invalid opcode or malformed target field. CALLO decodes with
+ * returnBlock = -1 (header sideband).
+ */
+std::optional<Instruction> decodeInstruction(u32 word);
+
+/** Encode all compute instructions of a block. */
+std::vector<u32> encodeBlock(const Block &block);
+
+} // namespace trips::isa
+
+#endif // TRIPSIM_ISA_ENCODE_HH

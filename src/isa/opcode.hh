@@ -1,0 +1,97 @@
+/**
+ * @file
+ * TRIPS EDGE ISA opcode definitions and static metadata.
+ *
+ * The opcode set follows the prototype ISA described in the paper:
+ * RISC-style compute operations, tests that produce predicates, sized
+ * loads/stores with load/store IDs (LSIDs), block-exit branches, and the
+ * dataflow helper instructions (mov fanout, null tokens, constant
+ * generation via GENS/APP chains with small immediates — the paper's
+ * "prototype simplifications" in constant generation).
+ */
+
+#ifndef TRIPSIM_ISA_OPCODE_HH
+#define TRIPSIM_ISA_OPCODE_HH
+
+#include <string>
+
+#include "support/common.hh"
+
+namespace trips::isa {
+
+/** All TRIPS compute opcodes (register read/write live in the header). */
+enum class Opcode : u8 {
+    // Integer arithmetic.
+    ADD, SUB, MUL, DIV, DIVU, MOD, MODU,
+    AND, OR, XOR, NOT, SLL, SRL, SRA,
+    // Immediate forms (9-bit signed immediate).
+    ADDI, MULI, ANDI, ORI, XORI, SLLI, SRLI, SRAI,
+    // Sign / zero extension (paper: explicit extension overhead).
+    EXTSB, EXTSH, EXTSW, EXTUB, EXTUH, EXTUW,
+    // Constant generation: GENS makes a sign-extended 16-bit constant,
+    // APP shifts left 16 and ORs in 16 more bits.
+    GENS, APP,
+    // Floating point (64-bit).
+    FADD, FSUB, FMUL, FDIV, ITOF, FTOI, FNEG,
+    // Integer tests (produce a 0/1 predicate value).
+    TEQ, TNE, TLT, TLE, TGT, TGE, TLTU, TGEU,
+    // Immediate tests (9-bit signed immediate).
+    TEQI, TNEI, TLTI, TGTI,
+    // Floating-point tests.
+    TFEQ, TFNE, TFLT, TFLE,
+    // Memory (9-bit signed offset, 5-bit LSID).
+    LB, LBU, LH, LHU, LW, LWU, LD,
+    SB, SH, SW, SD,
+    // Control flow (block exits).
+    BRO, CALLO, RET,
+    // Dataflow helpers.
+    MOV, NULLW,
+
+    NUM_OPCODES
+};
+
+/** Broad instruction category used for the paper's composition plots. */
+enum class OpClass : u8 {
+    IntArith,   ///< integer ALU including extension and constant gen
+    FpArith,    ///< floating point
+    Test,       ///< predicate-producing tests
+    Load,
+    Store,
+    Branch,     ///< block exits: BRO/CALLO/RET
+    Move,       ///< MOV fanout and NULLW tokens
+};
+
+/** Predication field: fire always, on true predicate, or on false. */
+enum class PredMode : u8 { None, OnTrue, OnFalse };
+
+/** Static per-opcode properties. */
+struct OpInfo
+{
+    const char *name;
+    OpClass cls;
+    u8 numInputs;      ///< value operands required to fire (0..2)
+    u8 numTargets;     ///< encodable result targets (0..2)
+    bool hasImm;       ///< carries an immediate field
+    u8 latency;        ///< execute latency in cycles (loads: cache adds)
+};
+
+/** Look up static properties of an opcode. */
+const OpInfo &opInfo(Opcode op);
+
+/** Convenience class tests. */
+bool isLoad(Opcode op);
+bool isStore(Opcode op);
+bool isMemory(Opcode op);
+bool isBranch(Opcode op);
+bool isTest(Opcode op);
+
+/** Human-readable mnemonic. */
+inline const char *opName(Opcode op) { return opInfo(op).name; }
+
+/** Range limits of the prototype's immediate fields. */
+constexpr i64 IMM9_MIN = -256, IMM9_MAX = 255;
+constexpr i64 IMM16_MIN = -32768, IMM16_MAX = 32767;
+
+} // namespace trips::isa
+
+#endif // TRIPSIM_ISA_OPCODE_HH

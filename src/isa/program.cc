@@ -1,0 +1,57 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+namespace trips::isa {
+
+u32
+Program::addBlock(Block block)
+{
+    TRIPS_ASSERT(!label_to_index.count(block.label),
+                 "duplicate block label ", block.label);
+    u32 idx = static_cast<u32>(blocks.size());
+    label_to_index[block.label] = idx;
+    blocks.push_back(std::move(block));
+    return idx;
+}
+
+u32
+Program::blockIndex(const std::string &label) const
+{
+    auto it = label_to_index.find(label);
+    if (it == label_to_index.end())
+        TRIPS_FATAL("unknown block label ", label);
+    return it->second;
+}
+
+bool
+Program::hasLabel(const std::string &label) const
+{
+    return label_to_index.count(label) != 0;
+}
+
+std::string
+Program::finalize()
+{
+    block_addr.clear();
+    Addr addr = CODE_BASE;
+    for (const auto &b : blocks) {
+        block_addr.push_back(addr);
+        addr += b.codeBytes();
+    }
+    total_code_bytes = addr - CODE_BASE;
+
+    for (u32 i = 0; i < blocks.size(); ++i) {
+        auto err = validateBlock(blocks[i], static_cast<i32>(blocks.size()));
+        if (!err.empty()) {
+            std::ostringstream os;
+            os << "block " << i << " (" << blocks[i].label << "): " << err;
+            return os.str();
+        }
+    }
+    if (entry >= blocks.size())
+        return "entry block out of range";
+    return "";
+}
+
+} // namespace trips::isa

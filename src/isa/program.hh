@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A TRIPS program: an ordered collection of blocks with labels, an entry
+ * block, and the memory-image metadata needed by the instruction cache
+ * model (per-block addresses using compressed size classes).
+ */
+
+#ifndef TRIPSIM_ISA_PROGRAM_HH
+#define TRIPSIM_ISA_PROGRAM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/block.hh"
+
+namespace trips::isa {
+
+class Program
+{
+  public:
+    /** Append a block; returns its index. Labels must be unique. */
+    u32 addBlock(Block block);
+
+    /** Index of a labeled block; fatal if absent. */
+    u32 blockIndex(const std::string &label) const;
+
+    /** True if the label exists. */
+    bool hasLabel(const std::string &label) const;
+
+    /**
+     * Resolve addresses and validate every block. Must be called after
+     * all blocks are added and branch target indices are filled in.
+     * Returns an empty string on success or the first error.
+     */
+    std::string finalize();
+
+    const Block &block(u32 idx) const { return blocks.at(idx); }
+    Block &mutableBlock(u32 idx) { return blocks.at(idx); }
+    u32 numBlocks() const { return static_cast<u32>(blocks.size()); }
+
+    /** Byte address of a block's header in the code image. */
+    Addr blockAddr(u32 idx) const { return block_addr.at(idx); }
+
+    /** Total code-image bytes (compressed size classes). */
+    u64 codeBytes() const { return total_code_bytes; }
+
+    u32 entry = 0;
+
+    /** Base address of the code image. */
+    static constexpr Addr CODE_BASE = 0x10000;
+
+  private:
+    std::vector<Block> blocks;
+    std::map<std::string, u32> label_to_index;
+    std::vector<Addr> block_addr;
+    u64 total_code_bytes = 0;
+};
+
+} // namespace trips::isa
+
+#endif // TRIPSIM_ISA_PROGRAM_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Physical tile topology of the TRIPS processor: a 5x5 operand-network
+ * mesh connecting 16 execution tiles (4x4 grid), 4 register tiles along
+ * the top, 4 data tiles along the left edge, and the global control
+ * tile in the corner (paper Fig. 2). Shared by the compiler's placement
+ * pass and the cycle-level simulator so distances agree.
+ */
+
+#ifndef TRIPSIM_ISA_TOPOLOGY_HH
+#define TRIPSIM_ISA_TOPOLOGY_HH
+
+#include <cstdlib>
+
+#include "isa/block.hh"
+
+namespace trips::isa {
+
+/** Node coordinate on the 5x5 OPN mesh (row 0 = RT/GT row). */
+struct Coord
+{
+    int row = 0;
+    int col = 0;
+};
+
+constexpr unsigned NUM_DTS = 4;
+constexpr unsigned NUM_ITS = 5;
+constexpr unsigned OPN_ROWS = 5;
+constexpr unsigned OPN_COLS = 5;
+
+/** Coordinate of execution tile e (0..15). */
+inline Coord
+etCoord(unsigned e)
+{
+    return {static_cast<int>(1 + e / 4), static_cast<int>(1 + e % 4)};
+}
+
+/** Coordinate of register tile bank r (0..3): top row. */
+inline Coord
+rtCoord(unsigned r)
+{
+    return {0, static_cast<int>(1 + r)};
+}
+
+/** Coordinate of data tile d (0..3): left column. */
+inline Coord
+dtCoord(unsigned d)
+{
+    return {static_cast<int>(1 + d), 0};
+}
+
+/** Coordinate of the global control tile. */
+inline Coord
+gtCoord()
+{
+    return {0, 0};
+}
+
+/** Manhattan hop distance between mesh nodes. */
+inline unsigned
+hopDist(Coord a, Coord b)
+{
+    return static_cast<unsigned>(std::abs(a.row - b.row) +
+                                 std::abs(a.col - b.col));
+}
+
+/** Data tile servicing an address (cache-line interleaved, 64B lines). */
+inline unsigned
+dtForAddr(Addr a)
+{
+    return static_cast<unsigned>((a >> 6) & 3);
+}
+
+/** Flat OPN node id for a coordinate. */
+inline unsigned
+opnNode(Coord c)
+{
+    return static_cast<unsigned>(c.row) * OPN_COLS +
+           static_cast<unsigned>(c.col);
+}
+
+} // namespace trips::isa
+
+#endif // TRIPSIM_ISA_TOPOLOGY_HH

@@ -1,0 +1,97 @@
+#include "mem/cache.hh"
+
+namespace trips::mem {
+
+namespace {
+
+unsigned
+ilog2(u64 v)
+{
+    unsigned n = 0;
+    while ((1ULL << n) < v)
+        ++n;
+    return n;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &cfg_)
+    : cfg(cfg_)
+{
+    TRIPS_ASSERT(cfg.sizeBytes % (cfg.lineBytes * cfg.assoc) == 0,
+                 "cache geometry must divide evenly");
+    numSets = static_cast<unsigned>(cfg.sizeBytes /
+                                    (cfg.lineBytes * cfg.assoc));
+    lines.assign(static_cast<size_t>(numSets) * cfg.assoc, Line{});
+}
+
+unsigned
+Cache::setOf(Addr addr) const
+{
+    return static_cast<unsigned>((addr >> ilog2(cfg.lineBytes)) %
+                                 numSets);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> ilog2(cfg.lineBytes);
+}
+
+AccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    AccessResult res;
+    unsigned set = setOf(addr);
+    Addr tag = tagOf(addr);
+    Line *ways = &lines[static_cast<size_t>(set) * cfg.assoc];
+    Line *victim = &ways[0];
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        if (ways[w].valid && ways[w].tag == tag) {
+            ways[w].lru = ++stamp;
+            ways[w].dirty |= is_write;
+            ++_hits;
+            res.hit = true;
+            return res;
+        }
+        if (!ways[w].valid) {
+            victim = &ways[w];
+        } else if (victim->valid && ways[w].lru < victim->lru) {
+            victim = &ways[w];
+        }
+    }
+    ++_misses;
+    if (victim->valid && victim->dirty) {
+        ++_writebacks;
+        res.writeback = true;
+        res.victimLine = victim->tag << ilog2(cfg.lineBytes);
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = is_write;
+    victim->lru = ++stamp;
+    return res;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    unsigned set = setOf(addr);
+    Addr tag = tagOf(addr);
+    const Line *ways = &lines[static_cast<size_t>(set) * cfg.assoc];
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        if (ways[w].valid && ways[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &l : lines)
+        l = Line{};
+    stamp = 0;
+}
+
+} // namespace trips::mem

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Set-associative write-back cache model with LRU replacement. Timing
+ * is managed by the owning simulator; this class tracks contents and
+ * hit/miss/writeback statistics. Used for TRIPS L1D banks, the L1I
+ * banks, the L2 NUCA banks, and the OoO reference models' hierarchies.
+ */
+
+#ifndef TRIPSIM_MEM_CACHE_HH
+#define TRIPSIM_MEM_CACHE_HH
+
+#include <vector>
+
+#include "support/common.hh"
+
+namespace trips::mem {
+
+struct CacheConfig
+{
+    u64 sizeBytes = 32 * 1024;
+    unsigned assoc = 2;
+    unsigned lineBytes = 64;
+};
+
+struct AccessResult
+{
+    bool hit = false;
+    bool writeback = false;   ///< a dirty victim was evicted
+    Addr victimLine = 0;
+};
+
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /** Access a line; allocates on miss (write-allocate). */
+    AccessResult access(Addr addr, bool is_write);
+
+    /** Contents check without LRU update or allocation. */
+    bool probe(Addr addr) const;
+
+    /** Invalidate everything (cold restart). */
+    void reset();
+
+    u64 hits() const { return _hits; }
+    u64 misses() const { return _misses; }
+    u64 writebacks() const { return _writebacks; }
+    const CacheConfig &config() const { return cfg; }
+
+    double
+    missRate() const
+    {
+        u64 total = _hits + _misses;
+        return total ? static_cast<double>(_misses) / total : 0.0;
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        u64 lru = 0;
+    };
+
+    CacheConfig cfg;
+    unsigned numSets;
+    std::vector<Line> lines;   ///< numSets * assoc
+    u64 stamp = 0;
+    u64 _hits = 0, _misses = 0, _writebacks = 0;
+
+    unsigned setOf(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+};
+
+} // namespace trips::mem
+
+#endif // TRIPSIM_MEM_CACHE_HH

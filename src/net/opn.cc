@@ -1,0 +1,136 @@
+#include "net/opn.hh"
+
+namespace trips::net {
+
+namespace {
+
+constexpr unsigned PORT_N = 0, PORT_E = 1, PORT_S = 2, PORT_W = 3;
+constexpr unsigned PORT_LOCAL = 4;
+
+unsigned
+rowOf(unsigned node)
+{
+    return node / isa::OPN_COLS;
+}
+
+unsigned
+colOf(unsigned node)
+{
+    return node % isa::OPN_COLS;
+}
+
+unsigned
+neighbor(unsigned node, unsigned port)
+{
+    switch (port) {
+      case PORT_N: return node - isa::OPN_COLS;
+      case PORT_S: return node + isa::OPN_COLS;
+      case PORT_E: return node + 1;
+      case PORT_W: return node - 1;
+    }
+    TRIPS_PANIC("bad port");
+}
+
+/** Input port on the receiving router for a given output direction. */
+unsigned
+oppositePort(unsigned port)
+{
+    switch (port) {
+      case PORT_N: return PORT_S;
+      case PORT_S: return PORT_N;
+      case PORT_E: return PORT_W;
+      case PORT_W: return PORT_E;
+    }
+    TRIPS_PANIC("bad port");
+}
+
+} // namespace
+
+OpnNetwork::OpnNetwork()
+    : fifos(NODES), rr(NODES, 0)
+{}
+
+unsigned
+OpnNetwork::routePort(unsigned node, unsigned dst) const
+{
+    // Y-then-X dimension order routing.
+    if (rowOf(dst) < rowOf(node))
+        return PORT_N;
+    if (rowOf(dst) > rowOf(node))
+        return PORT_S;
+    if (colOf(dst) > colOf(node))
+        return PORT_E;
+    if (colOf(dst) < colOf(node))
+        return PORT_W;
+    return PORT_LOCAL;
+}
+
+bool
+OpnNetwork::inject(OpnPacket pkt, Cycle now)
+{
+    pkt.injected = now;
+    auto &local = fifos[pkt.src][PORT_LOCAL];
+    if (local.size() >= FIFO_DEPTH)
+        return false;
+    local.push_back(pkt);
+    ++packets;
+    return true;
+}
+
+void
+OpnNetwork::tick(Cycle now)
+{
+    arrivals.clear();
+
+    struct Move
+    {
+        unsigned node, in_port, out_port;
+    };
+    std::vector<Move> moves;
+    moves.reserve(NODES);
+
+    for (unsigned node = 0; node < NODES; ++node) {
+        // One winner per output port; inputs scanned round-robin.
+        bool port_used[5] = {false, false, false, false, false};
+        for (unsigned k = 0; k < 5; ++k) {
+            unsigned in = (rr[node] + k) % 5;
+            auto &q = fifos[node][in];
+            if (q.empty())
+                continue;
+            unsigned out = routePort(node, q.front().dst);
+            if (port_used[out])
+                continue;
+            if (out != PORT_LOCAL) {
+                // Flow control: space in the downstream FIFO.
+                unsigned nb = neighbor(node, out);
+                if (fifos[nb][oppositePort(out)].size() >= FIFO_DEPTH)
+                    continue;
+            }
+            port_used[out] = true;
+            moves.push_back({node, in, out});
+        }
+        rr[node] = (rr[node] + 1) % 5;
+    }
+
+    for (const auto &m : moves) {
+        auto &q = fifos[m.node][m.in_port];
+        OpnPacket pkt = q.front();
+        q.pop_front();
+        if (m.out_port == PORT_LOCAL) {
+            unsigned h = isa::hopDist(
+                {static_cast<int>(rowOf(pkt.src)),
+                 static_cast<int>(colOf(pkt.src))},
+                {static_cast<int>(rowOf(pkt.dst)),
+                 static_cast<int>(colOf(pkt.dst))});
+            pkt.hops = h;
+            hop_dist[static_cast<size_t>(pkt.cls)].sample(h);
+            lat.add(static_cast<double>(now - pkt.injected));
+            arrivals.push_back(pkt);
+        } else {
+            fifos[neighbor(m.node, m.out_port)][oppositePort(m.out_port)]
+                .push_back(pkt);
+        }
+    }
+}
+
+} // namespace trips::net

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The TRIPS Operand Network (OPN): a 5x5 wormhole-routed mesh carrying
+ * one 64-bit operand per link per cycle (Gratz et al. [6]). Packets
+ * are single-flit; routing is Y-then-X dimension order with 4-deep
+ * input FIFOs and round-robin output arbitration. Traffic classes
+ * (ET-ET, ET-DT, ET-RT, ET-GT, DT-RT) are accounted for the paper's
+ * Fig. 8 hop profile.
+ */
+
+#ifndef TRIPSIM_NET_OPN_HH
+#define TRIPSIM_NET_OPN_HH
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "isa/topology.hh"
+#include "support/stats.hh"
+
+namespace trips::net {
+
+/** Traffic classes for the Fig. 8 breakdown. */
+enum class OpnClass : u8 { EtEt, EtDt, EtRt, EtGt, DtRt, Other,
+                           NUM_CLASSES };
+
+struct OpnPacket
+{
+    unsigned src = 0;         ///< flat mesh node id (row*5+col)
+    unsigned dst = 0;
+    u64 tag = 0;              ///< owner-defined payload handle
+    OpnClass cls = OpnClass::Other;
+    Cycle injected = 0;
+    unsigned hops = 0;
+};
+
+class OpnNetwork
+{
+  public:
+    static constexpr unsigned NODES = isa::OPN_ROWS * isa::OPN_COLS;
+    static constexpr unsigned FIFO_DEPTH = 4;
+
+    OpnNetwork();
+
+    /**
+     * Inject a packet at its source node. Returns false when the
+     * node's local input FIFO is full (caller retries next cycle).
+     * Zero-hop (src == dst) packets bypass the network and appear in
+     * the delivery list next tick.
+     */
+    bool inject(OpnPacket pkt, Cycle now);
+
+    /** Advance one cycle: route flits, collect deliveries. */
+    void tick(Cycle now);
+
+    /** Packets that arrived this cycle (valid until next tick). */
+    const std::vector<OpnPacket> &delivered() const { return arrivals; }
+
+    /** Per-class hop distributions (bucket = hop count). */
+    const Distribution &hopDist(OpnClass c) const
+    {
+        return hop_dist[static_cast<size_t>(c)];
+    }
+
+    u64 packetsSent() const { return packets; }
+    double avgLatency() const { return lat.mean(); }
+
+  private:
+    /** Input FIFOs per node per port (0..3 = N,E,S,W, 4 = local). */
+    std::vector<std::array<std::deque<OpnPacket>, 5>> fifos;
+    std::vector<unsigned> rr;   ///< round-robin pointer per node
+    std::vector<OpnPacket> arrivals;
+    std::array<Distribution, static_cast<size_t>(OpnClass::NUM_CLASSES)>
+        hop_dist;
+    Counter lat;
+    u64 packets = 0;
+
+    unsigned routePort(unsigned node, unsigned dst) const;
+};
+
+} // namespace trips::net
+
+#endif // TRIPSIM_NET_OPN_HH

@@ -1,0 +1,242 @@
+#include "ooo/ooo.hh"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace trips::ooo {
+
+using risc::RClass;
+using risc::RInstr;
+using risc::ROp;
+
+OooConfig
+OooConfig::core2()
+{
+    return OooConfig{};
+}
+
+OooConfig
+OooConfig::pentium4()
+{
+    OooConfig c;
+    c.name = "pentium4";
+    c.fetchWidth = 3;
+    c.issueWidth = 3;
+    c.commitWidth = 3;
+    c.robSize = 126;
+    c.mispredictPenalty = 30;
+    c.intAlus = 3;
+    c.memPorts = 1;
+    c.fpUnits = 1;
+    c.fpLatencyScale = 1.5;
+    c.l1d = {16 * 1024, 4, 64};
+    c.l1i = {16 * 1024, 4, 64};   // trace cache stand-in
+    c.l2 = {2 * 1024 * 1024, 8, 64};
+    c.l1dLatency = 4;
+    c.l2Latency = 28;
+    c.memLatency = 480;           // 6.75x proc/mem ratio
+    return c;
+}
+
+OooConfig
+OooConfig::pentium3()
+{
+    OooConfig c;
+    c.name = "pentium3";
+    c.fetchWidth = 3;
+    c.issueWidth = 3;
+    c.commitWidth = 3;
+    c.robSize = 40;
+    c.mispredictPenalty = 11;
+    c.intAlus = 2;
+    c.memPorts = 1;
+    c.fpUnits = 1;
+    c.l1d = {16 * 1024, 4, 32};
+    c.l1i = {16 * 1024, 4, 32};
+    c.l2 = {512 * 1024, 4, 32};
+    c.l1dLatency = 3;
+    c.l2Latency = 18;
+    c.memLatency = 90;            // 4.5x proc/mem ratio
+    return c;
+}
+
+namespace {
+
+/** Functional-unit pool: earliest-available timestamp per unit. */
+class FuPool
+{
+  public:
+    explicit FuPool(unsigned n) : busy(n, 0) {}
+
+    Cycle
+    reserve(Cycle earliest)
+    {
+        auto it = std::min_element(busy.begin(), busy.end());
+        Cycle start = std::max(*it, earliest);
+        *it = start + 1;   // pipelined: one issue per unit per cycle
+        return start;
+    }
+
+  private:
+    std::vector<Cycle> busy;
+};
+
+} // namespace
+
+OooResult
+runOoo(const risc::RProgram &prog, MemImage &mem, const OooConfig &cfg)
+{
+    risc::Core core(prog, mem);
+    pred::TournamentPredictor bpred;
+    mem::Cache l1d(cfg.l1d), l1i(cfg.l1i), l2(cfg.l2);
+    FuPool alus(cfg.intAlus), mems(cfg.memPorts), fpus(cfg.fpUnits);
+
+    OooResult res;
+
+    // Timestamp state.
+    std::vector<u64> reg_ready(risc::NUM_REGS, 0);
+    std::vector<Cycle> rob;            // commit times, ring buffer
+    rob.assign(cfg.robSize, 0);
+    u64 rob_head = 0;
+
+    Cycle fetch_cycle = 0;
+    unsigned fetched_this_cycle = 0;
+    Cycle last_commit = 0;
+    unsigned committed_this_cycle = 0;
+    Cycle store_serialize = 0;
+
+    while (!core.halted() && res.insts < cfg.maxInsts) {
+        auto si = core.step();
+        if (si.halted)
+            break;
+        const RInstr &in = *si.inst;
+        ++res.insts;
+
+        // ---- fetch ----
+        if (fetched_this_cycle >= cfg.fetchWidth) {
+            ++fetch_cycle;
+            fetched_this_cycle = 0;
+        }
+        // I-cache: one probe per fetch group start.
+        if (fetched_this_cycle == 0) {
+            Addr pc_addr = 0x1000 + static_cast<Addr>(si.pc) * 4;
+            if (!l1i.access(pc_addr, false).hit) {
+                ++res.icacheMisses;
+                bool in_l2 = l2.access(pc_addr, false).hit;
+                fetch_cycle += cfg.l1iMissPenaltyToL2 +
+                               (in_l2 ? 0 : cfg.memLatency);
+                if (!in_l2)
+                    ++res.l2Misses;
+            }
+        }
+        Cycle dispatch = fetch_cycle;
+
+        // ---- ROB occupancy ----
+        Cycle rob_free = rob[rob_head % cfg.robSize];
+        dispatch = std::max(dispatch, rob_free);
+
+        // ---- operand readiness ----
+        Cycle ready = dispatch;
+        unsigned nsrc = risc::numSrcRegs(in);
+        const u8 srcs[3] = {in.ra, in.rb, in.rc};
+        if (in.op == ROp::RET)
+            ready = std::max(ready, reg_ready[risc::REG_LR]);
+        for (unsigned s = 0; s < nsrc && in.op != ROp::RET; ++s)
+            ready = std::max(ready, reg_ready[srcs[s]]);
+        if (in.op == ROp::STORE)
+            ready = std::max(ready, reg_ready[in.rb]);
+
+        // ---- issue / execute ----
+        Cycle done;
+        RClass cls = risc::rclass(in.op);
+        unsigned lat = risc::execLatency(in.op);
+        if (cls == RClass::FpArith)
+            lat = static_cast<unsigned>(lat * cfg.fpLatencyScale);
+
+        if (cls == RClass::Load || cls == RClass::Store) {
+            Cycle start = mems.reserve(ready);
+            unsigned mlat = cfg.l1dLatency;
+            auto r = l1d.access(si.addr, cls == RClass::Store);
+            if (!r.hit) {
+                ++res.l1dMisses;
+                mlat += cfg.l2Latency;
+                if (!l2.access(si.addr, cls == RClass::Store).hit) {
+                    ++res.l2Misses;
+                    mlat += cfg.memLatency;
+                }
+            }
+            if (cls == RClass::Store) {
+                // Stores retire through the store buffer.
+                store_serialize = std::max(store_serialize, start) + 1;
+                done = start + 1;
+            } else {
+                done = start + mlat;
+            }
+        } else if (cls == RClass::FpArith) {
+            Cycle start = fpus.reserve(ready);
+            done = start + lat;
+        } else {
+            Cycle start = alus.reserve(ready);
+            done = start + lat;
+        }
+
+        // ---- branches ----
+        bool mispredict = false;
+        if (in.op == ROp::BEQZ || in.op == ROp::BNEZ) {
+            ++res.condBranches;
+            bool pred = bpred.predict(si.pc);
+            bpred.update(si.pc, si.taken);
+            if (pred != si.taken) {
+                ++res.branchMispredicts;
+                mispredict = true;
+            }
+        }
+        // Unconditional J/CALL/RET: assume BTB/RAS capture targets.
+
+        if (in.rd != risc::REG_ZERO && risc::writesReg(in))
+            reg_ready[in.rd] = done;
+        if (in.op == ROp::CALL)
+            reg_ready[risc::REG_LR] = done;
+
+        // ---- commit (in order) ----
+        Cycle commit = std::max(done, last_commit);
+        if (committed_this_cycle >= cfg.commitWidth) {
+            commit = std::max(commit, last_commit + 1);
+        }
+        if (commit > last_commit) {
+            committed_this_cycle = 1;
+            last_commit = commit;
+        } else {
+            ++committed_this_cycle;
+        }
+        rob[rob_head % cfg.robSize] = commit;
+        ++rob_head;
+
+        // ---- fetch redirect ----
+        if (mispredict) {
+            fetch_cycle = std::max(fetch_cycle,
+                                   done + cfg.mispredictPenalty);
+            fetched_this_cycle = 0;
+        } else if (si.taken || in.op == ROp::J || in.op == ROp::CALL ||
+                   in.op == ROp::RET) {
+            // Taken control flow ends the fetch group.
+            ++fetch_cycle;
+            fetched_this_cycle = 0;
+        } else {
+            ++fetched_this_cycle;
+        }
+        if (fetch_cycle < dispatch && fetched_this_cycle == 0) {
+            // Keep fetch from lagging arbitrarily behind dispatch.
+            fetch_cycle = dispatch;
+        }
+    }
+
+    res.retVal = static_cast<i64>(core.reg(risc::REG_RET));
+    res.fuelExhausted = core.fuelExhausted() ||
+                        (!core.halted() && res.insts >= cfg.maxInsts);
+    res.cycles = std::max(last_commit, store_serialize) + 1;
+    return res;
+}
+
+} // namespace trips::ooo

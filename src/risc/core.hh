@@ -1,0 +1,77 @@
+/**
+ * @file
+ * RISC functional engine: single-step execution with architectural
+ * event counters (instructions, loads/stores, register file accesses,
+ * branches). Used directly for the paper's Fig. 4/5 PowerPC baselines
+ * and embedded inside the OoO timing models as their execute oracle.
+ */
+
+#ifndef TRIPSIM_RISC_CORE_HH
+#define TRIPSIM_RISC_CORE_HH
+
+#include <array>
+
+#include "risc/risc.hh"
+#include "support/memimage.hh"
+
+namespace trips::risc {
+
+struct RiscCounters
+{
+    u64 insts = 0;
+    u64 loads = 0;
+    u64 stores = 0;
+    u64 regReads = 0;
+    u64 regWrites = 0;
+    u64 condBranches = 0;
+    u64 takenCondBranches = 0;
+    u64 calls = 0;
+    u64 returns = 0;
+    u64 intOps = 0;
+    u64 fpOps = 0;
+    u64 moves = 0;
+};
+
+/** Result of stepping one instruction (for timing models). */
+struct StepInfo
+{
+    u32 pc = 0;
+    u32 nextPc = 0;
+    const RInstr *inst = nullptr;
+    Addr addr = 0;        ///< effective address for memory ops
+    bool taken = false;   ///< conditional branch outcome
+    bool halted = false;  ///< RET from the entry frame
+};
+
+class Core
+{
+  public:
+    /** Sentinel link-register value marking the outermost frame. */
+    static constexpr u64 HALT_LR = 0xffffffffffffffffULL;
+
+    Core(const RProgram &prog, MemImage &mem);
+
+    /** Execute one instruction; returns its dynamic record. */
+    StepInfo step();
+
+    /** Run to completion (or fuel exhaustion); returns r3. */
+    i64 run(u64 max_insts = 2'000'000'000);
+
+    bool halted() const { return is_halted; }
+    bool fuelExhausted() const { return fuel_out; }
+    const RiscCounters &counters() const { return ctrs; }
+    u64 reg(unsigned r) const { return regs[r]; }
+
+  private:
+    const RProgram &prog;
+    MemImage &mem;
+    std::array<u64, NUM_REGS> regs{};
+    u32 pc;
+    bool is_halted = false;
+    bool fuel_out = false;
+    RiscCounters ctrs;
+};
+
+} // namespace trips::risc
+
+#endif // TRIPSIM_RISC_CORE_HH

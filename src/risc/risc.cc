@@ -1,0 +1,103 @@
+#include "risc/risc.hh"
+
+namespace trips::risc {
+
+RClass
+rclass(ROp op)
+{
+    switch (op) {
+      case ROp::FADD: case ROp::FSUB: case ROp::FMUL: case ROp::FDIV:
+      case ROp::FNEG: case ROp::ITOF: case ROp::FTOI:
+      case ROp::FCMPEQ: case ROp::FCMPNE: case ROp::FCMPLT:
+      case ROp::FCMPLE:
+        return RClass::FpArith;
+      case ROp::LOAD:
+        return RClass::Load;
+      case ROp::STORE:
+        return RClass::Store;
+      case ROp::BEQZ: case ROp::BNEZ: case ROp::J: case ROp::CALL:
+      case ROp::RET:
+        return RClass::Branch;
+      case ROp::MR:
+        return RClass::Move;
+      default:
+        return RClass::IntArith;
+    }
+}
+
+const char *
+ropName(ROp op)
+{
+    static const char *names[] = {
+        "add", "sub", "mul", "div", "divu", "mod", "modu", "and", "or",
+        "xor", "sll", "srl", "sra", "addi", "andi", "ori", "xori",
+        "slli", "srli", "srai", "li", "appi", "not", "extsb", "extsh",
+        "extsw", "extub", "extuh", "extuw", "mr", "fadd", "fsub",
+        "fmul", "fdiv", "fneg", "itof", "ftoi", "cmpeq", "cmpne",
+        "cmplt", "cmple", "cmpgt", "cmpge", "cmpltu", "cmpgeu",
+        "fcmpeq", "fcmpne", "fcmplt", "fcmple", "select", "load",
+        "store", "beqz", "bnez", "j", "call", "ret",
+    };
+    static_assert(sizeof(names) / sizeof(names[0]) ==
+                  static_cast<size_t>(ROp::NUM_OPS));
+    return names[static_cast<size_t>(op)];
+}
+
+unsigned
+numSrcRegs(const RInstr &in)
+{
+    switch (in.op) {
+      case ROp::LI:
+        return 0;
+      case ROp::APPI:
+      case ROp::ADDI: case ROp::ANDI: case ROp::ORI: case ROp::XORI:
+      case ROp::SLLI: case ROp::SRLI: case ROp::SRAI:
+      case ROp::NOT: case ROp::EXTSB: case ROp::EXTSH: case ROp::EXTSW:
+      case ROp::EXTUB: case ROp::EXTUH: case ROp::EXTUW: case ROp::MR:
+      case ROp::FNEG: case ROp::ITOF: case ROp::FTOI:
+      case ROp::LOAD:
+      case ROp::BEQZ: case ROp::BNEZ:
+        return 1;
+      case ROp::J: case ROp::CALL:
+        return 0;
+      case ROp::RET:
+        return 1;  // reads LR
+      case ROp::SELECT:
+        return 3;
+      case ROp::STORE:
+        return 2;
+      default:
+        return 2;
+    }
+}
+
+bool
+writesReg(const RInstr &in)
+{
+    switch (in.op) {
+      case ROp::STORE: case ROp::BEQZ: case ROp::BNEZ: case ROp::J:
+      case ROp::RET:
+        return false;
+      case ROp::CALL:
+        return true;  // writes LR
+      default:
+        return true;
+    }
+}
+
+unsigned
+execLatency(ROp op)
+{
+    switch (op) {
+      case ROp::MUL: return 3;
+      case ROp::DIV: case ROp::DIVU: case ROp::MOD: case ROp::MODU:
+        return 20;
+      case ROp::FADD: case ROp::FSUB: return 3;
+      case ROp::FMUL: return 5;
+      case ROp::FDIV: return 18;
+      case ROp::ITOF: case ROp::FTOI: return 3;
+      default: return 1;
+    }
+}
+
+} // namespace trips::risc

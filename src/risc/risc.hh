@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The RISC baseline ISA (PowerPC-like) used for the paper's cross-ISA
+ * comparisons (Figs. 4/5) and as the input of the out-of-order
+ * reference models (Core 2 / Pentium 4 / Pentium III).
+ *
+ * Differences from real PowerPC, documented in DESIGN.md: a unified
+ * 32-entry 64-bit register file (no separate CR/FPR files), SELECT
+ * standing in for isel, and LI/APPI constant chains standing in for
+ * lis/ori sequences. Register conventions: r0 zero, r1 SP, r2 LR,
+ * r3 return value, r4-r11 args, r13-r28 callee-saved allocatable,
+ * r29-r31 spill scratch.
+ */
+
+#ifndef TRIPSIM_RISC_RISC_HH
+#define TRIPSIM_RISC_RISC_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/common.hh"
+
+namespace trips::risc {
+
+constexpr unsigned NUM_REGS = 32;
+constexpr unsigned REG_ZERO = 0;
+constexpr unsigned REG_SP = 1;
+constexpr unsigned REG_LR = 2;
+constexpr unsigned REG_RET = 3;
+constexpr unsigned REG_ARG0 = 4;
+constexpr unsigned FIRST_SAVED = 13;
+constexpr unsigned LAST_SAVED = 28;
+constexpr unsigned SCRATCH0 = 29;
+constexpr unsigned SCRATCH1 = 30;
+constexpr unsigned SCRATCH2 = 31;
+
+enum class ROp : u8 {
+    // rd = ra OP rb
+    ADD, SUB, MUL, DIV, DIVU, MOD, MODU, AND, OR, XOR, SLL, SRL, SRA,
+    // rd = ra OP imm16
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI,
+    // Constants: LI rd, imm16 (sign-extended); APPI rd = rd<<16 | imm16.
+    LI, APPI,
+    // Unary.
+    NOT, EXTSB, EXTSH, EXTSW, EXTUB, EXTUH, EXTUW, MR,
+    // Floating point over raw 64-bit registers.
+    FADD, FSUB, FMUL, FDIV, FNEG, ITOF, FTOI,
+    // Comparisons producing 0/1.
+    CMPEQ, CMPNE, CMPLT, CMPLE, CMPGT, CMPGE, CMPLTU, CMPGEU,
+    FCMPEQ, FCMPNE, FCMPLT, FCMPLE,
+    // rd = cond ? ra : rb (stands in for PowerPC isel).
+    SELECT,
+    // Memory: rd = M[ra+imm] / M[ra+imm] = rb. Width in the width field.
+    LOAD, STORE,
+    // Control flow. Branch targets are instruction indices after link.
+    BEQZ, BNEZ, J, CALL, RET,
+    NUM_OPS
+};
+
+enum class RClass : u8 { IntArith, FpArith, Load, Store, Branch, Move };
+
+struct RInstr
+{
+    ROp op = ROp::ADD;
+    u8 rd = 0, ra = 0, rb = 0, rc = 0;  ///< rc: SELECT's third input
+    i32 imm = 0;
+    u32 target = 0;       ///< branch/call destination (instruction index)
+    u8 width = 8;         ///< LOAD/STORE bytes
+    bool loadSigned = true;
+};
+
+/** Static classification for statistics. */
+RClass rclass(ROp op);
+const char *ropName(ROp op);
+
+/** Number of register sources read / whether a dest is written. */
+unsigned numSrcRegs(const RInstr &in);
+bool writesReg(const RInstr &in);
+
+/** Execute latency class used by the OoO models. */
+unsigned execLatency(ROp op);
+
+struct RProgram
+{
+    std::vector<RInstr> code;
+    u32 entry = 0;
+    std::map<std::string, u32> functionEntry;
+
+    /** Static code bytes (4 bytes per instruction, RISC-style). */
+    u64 codeBytes() const { return code.size() * 4; }
+};
+
+} // namespace trips::risc
+
+#endif // TRIPSIM_RISC_RISC_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * RISC code generation from WIR: linearization, linear-scan register
+ * allocation over 16 callee-saved registers with spill code, and
+ * PowerPC-style calling conventions (LR link register, r1 stack).
+ *
+ * Two presets model the paper's x86 compilers: "gcc" (moderate:
+ * no unrolling) and "icc" (aggressive: unrolled inner loops).
+ */
+
+#ifndef TRIPSIM_RISC_WIRTORISC_HH
+#define TRIPSIM_RISC_WIRTORISC_HH
+
+#include "risc/risc.hh"
+#include "wir/wir.hh"
+
+namespace trips::risc {
+
+struct RiscOptions
+{
+    unsigned maxUnroll = 1;
+    unsigned unrollBudgetOps = 48;
+
+    static RiscOptions gcc() { return RiscOptions{}; }
+
+    static RiscOptions
+    icc()
+    {
+        RiscOptions o;
+        o.maxUnroll = 4;
+        o.unrollBudgetOps = 64;
+        return o;
+    }
+};
+
+/** Compile a WIR module to RISC code. */
+RProgram compileToRisc(const wir::Module &mod,
+                       const RiscOptions &opts = RiscOptions::gcc());
+
+} // namespace trips::risc
+
+#endif // TRIPSIM_RISC_WIRTORISC_HH

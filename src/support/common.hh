@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Common base definitions for tripsim: fixed-width aliases and the
+ * panic()/fatal() error idiom (gem5 style: panic = internal invariant
+ * violation, fatal = user/configuration error).
+ */
+
+#ifndef TRIPSIM_SUPPORT_COMMON_HH
+#define TRIPSIM_SUPPORT_COMMON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace trips {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Simulated byte address. */
+using Addr = u64;
+/** Simulated cycle count. */
+using Cycle = u64;
+
+/** Initial stack pointer (register R1) for all execution models. */
+constexpr Addr STACK_BASE = 0x8000000;
+
+namespace detail {
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg.c_str());
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg.c_str());
+    std::exit(1);
+}
+
+/** Minimal printf-free message formatting: concatenates stream args. */
+template <typename... Args>
+std::string
+formatMsg(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort on an internal invariant violation (a tripsim bug). */
+#define TRIPS_PANIC(...) \
+    ::trips::detail::panicImpl(__FILE__, __LINE__, \
+                               ::trips::detail::formatMsg(__VA_ARGS__))
+
+/** Exit on a user-caused error (bad config, unsupported input). */
+#define TRIPS_FATAL(...) \
+    ::trips::detail::fatalImpl(__FILE__, __LINE__, \
+                               ::trips::detail::formatMsg(__VA_ARGS__))
+
+/** Checked assertion that survives NDEBUG builds. */
+#define TRIPS_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            TRIPS_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+} // namespace trips
+
+#endif // TRIPSIM_SUPPORT_COMMON_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Sparse little-endian byte-addressable memory image shared by the WIR
+ * interpreter and the RISC/TRIPS simulators, so all execution models run
+ * against identical data.
+ */
+
+#ifndef TRIPSIM_SUPPORT_MEMIMAGE_HH
+#define TRIPSIM_SUPPORT_MEMIMAGE_HH
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "support/common.hh"
+
+namespace trips {
+
+/** Paged sparse memory; unwritten bytes read as zero. */
+class MemImage
+{
+  public:
+    static constexpr unsigned PAGE_BITS = 12;
+    static constexpr Addr PAGE_SIZE = 1ULL << PAGE_BITS;
+
+    u8
+    read8(Addr a) const
+    {
+        auto it = pages.find(a >> PAGE_BITS);
+        if (it == pages.end())
+            return 0;
+        return it->second[a & (PAGE_SIZE - 1)];
+    }
+
+    void
+    write8(Addr a, u8 v)
+    {
+        page(a)[a & (PAGE_SIZE - 1)] = v;
+    }
+
+    u64
+    read(Addr a, unsigned bytes) const
+    {
+        u64 v = 0;
+        for (unsigned i = 0; i < bytes; ++i)
+            v |= static_cast<u64>(read8(a + i)) << (8 * i);
+        return v;
+    }
+
+    void
+    write(Addr a, u64 v, unsigned bytes)
+    {
+        for (unsigned i = 0; i < bytes; ++i)
+            write8(a + i, static_cast<u8>(v >> (8 * i)));
+    }
+
+    u64 read64(Addr a) const { return read(a, 8); }
+    void write64(Addr a, u64 v) { write(a, v, 8); }
+
+    double
+    readF64(Addr a) const
+    {
+        u64 bits = read64(a);
+        double d;
+        std::memcpy(&d, &bits, 8);
+        return d;
+    }
+
+    void
+    writeF64(Addr a, double d)
+    {
+        u64 bits;
+        std::memcpy(&bits, &d, 8);
+        write64(a, bits);
+    }
+
+    void
+    writeBytes(Addr a, const void *src, size_t n)
+    {
+        const u8 *p = static_cast<const u8 *>(src);
+        for (size_t i = 0; i < n; ++i)
+            write8(a + i, p[i]);
+    }
+
+    /** Number of resident pages (for tests). */
+    size_t residentPages() const { return pages.size(); }
+
+  private:
+    std::vector<u8> &
+    page(Addr a)
+    {
+        auto &p = pages[a >> PAGE_BITS];
+        if (p.empty())
+            p.assign(PAGE_SIZE, 0);
+        return p;
+    }
+
+    std::unordered_map<Addr, std::vector<u8>> pages;
+};
+
+} // namespace trips
+
+#endif // TRIPSIM_SUPPORT_MEMIMAGE_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload inputs and
+ * microarchitectural tie-breaking. All simulator randomness must flow
+ * through Rng so runs are reproducible bit-for-bit.
+ */
+
+#ifndef TRIPSIM_SUPPORT_RNG_HH
+#define TRIPSIM_SUPPORT_RNG_HH
+
+#include "support/common.hh"
+
+namespace trips {
+
+/** xorshift64* generator: tiny, fast, deterministic across platforms. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    u64
+    next()
+    {
+        u64 x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    u64
+    below(u64 bound)
+    {
+        TRIPS_ASSERT(bound > 0);
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    i64
+    range(i64 lo, i64 hi)
+    {
+        TRIPS_ASSERT(lo <= hi);
+        return lo + static_cast<i64>(below(static_cast<u64>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    u64 state;
+};
+
+} // namespace trips
+
+#endif // TRIPSIM_SUPPORT_RNG_HH

@@ -1,0 +1,33 @@
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trips {
+
+double
+geomean(const std::vector<double> &values)
+{
+    double log_sum = 0;
+    u64 n = 0;
+    for (double v : values) {
+        if (v > 0) {
+            log_sum += std::log(v);
+            ++n;
+        }
+    }
+    return n ? std::exp(log_sum / n) : 0.0;
+}
+
+double
+amean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0;
+    for (double v : values)
+        sum += v;
+    return sum / values.size();
+}
+
+} // namespace trips

@@ -1,0 +1,93 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace trips {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    _header = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    TRIPS_ASSERT(cells.size() == _header.size(),
+                 "row width ", cells.size(), " != header width ",
+                 _header.size());
+    _rows.push_back(std::move(cells));
+}
+
+void
+TextTable::rule()
+{
+    _rows.emplace_back();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(_header.size(), 0);
+    auto widen = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(_header);
+    for (const auto &r : _rows) {
+        if (!r.empty())
+            widen(r);
+    }
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 3;
+
+    if (!_title.empty())
+        os << "== " << _title << " ==\n";
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i];
+            for (size_t p = cells[i].size(); p < widths[i] + 3; ++p)
+                os << ' ';
+        }
+        os << '\n';
+    };
+    emit(_header);
+    os << std::string(total, '-') << '\n';
+    for (const auto &r : _rows) {
+        if (r.empty())
+            os << std::string(total, '-') << '\n';
+        else
+            emit(r);
+    }
+}
+
+std::string
+TextTable::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::fmtInt(u64 v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+} // namespace trips

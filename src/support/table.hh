@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fixed-width text table printer used by the benchmark harness to emit
+ * the paper's tables and figure data series in a readable form.
+ */
+
+#ifndef TRIPSIM_SUPPORT_TABLE_HH
+#define TRIPSIM_SUPPORT_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/common.hh"
+
+namespace trips {
+
+/** Column-aligned table with a header row and optional title. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : _title(std::move(title)) {}
+
+    /** Set the header row; defines the column count. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row; must match the header width. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a separator rule between row groups. */
+    void rule();
+
+    /** Render to a stream with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Format helpers for numeric cells. */
+    static std::string fmt(double v, int precision = 2);
+    static std::string fmtInt(u64 v);
+    static std::string pct(double fraction, int precision = 1);
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    /** Rows; an empty vector encodes a rule. */
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace trips
+
+#endif // TRIPSIM_SUPPORT_TABLE_HH

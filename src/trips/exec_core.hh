@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Shared scalar execution semantics for TRIPS compute opcodes, used by
+ * both the functional block-dataflow simulator and the cycle-level tiled
+ * simulator so the two models cannot diverge architecturally.
+ */
+
+#ifndef TRIPSIM_TRIPS_EXEC_CORE_HH
+#define TRIPSIM_TRIPS_EXEC_CORE_HH
+
+#include "isa/opcode.hh"
+#include "support/common.hh"
+
+namespace trips::sim {
+
+/**
+ * Evaluate a non-memory, non-branch opcode over raw 64-bit operands.
+ * Immediate-form opcodes take the immediate via @p imm. Floating point
+ * interprets bit patterns as IEEE doubles.
+ */
+u64 evalOp(isa::Opcode op, u64 a, u64 b, i64 imm);
+
+/** Memory access width in bytes for a load/store opcode. */
+unsigned memWidth(isa::Opcode op);
+
+/** True if a sub-word load opcode sign-extends. */
+bool loadSigned(isa::Opcode op);
+
+/** Sign-extend a loaded value per opcode semantics. */
+u64 extendLoad(isa::Opcode op, u64 raw);
+
+} // namespace trips::sim
+
+#endif // TRIPSIM_TRIPS_EXEC_CORE_HH

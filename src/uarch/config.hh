@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Configuration of the cycle-level TRIPS processor model. Defaults
+ * follow the prototype: 8 in-flight 128-instruction blocks (1 non-
+ * speculative + 7 speculative), 16 single-issue execution tiles, four
+ * 8KB L1D banks, 80KB L1I, 1MB NUCA L2 in sixteen 64KB banks, dual
+ * DDR-200 memory controllers at a 366MHz core clock.
+ */
+
+#ifndef TRIPSIM_UARCH_CONFIG_HH
+#define TRIPSIM_UARCH_CONFIG_HH
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "pred/predictors.hh"
+
+namespace trips::uarch {
+
+struct UarchConfig
+{
+    unsigned numFrames = 8;
+    unsigned dispatchPerCycle = 16;   ///< GDN bandwidth (insts/cycle)
+    unsigned fetchLatency = 2;        ///< GT -> IT command
+    unsigned l1iHitLatency = 2;
+    unsigned l1dHitLatency = 2;
+    unsigned l2BaseLatency = 9;
+    unsigned l2NucaStep = 2;          ///< extra cycles per bank hop
+    unsigned commitLatency = 4;       ///< completion/commit protocol
+    unsigned redirectPenalty = 3;     ///< flush-to-refetch bubble
+    unsigned statusLatency = 2;       ///< DT/RT -> GT completion note
+
+    mem::CacheConfig l1dBank{8 * 1024, 2, 64};     // x4 banks
+    mem::CacheConfig l1i{80 * 1024, 5, 128};
+    mem::CacheConfig l2Bank{64 * 1024, 4, 64};     // x16 banks
+    mem::DramConfig dram{};
+
+    pred::NextBlockConfig predictor = pred::NextBlockConfig::prototype();
+    unsigned depPredEntries = 1024;
+
+    /** Stop simulation after this many cycles (safety). */
+    u64 maxCycles = 400'000'000;
+};
+
+} // namespace trips::uarch
+
+#endif // TRIPSIM_UARCH_CONFIG_HH

@@ -1,0 +1,1213 @@
+#include "uarch/cycle_sim.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "trips/exec_core.hh"
+
+namespace trips::uarch {
+
+using isa::Block;
+using isa::Instruction;
+using isa::Opcode;
+using isa::PredMode;
+using isa::Target;
+
+namespace {
+
+enum : u8 { TOK_EMPTY = 0, TOK_VALUE = 1, TOK_NULL = 2 };
+enum : u8 { IS_WAITING = 0, IS_READY = 1, IS_ISSUED = 2, IS_FIRED = 3,
+            IS_DEAD = 4 };
+
+struct Tok
+{
+    u8 st = TOK_EMPTY;
+    u64 v = 0;
+};
+
+struct LsqEntry
+{
+    u16 inst = 0;
+    u8 lsid = 0;
+    bool isStore = false;
+    bool executed = false;
+    bool isNull = false;
+    Addr addr = 0;
+    u8 width = 0;
+    u64 value = 0;
+    Cycle execTime = 0;
+};
+
+} // namespace
+
+struct CycleSim::Frame
+{
+    enum class St : u8 { Free, Fetching, Dispatching, Executing };
+    St st = St::Free;
+    u32 blockIdx = 0;
+    u64 seq = 0;
+    u32 epoch = 0;
+    const Block *blk = nullptr;
+
+    u32 predictedNext = 0;
+
+    std::vector<std::array<Tok, 3>> opnd;
+    std::vector<u8> istate;
+    std::vector<u8> dispatched;
+    unsigned dispatchedCount = 0;
+
+    unsigned writesNeeded = 0, writesDone = 0;
+    unsigned storesNeeded = 0, storesDone = 0;
+    u32 storeDoneMask = 0;
+    std::vector<Tok> writeVals;
+    std::vector<LsqEntry> lsq;
+
+    bool branchResolved = false;
+    bool retPending = false;
+    bool nextKnown = false;
+    u16 branchInst = 0;
+    u8 exitTaken = 0;
+    u32 actualNext = 0;
+    bool isCall = false, isRet = false, haltsCandidate = false;
+
+    unsigned firedCount = 0;
+
+    bool
+    complete() const
+    {
+        return writesDone >= writesNeeded && storesDone >= storesNeeded &&
+               nextKnown;
+    }
+};
+
+/** Payload bound to an in-flight OPN packet. */
+struct CycleSim::PacketData
+{
+    enum class Kind : u8 { Operand, WriteArrive, MemRequest, Branch };
+    Kind kind = Kind::Operand;
+    unsigned fidx = 0;
+    u32 epoch = 0;
+    u16 inst = 0;          ///< consumer slot / memory inst / branch inst
+    u8 operand = 0;        ///< 0/1/2 for Operand
+    u8 writeSlot = 0;
+    u64 value = 0;
+    bool isNull = false;
+    bool isStoreReq = false;
+    Addr addr = 0;
+    u8 width = 0;
+};
+
+struct CycleSim::DtState
+{
+    std::deque<u64> queue;     ///< packet ids (MemRequest)
+    Cycle bankFree = 0;
+};
+
+// ---------------------------------------------------------------------
+
+CycleSim::CycleSim(const isa::Program &prog, MemImage &mem,
+                   const UarchConfig &cfg_)
+    : prog(prog), mem(mem), cfg(cfg_),
+      frames(cfg.numFrames),
+      l1i(cfg.l1i),
+      dram(cfg.dram),
+      predictor(cfg.predictor),
+      depPred(cfg.depPredEntries),
+      dts(isa::NUM_DTS)
+{
+    for (unsigned b = 0; b < isa::NUM_DTS; ++b)
+        l1d.emplace_back(cfg.l1dBank);
+    for (unsigned b = 0; b < 16; ++b)
+        l2.emplace_back(cfg.l2Bank);
+    regfile[1] = STACK_BASE;
+    nextFetchBlock = prog.entry;
+}
+
+CycleSim::~CycleSim() = default;
+
+bool
+CycleSim::frameOlder(unsigned a, unsigned b) const
+{
+    return frames[a].seq < frames[b].seq;
+}
+
+// ---------------------------------------------------------------------
+// Fetch & dispatch
+// ---------------------------------------------------------------------
+
+void
+CycleSim::startFetch(u32 block_idx)
+{
+    // Find a free frame.
+    i32 slot = -1;
+    for (unsigned i = 0; i < frames.size(); ++i) {
+        if (frames[i].st == Frame::St::Free) {
+            slot = static_cast<i32>(i);
+            break;
+        }
+    }
+    if (slot < 0)
+        return;
+
+    Frame &f = frames[slot];
+    const Block &blk = prog.block(block_idx);
+    f.st = Frame::St::Fetching;
+    f.blockIdx = block_idx;
+    f.seq = nextSeq++;
+    ++f.epoch;
+    f.blk = &blk;
+    f.opnd.assign(blk.insts.size(), {});
+    f.istate.assign(blk.insts.size(), IS_WAITING);
+    f.dispatched.assign(blk.insts.size(), 0);
+    f.dispatchedCount = 0;
+    f.writesNeeded = static_cast<unsigned>(blk.writes.size());
+    f.writesDone = 0;
+    f.storesNeeded = static_cast<unsigned>(
+        __builtin_popcount(blk.storeMask));
+    f.storesDone = 0;
+    f.storeDoneMask = 0;
+    f.writeVals.assign(blk.writes.size(), Tok{});
+    f.lsq.clear();
+    f.branchResolved = f.retPending = f.nextKnown = false;
+    f.isCall = f.isRet = f.haltsCandidate = false;
+    f.firedCount = 0;
+
+    frameQueue.push_back(static_cast<unsigned>(slot));
+    fetchingFrame = slot;
+    dispatchCursor = 0;
+
+    // I-cache access for every line of the block.
+    Addr base = prog.blockAddr(block_idx);
+    unsigned bytes = blk.codeBytes();
+    Cycle ready = now + cfg.fetchLatency + cfg.l1iHitLatency;
+    bool missed = false;
+    for (Addr a = base; a < base + bytes; a += cfg.l1i.lineBytes) {
+        auto r = l1i.access(a, false);
+        if (!r.hit) {
+            missed = true;
+            Cycle done = l2Access(a, false, 0);
+            ready = std::max(ready, done + cfg.fetchLatency);
+        }
+    }
+    if (missed)
+        ++res.icacheMissStalls;
+    fetchReadyAt = ready;
+
+    // Chain-predict the successor.
+    auto p = predictor.predict(block_idx);
+    f.predictedNext = p.valid ? p.nextBlock
+                              : (block_idx + 1 < prog.numBlocks()
+                                     ? block_idx + 1 : 0);
+    nextFetchBlock = f.predictedNext;
+}
+
+void
+CycleSim::tickFetch()
+{
+    if (halted || fetchStalled || fetchingFrame >= 0)
+        return;
+    if (now < fetchReadyAt)
+        return;
+    startFetch(nextFetchBlock);
+}
+
+void
+CycleSim::tickDispatch()
+{
+    if (fetchingFrame < 0 || now < fetchReadyAt)
+        return;
+    Frame &f = frames[fetchingFrame];
+    if (f.st == Frame::St::Fetching) {
+        f.st = Frame::St::Dispatching;
+        // Header first: reads become visible to the register tiles.
+        for (u32 r = 0; r < f.blk->reads.size(); ++r) {
+            unsigned bank = Block::regBank(f.blk->reads[r].reg);
+            rtQueues[bank].push_back(
+                {static_cast<unsigned>(fetchingFrame), f.epoch,
+                 static_cast<u16>(r)});
+        }
+    }
+    unsigned budget = cfg.dispatchPerCycle;
+    while (budget > 0 && dispatchCursor < f.blk->insts.size()) {
+        u16 i = static_cast<u16>(dispatchCursor);
+        f.dispatched[i] = 1;
+        ++f.dispatchedCount;
+        const Instruction &in = f.blk->insts[i];
+        if (opInfo(in.op).numInputs == 0 && !in.predicated())
+            maybeWake(static_cast<unsigned>(fetchingFrame), i);
+        ++dispatchCursor;
+        --budget;
+    }
+    if (dispatchCursor >= f.blk->insts.size()) {
+        f.st = Frame::St::Executing;
+        fetchingFrame = -1;
+        fetchReadyAt = now + 1;
+        // Re-examine tokens that arrived before dispatch completed.
+        for (u16 i = 0; i < f.blk->insts.size(); ++i)
+            maybeWake(frameIndexOf(f), i);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Token delivery & wakeup
+// ---------------------------------------------------------------------
+
+void
+CycleSim::deliverToken(unsigned fidx, u16 inst, unsigned operand,
+                       u64 value, bool is_null)
+{
+    Frame &f = frames[fidx];
+    if (f.st == Frame::St::Free)
+        return;
+    auto &slot = f.opnd[inst][operand];
+    TRIPS_ASSERT(slot.st == TOK_EMPTY, "operand received two tokens");
+    slot.st = is_null ? TOK_NULL : TOK_VALUE;
+    slot.v = value;
+    maybeWake(fidx, inst);
+}
+
+void
+CycleSim::maybeWake(unsigned fidx, u16 inst)
+{
+    Frame &f = frames[fidx];
+    if (!f.dispatched[inst] || f.istate[inst] != IS_WAITING)
+        return;
+    const Instruction &in = f.blk->insts[inst];
+    const auto &info = opInfo(in.op);
+    if (in.predicated()) {
+        const auto &p = f.opnd[inst][2];
+        if (p.st == TOK_EMPTY)
+            return;
+        bool want = in.pr == PredMode::OnTrue;
+        if (p.st == TOK_NULL || (p.v != 0) != want) {
+            f.istate[inst] = IS_DEAD;
+            return;
+        }
+    }
+    for (unsigned k = 0; k < info.numInputs; ++k) {
+        if (f.opnd[inst][k].st == TOK_EMPTY)
+            return;
+    }
+    f.istate[inst] = IS_READY;
+    unsigned et = f.blk->placement.empty() ? (inst % isa::NUM_ETS)
+                                           : f.blk->placement[inst];
+    etReady[et].push_back({fidx, f.epoch, inst});
+}
+
+// ---------------------------------------------------------------------
+// Execution tiles
+// ---------------------------------------------------------------------
+
+void
+CycleSim::tickEts()
+{
+    for (unsigned et = 0; et < isa::NUM_ETS; ++et) {
+        auto &q = etReady[et];
+        // Drop stale entries; select the oldest-frame ready entry.
+        int best = -1;
+        for (size_t k = 0; k < q.size(); ++k) {
+            auto &e = q[k];
+            Frame &f = frames[e.fidx];
+            if (f.st == Frame::St::Free || f.epoch != e.epoch ||
+                f.istate[e.inst] != IS_READY) {
+                e.stale = true;
+                continue;
+            }
+            if (best < 0 || frames[q[best].fidx].seq > f.seq)
+                best = static_cast<int>(k);
+        }
+        q.erase(std::remove_if(q.begin(), q.end(),
+                               [](const ReadyEntry &e) {
+                                   return e.stale;
+                               }),
+                q.end());
+        if (best < 0)
+            continue;
+        // Recompute index after erase.
+        int sel = -1;
+        u64 best_seq = ~0ULL;
+        for (size_t k = 0; k < q.size(); ++k) {
+            if (frames[q[k].fidx].seq < best_seq &&
+                frames[q[k].fidx].istate[q[k].inst] == IS_READY) {
+                best_seq = frames[q[k].fidx].seq;
+                sel = static_cast<int>(k);
+            }
+        }
+        if (sel < 0)
+            continue;
+        ReadyEntry e = q[sel];
+        q.erase(q.begin() + sel);
+        issueInst(e.fidx, e.inst, et);
+    }
+}
+
+void
+CycleSim::issueInst(unsigned fidx, u16 inst, unsigned et)
+{
+    Frame &f = frames[fidx];
+    const Instruction &in = f.blk->insts[inst];
+    f.istate[inst] = IS_ISSUED;
+    unsigned lat = opInfo(in.op).latency;
+
+    if (isBranch(in.op)) {
+        // Exit packet to the GT.
+        OutPacket op;
+        op.pkt.src = isa::opnNode(isa::etCoord(et));
+        op.pkt.dst = isa::opnNode(isa::gtCoord());
+        op.pkt.cls = net::OpnClass::EtGt;
+        PacketData pd;
+        pd.kind = PacketData::Kind::Branch;
+        pd.fidx = fidx;
+        pd.epoch = f.epoch;
+        pd.inst = inst;
+        queuePacket(op, pd);
+        f.istate[inst] = IS_FIRED;
+        ++f.firedCount;
+        return;
+    }
+
+    if (isMemory(in.op)) {
+        bool addr_null = f.opnd[inst][0].st == TOK_NULL;
+        Addr ea = f.opnd[inst][0].v +
+                  static_cast<u64>(static_cast<i64>(in.imm));
+        if (isLoad(in.op)) {
+            if (addr_null) {
+                // Null loads complete locally.
+                Event ev;
+                ev.when = now + lat;
+                ev.kind = 0;
+                ev.fidx = fidx;
+                ev.epoch = f.epoch;
+                ev.inst = inst;
+                ev.isNull = true;
+                events.push(ev);
+                return;
+            }
+            // Dependence predictor: wait for older stores?
+            u64 key = prog.blockAddr(f.blockIdx) + inst;
+            if (depPred.shouldWait(key) && !olderStoresDone(fidx, inst)) {
+                // Retry next cycle.
+                f.istate[inst] = IS_READY;
+                etReady[et].push_back({fidx, f.epoch, inst});
+                return;
+            }
+            depPred.decayTick();
+            sendMemRequest(fidx, inst, et, false, ea, 0, false);
+            return;
+        }
+        // Store.
+        bool val_null = f.opnd[inst][1].st == TOK_NULL;
+        bool is_null = addr_null || val_null;
+        if (is_null) {
+            // Null store: completion token only.
+            Event ev;
+            ev.when = now + cfg.statusLatency;
+            ev.kind = 3;
+            ev.fidx = fidx;
+            ev.epoch = f.epoch;
+            ev.lsid = in.lsid;
+            events.push(ev);
+            LsqEntry le;
+            le.inst = inst;
+            le.lsid = in.lsid;
+            le.isStore = true;
+            le.executed = true;
+            le.isNull = true;
+            f.lsq.push_back(le);
+            f.istate[inst] = IS_FIRED;
+            ++f.firedCount;
+            return;
+        }
+        sendMemRequest(fidx, inst, et, true, ea, f.opnd[inst][1].v,
+                       false);
+        return;
+    }
+
+    // Plain compute.
+    bool any_null = false;
+    const auto &info = opInfo(in.op);
+    for (unsigned k = 0; k < info.numInputs; ++k)
+        any_null |= f.opnd[inst][k].st == TOK_NULL;
+    u64 value = 0;
+    bool is_null = any_null || in.op == Opcode::NULLW;
+    if (!is_null)
+        value = sim::evalOp(in.op, f.opnd[inst][0].v, f.opnd[inst][1].v,
+                            in.imm);
+    Event ev;
+    ev.when = now + lat;
+    ev.kind = 0;
+    ev.fidx = fidx;
+    ev.epoch = f.epoch;
+    ev.inst = inst;
+    ev.value = value;
+    ev.isNull = is_null;
+    events.push(ev);
+}
+
+bool
+CycleSim::olderStoresDone(unsigned fidx, u16 inst) const
+{
+    const Frame &f = frames[fidx];
+    u8 lsid = f.blk->insts[inst].lsid;
+    // Same frame: all store LSIDs below this load's LSID completed.
+    for (const auto &in : f.blk->insts) {
+        if (!isStore(in.op) || in.lsid >= lsid)
+            continue;
+        if (!(f.storeDoneMask & (1u << in.lsid)))
+            return false;
+    }
+    // Older frames: all their stores completed.
+    for (unsigned idx : frameQueue) {
+        if (idx == fidx)
+            break;
+        const Frame &g = frames[idx];
+        if (g.st == Frame::St::Fetching ||
+            g.st == Frame::St::Dispatching)
+            return false;
+        if (g.storesDone < g.storesNeeded)
+            return false;
+    }
+    return true;
+}
+
+void
+CycleSim::sendMemRequest(unsigned fidx, u16 inst, unsigned et,
+                         bool is_store, Addr ea, u64 value, bool)
+{
+    Frame &f = frames[fidx];
+    unsigned bank = isa::dtForAddr(ea);
+    OutPacket op;
+    op.pkt.src = isa::opnNode(isa::etCoord(et));
+    op.pkt.dst = isa::opnNode(isa::dtCoord(bank));
+    op.pkt.cls = net::OpnClass::EtDt;
+    PacketData pd;
+    pd.kind = PacketData::Kind::MemRequest;
+    pd.fidx = fidx;
+    pd.epoch = f.epoch;
+    pd.inst = inst;
+    pd.isStoreReq = is_store;
+    pd.addr = ea;
+    pd.width = static_cast<u8>(sim::memWidth(f.blk->insts[inst].op));
+    pd.value = value;
+    queuePacket(op, pd);
+}
+
+// ---------------------------------------------------------------------
+// Operand routing
+// ---------------------------------------------------------------------
+
+void
+CycleSim::finishExecute(unsigned fidx, u16 inst, u64 value, bool is_null)
+{
+    Frame &f = frames[fidx];
+    if (f.st == Frame::St::Free)
+        return;
+    if (f.istate[inst] != IS_FIRED) {
+        f.istate[inst] = IS_FIRED;
+        ++f.firedCount;
+    }
+    const Instruction &in = f.blk->insts[inst];
+    unsigned et = f.blk->placement.empty() ? (inst % isa::NUM_ETS)
+                                           : f.blk->placement[inst];
+    unsigned src = isa::opnNode(isa::etCoord(et));
+    for (const auto &t : in.targets) {
+        if (t.valid())
+            routeOperand(fidx, inst, src, t, value, is_null);
+    }
+}
+
+void
+CycleSim::routeOperand(unsigned fidx, u16 producer, unsigned src_node,
+                       const Target &t, u64 value, bool is_null)
+{
+    Frame &f = frames[fidx];
+    if (t.kind == Target::Kind::Write) {
+        unsigned bank = Block::regBank(f.blk->writes[t.index].reg);
+        unsigned dst = isa::opnNode(isa::rtCoord(bank));
+        net::OpnClass cls = net::OpnClass::EtRt;
+        // Loads replying straight to a write slot are DT->RT traffic.
+        if (srcIsDt(src_node))
+            cls = net::OpnClass::DtRt;
+        OutPacket op;
+        op.pkt.src = src_node;
+        op.pkt.dst = dst;
+        op.pkt.cls = cls;
+        PacketData pd;
+        pd.kind = PacketData::Kind::WriteArrive;
+        pd.fidx = fidx;
+        pd.epoch = f.epoch;
+        pd.writeSlot = t.index;
+        pd.value = value;
+        pd.isNull = is_null;
+        queuePacket(op, pd);
+        return;
+    }
+    unsigned operand = t.kind == Target::Kind::Op0 ? 0
+                     : t.kind == Target::Kind::Op1 ? 1 : 2;
+    unsigned dst_et = f.blk->placement.empty()
+        ? (t.index % isa::NUM_ETS) : f.blk->placement[t.index];
+    unsigned dst = isa::opnNode(isa::etCoord(dst_et));
+    if (dst == src_node && !srcIsDt(src_node) && !srcIsRt(src_node)) {
+        // Local bypass within the ET: no network traversal.
+        ++res.localBypasses;
+        res.opnHops[static_cast<size_t>(net::OpnClass::EtEt)].sample(0);
+        Event ev;
+        ev.when = now + 1;
+        ev.kind = 1;
+        ev.fidx = fidx;
+        ev.epoch = f.epoch;
+        ev.inst = t.index;
+        ev.operand = static_cast<u8>(operand);
+        ev.value = value;
+        ev.isNull = is_null;
+        events.push(ev);
+        return;
+    }
+    net::OpnClass cls = net::OpnClass::EtEt;
+    if (srcIsDt(src_node))
+        cls = net::OpnClass::EtDt;
+    else if (srcIsRt(src_node))
+        cls = net::OpnClass::EtRt;
+    OutPacket op;
+    op.pkt.src = src_node;
+    op.pkt.dst = dst;
+    op.pkt.cls = cls;
+    PacketData pd;
+    pd.kind = PacketData::Kind::Operand;
+    pd.fidx = fidx;
+    pd.epoch = f.epoch;
+    pd.inst = t.index;
+    pd.operand = static_cast<u8>(operand);
+    pd.value = value;
+    pd.isNull = is_null;
+    queuePacket(op, pd);
+}
+
+bool
+CycleSim::srcIsDt(unsigned node)
+{
+    return node % isa::OPN_COLS == 0 && node >= isa::OPN_COLS;
+}
+
+bool
+CycleSim::srcIsRt(unsigned node)
+{
+    return node < isa::OPN_COLS && node > 0;
+}
+
+void
+CycleSim::queuePacket(OutPacket op, const PacketData &pd)
+{
+    u64 id = nextPacketId++;
+    packetData[id] = pd;
+    op.pkt.tag = id;
+    outbox.push_back(op);
+}
+
+void
+CycleSim::pumpOutbox()
+{
+    for (size_t i = 0; i < outbox.size();) {
+        if (opn.inject(outbox[i].pkt, now)) {
+            outbox.erase(outbox.begin() + i);
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+CycleSim::deliverPackets()
+{
+    for (const auto &pkt : opn.delivered()) {
+        auto it = packetData.find(pkt.tag);
+        TRIPS_ASSERT(it != packetData.end());
+        PacketData pd = it->second;
+        packetData.erase(it);
+        Frame &f = frames[pd.fidx];
+        if (f.st == Frame::St::Free || f.epoch != pd.epoch)
+            continue;  // squashed
+        switch (pd.kind) {
+          case PacketData::Kind::Operand:
+            deliverToken(pd.fidx, pd.inst, pd.operand, pd.value,
+                         pd.isNull);
+            break;
+          case PacketData::Kind::WriteArrive: {
+            auto &slot = f.writeVals[pd.writeSlot];
+            TRIPS_ASSERT(slot.st == TOK_EMPTY,
+                         "write slot received two tokens");
+            slot.st = pd.isNull ? TOK_NULL : TOK_VALUE;
+            slot.v = pd.value;
+            Event ev;
+            ev.when = now + cfg.statusLatency;
+            ev.kind = 2;
+            ev.fidx = pd.fidx;
+            ev.epoch = pd.epoch;
+            events.push(ev);
+            break;
+          }
+          case PacketData::Kind::MemRequest: {
+            unsigned bank = isa::dtForAddr(pd.addr);
+            u64 id = nextPacketId++;
+            packetData[id] = pd;
+            dts[bank].queue.push_back(id);
+            break;
+          }
+          case PacketData::Kind::Branch:
+            resolveBranch(pd.fidx, pd.inst,
+                          f.blk->insts[pd.inst].exit);
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Data tiles
+// ---------------------------------------------------------------------
+
+Cycle
+CycleSim::l2Access(Addr addr, bool is_write, unsigned requester_bank)
+{
+    unsigned bank = static_cast<unsigned>((addr >> 6) & 15);
+    unsigned dist = (bank / 4) + (bank % 4);
+    Cycle lat = cfg.l2BaseLatency + cfg.l2NucaStep * dist +
+                requester_bank;  // small asymmetry per requester
+    auto r = l2[bank].access(addr, is_write);
+    if (r.hit) {
+        ++res.l2Hits;
+        res.bytesL2 += cfg.l2Bank.lineBytes;
+        return now + lat;
+    }
+    ++res.l2Misses;
+    res.bytesL2 += cfg.l2Bank.lineBytes;
+    res.bytesMem += cfg.dram.lineBytes;
+    Cycle mem_done = dram.request(addr, now + lat);
+    return mem_done + lat / 2;
+}
+
+void
+CycleSim::tickDts()
+{
+    for (unsigned bank = 0; bank < isa::NUM_DTS; ++bank) {
+        auto &dt = dts[bank];
+        if (dt.queue.empty() || now < dt.bankFree)
+            continue;
+        u64 id = dt.queue.front();
+        dt.queue.pop_front();
+        auto it = packetData.find(id);
+        TRIPS_ASSERT(it != packetData.end());
+        PacketData pd = it->second;
+        packetData.erase(it);
+        Frame &f = frames[pd.fidx];
+        if (f.st == Frame::St::Free || f.epoch != pd.epoch)
+            continue;
+        dt.bankFree = now + 1;
+
+        const Instruction &in = f.blk->insts[pd.inst];
+        if (pd.isStoreReq) {
+            LsqEntry le;
+            le.inst = pd.inst;
+            le.lsid = in.lsid;
+            le.isStore = true;
+            le.executed = true;
+            le.addr = pd.addr;
+            le.width = pd.width;
+            le.value = pd.value;
+            le.execTime = now;
+            f.lsq.push_back(le);
+            if (f.istate[pd.inst] != IS_FIRED) {
+                f.istate[pd.inst] = IS_FIRED;
+                ++f.firedCount;
+            }
+            Event ev;
+            ev.when = now + cfg.statusLatency;
+            ev.kind = 3;
+            ev.fidx = pd.fidx;
+            ev.epoch = pd.epoch;
+            ev.lsid = in.lsid;
+            events.push(ev);
+            checkViolations(pd.fidx, pd.inst, pd.addr, pd.width,
+                            in.lsid);
+            continue;
+        }
+
+        // Load: record, access cache, schedule reply.
+        LsqEntry le;
+        le.inst = pd.inst;
+        le.lsid = in.lsid;
+        le.executed = true;
+        le.addr = pd.addr;
+        le.width = pd.width;
+        le.execTime = now;
+        u64 value = loadValue(pd.fidx, in.lsid, pd.addr, pd.width);
+        value = sim::extendLoad(in.op, value);
+        le.value = value;
+        f.lsq.push_back(le);
+        ++res.loadsExecuted;
+        res.bytesL1 += pd.width;
+
+        auto r = l1d[bank].access(pd.addr, false);
+        Cycle done;
+        if (r.hit) {
+            ++res.l1dHits;
+            done = now + cfg.l1dHitLatency;
+        } else {
+            ++res.l1dMisses;
+            done = l2Access(pd.addr, false, bank) + cfg.l1dHitLatency;
+        }
+        Event ev;
+        ev.when = done;
+        ev.kind = 4;
+        ev.fidx = pd.fidx;
+        ev.epoch = pd.epoch;
+        ev.inst = pd.inst;
+        ev.value = value;
+        events.push(ev);
+    }
+}
+
+u64
+CycleSim::loadValue(unsigned fidx, u8 lsid, Addr addr, u8 width)
+{
+    // Committed memory overlaid with older in-flight stores, oldest
+    // frame first, LSID order within a frame (byte-accurate merge).
+    u64 v = mem.read(addr, width);
+    auto overlay = [&](const LsqEntry &s) {
+        for (unsigned b = 0; b < width; ++b) {
+            Addr byte = addr + b;
+            if (byte >= s.addr && byte < s.addr + s.width) {
+                u64 sb = (s.value >> (8 * (byte - s.addr))) & 0xff;
+                v &= ~(0xffULL << (8 * b));
+                v |= sb << (8 * b);
+            }
+        }
+    };
+    for (unsigned idx : frameQueue) {
+        const Frame &g = frames[idx];
+        bool same = idx == fidx;
+        std::vector<const LsqEntry *> stores;
+        for (const auto &e : g.lsq) {
+            if (!e.isStore || !e.executed || e.isNull)
+                continue;
+            if (same && e.lsid >= lsid)
+                continue;
+            stores.push_back(&e);
+        }
+        std::sort(stores.begin(), stores.end(),
+                  [](const LsqEntry *a, const LsqEntry *b) {
+                      return a->lsid < b->lsid;
+                  });
+        for (const auto *s : stores)
+            overlay(*s);
+        if (same)
+            break;
+    }
+    return v;
+}
+
+void
+CycleSim::checkViolations(unsigned fidx, u16, Addr addr, u8 width,
+                          u8 lsid)
+{
+    // A store arriving after a younger load to an overlapping address
+    // already executed means the load got stale data: flush the load's
+    // frame (and younger) and train the load-wait table.
+    bool past_store_frame = false;
+    for (unsigned idx : frameQueue) {
+        Frame &g = frames[idx];
+        bool same = idx == fidx;
+        if (!past_store_frame && !same)
+            continue;
+        for (const auto &e : g.lsq) {
+            if (e.isStore || !e.executed)
+                continue;
+            if (same && e.lsid <= lsid)
+                continue;
+            bool overlap = e.addr < addr + width &&
+                           addr < e.addr + e.width;
+            if (!overlap)
+                continue;
+            ++res.loadViolationFlushes;
+            u64 key = prog.blockAddr(g.blockIdx) + e.inst;
+            depPred.trainViolation(key);
+            flushFrameAndYounger(idx, g.blockIdx);
+            return;
+        }
+        if (same)
+            past_store_frame = true;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Register tiles
+// ---------------------------------------------------------------------
+
+void
+CycleSim::tickRts()
+{
+    for (unsigned bank = 0; bank < isa::NUM_REG_BANKS; ++bank) {
+        auto &q = rtQueues[bank];
+        if (q.empty())
+            continue;
+        RtRead rr = q.front();
+        q.pop_front();
+        Frame &f = frames[rr.fidx];
+        if (f.st == Frame::St::Free || f.epoch != rr.epoch)
+            continue;
+        const auto &read = f.blk->reads[rr.readIdx];
+
+        // Resolve against older in-flight frames, youngest first.
+        bool wait = false;
+        bool have = false;
+        u64 value = 0;
+        std::vector<unsigned> older;
+        for (unsigned idx : frameQueue) {
+            if (idx == rr.fidx)
+                break;
+            older.push_back(idx);
+        }
+        for (auto it = older.rbegin(); it != older.rend(); ++it) {
+            Frame &g = frames[*it];
+            if (g.st == Frame::St::Fetching ||
+                g.st == Frame::St::Dispatching) {
+                wait = true;  // writes unknown until header dispatched
+                break;
+            }
+            for (size_t w = 0; w < g.blk->writes.size(); ++w) {
+                if (g.blk->writes[w].reg != read.reg)
+                    continue;
+                const auto &tok = g.writeVals[w];
+                if (tok.st == TOK_EMPTY) {
+                    wait = true;
+                } else if (tok.st == TOK_VALUE) {
+                    have = true;
+                    value = tok.v;
+                }
+                // Null write: keep searching older frames.
+                break;
+            }
+            if (wait || have)
+                break;
+        }
+        if (wait) {
+            q.push_back(rr);  // retry next cycle
+            continue;
+        }
+        if (!have)
+            value = regfile[read.reg];
+
+        unsigned src = isa::opnNode(isa::rtCoord(bank));
+        for (const auto &t : read.targets) {
+            if (t.valid())
+                routeOperand(rr.fidx, 0, src, t, value, false);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Branch resolution, flush, commit
+// ---------------------------------------------------------------------
+
+unsigned
+CycleSim::frameIndexOf(Frame &f) const
+{
+    return static_cast<unsigned>(&f - frames.data());
+}
+
+void
+CycleSim::resolveBranch(unsigned fidx, u16 inst, u8 exit)
+{
+    Frame &f = frames[fidx];
+    TRIPS_ASSERT(!f.branchResolved, "two branches fired in block ",
+                 f.blk->label);
+    f.branchResolved = true;
+    f.branchInst = inst;
+    f.exitTaken = exit;
+    const Instruction &in = f.blk->insts[inst];
+    f.isCall = in.op == Opcode::CALLO;
+    f.isRet = in.op == Opcode::RET;
+    if (!f.isRet) {
+        f.actualNext = static_cast<u32>(in.targetBlock);
+        f.nextKnown = true;
+        onNextKnown(fidx);
+    } else {
+        f.retPending = true;
+        tryResolveRets();
+    }
+}
+
+void
+CycleSim::tryResolveRets()
+{
+    // Resolve pending RET targets once all older frames know theirs.
+    std::vector<u32> stack = archStack;
+    for (unsigned idx : frameQueue) {
+        Frame &f = frames[idx];
+        if (!f.branchResolved && f.st != Frame::St::Free)
+            return;  // an older unresolved frame blocks the walk
+        if (f.st == Frame::St::Free)
+            continue;
+        if (f.isCall && f.nextKnown) {
+            stack.push_back(
+                static_cast<u32>(f.blk->insts[f.branchInst].returnBlock));
+        } else if (f.isRet) {
+            if (f.retPending) {
+                if (stack.empty()) {
+                    f.haltsCandidate = true;
+                    f.actualNext = f.blockIdx;  // unused
+                } else {
+                    f.actualNext = stack.back();
+                }
+                f.retPending = false;
+                f.nextKnown = true;
+                onNextKnown(idx);
+                return;  // frameQueue may have changed (flush)
+            }
+            if (f.nextKnown && !f.haltsCandidate && !stack.empty())
+                stack.pop_back();
+        }
+    }
+}
+
+void
+CycleSim::onNextKnown(unsigned fidx)
+{
+    Frame &f = frames[fidx];
+    // Find the successor frame (next in queue after fidx).
+    bool found = false;
+    i32 succ = -1;
+    for (unsigned idx : frameQueue) {
+        if (found) {
+            succ = static_cast<i32>(idx);
+            break;
+        }
+        if (idx == fidx)
+            found = true;
+    }
+    u32 desired = f.haltsCandidate ? 0xffffffff : f.actualNext;
+    if (succ >= 0) {
+        if (frames[succ].blockIdx != desired) {
+            flushYoungerThan(fidx);
+            fetchReadyAt = std::max(fetchReadyAt,
+                                    now + cfg.redirectPenalty);
+            nextFetchBlock = f.actualNext;
+            fetchStalled = f.haltsCandidate;
+        }
+    } else {
+        // Nothing fetched beyond this frame yet: redirect the chain.
+        if (f.predictedNext != f.actualNext || f.haltsCandidate) {
+            nextFetchBlock = f.actualNext;
+            fetchReadyAt = std::max(fetchReadyAt,
+                                    now + cfg.redirectPenalty);
+            fetchStalled = f.haltsCandidate;
+        }
+    }
+}
+
+void
+CycleSim::flushYoungerThan(unsigned fidx)
+{
+    // Squash every frame younger than fidx.
+    std::deque<unsigned> keep;
+    bool younger = false;
+    for (unsigned idx : frameQueue) {
+        if (younger) {
+            squashFrame(idx);
+            continue;
+        }
+        keep.push_back(idx);
+        if (idx == fidx)
+            younger = true;
+    }
+    frameQueue = keep;
+}
+
+void
+CycleSim::flushFrameAndYounger(unsigned fidx, u32 restart_block)
+{
+    std::deque<unsigned> keep;
+    bool hit = false;
+    for (unsigned idx : frameQueue) {
+        if (idx == fidx)
+            hit = true;
+        if (hit) {
+            squashFrame(idx);
+        } else {
+            keep.push_back(idx);
+        }
+    }
+    frameQueue = keep;
+    ++res.blocksFlushed;
+    nextFetchBlock = restart_block;
+    fetchReadyAt = std::max(fetchReadyAt, now + cfg.redirectPenalty);
+    fetchStalled = false;
+}
+
+void
+CycleSim::squashFrame(unsigned idx)
+{
+    Frame &f = frames[idx];
+    f.st = Frame::St::Free;
+    ++f.epoch;
+    f.lsq.clear();
+    if (fetchingFrame == static_cast<i32>(idx))
+        fetchingFrame = -1;
+    ++res.blocksFlushed;
+}
+
+void
+CycleSim::tickCommit()
+{
+    if (frameQueue.empty())
+        return;
+    unsigned fidx = frameQueue.front();
+    Frame &f = frames[fidx];
+    if (f.st != Frame::St::Executing)
+        return;
+    if (!committing) {
+        if (!f.complete())
+            return;
+        unsigned drain =
+            (f.storesNeeded + isa::NUM_DTS - 1) / isa::NUM_DTS;
+        commitDoneAt = now + cfg.commitLatency + drain;
+        committing = true;
+        return;
+    }
+    if (now < commitDoneAt)
+        return;
+    committing = false;
+
+    // Architectural commit.
+    for (size_t w = 0; w < f.blk->writes.size(); ++w) {
+        if (f.writeVals[w].st == TOK_VALUE)
+            regfile[f.blk->writes[w].reg] = f.writeVals[w].v;
+    }
+    std::sort(f.lsq.begin(), f.lsq.end(),
+              [](const LsqEntry &a, const LsqEntry &b) {
+                  return a.lsid < b.lsid;
+              });
+    for (const auto &e : f.lsq) {
+        if (!e.isStore || e.isNull)
+            continue;
+        mem.write(e.addr, e.value, e.width);
+        unsigned bank = isa::dtForAddr(e.addr);
+        auto r = l1d[bank].access(e.addr, true);
+        if (!r.hit)
+            ++res.l1dMisses;
+        else
+            ++res.l1dHits;
+        ++res.storesCommitted;
+        res.bytesL1 += e.width;
+    }
+
+    const Instruction &br = f.blk->insts[f.branchInst];
+    if (f.isCall)
+        archStack.push_back(static_cast<u32>(br.returnBlock));
+    else if (f.isRet && !archStack.empty())
+        archStack.pop_back();
+
+    ++res.blocksCommitted;
+    res.instsFetched += f.blk->insts.size();
+    res.instsFired += f.firedCount;
+
+    if (!f.haltsCandidate) {
+        pred::BranchKind kind = f.isCall ? pred::BranchKind::Call
+                              : f.isRet ? pred::BranchKind::Ret
+                              : pred::BranchKind::Branch;
+        u32 push_val = f.isCall
+            ? static_cast<u32>(br.returnBlock) : 0;
+        predictor.update(f.blockIdx, f.exitTaken, f.actualNext, kind,
+                         push_val);
+        if (f.predictedNext != f.actualNext) {
+            ++res.branchMispredicts;
+            if (f.isCall || f.isRet)
+                ++res.callRetMispredicts;
+        }
+    }
+
+    if (f.haltsCandidate) {
+        halted = true;
+        res.retVal = static_cast<i64>(regfile[3]);
+    }
+    f.st = Frame::St::Free;
+    ++f.epoch;
+    f.lsq.clear();
+    frameQueue.pop_front();
+}
+
+// ---------------------------------------------------------------------
+// Main loop
+// ---------------------------------------------------------------------
+
+UarchResult
+CycleSim::run()
+{
+    while (!halted && now < cfg.maxCycles) {
+        opn.tick(now);
+        deliverPackets();
+        while (!events.empty() && events.top().when <= now) {
+            Event ev = events.top();
+            events.pop();
+            Frame &f = frames[ev.fidx];
+            if (f.st == Frame::St::Free || f.epoch != ev.epoch)
+                continue;
+            switch (ev.kind) {
+              case 0:
+                finishExecute(ev.fidx, ev.inst, ev.value, ev.isNull);
+                break;
+              case 1:
+                deliverToken(ev.fidx, ev.inst, ev.operand, ev.value,
+                             ev.isNull);
+                break;
+              case 2:
+                ++f.writesDone;
+                break;
+              case 3:
+                if (!(f.storeDoneMask & (1u << ev.lsid))) {
+                    f.storeDoneMask |= 1u << ev.lsid;
+                    ++f.storesDone;
+                }
+                break;
+              case 4:
+                finishExecute(ev.fidx, ev.inst, ev.value, false);
+                break;
+            }
+        }
+        tickDts();
+        tickRts();
+        tickEts();
+        tickDispatch();
+        tickFetch();
+        tickCommit();
+        tryResolveRets();
+        pumpOutbox();
+
+        // Window occupancy sampling.
+        unsigned blocks = 0;
+        u64 insts = 0;
+        for (unsigned idx : frameQueue) {
+            const Frame &f = frames[idx];
+            if (f.st == Frame::St::Free)
+                continue;
+            ++blocks;
+            insts += f.dispatchedCount;
+        }
+        sumBlocksInFlight += blocks;
+        sumInstsInFlight += static_cast<double>(insts);
+        res.peakInstsInFlight = std::max(res.peakInstsInFlight, insts);
+
+        ++now;
+    }
+    if (!halted)
+        res.fuelExhausted = true;
+    res.cycles = now;
+    res.avgBlocksInFlight = now ? sumBlocksInFlight / now : 0;
+    res.avgInstsInFlight = now ? sumInstsInFlight / now : 0;
+    res.predictor = predictor.stats();
+    for (unsigned c = 0; c < 6; ++c)
+        res.opnHops[c] = opn.hopDist(static_cast<net::OpnClass>(c));
+    res.opnPackets = opn.packetsSent();
+    return res;
+}
+
+} // namespace trips::uarch

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Cycle-level simulator of the tiled TRIPS microarchitecture.
+ *
+ * Models the distributed protocols of the prototype: block fetch
+ * through the I-cache banks, row-rate dispatch into the execution
+ * tiles' reservation stations, dataflow issue (one instruction per ET
+ * per cycle), operand routing over the 5x5 wormhole OPN with local
+ * bypass, banked register tiles with inter-block forwarding, data
+ * tiles with LSQs, a store-load dependence predictor and violation
+ * flushes, next-block prediction with speculative block chaining
+ * (up to 8 blocks in flight), and the block completion/commit
+ * protocol. Architectural state (register file + memory image) is
+ * updated only at commit, so the model commits exactly the same block
+ * stream as the functional simulator (asserted by tests).
+ */
+
+#ifndef TRIPSIM_UARCH_CYCLE_SIM_HH
+#define TRIPSIM_UARCH_CYCLE_SIM_HH
+
+#include <array>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.hh"
+#include "isa/topology.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "net/opn.hh"
+#include "pred/predictors.hh"
+#include "support/memimage.hh"
+#include "uarch/config.hh"
+
+namespace trips::uarch {
+
+/** Aggregate results of a cycle-level run. */
+struct UarchResult
+{
+    i64 retVal = 0;
+    bool fuelExhausted = false;
+
+    u64 cycles = 0;
+    u64 blocksCommitted = 0;
+    u64 blocksFlushed = 0;
+    u64 instsFetched = 0;       ///< in committed blocks
+    u64 instsFired = 0;         ///< executed in committed blocks
+
+    // Speculation events.
+    u64 branchMispredicts = 0;  ///< next-block mispredictions (commits)
+    u64 callRetMispredicts = 0;
+    u64 loadViolationFlushes = 0;
+    u64 icacheMissStalls = 0;   ///< block fetches that missed L1I
+
+    // Memory system.
+    u64 l1dHits = 0, l1dMisses = 0;
+    u64 l2Hits = 0, l2Misses = 0;
+    u64 loadsExecuted = 0, storesCommitted = 0;
+    u64 bytesL1 = 0;            ///< bytes moved L1D<->core
+    u64 bytesL2 = 0;            ///< bytes moved L2->L1 (refills)
+    u64 bytesMem = 0;           ///< bytes moved DRAM->L2
+
+    // Window occupancy (per-cycle samples).
+    double avgBlocksInFlight = 0;
+    double avgInstsInFlight = 0;    ///< dispatched insts in valid frames
+    u64 peakInstsInFlight = 0;
+
+    // Predictor detail.
+    pred::NextBlockStats predictor;
+
+    // OPN traffic profile (per class; bucket = hop count).
+    std::array<Distribution, 6> opnHops;
+    u64 opnPackets = 0;
+    u64 localBypasses = 0;
+
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(instsFired) / cycles : 0;
+    }
+};
+
+class CycleSim
+{
+  public:
+    CycleSim(const isa::Program &prog, MemImage &mem,
+             const UarchConfig &cfg = UarchConfig{});
+    ~CycleSim();
+
+    /** Run to halt (RET from the outermost frame). */
+    UarchResult run();
+
+  private:
+    struct Frame;
+    struct PacketData;
+    struct DtState;
+
+    struct ReadyEntry
+    {
+        unsigned fidx;
+        u32 epoch;
+        u16 inst;
+        bool stale = false;
+    };
+
+    struct RtRead
+    {
+        unsigned fidx;
+        u32 epoch;
+        u16 readIdx;
+    };
+
+    struct OutPacket
+    {
+        net::OpnPacket pkt;
+    };
+
+    struct Event
+    {
+        Cycle when = 0;
+        u8 kind = 0;   // 0 ExecDone, 1 TokenDeliver, 2 GtWriteNote,
+                       // 3 GtStoreNote, 4 LoadReply
+        unsigned fidx = 0;
+        u32 epoch = 0;
+        u16 inst = 0;
+        u8 operand = 0;
+        u64 value = 0;
+        bool isNull = false;
+        u8 lsid = 0;
+
+        bool operator<(const Event &o) const { return when > o.when; }
+    };
+
+    // Pipeline stages per cycle.
+    void tickFetch();
+    void tickDispatch();
+    void tickRts();
+    void tickEts();
+    void tickDts();
+    void tickCommit();
+    void deliverPackets();
+    void pumpOutbox();
+
+    // Helpers.
+    void startFetch(u32 block_idx);
+    void issueInst(unsigned fidx, u16 inst, unsigned et);
+    bool olderStoresDone(unsigned fidx, u16 inst) const;
+    void sendMemRequest(unsigned fidx, u16 inst, unsigned et,
+                        bool is_store, Addr ea, u64 value, bool unused);
+    void resolveBranch(unsigned fidx, u16 inst, u8 exit);
+    void tryResolveRets();
+    void onNextKnown(unsigned fidx);
+    void flushYoungerThan(unsigned fidx);
+    void flushFrameAndYounger(unsigned fidx, u32 restart_block);
+    void squashFrame(unsigned idx);
+    bool frameOlder(unsigned a, unsigned b) const;
+    unsigned frameIndexOf(Frame &f) const;
+    void routeOperand(unsigned fidx, u16 producer, unsigned src_node,
+                      const isa::Target &t, u64 value, bool is_null);
+    void deliverToken(unsigned fidx, u16 inst, unsigned operand,
+                      u64 value, bool is_null);
+    void maybeWake(unsigned fidx, u16 inst);
+    void finishExecute(unsigned fidx, u16 inst, u64 value,
+                       bool is_null);
+    u64 loadValue(unsigned fidx, u8 lsid, Addr addr, u8 width);
+    void checkViolations(unsigned fidx, u16 inst, Addr addr, u8 width,
+                         u8 lsid);
+    Cycle l2Access(Addr addr, bool is_write, unsigned requester_bank);
+    void queuePacket(OutPacket op, const PacketData &pd);
+    static bool srcIsDt(unsigned node);
+    static bool srcIsRt(unsigned node);
+
+    const isa::Program &prog;
+    MemImage &mem;
+    UarchConfig cfg;
+
+    std::array<u64, isa::NUM_REGS> regfile{};
+    std::vector<u32> archStack;
+
+    std::vector<Frame> frames;        ///< cfg.numFrames slots
+    std::deque<unsigned> frameQueue;  ///< oldest..youngest (positions)
+    u64 nextSeq = 1;
+
+    net::OpnNetwork opn;
+    std::unordered_map<u64, PacketData> packetData;
+    u64 nextPacketId = 1;
+    std::vector<OutPacket> outbox;
+    std::priority_queue<Event> events;
+
+    mem::Cache l1i;
+    std::vector<mem::Cache> l1d;      ///< 4 banks
+    std::vector<mem::Cache> l2;       ///< 16 banks
+    mem::Dram dram;
+    pred::NextBlockPredictor predictor;
+    pred::DependencePredictor depPred;
+
+    std::vector<DtState> dts;
+    std::array<std::vector<ReadyEntry>, isa::NUM_ETS> etReady;
+    std::array<std::deque<RtRead>, isa::NUM_REG_BANKS> rtQueues;
+
+    // Fetch/dispatch engine.
+    i32 fetchingFrame = -1;           ///< frame being fetched/dispatched
+    Cycle fetchReadyAt = 0;
+    unsigned dispatchCursor = 0;
+    u32 nextFetchBlock = 0;
+    bool fetchStalled = false;        ///< halted: no more fetch
+
+    Cycle now = 0;
+    UarchResult res;
+    bool halted = false;
+
+    // Commit engine.
+    Cycle commitDoneAt = 0;
+    bool committing = false;
+
+    double sumBlocksInFlight = 0;
+    double sumInstsInFlight = 0;
+};
+
+} // namespace trips::uarch
+
+#endif // TRIPSIM_UARCH_CYCLE_SIM_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fluent construction API for WIR functions. Labels may be referenced
+ * before they are defined; finish() resolves them. Falling off the end
+ * of a block into a label() emits an implicit jump.
+ *
+ * Example (vector add):
+ * @code
+ *   FunctionBuilder fb(mod, "main", 0);
+ *   auto i = fb.iconst(0);
+ *   fb.label("loop");
+ *   auto off = fb.shl(i, fb.iconst(3));
+ *   fb.store(fb.add(c, off), fb.fadd(fb.load(fb.add(a, off)),
+ *                                    fb.load(fb.add(b, off))));
+ *   fb.assign(i, fb.add(i, fb.iconst(1)));
+ *   fb.br(fb.cmpLt(i, n), "loop", "done");
+ *   fb.label("done");
+ *   fb.ret();
+ *   fb.finish();
+ * @endcode
+ */
+
+#ifndef TRIPSIM_WIR_BUILDER_HH
+#define TRIPSIM_WIR_BUILDER_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "wir/wir.hh"
+
+namespace trips::wir {
+
+class FunctionBuilder
+{
+  public:
+    FunctionBuilder(Module &mod, const std::string &name,
+                    unsigned num_params);
+
+    /** Parameter vreg (0-based). */
+    Vreg param(unsigned i) const;
+
+    /** Fresh virtual register. */
+    Vreg fresh();
+
+    // Constants.
+    Vreg iconst(i64 v);
+    Vreg fconst(double v);
+
+    // Integer arithmetic.
+    Vreg add(Vreg a, Vreg b) { return bin(WOp::Add, a, b); }
+    Vreg sub(Vreg a, Vreg b) { return bin(WOp::Sub, a, b); }
+    Vreg mul(Vreg a, Vreg b) { return bin(WOp::Mul, a, b); }
+    Vreg div(Vreg a, Vreg b) { return bin(WOp::Div, a, b); }
+    Vreg divu(Vreg a, Vreg b) { return bin(WOp::DivU, a, b); }
+    Vreg mod(Vreg a, Vreg b) { return bin(WOp::Mod, a, b); }
+    Vreg modu(Vreg a, Vreg b) { return bin(WOp::ModU, a, b); }
+    Vreg band(Vreg a, Vreg b) { return bin(WOp::And, a, b); }
+    Vreg bor(Vreg a, Vreg b) { return bin(WOp::Or, a, b); }
+    Vreg bxor(Vreg a, Vreg b) { return bin(WOp::Xor, a, b); }
+    Vreg bnot(Vreg a) { return un(WOp::Not, a); }
+    Vreg shl(Vreg a, Vreg b) { return bin(WOp::Shl, a, b); }
+    Vreg shr(Vreg a, Vreg b) { return bin(WOp::Shr, a, b); }
+    Vreg sar(Vreg a, Vreg b) { return bin(WOp::Sar, a, b); }
+    Vreg sextb(Vreg a) { return un(WOp::SextB, a); }
+    Vreg sexth(Vreg a) { return un(WOp::SextH, a); }
+    Vreg sextw(Vreg a) { return un(WOp::SextW, a); }
+    Vreg zextb(Vreg a) { return un(WOp::ZextB, a); }
+    Vreg zexth(Vreg a) { return un(WOp::ZextH, a); }
+    Vreg zextw(Vreg a) { return un(WOp::ZextW, a); }
+
+    // Convenience: op with immediate right operand.
+    Vreg addi(Vreg a, i64 v) { return add(a, iconst(v)); }
+    Vreg muli(Vreg a, i64 v) { return mul(a, iconst(v)); }
+    Vreg shli(Vreg a, i64 v) { return shl(a, iconst(v)); }
+    Vreg andi(Vreg a, i64 v) { return band(a, iconst(v)); }
+
+    // Floating point.
+    Vreg fadd(Vreg a, Vreg b) { return bin(WOp::FAdd, a, b); }
+    Vreg fsub(Vreg a, Vreg b) { return bin(WOp::FSub, a, b); }
+    Vreg fmul(Vreg a, Vreg b) { return bin(WOp::FMul, a, b); }
+    Vreg fdiv(Vreg a, Vreg b) { return bin(WOp::FDiv, a, b); }
+    Vreg fneg(Vreg a) { return un(WOp::FNeg, a); }
+    Vreg itof(Vreg a) { return un(WOp::IToF, a); }
+    Vreg ftoi(Vreg a) { return un(WOp::FToI, a); }
+
+    // Comparisons (0/1 result).
+    Vreg cmpEq(Vreg a, Vreg b) { return bin(WOp::CmpEq, a, b); }
+    Vreg cmpNe(Vreg a, Vreg b) { return bin(WOp::CmpNe, a, b); }
+    Vreg cmpLt(Vreg a, Vreg b) { return bin(WOp::CmpLt, a, b); }
+    Vreg cmpLe(Vreg a, Vreg b) { return bin(WOp::CmpLe, a, b); }
+    Vreg cmpGt(Vreg a, Vreg b) { return bin(WOp::CmpGt, a, b); }
+    Vreg cmpGe(Vreg a, Vreg b) { return bin(WOp::CmpGe, a, b); }
+    Vreg cmpLtU(Vreg a, Vreg b) { return bin(WOp::CmpLtU, a, b); }
+    Vreg cmpGeU(Vreg a, Vreg b) { return bin(WOp::CmpGeU, a, b); }
+    Vreg fcmpEq(Vreg a, Vreg b) { return bin(WOp::FCmpEq, a, b); }
+    Vreg fcmpNe(Vreg a, Vreg b) { return bin(WOp::FCmpNe, a, b); }
+    Vreg fcmpLt(Vreg a, Vreg b) { return bin(WOp::FCmpLt, a, b); }
+    Vreg fcmpLe(Vreg a, Vreg b) { return bin(WOp::FCmpLe, a, b); }
+
+    // Memory.
+    Vreg load(Vreg addr, i64 off = 0, MemWidth w = MemWidth::B8,
+              bool sgn = true);
+    void store(Vreg addr, Vreg val, i64 off = 0,
+               MemWidth w = MemWidth::B8);
+
+    // Misc.
+    Vreg select(Vreg c, Vreg t, Vreg f);
+    void assign(Vreg dst, Vreg src);
+    Vreg call(const std::string &callee, std::vector<Vreg> args);
+    void callVoid(const std::string &callee, std::vector<Vreg> args);
+
+    // Control flow.
+    void label(const std::string &name);
+    void br(Vreg cond, const std::string &then_label,
+            const std::string &else_label);
+    void jmp(const std::string &target);
+    void ret(Vreg v = NO_VREG);
+
+    /** Resolve labels and install the function into the module. */
+    Function &finish();
+
+  private:
+    Vreg bin(WOp op, Vreg a, Vreg b);
+    Vreg un(WOp op, Vreg a);
+    BasicBlock &cur();
+    u32 labelId(const std::string &name);
+    void sealCurrent(Terminator t);
+
+    Module &parent;
+    Function fn;
+    std::map<std::string, u32> labels;   ///< name -> block id
+    std::set<u32> defined_blocks;        ///< labels given a body
+    u32 current_block = 0;
+    bool current_sealed = false;
+    bool finished = false;
+};
+
+} // namespace trips::wir
+
+#endif // TRIPSIM_WIR_BUILDER_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reference interpreter for WIR. Provides the golden architectural
+ * results every compiled artifact (TRIPS functional, TRIPS cycle-level,
+ * RISC) is tested against, plus baseline dynamic-operation counts.
+ */
+
+#ifndef TRIPSIM_WIR_INTERP_HH
+#define TRIPSIM_WIR_INTERP_HH
+
+#include "support/memimage.hh"
+#include "wir/wir.hh"
+
+namespace trips::wir {
+
+struct RunResult
+{
+    i64 retVal = 0;
+    u64 dynOps = 0;      ///< executed WIR instructions (incl. terminators)
+    u64 loads = 0;
+    u64 stores = 0;
+    bool fuelExhausted = false;
+};
+
+class Interp
+{
+  public:
+    /**
+     * Run the module's main function against (and mutating) the given
+     * memory image. Globals must already be materialized into mem via
+     * loadGlobals().
+     *
+     * @param fuel maximum dynamic instruction count before aborting.
+     */
+    RunResult run(const Module &m, MemImage &mem,
+                  u64 fuel = 500'000'000);
+
+    /** Copy global initializers into a memory image. */
+    static void loadGlobals(const Module &m, MemImage &mem);
+};
+
+} // namespace trips::wir
+
+#endif // TRIPSIM_WIR_INTERP_HH

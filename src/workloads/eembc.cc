@@ -1,0 +1,540 @@
+/**
+ * @file
+ * EEMBC-class embedded workloads: the eight benchmarks the paper hand
+ * optimizes (a2time, rspeed, ospf, routelookup, autocor, conven,
+ * fbital, fft) plus two more (bitmnp, idctrn) so the suite mean covers
+ * a broader mix.
+ */
+
+#include <cmath>
+
+#include "wir/builder.hh"
+#include "workloads/util.hh"
+#include "workloads/workload.hh"
+
+namespace trips::workloads {
+
+using wir::FunctionBuilder;
+using wir::MemWidth;
+using wir::Module;
+using wir::Vreg;
+
+namespace {
+
+/** a2time: angle-to-time conversion with nested tooth/gap detection
+ *  (the paper's example of heavy if/then/else predication). */
+void
+buildA2time(Module &m)
+{
+    constexpr size_t N = 2048;
+    Rng rng(201);
+    Addr in = globalI64(m, "in", N,
+                        [&](size_t) { return rng.range(0, 719); });
+    Addr out = globalZero(m, "out", N * 8);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pin = fb.iconst(static_cast<i64>(in));
+    auto pout = fb.iconst(static_cast<i64>(out));
+    auto i = fb.iconst(0);
+    auto last = fb.iconst(0);
+    auto rpm = fb.iconst(3000);
+    fb.label("loop");
+    auto ang = fb.load(fb.add(pin, fb.shli(i, 3)), 0);
+    auto delta = fb.sub(ang, last);
+    fb.br(fb.cmpLt(delta, fb.iconst(0)), "wrap", "nowrap");
+    fb.label("wrap");
+    fb.assign(delta, fb.addi(delta, 720));
+    fb.label("nowrap");
+    auto t = fb.fresh();
+    fb.br(fb.cmpGt(delta, fb.iconst(360)), "big", "small");
+    fb.label("big");
+    // Tooth gap: recompute rpm estimate.
+    fb.assign(rpm, fb.add(fb.shr(rpm, fb.iconst(1)),
+                          fb.muli(delta, 4)));
+    fb.assign(t, fb.div(fb.muli(delta, 60000), rpm));
+    fb.jmp("emit");
+    fb.label("small");
+    fb.br(fb.cmpGt(delta, fb.iconst(90)), "mid", "tiny");
+    fb.label("mid");
+    fb.assign(t, fb.div(fb.muli(delta, 1000),
+                        fb.addi(fb.shr(rpm, fb.iconst(4)), 1)));
+    fb.jmp("emit");
+    fb.label("tiny");
+    fb.assign(t, fb.muli(delta, 3));
+    fb.label("emit");
+    fb.store(fb.add(pout, fb.shli(i, 3)), t, 0);
+    fb.assign(last, ang);
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(N)), "loop", "done");
+    fb.label("done");
+    fb.ret(rpm);
+    fb.finish();
+}
+
+/** rspeed: road-speed calculation from pulse intervals. */
+void
+buildRspeed(Module &m)
+{
+    constexpr size_t N = 4096;
+    Rng rng(202);
+    Addr in = globalI64(m, "pulses", N,
+                        [&](size_t) { return rng.range(50, 4000); });
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pin = fb.iconst(static_cast<i64>(in));
+    auto i = fb.iconst(0);
+    auto speed = fb.iconst(0);
+    auto filt = fb.iconst(0);
+    fb.label("loop");
+    auto dt = fb.load(fb.add(pin, fb.shli(i, 3)), 0);
+    fb.br(fb.cmpLt(dt, fb.iconst(100)), "noise", "valid");
+    fb.label("noise");
+    fb.assign(filt, fb.addi(filt, 1));
+    fb.jmp("next");
+    fb.label("valid");
+    auto s = fb.div(fb.iconst(3600000), dt);
+    fb.br(fb.cmpGt(s, fb.iconst(25000)), "clip", "ok");
+    fb.label("clip");
+    fb.assign(s, fb.iconst(25000));
+    fb.label("ok");
+    fb.assign(speed, fb.add(fb.sub(speed, fb.shr(speed, fb.iconst(3))),
+                            fb.shr(s, fb.iconst(3))));
+    fb.label("next");
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(N)), "loop", "done");
+    fb.label("done");
+    fb.ret(fb.add(speed, filt));
+    fb.finish();
+}
+
+/** ospf: Dijkstra shortest paths over a dense adjacency matrix. */
+void
+buildOspf(Module &m)
+{
+    constexpr size_t V = 48;
+    Rng rng(203);
+    Addr adj = globalI64(m, "adj", V * V, [&](size_t k) {
+        size_t i = k / V, j = k % V;
+        if (i == j)
+            return i64{0};
+        return rng.chance(0.3) ? rng.range(1, 99) : i64{100000};
+    });
+    Addr dist = globalZero(m, "dist", V * 8);
+    Addr vis = globalZero(m, "vis", V * 8);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto padj = fb.iconst(static_cast<i64>(adj));
+    auto pd = fb.iconst(static_cast<i64>(dist));
+    auto pv = fb.iconst(static_cast<i64>(vis));
+    auto n = fb.iconst(V);
+    auto inf = fb.iconst(100000);
+    // init
+    auto i = fb.iconst(0);
+    fb.label("init");
+    fb.store(fb.add(pd, fb.shli(i, 3)), inf, 0);
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, n), "init", "start");
+    fb.label("start");
+    fb.store(pd, fb.iconst(0), 0);
+    auto iter = fb.iconst(0);
+    fb.label("outer");
+    // select unvisited min
+    auto best = fb.iconst(-1);
+    auto bestd = fb.addi(inf, 1);
+    auto u = fb.iconst(0);
+    fb.label("sel");
+    auto du = fb.load(fb.add(pd, fb.shli(u, 3)), 0);
+    auto vu = fb.load(fb.add(pv, fb.shli(u, 3)), 0);
+    auto better = fb.band(fb.cmpEq(vu, fb.iconst(0)),
+                          fb.cmpLt(du, bestd));
+    fb.assign(bestd, fb.select(better, du, bestd));
+    fb.assign(best, fb.select(better, u, best));
+    fb.assign(u, fb.addi(u, 1));
+    fb.br(fb.cmpLt(u, n), "sel", "relax");
+    fb.label("relax");
+    fb.br(fb.cmpLt(best, fb.iconst(0)), "done", "mark");
+    fb.label("mark");
+    fb.store(fb.add(pv, fb.shli(best, 3)), fb.iconst(1), 0);
+    auto w = fb.iconst(0);
+    auto row = fb.add(padj, fb.shli(fb.mul(best, n), 3));
+    fb.label("rl");
+    auto alt = fb.add(bestd, fb.load(fb.add(row, fb.shli(w, 3)), 0));
+    auto dw = fb.load(fb.add(pd, fb.shli(w, 3)), 0);
+    fb.br(fb.cmpLt(alt, dw), "upd", "skip");
+    fb.label("upd");
+    fb.store(fb.add(pd, fb.shli(w, 3)), alt, 0);
+    fb.label("skip");
+    fb.assign(w, fb.addi(w, 1));
+    fb.br(fb.cmpLt(w, n), "rl", "rdone");
+    fb.label("rdone");
+    fb.assign(iter, fb.addi(iter, 1));
+    fb.br(fb.cmpLt(iter, n), "outer", "done");
+    fb.label("done");
+    auto sum = fb.iconst(0);
+    auto q = fb.iconst(0);
+    fb.label("sum");
+    fb.assign(sum, fb.add(sum, fb.load(fb.add(pd, fb.shli(q, 3)), 0)));
+    fb.assign(q, fb.addi(q, 1));
+    fb.br(fb.cmpLt(q, n), "sum", "exit");
+    fb.label("exit");
+    fb.ret(sum);
+    fb.finish();
+}
+
+/** routelookup: 4-level radix-4 trie walk per packet. */
+void
+buildRoutelookup(Module &m)
+{
+    constexpr size_t TRIE = 1024, Q = 2048;
+    Rng rng(204);
+    // Node: 4 children (indices; 0 = leaf sentinel) + next-hop.
+    Addr trie = globalI64(m, "trie", TRIE * 5, [&](size_t k) {
+        if (k % 5 == 4)
+            return rng.range(1, 255);        // next hop
+        return rng.chance(0.7) ? rng.range(1, TRIE - 1) : i64{0};
+    });
+    Addr queries = globalI64(m, "queries", Q, [&](size_t) {
+        return static_cast<i64>(rng.next() & 0xffffffff);
+    });
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pt = fb.iconst(static_cast<i64>(trie));
+    auto pq = fb.iconst(static_cast<i64>(queries));
+    auto i = fb.iconst(0);
+    auto acc = fb.iconst(0);
+    fb.label("pkt");
+    auto ip = fb.load(fb.add(pq, fb.shli(i, 3)), 0);
+    auto node = fb.iconst(0);
+    auto level = fb.iconst(0);
+    fb.label("walk");
+    auto nib = fb.andi(fb.shr(ip, fb.shli(level, 1)), 3);
+    auto base = fb.add(pt, fb.shli(fb.add(fb.muli(node, 5), nib), 3));
+    auto child = fb.load(base, 0);
+    fb.br(fb.cmpEq(child, fb.iconst(0)), "leaf", "desc");
+    fb.label("desc");
+    fb.assign(node, child);
+    fb.assign(level, fb.addi(level, 1));
+    fb.br(fb.cmpLt(level, fb.iconst(8)), "walk", "leaf");
+    fb.label("leaf");
+    auto hop = fb.load(fb.add(pt, fb.shli(fb.addi(fb.muli(node, 5), 4),
+                                          3)), 0);
+    fb.assign(acc, fb.add(acc, hop));
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(Q)), "pkt", "done");
+    fb.label("done");
+    fb.ret(acc);
+    fb.finish();
+}
+
+/** autocor: fixed-point autocorrelation over 16 lags. */
+void
+buildAutocor(Module &m)
+{
+    constexpr size_t N = 2048, LAGS = 16;
+    Rng rng(205);
+    Addr in = globalI64(m, "samples", N + LAGS,
+                        [&](size_t) { return rng.range(-3276, 3276); });
+    Addr out = globalZero(m, "acf", LAGS * 8);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pin = fb.iconst(static_cast<i64>(in));
+    auto pout = fb.iconst(static_cast<i64>(out));
+    auto lag = fb.iconst(0);
+    fb.label("lag");
+    auto acc = fb.iconst(0);
+    auto i = fb.iconst(0);
+    fb.label("dot");
+    auto a = fb.load(fb.add(pin, fb.shli(i, 3)), 0);
+    auto b = fb.load(fb.add(pin, fb.shli(fb.add(i, lag), 3)), 0);
+    fb.assign(acc, fb.add(acc, fb.sar(fb.mul(a, b), fb.iconst(4))));
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(N)), "dot", "store");
+    fb.label("store");
+    fb.store(fb.add(pout, fb.shli(lag, 3)), acc, 0);
+    fb.assign(lag, fb.addi(lag, 1));
+    fb.br(fb.cmpLt(lag, fb.iconst(LAGS)), "lag", "done");
+    fb.label("done");
+    fb.ret(fb.load(pout, 8));
+    fb.finish();
+}
+
+/** conven: rate-1/2 K=5 convolutional encoder over a bitstream. */
+void
+buildConven(Module &m)
+{
+    constexpr size_t N = 8192;
+    Rng rng(206);
+    Addr in = globalU8(m, "bits", N,
+                       [&](size_t) { return rng.below(2); });
+    Addr out = globalZero(m, "enc", N);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pin = fb.iconst(static_cast<i64>(in));
+    auto pout = fb.iconst(static_cast<i64>(out));
+    auto sr = fb.iconst(0);
+    auto i = fb.iconst(0);
+    auto chk = fb.iconst(0);
+    fb.label("loop");
+    auto bit = fb.load(fb.add(pin, i), 0, MemWidth::B1, false);
+    fb.assign(sr, fb.bor(fb.shli(fb.andi(sr, 15), 1), bit));
+    auto g0 = fb.andi(sr, 0x17);
+    auto g1 = fb.andi(sr, 0x19);
+    auto fold = [&](Vreg v) {
+        auto t = fb.bxor(v, fb.shr(v, fb.iconst(2)));
+        t = fb.bxor(t, fb.shr(t, fb.iconst(1)));
+        return fb.andi(fb.bxor(t, fb.shr(v, fb.iconst(4))), 1);
+    };
+    auto sym = fb.bor(fb.shli(fold(g0), 1), fold(g1));
+    fb.store(fb.add(pout, i), sym, 0, MemWidth::B1);
+    fb.assign(chk, fb.bxor(fb.add(chk, sym),
+                           fb.shli(chk, fb.iconst(0) == 0 ? 3 : 3)));
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(N)), "loop", "done");
+    fb.label("done");
+    fb.ret(chk);
+    fb.finish();
+}
+
+/** fbital: waterfilling bit-allocation over channel SNRs. */
+void
+buildFbital(Module &m)
+{
+    constexpr size_t CH = 256;
+    Rng rng(207);
+    Addr snr = globalI64(m, "snr", CH,
+                         [&](size_t) { return rng.range(1, 50); });
+    Addr bits = globalZero(m, "bits", CH * 8);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto ps = fb.iconst(static_cast<i64>(snr));
+    auto pb = fb.iconst(static_cast<i64>(bits));
+    auto budget = fb.iconst(1400);
+    auto pass = fb.iconst(0);
+    fb.label("outer");
+    auto c = fb.iconst(0);
+    fb.label("chan");
+    auto s = fb.load(fb.add(ps, fb.shli(c, 3)), 0);
+    auto cur = fb.load(fb.add(pb, fb.shli(c, 3)), 0);
+    auto want = fb.band(fb.cmpGt(s, fb.add(pass, cur)),
+                        fb.cmpGt(budget, fb.iconst(0)));
+    fb.br(want, "alloc", "skip");
+    fb.label("alloc");
+    fb.store(fb.add(pb, fb.shli(c, 3)), fb.addi(cur, 1), 0);
+    fb.assign(budget, fb.addi(budget, -1));
+    fb.label("skip");
+    fb.assign(c, fb.addi(c, 1));
+    fb.br(fb.cmpLt(c, fb.iconst(CH)), "chan", "cdone");
+    fb.label("cdone");
+    fb.assign(pass, fb.addi(pass, 1));
+    auto more = fb.band(fb.cmpGt(budget, fb.iconst(0)),
+                        fb.cmpLt(pass, fb.iconst(24)));
+    fb.br(more, "outer", "done");
+    fb.label("done");
+    auto sum = fb.iconst(0);
+    auto q = fb.iconst(0);
+    fb.label("sum");
+    fb.assign(sum, fb.add(sum, fb.load(fb.add(pb, fb.shli(q, 3)), 0)));
+    fb.assign(q, fb.addi(q, 1));
+    fb.br(fb.cmpLt(q, fb.iconst(CH)), "sum", "exit");
+    fb.label("exit");
+    fb.ret(sum);
+    fb.finish();
+}
+
+/** fft: 256-point iterative radix-2 FFT (twiddles precomputed). */
+void
+buildFft(Module &m)
+{
+    constexpr size_t N = 256;
+    Rng rng(208);
+    Addr re = globalF64(m, "re", N,
+                        [&](size_t) { return rng.uniform() * 2 - 1; });
+    Addr im = globalF64(m, "im", N, [](size_t) { return 0.0; });
+    Addr wr = globalF64(m, "wr", N / 2, [](size_t k) {
+        return std::cos(-2.0 * M_PI * k / N);
+    });
+    Addr wi = globalF64(m, "wi", N / 2, [](size_t k) {
+        return std::sin(-2.0 * M_PI * k / N);
+    });
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pre = fb.iconst(static_cast<i64>(re));
+    auto pim = fb.iconst(static_cast<i64>(im));
+    auto pwr = fb.iconst(static_cast<i64>(wr));
+    auto pwi = fb.iconst(static_cast<i64>(wi));
+
+    // Bit-reversal permutation.
+    auto i = fb.iconst(0);
+    fb.label("br");
+    auto j = fb.iconst(0);
+    auto b = fb.iconst(0);
+    fb.label("rev");
+    fb.assign(j, fb.bor(fb.shli(j, 1),
+                        fb.andi(fb.shr(i, b), 1)));
+    fb.assign(b, fb.addi(b, 1));
+    fb.br(fb.cmpLt(b, fb.iconst(8)), "rev", "revd");
+    fb.label("revd");
+    fb.br(fb.cmpLt(i, j), "swap", "noswap");
+    fb.label("swap");
+    auto ri = fb.load(fb.add(pre, fb.shli(i, 3)), 0);
+    auto rj = fb.load(fb.add(pre, fb.shli(j, 3)), 0);
+    fb.store(fb.add(pre, fb.shli(i, 3)), rj, 0);
+    fb.store(fb.add(pre, fb.shli(j, 3)), ri, 0);
+    auto ii = fb.load(fb.add(pim, fb.shli(i, 3)), 0);
+    auto ij = fb.load(fb.add(pim, fb.shli(j, 3)), 0);
+    fb.store(fb.add(pim, fb.shli(i, 3)), ij, 0);
+    fb.store(fb.add(pim, fb.shli(j, 3)), ii, 0);
+    fb.label("noswap");
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(N)), "br", "stages");
+
+    // log2(N) butterfly stages.
+    fb.label("stages");
+    auto len = fb.iconst(2);
+    fb.label("stage");
+    auto half = fb.shr(len, fb.iconst(1));
+    auto step = fb.divu(fb.iconst(N), len);
+    auto base = fb.iconst(0);
+    fb.label("group");
+    auto k = fb.iconst(0);
+    fb.label("bfly");
+    auto tw = fb.mul(k, step);
+    auto wre = fb.load(fb.add(pwr, fb.shli(tw, 3)), 0);
+    auto wim = fb.load(fb.add(pwi, fb.shli(tw, 3)), 0);
+    auto i0 = fb.add(base, k);
+    auto i1 = fb.add(i0, half);
+    auto a_re = fb.load(fb.add(pre, fb.shli(i0, 3)), 0);
+    auto a_im = fb.load(fb.add(pim, fb.shli(i0, 3)), 0);
+    auto b_re = fb.load(fb.add(pre, fb.shli(i1, 3)), 0);
+    auto b_im = fb.load(fb.add(pim, fb.shli(i1, 3)), 0);
+    auto t_re = fb.fsub(fb.fmul(b_re, wre), fb.fmul(b_im, wim));
+    auto t_im = fb.fadd(fb.fmul(b_re, wim), fb.fmul(b_im, wre));
+    fb.store(fb.add(pre, fb.shli(i0, 3)), fb.fadd(a_re, t_re), 0);
+    fb.store(fb.add(pim, fb.shli(i0, 3)), fb.fadd(a_im, t_im), 0);
+    fb.store(fb.add(pre, fb.shli(i1, 3)), fb.fsub(a_re, t_re), 0);
+    fb.store(fb.add(pim, fb.shli(i1, 3)), fb.fsub(a_im, t_im), 0);
+    fb.assign(k, fb.addi(k, 1));
+    fb.br(fb.cmpLt(k, half), "bfly", "bdone");
+    fb.label("bdone");
+    fb.assign(base, fb.add(base, len));
+    fb.br(fb.cmpLt(base, fb.iconst(N)), "group", "gdone");
+    fb.label("gdone");
+    fb.assign(len, fb.shli(len, 1));
+    fb.br(fb.cmpLe(len, fb.iconst(N)), "stage", "done");
+    fb.label("done");
+    fb.ret(fb.ftoi(fb.fmul(fb.load(pre, 0), fb.fconst(1000.0))));
+    fb.finish();
+}
+
+/** bitmnp: bit reversal / counting over a word array. */
+void
+buildBitmnp(Module &m)
+{
+    constexpr size_t N = 4096;
+    Rng rng(209);
+    Addr in = globalI64(m, "words", N,
+                        [&](size_t) { return static_cast<i64>(rng.next()); });
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pin = fb.iconst(static_cast<i64>(in));
+    auto i = fb.iconst(0);
+    auto acc = fb.iconst(0);
+    fb.label("loop");
+    auto v = fb.load(fb.add(pin, fb.shli(i, 3)), 0);
+    // popcount via parallel reduction
+    auto m1 = fb.iconst(0x5555555555555555LL);
+    auto m2 = fb.iconst(0x3333333333333333LL);
+    auto m4 = fb.iconst(0x0f0f0f0f0f0f0f0fLL);
+    auto x = fb.sub(v, fb.band(fb.shr(v, fb.iconst(1)), m1));
+    fb.assign(x, fb.add(fb.band(x, m2),
+                        fb.band(fb.shr(x, fb.iconst(2)), m2)));
+    fb.assign(x, fb.band(fb.add(x, fb.shr(x, fb.iconst(4))), m4));
+    auto pop = fb.shr(fb.mul(x, fb.iconst(0x0101010101010101LL)),
+                      fb.iconst(56));
+    // reverse low byte via shifts
+    auto r = fb.iconst(0);
+    auto bcnt = fb.iconst(0);
+    fb.label("rv");
+    fb.assign(r, fb.bor(fb.shli(r, 1), fb.andi(fb.shr(v, bcnt), 1)));
+    fb.assign(bcnt, fb.addi(bcnt, 1));
+    fb.br(fb.cmpLt(bcnt, fb.iconst(8)), "rv", "rvd");
+    fb.label("rvd");
+    fb.assign(acc, fb.bxor(fb.add(acc, pop), fb.shli(r, 2)));
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(N)), "loop", "done");
+    fb.label("done");
+    fb.ret(acc);
+    fb.finish();
+}
+
+/** idctrn: 8x8 integer IDCT-like transform over 64 blocks. */
+void
+buildIdctrn(Module &m)
+{
+    constexpr size_t BLOCKS = 64;
+    Rng rng(210);
+    Addr in = globalI64(m, "blk", BLOCKS * 64,
+                        [&](size_t) { return rng.range(-128, 127); });
+    Addr coef = globalI64(m, "coef", 64, [&](size_t k) {
+        return static_cast<i64>((k * 2654435761u) % 181) - 90;
+    });
+    Addr out = globalZero(m, "idct", BLOCKS * 64 * 8);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pin = fb.iconst(static_cast<i64>(in));
+    auto pco = fb.iconst(static_cast<i64>(coef));
+    auto pout = fb.iconst(static_cast<i64>(out));
+    auto blk = fb.iconst(0);
+    fb.label("blk");
+    auto bin = fb.add(pin, fb.shli(fb.muli(blk, 64), 3));
+    auto bout = fb.add(pout, fb.shli(fb.muli(blk, 64), 3));
+    auto r = fb.iconst(0);
+    fb.label("row");
+    auto c = fb.iconst(0);
+    fb.label("col");
+    auto acc = fb.iconst(0);
+    auto k = fb.iconst(0);
+    fb.label("dot");
+    auto s = fb.load(fb.add(bin, fb.shli(fb.add(fb.shli(r, 3), k), 3)),
+                     0);
+    auto w = fb.load(fb.add(pco, fb.shli(fb.add(fb.shli(k, 3), c), 3)),
+                     0);
+    fb.assign(acc, fb.add(acc, fb.mul(s, w)));
+    fb.assign(k, fb.addi(k, 1));
+    fb.br(fb.cmpLt(k, fb.iconst(8)), "dot", "dd");
+    fb.label("dd");
+    fb.store(fb.add(bout, fb.shli(fb.add(fb.shli(r, 3), c), 3)),
+             fb.sar(acc, fb.iconst(7)), 0);
+    fb.assign(c, fb.addi(c, 1));
+    fb.br(fb.cmpLt(c, fb.iconst(8)), "col", "cd");
+    fb.label("cd");
+    fb.assign(r, fb.addi(r, 1));
+    fb.br(fb.cmpLt(r, fb.iconst(8)), "row", "rd");
+    fb.label("rd");
+    fb.assign(blk, fb.addi(blk, 1));
+    fb.br(fb.cmpLt(blk, fb.iconst(BLOCKS)), "blk", "done");
+    fb.label("done");
+    fb.ret(fb.load(pout, 8 * 9));
+    fb.finish();
+}
+
+} // namespace
+
+std::vector<Workload>
+eembcWorkloads()
+{
+    return {
+        {"a2time", "eembc", true, buildA2time},
+        {"rspeed", "eembc", true, buildRspeed},
+        {"ospf", "eembc", true, buildOspf},
+        {"routelookup", "eembc", true, buildRoutelookup},
+        {"autocor", "eembc", true, buildAutocor},
+        {"conven", "eembc", true, buildConven},
+        {"fbital", "eembc", true, buildFbital},
+        {"fft", "eembc", true, buildFft},
+        {"bitmnp", "eembc", false, buildBitmnp},
+        {"idctrn", "eembc", false, buildIdctrn},
+    };
+}
+
+} // namespace trips::workloads

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The four hand-optimized scientific kernels from the paper: matrix
+ * transpose (ct), convolution (conv), vector add (vadd) and matrix
+ * multiply (matrix).
+ */
+
+#include "wir/builder.hh"
+#include "workloads/util.hh"
+#include "workloads/workload.hh"
+
+namespace trips::workloads {
+
+using wir::FunctionBuilder;
+using wir::MemWidth;
+using wir::Module;
+
+namespace {
+
+constexpr size_t VADD_N = 6144;
+constexpr size_t CT_N = 56;
+constexpr size_t CONV_N = 3072, CONV_K = 16;
+constexpr size_t MM_N = 40;
+
+void
+buildVadd(Module &m)
+{
+    Rng rng(11);
+    Addr a = globalF64(m, "a", VADD_N,
+                       [&](size_t) { return rng.uniform() * 10; });
+    Addr b = globalF64(m, "b", VADD_N,
+                       [&](size_t) { return rng.uniform() * 10; });
+    Addr c = globalZero(m, "c", VADD_N * 8);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pa = fb.iconst(static_cast<i64>(a));
+    auto pb = fb.iconst(static_cast<i64>(b));
+    auto pc = fb.iconst(static_cast<i64>(c));
+    auto i = fb.iconst(0);
+    fb.label("loop");
+    auto off = fb.shli(i, 3);
+    fb.store(fb.add(pc, off),
+             fb.fadd(fb.load(fb.add(pa, off), 0),
+                     fb.load(fb.add(pb, off), 0)),
+             0);
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(VADD_N)), "loop", "done");
+    fb.label("done");
+    fb.ret(fb.ftoi(fb.load(pc, (VADD_N - 1) * 8)));
+    fb.finish();
+}
+
+void
+buildCt(Module &m)
+{
+    Rng rng(22);
+    Addr a = globalI64(m, "a", CT_N * CT_N,
+                       [&](size_t) { return rng.range(-999, 999); });
+    Addr b = globalZero(m, "b", CT_N * CT_N * 8);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pa = fb.iconst(static_cast<i64>(a));
+    auto pb = fb.iconst(static_cast<i64>(b));
+    auto n = fb.iconst(CT_N);
+    auto i = fb.iconst(0);
+    fb.label("iloop");
+    auto j = fb.iconst(0);
+    fb.label("jloop");
+    auto src = fb.add(pa, fb.shli(fb.add(fb.mul(i, n), j), 3));
+    auto dst = fb.add(pb, fb.shli(fb.add(fb.mul(j, n), i), 3));
+    fb.store(dst, fb.load(src, 0), 0);
+    fb.assign(j, fb.addi(j, 1));
+    fb.br(fb.cmpLt(j, n), "jloop", "jdone");
+    fb.label("jdone");
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, n), "iloop", "done");
+    fb.label("done");
+    fb.ret(fb.load(pb, 8));
+    fb.finish();
+}
+
+void
+buildConv(Module &m)
+{
+    Rng rng(33);
+    Addr x = globalF64(m, "x", CONV_N + CONV_K,
+                       [&](size_t) { return rng.uniform() - 0.5; });
+    Addr h = globalF64(m, "h", CONV_K,
+                       [&](size_t k) { return 1.0 / (1 + k); });
+    Addr y = globalZero(m, "y", CONV_N * 8);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto px = fb.iconst(static_cast<i64>(x));
+    auto ph = fb.iconst(static_cast<i64>(h));
+    auto py = fb.iconst(static_cast<i64>(y));
+    auto i = fb.iconst(0);
+    fb.label("outer");
+    auto acc = fb.fconst(0.0);
+    auto k = fb.iconst(0);
+    fb.label("inner");
+    auto xi = fb.load(fb.add(px, fb.shli(fb.add(i, k), 3)), 0);
+    auto hk = fb.load(fb.add(ph, fb.shli(k, 3)), 0);
+    fb.assign(acc, fb.fadd(acc, fb.fmul(xi, hk)));
+    fb.assign(k, fb.addi(k, 1));
+    fb.br(fb.cmpLt(k, fb.iconst(CONV_K)), "inner", "idone");
+    fb.label("idone");
+    fb.store(fb.add(py, fb.shli(i, 3)), acc, 0);
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(CONV_N)), "outer", "done");
+    fb.label("done");
+    fb.ret(fb.ftoi(fb.fmul(fb.load(py, 8 * 100), fb.fconst(1000.0))));
+    fb.finish();
+}
+
+void
+buildMatrix(Module &m)
+{
+    Rng rng(44);
+    Addr a = globalF64(m, "a", MM_N * MM_N,
+                       [&](size_t) { return rng.uniform(); });
+    Addr b = globalF64(m, "b", MM_N * MM_N,
+                       [&](size_t) { return rng.uniform(); });
+    Addr c = globalZero(m, "c", MM_N * MM_N * 8);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pa = fb.iconst(static_cast<i64>(a));
+    auto pb = fb.iconst(static_cast<i64>(b));
+    auto pc = fb.iconst(static_cast<i64>(c));
+    auto n = fb.iconst(MM_N);
+    auto i = fb.iconst(0);
+    fb.label("iloop");
+    auto j = fb.iconst(0);
+    fb.label("jloop");
+    auto acc = fb.fconst(0.0);
+    auto k = fb.iconst(0);
+    fb.label("kloop");
+    auto av = fb.load(fb.add(pa, fb.shli(fb.add(fb.mul(i, n), k), 3)), 0);
+    auto bv = fb.load(fb.add(pb, fb.shli(fb.add(fb.mul(k, n), j), 3)), 0);
+    fb.assign(acc, fb.fadd(acc, fb.fmul(av, bv)));
+    fb.assign(k, fb.addi(k, 1));
+    fb.br(fb.cmpLt(k, n), "kloop", "kdone");
+    fb.label("kdone");
+    fb.store(fb.add(pc, fb.shli(fb.add(fb.mul(i, n), j), 3)), acc, 0);
+    fb.assign(j, fb.addi(j, 1));
+    fb.br(fb.cmpLt(j, n), "jloop", "jdone");
+    fb.label("jdone");
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, n), "iloop", "done");
+    fb.label("done");
+    fb.ret(fb.ftoi(fb.load(pc, 0)));
+    fb.finish();
+}
+
+} // namespace
+
+std::vector<Workload>
+kernelWorkloads()
+{
+    return {
+        {"vadd", "kernel", true, buildVadd},
+        {"ct", "kernel", true, buildCt},
+        {"conv", "kernel", true, buildConv},
+        {"matrix", "kernel", true, buildMatrix},
+    };
+}
+
+} // namespace trips::workloads

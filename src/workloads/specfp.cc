@@ -1,0 +1,462 @@
+/**
+ * @file
+ * SPEC CPU2000 floating-point proxies: stencil, sparse, and dense
+ * numeric kernels with each original's dominant memory pattern.
+ */
+
+#include "wir/builder.hh"
+#include "workloads/util.hh"
+#include "workloads/workload.hh"
+
+namespace trips::workloads {
+
+using wir::FunctionBuilder;
+using wir::Module;
+using wir::Vreg;
+
+namespace {
+
+/** 2D 5-point SSOR sweep (applu). */
+void
+buildApplu(Module &m)
+{
+    constexpr i64 N = 64;
+    Rng rng(401);
+    Addr a = globalF64(m, "u", N * N,
+                       [&](size_t) { return rng.uniform(); });
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pu = fb.iconst(static_cast<i64>(a));
+    auto omega = fb.fconst(0.8);
+    auto iter = fb.iconst(0);
+    fb.label("it");
+    auto i = fb.iconst(1);
+    fb.label("row");
+    auto j = fb.iconst(1);
+    fb.label("col");
+    auto idx = fb.add(fb.muli(i, N), j);
+    auto pc = fb.add(pu, fb.shli(idx, 3));
+    auto c = fb.load(pc, 0);
+    auto n4 = fb.fadd(fb.fadd(fb.load(pc, -8), fb.load(pc, 8)),
+                      fb.fadd(fb.load(pc, -8 * N), fb.load(pc, 8 * N)));
+    auto upd = fb.fadd(fb.fmul(c, fb.fconst(0.2)),
+                       fb.fmul(omega, fb.fmul(n4, fb.fconst(0.25))));
+    fb.store(pc, upd, 0);
+    fb.assign(j, fb.addi(j, 1));
+    fb.br(fb.cmpLt(j, fb.iconst(N - 1)), "col", "cd");
+    fb.label("cd");
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(N - 1)), "row", "rd");
+    fb.label("rd");
+    fb.assign(iter, fb.addi(iter, 1));
+    fb.br(fb.cmpLt(iter, fb.iconst(6)), "it", "done");
+    fb.label("done");
+    fb.ret(fb.ftoi(fb.fmul(fb.load(fb.add(pu, fb.iconst(8 * (N + 1))),
+                                   0),
+                           fb.fconst(1e6))));
+    fb.finish();
+}
+
+/** 3D 7-point stencil (apsi). */
+void
+buildApsi(Module &m)
+{
+    constexpr i64 N = 16;
+    Rng rng(402);
+    Addr a = globalF64(m, "t", N * N * N,
+                       [&](size_t) { return rng.uniform() * 300; });
+    Addr b = globalZero(m, "t2", N * N * N * 8);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pa = fb.iconst(static_cast<i64>(a));
+    auto pb = fb.iconst(static_cast<i64>(b));
+    auto iter = fb.iconst(0);
+    fb.label("it");
+    auto z = fb.iconst(1);
+    fb.label("zl");
+    auto y = fb.iconst(1);
+    fb.label("yl");
+    auto x = fb.iconst(1);
+    fb.label("xl");
+    auto idx = fb.add(fb.add(fb.muli(fb.muli(z, N), N), fb.muli(y, N)),
+                      x);
+    auto pc = fb.add(pa, fb.shli(idx, 3));
+    auto s = fb.fadd(fb.load(pc, 0),
+             fb.fmul(fb.fconst(0.1),
+                 fb.fadd(fb.fadd(fb.fadd(fb.load(pc, -8),
+                                         fb.load(pc, 8)),
+                                 fb.fadd(fb.load(pc, -8 * N),
+                                         fb.load(pc, 8 * N))),
+                         fb.fadd(fb.load(pc, -8 * N * N),
+                                 fb.load(pc, 8 * N * N)))));
+    fb.store(fb.add(pb, fb.shli(idx, 3)), s, 0);
+    fb.assign(x, fb.addi(x, 1));
+    fb.br(fb.cmpLt(x, fb.iconst(N - 1)), "xl", "xd");
+    fb.label("xd");
+    fb.assign(y, fb.addi(y, 1));
+    fb.br(fb.cmpLt(y, fb.iconst(N - 1)), "yl", "yd");
+    fb.label("yd");
+    fb.assign(z, fb.addi(z, 1));
+    fb.br(fb.cmpLt(z, fb.iconst(N - 1)), "zl", "zd");
+    fb.label("zd");
+    // copy back
+    auto k = fb.iconst(0);
+    fb.label("cp");
+    fb.store(fb.add(pa, fb.shli(k, 3)),
+             fb.load(fb.add(pb, fb.shli(k, 3)), 0), 0);
+    fb.assign(k, fb.addi(k, 1));
+    fb.br(fb.cmpLt(k, fb.iconst(N * N * N)), "cp", "cpd");
+    fb.label("cpd");
+    fb.assign(iter, fb.addi(iter, 1));
+    fb.br(fb.cmpLt(iter, fb.iconst(4)), "it", "done");
+    fb.label("done");
+    fb.ret(fb.ftoi(fb.load(fb.add(pa, fb.iconst(8 * 273)), 0)));
+    fb.finish();
+}
+
+/** art: winner-take-all resonance over category dot products. */
+void
+buildArt(Module &m)
+{
+    constexpr i64 CAT = 48, DIM = 256;
+    Rng rng(403);
+    Addr wgt = globalF64(m, "w", CAT * DIM,
+                         [&](size_t) { return rng.uniform(); });
+    Addr in = globalF64(m, "f1", DIM,
+                        [&](size_t) { return rng.uniform(); });
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pw = fb.iconst(static_cast<i64>(wgt));
+    auto pi = fb.iconst(static_cast<i64>(in));
+    auto pres = fb.iconst(0);
+    auto winner_acc = fb.iconst(0);
+    fb.label("present");
+    auto best = fb.fconst(-1.0);
+    auto bestc = fb.iconst(-1);
+    auto c = fb.iconst(0);
+    fb.label("cat");
+    auto acc = fb.fconst(0.0);
+    auto d = fb.iconst(0);
+    auto row = fb.add(pw, fb.shli(fb.muli(c, DIM), 3));
+    fb.label("dot");
+    fb.assign(acc, fb.fadd(acc,
+        fb.fmul(fb.load(fb.add(row, fb.shli(d, 3)), 0),
+                fb.load(fb.add(pi, fb.shli(d, 3)), 0))));
+    fb.assign(d, fb.addi(d, 1));
+    fb.br(fb.cmpLt(d, fb.iconst(DIM)), "dot", "dd");
+    fb.label("dd");
+    auto win = fb.fcmpLt(best, acc);
+    fb.assign(best, fb.select(win, acc, best));
+    fb.assign(bestc, fb.select(win, c, bestc));
+    fb.assign(c, fb.addi(c, 1));
+    fb.br(fb.cmpLt(c, fb.iconst(CAT)), "cat", "upd");
+    fb.label("upd");
+    // strengthen the winner row slightly
+    auto d2 = fb.iconst(0);
+    auto wrow = fb.add(pw, fb.shli(fb.muli(bestc, DIM), 3));
+    fb.label("learn");
+    auto pwv = fb.add(wrow, fb.shli(d2, 3));
+    fb.store(pwv, fb.fmul(fb.load(pwv, 0), fb.fconst(1.01)), 0);
+    fb.assign(d2, fb.addi(d2, 1));
+    fb.br(fb.cmpLt(d2, fb.iconst(DIM)), "learn", "ld");
+    fb.label("ld");
+    fb.assign(winner_acc, fb.add(winner_acc, bestc));
+    fb.assign(pres, fb.addi(pres, 1));
+    fb.br(fb.cmpLt(pres, fb.iconst(8)), "present", "done");
+    fb.label("done");
+    fb.ret(winner_acc);
+    fb.finish();
+}
+
+/** equake: CSR sparse matrix-vector products. */
+void
+buildEquake(Module &m)
+{
+    constexpr i64 ROWS = 2048, NNZ_PER = 8;
+    Rng rng(404);
+    Addr cols = globalI64(m, "cols", ROWS * NNZ_PER, [&](size_t) {
+        return static_cast<i64>(rng.below(ROWS));
+    });
+    Addr vals = globalF64(m, "vals", ROWS * NNZ_PER,
+                          [&](size_t) { return rng.uniform() - 0.5; });
+    Addr x = globalF64(m, "x", ROWS, [&](size_t) { return 1.0; });
+    Addr y = globalZero(m, "y", ROWS * 8);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pc = fb.iconst(static_cast<i64>(cols));
+    auto pv = fb.iconst(static_cast<i64>(vals));
+    auto px = fb.iconst(static_cast<i64>(x));
+    auto py = fb.iconst(static_cast<i64>(y));
+    auto it = fb.iconst(0);
+    fb.label("it");
+    auto r = fb.iconst(0);
+    fb.label("row");
+    auto acc = fb.fconst(0.0);
+    auto k = fb.iconst(0);
+    auto base = fb.muli(r, NNZ_PER);
+    fb.label("nz");
+    auto idx = fb.add(base, k);
+    auto col = fb.load(fb.add(pc, fb.shli(idx, 3)), 0);
+    auto v = fb.load(fb.add(pv, fb.shli(idx, 3)), 0);
+    auto xv = fb.load(fb.add(px, fb.shli(col, 3)), 0);
+    fb.assign(acc, fb.fadd(acc, fb.fmul(v, xv)));
+    fb.assign(k, fb.addi(k, 1));
+    fb.br(fb.cmpLt(k, fb.iconst(NNZ_PER)), "nz", "nd");
+    fb.label("nd");
+    fb.store(fb.add(py, fb.shli(r, 3)), acc, 0);
+    fb.assign(r, fb.addi(r, 1));
+    fb.br(fb.cmpLt(r, fb.iconst(ROWS)), "row", "sw");
+    fb.label("sw");
+    // x <- 0.9x + 0.1y (relaxation)
+    auto q = fb.iconst(0);
+    fb.label("mix");
+    auto pxq = fb.add(px, fb.shli(q, 3));
+    fb.store(pxq, fb.fadd(fb.fmul(fb.load(pxq, 0), fb.fconst(0.9)),
+                          fb.fmul(fb.load(fb.add(py, fb.shli(q, 3)), 0),
+                                  fb.fconst(0.1))),
+             0);
+    fb.assign(q, fb.addi(q, 1));
+    fb.br(fb.cmpLt(q, fb.iconst(ROWS)), "mix", "md");
+    fb.label("md");
+    fb.assign(it, fb.addi(it, 1));
+    fb.br(fb.cmpLt(it, fb.iconst(6)), "it", "done");
+    fb.label("done");
+    fb.ret(fb.ftoi(fb.fmul(fb.load(px, 8 * 7), fb.fconst(1e6))));
+    fb.finish();
+}
+
+/** mesa: span rasterizer with z-buffer test (predication heavy). */
+void
+buildMesa(Module &m)
+{
+    constexpr i64 W = 64, TRIS = 48;
+    Rng rng(405);
+    Addr tris = globalI64(m, "tris", TRIS * 4, [&](size_t k) {
+        switch (k % 4) {
+          case 0: return static_cast<i64>(rng.below(W - 16));
+          case 1: return static_cast<i64>(rng.below(W - 16));
+          case 2: return rng.range(4, 15);
+          default: return rng.range(1, 1000);
+        }
+    });
+    Addr zbuf = globalI64(m, "zbuf", W * W,
+                          [](size_t) { return i64{1 << 20}; });
+    Addr fbuf = globalZero(m, "fbuf", W * W * 8);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pt = fb.iconst(static_cast<i64>(tris));
+    auto pz = fb.iconst(static_cast<i64>(zbuf));
+    auto pf = fb.iconst(static_cast<i64>(fbuf));
+    auto t = fb.iconst(0);
+    auto drawn = fb.iconst(0);
+    fb.label("tri");
+    auto base = fb.add(pt, fb.shli(fb.shli(t, 2), 3));
+    auto x0 = fb.load(base, 0);
+    auto y0 = fb.load(base, 8);
+    auto sz = fb.load(base, 16);
+    auto depth = fb.load(base, 24);
+    auto dy = fb.iconst(0);
+    fb.label("row");
+    auto dx = fb.iconst(0);
+    fb.label("px");
+    // inside test: right triangle (dx <= dy)
+    fb.br(fb.cmpLe(dx, dy), "in", "out");
+    fb.label("in");
+    auto idx = fb.add(fb.muli(fb.add(y0, dy), W), fb.add(x0, dx));
+    auto pzv = fb.add(pz, fb.shli(idx, 3));
+    auto z = fb.load(pzv, 0);
+    auto zt = fb.add(depth, fb.add(dx, dy));
+    fb.br(fb.cmpLt(zt, z), "pass", "out");
+    fb.label("pass");
+    fb.store(pzv, zt, 0);
+    fb.store(fb.add(pf, fb.shli(idx, 3)), fb.addi(t, 1), 0);
+    fb.assign(drawn, fb.addi(drawn, 1));
+    fb.label("out");
+    fb.assign(dx, fb.addi(dx, 1));
+    fb.br(fb.cmpLt(dx, sz), "px", "pd");
+    fb.label("pd");
+    fb.assign(dy, fb.addi(dy, 1));
+    fb.br(fb.cmpLt(dy, sz), "row", "rd");
+    fb.label("rd");
+    fb.assign(t, fb.addi(t, 1));
+    fb.br(fb.cmpLt(t, fb.iconst(TRIS)), "tri", "done");
+    fb.label("done");
+    fb.ret(drawn);
+    fb.finish();
+}
+
+/** mgrid: 2D 9-point relaxation (multigrid smoother). */
+void
+buildMgrid(Module &m)
+{
+    constexpr i64 N = 64;
+    Rng rng(406);
+    Addr a = globalF64(m, "v", N * N,
+                       [&](size_t) { return rng.uniform(); });
+    Addr b = globalZero(m, "v2", N * N * 8);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pa = fb.iconst(static_cast<i64>(a));
+    auto pb = fb.iconst(static_cast<i64>(b));
+    auto it = fb.iconst(0);
+    fb.label("it");
+    auto i = fb.iconst(1);
+    fb.label("row");
+    auto j = fb.iconst(1);
+    fb.label("col");
+    auto pcv = fb.add(pa, fb.shli(fb.add(fb.muli(i, N), j), 3));
+    auto edge = fb.fadd(fb.fadd(fb.load(pcv, -8), fb.load(pcv, 8)),
+                        fb.fadd(fb.load(pcv, -8 * N),
+                                fb.load(pcv, 8 * N)));
+    auto corner = fb.fadd(
+        fb.fadd(fb.load(pcv, -8 * N - 8), fb.load(pcv, -8 * N + 8)),
+        fb.fadd(fb.load(pcv, 8 * N - 8), fb.load(pcv, 8 * N + 8)));
+    auto s = fb.fadd(fb.fmul(fb.load(pcv, 0), fb.fconst(0.5)),
+                     fb.fadd(fb.fmul(edge, fb.fconst(0.08)),
+                             fb.fmul(corner, fb.fconst(0.045))));
+    fb.store(fb.add(pb, fb.shli(fb.add(fb.muli(i, N), j), 3)), s, 0);
+    fb.assign(j, fb.addi(j, 1));
+    fb.br(fb.cmpLt(j, fb.iconst(N - 1)), "col", "cd");
+    fb.label("cd");
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(N - 1)), "row", "swap");
+    fb.label("swap");
+    auto k = fb.iconst(0);
+    fb.label("cp");
+    fb.store(fb.add(pa, fb.shli(k, 3)),
+             fb.load(fb.add(pb, fb.shli(k, 3)), 0), 0);
+    fb.assign(k, fb.addi(k, 1));
+    fb.br(fb.cmpLt(k, fb.iconst(N * N)), "cp", "cpd");
+    fb.label("cpd");
+    fb.assign(it, fb.addi(it, 1));
+    fb.br(fb.cmpLt(it, fb.iconst(5)), "it", "done");
+    fb.label("done");
+    fb.ret(fb.ftoi(fb.fmul(fb.load(fb.add(pa, fb.iconst(8 * (N + 5))),
+                                   0),
+                           fb.fconst(1e6))));
+    fb.finish();
+}
+
+/** swim: shallow-water three-array stencil update. */
+void
+buildSwim(Module &m)
+{
+    constexpr i64 N = 64;
+    Rng rng(407);
+    Addr u = globalF64(m, "su", N * N,
+                       [&](size_t) { return rng.uniform(); });
+    Addr v = globalF64(m, "sv", N * N,
+                       [&](size_t) { return rng.uniform(); });
+    Addr p = globalF64(m, "sp", N * N,
+                       [&](size_t) { return 50 + rng.uniform(); });
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pu = fb.iconst(static_cast<i64>(u));
+    auto pv = fb.iconst(static_cast<i64>(v));
+    auto pp = fb.iconst(static_cast<i64>(p));
+    auto dt = fb.fconst(0.01);
+    auto it = fb.iconst(0);
+    fb.label("it");
+    auto i = fb.iconst(1);
+    fb.label("row");
+    auto j = fb.iconst(1);
+    fb.label("col");
+    auto off = fb.shli(fb.add(fb.muli(i, N), j), 3);
+    auto cu = fb.add(pu, off);
+    auto cv = fb.add(pv, off);
+    auto cp = fb.add(pp, off);
+    auto gradx = fb.fsub(fb.load(cp, 8), fb.load(cp, -8));
+    auto grady = fb.fsub(fb.load(cp, 8 * N), fb.load(cp, -8 * N));
+    fb.store(cu, fb.fsub(fb.load(cu, 0), fb.fmul(dt, gradx)), 0);
+    fb.store(cv, fb.fsub(fb.load(cv, 0), fb.fmul(dt, grady)), 0);
+    auto div = fb.fadd(fb.fsub(fb.load(cu, 8), fb.load(cu, -8)),
+                       fb.fsub(fb.load(cv, 8 * N), fb.load(cv, -8 * N)));
+    fb.store(cp, fb.fsub(fb.load(cp, 0),
+                         fb.fmul(fb.fconst(2.0), fb.fmul(dt, div))),
+             0);
+    fb.assign(j, fb.addi(j, 1));
+    fb.br(fb.cmpLt(j, fb.iconst(N - 1)), "col", "cd");
+    fb.label("cd");
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(N - 1)), "row", "rd");
+    fb.label("rd");
+    fb.assign(it, fb.addi(it, 1));
+    fb.br(fb.cmpLt(it, fb.iconst(6)), "it", "done");
+    fb.label("done");
+    fb.ret(fb.ftoi(fb.fmul(fb.load(fb.add(pp, fb.iconst(8 * (N + 3))),
+                                   0),
+                           fb.fconst(1e3))));
+    fb.finish();
+}
+
+/** wupwise: complex matrix multiply (interleaved re/im). */
+void
+buildWupwise(Module &m)
+{
+    constexpr i64 N = 20;
+    Rng rng(408);
+    Addr a = globalF64(m, "ca", N * N * 2,
+                       [&](size_t) { return rng.uniform() - 0.5; });
+    Addr b = globalF64(m, "cb", N * N * 2,
+                       [&](size_t) { return rng.uniform() - 0.5; });
+    Addr c = globalZero(m, "cc", N * N * 2 * 8);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pa = fb.iconst(static_cast<i64>(a));
+    auto pb = fb.iconst(static_cast<i64>(b));
+    auto pc = fb.iconst(static_cast<i64>(c));
+    auto i = fb.iconst(0);
+    fb.label("il");
+    auto j = fb.iconst(0);
+    fb.label("jl");
+    auto acr = fb.fconst(0.0);
+    auto aci = fb.fconst(0.0);
+    auto k = fb.iconst(0);
+    fb.label("kl");
+    auto pav = fb.add(pa, fb.shli(fb.shli(fb.add(fb.muli(i, N), k), 1),
+                                  3));
+    auto pbv = fb.add(pb, fb.shli(fb.shli(fb.add(fb.muli(k, N), j), 1),
+                                  3));
+    auto ar = fb.load(pav, 0);
+    auto ai = fb.load(pav, 8);
+    auto br = fb.load(pbv, 0);
+    auto bi = fb.load(pbv, 8);
+    fb.assign(acr, fb.fadd(acr, fb.fsub(fb.fmul(ar, br),
+                                        fb.fmul(ai, bi))));
+    fb.assign(aci, fb.fadd(aci, fb.fadd(fb.fmul(ar, bi),
+                                        fb.fmul(ai, br))));
+    fb.assign(k, fb.addi(k, 1));
+    fb.br(fb.cmpLt(k, fb.iconst(N)), "kl", "kd");
+    fb.label("kd");
+    auto pcv = fb.add(pc, fb.shli(fb.shli(fb.add(fb.muli(i, N), j), 1),
+                                  3));
+    fb.store(pcv, acr, 0);
+    fb.store(pcv, aci, 8);
+    fb.assign(j, fb.addi(j, 1));
+    fb.br(fb.cmpLt(j, fb.iconst(N)), "jl", "jd");
+    fb.label("jd");
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(N)), "il", "done");
+    fb.label("done");
+    fb.ret(fb.ftoi(fb.fmul(fb.load(pc, 0), fb.fconst(1e3))));
+    fb.finish();
+}
+
+} // namespace
+
+std::vector<Workload>
+specFpWorkloads()
+{
+    return {
+        {"applu", "specfp", false, buildApplu},
+        {"apsi", "specfp", false, buildApsi},
+        {"art", "specfp", false, buildArt},
+        {"equake", "specfp", false, buildEquake},
+        {"mesa", "specfp", false, buildMesa},
+        {"mgrid", "specfp", false, buildMgrid},
+        {"swim", "specfp", false, buildSwim},
+        {"wupwise", "specfp", false, buildWupwise},
+    };
+}
+
+} // namespace trips::workloads

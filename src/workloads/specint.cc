@@ -1,0 +1,656 @@
+/**
+ * @file
+ * SPEC CPU2000 integer proxies: miniature kernels carrying each
+ * benchmark's dominant control/memory character (see DESIGN.md §4).
+ */
+
+#include "wir/builder.hh"
+#include "workloads/util.hh"
+#include "workloads/workload.hh"
+
+namespace trips::workloads {
+
+using wir::FunctionBuilder;
+using wir::MemWidth;
+using wir::Module;
+
+namespace {
+
+/** bzip2: run-length + move-to-front coding over a byte stream. */
+void
+buildBzip2(Module &m)
+{
+    constexpr size_t N = 8192;
+    Rng rng(301);
+    Addr in = globalU8(m, "in", N, [&](size_t i) {
+        return static_cast<u8>(rng.chance(0.4) ? 'a'
+                                               : 'a' + rng.below(16) +
+                                                     (i & 1));
+    });
+    Addr mtf = globalZero(m, "mtf", 256);
+    Addr out = globalZero(m, "out", N * 2);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pin = fb.iconst(static_cast<i64>(in));
+    auto pm = fb.iconst(static_cast<i64>(mtf));
+    auto pout = fb.iconst(static_cast<i64>(out));
+    // init MTF table
+    auto t = fb.iconst(0);
+    fb.label("init");
+    fb.store(fb.add(pm, t), t, 0, MemWidth::B1);
+    fb.assign(t, fb.addi(t, 1));
+    fb.br(fb.cmpLt(t, fb.iconst(256)), "init", "go");
+    fb.label("go");
+    auto i = fb.iconst(0);
+    auto o = fb.iconst(0);
+    auto run = fb.iconst(0);
+    auto prev = fb.iconst(-1);
+    fb.label("loop");
+    auto c = fb.load(fb.add(pin, i), 0, MemWidth::B1, false);
+    fb.br(fb.cmpEq(c, prev), "runon", "flush");
+    fb.label("runon");
+    fb.assign(run, fb.addi(run, 1));
+    fb.jmp("next");
+    fb.label("flush");
+    // emit run length then MTF rank of the new symbol
+    fb.store(fb.add(pout, o), run, 0, MemWidth::B1);
+    fb.assign(o, fb.addi(o, 1));
+    // find rank: linear scan of mtf table
+    auto r = fb.iconst(0);
+    fb.label("scan");
+    auto sym = fb.load(fb.add(pm, r), 0, MemWidth::B1, false);
+    fb.br(fb.cmpEq(sym, c), "found", "more");
+    fb.label("more");
+    fb.assign(r, fb.addi(r, 1));
+    fb.br(fb.cmpLt(r, fb.iconst(256)), "scan", "found");
+    fb.label("found");
+    fb.store(fb.add(pout, o), r, 0, MemWidth::B1);
+    fb.assign(o, fb.addi(o, 1));
+    // move-to-front
+    auto s2 = fb.iconst(0);
+    fb.label("shift");
+    auto cont = fb.cmpLt(s2, r);
+    fb.br(cont, "doshift", "sdone");
+    fb.label("doshift");
+    auto idx = fb.sub(r, s2);
+    auto up = fb.load(fb.add(pm, fb.addi(idx, -1)), 0, MemWidth::B1,
+                      false);
+    fb.store(fb.add(pm, idx), up, 0, MemWidth::B1);
+    fb.assign(s2, fb.addi(s2, 1));
+    fb.jmp("shift");
+    fb.label("sdone");
+    fb.store(pm, c, 0, MemWidth::B1);
+    fb.assign(prev, c);
+    fb.assign(run, fb.iconst(1));
+    fb.label("next");
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(N)), "loop", "done");
+    fb.label("done");
+    fb.ret(o);
+    fb.finish();
+}
+
+/** crafty: bitboard knight-move generation with popcounts. */
+void
+buildCrafty(Module &m)
+{
+    constexpr size_t POS = 4096;
+    Rng rng(302);
+    Addr boards = globalI64(m, "boards", POS, [&](size_t) {
+        return static_cast<i64>(rng.next() & rng.next());
+    });
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pb = fb.iconst(static_cast<i64>(boards));
+    auto i = fb.iconst(0);
+    auto score = fb.iconst(0);
+    auto notafile = fb.iconst(static_cast<i64>(0xfefefefefefefefeULL));
+    auto nothfile = fb.iconst(0x7f7f7f7f7f7f7f7fLL);
+    fb.label("loop");
+    auto bbv = fb.load(fb.add(pb, fb.shli(i, 3)), 0);
+    // knight move sets via shifted copies
+    auto a1 = fb.band(fb.shl(bbv, fb.iconst(17)), notafile);
+    auto a2 = fb.band(fb.shl(bbv, fb.iconst(15)), nothfile);
+    auto a3 = fb.band(fb.shr(bbv, fb.iconst(17)), nothfile);
+    auto a4 = fb.band(fb.shr(bbv, fb.iconst(15)), notafile);
+    auto mv = fb.bor(fb.bor(a1, a2), fb.bor(a3, a4));
+    // popcount
+    auto m1 = fb.iconst(0x5555555555555555LL);
+    auto m2 = fb.iconst(0x3333333333333333LL);
+    auto m4 = fb.iconst(0x0f0f0f0f0f0f0f0fLL);
+    auto x = fb.sub(mv, fb.band(fb.shr(mv, fb.iconst(1)), m1));
+    fb.assign(x, fb.add(fb.band(x, m2),
+                        fb.band(fb.shr(x, fb.iconst(2)), m2)));
+    fb.assign(x, fb.band(fb.add(x, fb.shr(x, fb.iconst(4))), m4));
+    auto pop = fb.shr(fb.mul(x, fb.iconst(0x0101010101010101LL)),
+                      fb.iconst(56));
+    // mobility bonus with branches
+    fb.br(fb.cmpGt(pop, fb.iconst(12)), "high", "low");
+    fb.label("high");
+    fb.assign(score, fb.add(score, fb.muli(pop, 3)));
+    fb.jmp("nx");
+    fb.label("low");
+    fb.br(fb.cmpGt(pop, fb.iconst(4)), "mid", "tiny");
+    fb.label("mid");
+    fb.assign(score, fb.add(score, pop));
+    fb.jmp("nx");
+    fb.label("tiny");
+    fb.assign(score, fb.addi(score, -1));
+    fb.label("nx");
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(POS)), "loop", "done");
+    fb.label("done");
+    fb.ret(score);
+    fb.finish();
+}
+
+/** gcc: constant-folding sweeps over an array-encoded expression IR. */
+void
+buildGcc(Module &m)
+{
+    constexpr size_t NODES = 4096;
+    Rng rng(303);
+    // Node: op(0=const,1=add,2=mul,3=neg), lhs, rhs, value.
+    Addr nodes = globalI64(m, "nodes", NODES * 4, [&](size_t k) {
+        size_t n = k / 4, f = k % 4;
+        if (n < 64)
+            return f == 0 ? i64{0} : rng.range(-9, 9);
+        switch (f) {
+          case 0: return rng.range(1, 3);
+          case 1: return static_cast<i64>(rng.below(n));
+          case 2: return static_cast<i64>(rng.below(n));
+          default: return i64{0};
+        }
+    });
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pn = fb.iconst(static_cast<i64>(nodes));
+    auto pass = fb.iconst(0);
+    auto folded = fb.iconst(0);
+    fb.label("pass");
+    auto n = fb.iconst(0);
+    fb.label("node");
+    auto base = fb.add(pn, fb.shli(fb.shli(n, 2), 3));
+    auto op = fb.load(base, 0);
+    fb.br(fb.cmpEq(op, fb.iconst(0)), "skip", "eval");
+    fb.label("eval");
+    auto lhs = fb.load(base, 8);
+    auto rhs = fb.load(base, 16);
+    auto lbase = fb.add(pn, fb.shli(fb.shli(lhs, 2), 3));
+    auto rbase = fb.add(pn, fb.shli(fb.shli(rhs, 2), 3));
+    auto lop = fb.load(lbase, 0);
+    auto rop = fb.load(rbase, 0);
+    auto both = fb.band(fb.cmpEq(lop, fb.iconst(0)),
+                        fb.cmpEq(rop, fb.iconst(0)));
+    fb.br(both, "fold", "skip");
+    fb.label("fold");
+    auto lv = fb.load(lbase, 24);
+    auto rv = fb.load(rbase, 24);
+    auto add_v = fb.add(lv, rv);
+    auto mul_v = fb.mul(lv, rv);
+    auto neg_v = fb.sub(fb.iconst(0), lv);
+    auto v = fb.select(fb.cmpEq(op, fb.iconst(1)), add_v,
+                       fb.select(fb.cmpEq(op, fb.iconst(2)), mul_v,
+                                 neg_v));
+    fb.store(base, fb.iconst(0), 0);
+    fb.store(base, v, 24);
+    fb.assign(folded, fb.addi(folded, 1));
+    fb.label("skip");
+    fb.assign(n, fb.addi(n, 1));
+    fb.br(fb.cmpLt(n, fb.iconst(NODES)), "node", "pdone");
+    fb.label("pdone");
+    fb.assign(pass, fb.addi(pass, 1));
+    fb.br(fb.cmpLt(pass, fb.iconst(12)), "pass", "done");
+    fb.label("done");
+    fb.ret(folded);
+    fb.finish();
+}
+
+/** gzip: LZ77 hash-chain matcher. */
+void
+buildGzip(Module &m)
+{
+    constexpr size_t N = 8192, HASH = 1024;
+    Rng rng(304);
+    Addr in = globalU8(m, "in", N + 8, [&](size_t i) {
+        return static_cast<u8>('a' + ((i * 7 + rng.below(4)) % 20));
+    });
+    Addr head = globalZero(m, "head", HASH * 8);
+    Addr out = globalZero(m, "out", N * 8);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pin = fb.iconst(static_cast<i64>(in));
+    auto ph = fb.iconst(static_cast<i64>(head));
+    auto pout = fb.iconst(static_cast<i64>(out));
+    auto i = fb.iconst(1);
+    auto emitted = fb.iconst(0);
+    fb.label("loop");
+    auto b0 = fb.load(fb.add(pin, i), 0, MemWidth::B1, false);
+    auto b1 = fb.load(fb.add(pin, i), 1, MemWidth::B1, false);
+    auto b2 = fb.load(fb.add(pin, i), 2, MemWidth::B1, false);
+    auto h = fb.andi(fb.bxor(fb.shli(b0, 5),
+                             fb.bxor(fb.shli(b1, 3), b2)),
+                     HASH - 1);
+    auto cand = fb.load(fb.add(ph, fb.shli(h, 3)), 0);
+    fb.store(fb.add(ph, fb.shli(h, 3)), i, 0);
+    fb.br(fb.cmpEq(cand, fb.iconst(0)), "lit", "try");
+    fb.label("try");
+    // match length up to 8
+    auto len = fb.iconst(0);
+    fb.label("ml");
+    auto x = fb.load(fb.add(pin, fb.add(cand, len)), 0, MemWidth::B1,
+                     false);
+    auto y = fb.load(fb.add(pin, fb.add(i, len)), 0, MemWidth::B1,
+                     false);
+    auto ok = fb.band(fb.cmpEq(x, y), fb.cmpLt(len, fb.iconst(8)));
+    fb.br(ok, "grow", "mdone");
+    fb.label("grow");
+    fb.assign(len, fb.addi(len, 1));
+    fb.jmp("ml");
+    fb.label("mdone");
+    fb.br(fb.cmpGe(len, fb.iconst(3)), "match", "lit");
+    fb.label("match");
+    fb.store(fb.add(pout, fb.shli(emitted, 3)),
+             fb.bor(fb.shli(fb.sub(i, cand), 8), len), 0);
+    fb.assign(emitted, fb.addi(emitted, 1));
+    fb.assign(i, fb.add(i, len));
+    fb.jmp("cont");
+    fb.label("lit");
+    fb.store(fb.add(pout, fb.shli(emitted, 3)), b0, 0);
+    fb.assign(emitted, fb.addi(emitted, 1));
+    fb.assign(i, fb.addi(i, 1));
+    fb.label("cont");
+    fb.br(fb.cmpLt(i, fb.iconst(N - 8)), "loop", "done");
+    fb.label("done");
+    fb.ret(emitted);
+    fb.finish();
+}
+
+/** mcf: Bellman-Ford relaxation over an edge list. */
+void
+buildMcf(Module &m)
+{
+    constexpr size_t V = 512, E = 2048;
+    Rng rng(305);
+    Addr edges = globalI64(m, "edges", E * 3, [&](size_t k) {
+        switch (k % 3) {
+          case 0: return static_cast<i64>(rng.below(V));
+          case 1: return static_cast<i64>(rng.below(V));
+          default: return rng.range(1, 40);
+        }
+    });
+    Addr dist = globalZero(m, "dist", V * 8);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pe = fb.iconst(static_cast<i64>(edges));
+    auto pd = fb.iconst(static_cast<i64>(dist));
+    auto t = fb.iconst(1);
+    fb.label("init");
+    fb.store(fb.add(pd, fb.shli(t, 3)), fb.iconst(1 << 20), 0);
+    fb.assign(t, fb.addi(t, 1));
+    fb.br(fb.cmpLt(t, fb.iconst(V)), "init", "go");
+    fb.label("go");
+    auto pass = fb.iconst(0);
+    auto relaxed = fb.iconst(0);
+    fb.label("pass");
+    auto e = fb.iconst(0);
+    fb.label("edge");
+    auto base = fb.add(pe, fb.shli(fb.muli(e, 3), 3));
+    auto u = fb.load(base, 0);
+    auto v = fb.load(base, 8);
+    auto w = fb.load(base, 16);
+    auto du = fb.load(fb.add(pd, fb.shli(u, 3)), 0);
+    auto dv = fb.load(fb.add(pd, fb.shli(v, 3)), 0);
+    auto alt = fb.add(du, w);
+    fb.br(fb.cmpLt(alt, dv), "relax", "skip");
+    fb.label("relax");
+    fb.store(fb.add(pd, fb.shli(v, 3)), alt, 0);
+    fb.assign(relaxed, fb.addi(relaxed, 1));
+    fb.label("skip");
+    fb.assign(e, fb.addi(e, 1));
+    fb.br(fb.cmpLt(e, fb.iconst(E)), "edge", "pdone");
+    fb.label("pdone");
+    fb.assign(pass, fb.addi(pass, 1));
+    fb.br(fb.cmpLt(pass, fb.iconst(10)), "pass", "done");
+    fb.label("done");
+    fb.ret(relaxed);
+    fb.finish();
+}
+
+/** parser: dictionary binary search + link-state machine. */
+void
+buildParser(Module &m)
+{
+    constexpr size_t DICT = 512, TOKENS = 4096;
+    Rng rng(306);
+    Addr dict = globalI64(m, "dict", DICT,
+                          [&](size_t k) { return static_cast<i64>(k * 37); });
+    Addr toks = globalI64(m, "toks", TOKENS, [&](size_t) {
+        return static_cast<i64>(rng.below(DICT * 40));
+    });
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pd = fb.iconst(static_cast<i64>(dict));
+    auto pt = fb.iconst(static_cast<i64>(toks));
+    auto i = fb.iconst(0);
+    auto state = fb.iconst(0);
+    auto links = fb.iconst(0);
+    fb.label("tok");
+    auto w = fb.load(fb.add(pt, fb.shli(i, 3)), 0);
+    // binary search
+    auto lo = fb.iconst(0);
+    auto hi = fb.iconst(DICT);
+    fb.label("bs");
+    auto cont = fb.cmpLt(lo, hi);
+    fb.br(cont, "probe", "bsd");
+    fb.label("probe");
+    auto mid = fb.shr(fb.add(lo, hi), fb.iconst(1));
+    auto dv = fb.load(fb.add(pd, fb.shli(mid, 3)), 0);
+    fb.br(fb.cmpLt(dv, w), "right", "left");
+    fb.label("right");
+    fb.assign(lo, fb.addi(mid, 1));
+    fb.jmp("bs");
+    fb.label("left");
+    fb.assign(hi, mid);
+    fb.jmp("bs");
+    fb.label("bsd");
+    auto hit = fb.band(fb.cmpLt(lo, fb.iconst(DICT)),
+                       fb.cmpEq(fb.load(fb.add(pd, fb.shli(lo, 3)), 0),
+                                w));
+    // link grammar-ish state machine
+    fb.br(hit, "known", "unknown");
+    fb.label("known");
+    fb.assign(state, fb.andi(fb.add(state, lo), 7));
+    fb.br(fb.cmpEq(state, fb.iconst(3)), "link", "nolink");
+    fb.label("link");
+    fb.assign(links, fb.addi(links, 1));
+    fb.label("nolink");
+    fb.jmp("nx");
+    fb.label("unknown");
+    fb.assign(state, fb.iconst(0));
+    fb.label("nx");
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(TOKENS)), "tok", "done");
+    fb.label("done");
+    fb.ret(links);
+    fb.finish();
+}
+
+/** perlbmk: tiny bytecode interpreter with per-opcode handler calls
+ *  (frequent small functions cut blocks, as in the paper). */
+void
+buildPerlbmk(Module &m)
+{
+    constexpr size_t PROG = 512, STEPS = 12000;
+    Rng rng(307);
+    Addr code = globalI64(m, "code", PROG * 2, [&](size_t k) {
+        if (k % 2 == 0)
+            return static_cast<i64>(rng.below(5));
+        return rng.range(1, 30);
+    });
+
+    // Handlers.
+    {
+        FunctionBuilder fb(m, "op_add", 2);
+        fb.ret(fb.add(fb.param(0), fb.param(1)));
+        fb.finish();
+    }
+    {
+        FunctionBuilder fb(m, "op_mul", 2);
+        fb.ret(fb.band(fb.mul(fb.param(0), fb.param(1)),
+                       fb.iconst(0xffffff)));
+        fb.finish();
+    }
+    {
+        FunctionBuilder fb(m, "op_xor", 2);
+        fb.ret(fb.bxor(fb.param(0), fb.param(1)));
+        fb.finish();
+    }
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pc_arr = fb.iconst(static_cast<i64>(code));
+    auto acc = fb.iconst(1);
+    auto ip = fb.iconst(0);
+    auto steps = fb.iconst(0);
+    fb.label("loop");
+    auto base = fb.add(pc_arr, fb.shli(fb.shli(ip, 1), 3));
+    auto op = fb.load(base, 0);
+    auto arg = fb.load(base, 8);
+    fb.br(fb.cmpEq(op, fb.iconst(0)), "h0", "c1");
+    fb.label("h0");
+    fb.assign(acc, fb.call("op_add", {acc, arg}));
+    fb.jmp("adv");
+    fb.label("c1");
+    fb.br(fb.cmpEq(op, fb.iconst(1)), "h1", "c2");
+    fb.label("h1");
+    fb.assign(acc, fb.call("op_mul", {acc, arg}));
+    fb.jmp("adv");
+    fb.label("c2");
+    fb.br(fb.cmpEq(op, fb.iconst(2)), "h2", "c3");
+    fb.label("h2");
+    fb.assign(acc, fb.call("op_xor", {acc, arg}));
+    fb.jmp("adv");
+    fb.label("c3");
+    fb.br(fb.cmpEq(op, fb.iconst(3)), "h3", "h4");
+    fb.label("h3");
+    // conditional relative jump
+    fb.br(fb.cmpGt(fb.andi(acc, 7), fb.iconst(3)), "jmp", "adv");
+    fb.label("jmp");
+    fb.assign(ip, fb.modu(fb.add(ip, arg), fb.iconst(PROG)));
+    fb.jmp("count");
+    fb.label("h4");
+    fb.assign(acc, fb.sub(acc, arg));
+    fb.label("adv");
+    fb.assign(ip, fb.modu(fb.addi(ip, 1), fb.iconst(PROG)));
+    fb.label("count");
+    fb.assign(steps, fb.addi(steps, 1));
+    fb.br(fb.cmpLt(steps, fb.iconst(STEPS)), "loop", "done");
+    fb.label("done");
+    fb.ret(acc);
+    fb.finish();
+}
+
+/** twolf: annealing-style swap evaluation with an xorshift RNG. */
+void
+buildTwolf(Module &m)
+{
+    constexpr size_t CELLS = 512;
+    Rng rng(308);
+    Addr pos = globalI64(m, "pos", CELLS,
+                         [&](size_t) { return rng.range(0, 1023); });
+    Addr wt = globalI64(m, "wt", CELLS,
+                        [&](size_t) { return rng.range(1, 15); });
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pp = fb.iconst(static_cast<i64>(pos));
+    auto pw = fb.iconst(static_cast<i64>(wt));
+    auto seed = fb.iconst(88172645463325252LL);
+    auto cost = fb.iconst(0);
+    auto iter = fb.iconst(0);
+    auto accept = fb.iconst(0);
+    fb.label("loop");
+    fb.assign(seed, fb.bxor(seed, fb.shli(seed, 13)));
+    fb.assign(seed, fb.bxor(seed, fb.shr(seed, fb.iconst(7))));
+    fb.assign(seed, fb.bxor(seed, fb.shli(seed, 17)));
+    auto a = fb.andi(seed, CELLS - 1);
+    auto b = fb.andi(fb.shr(seed, fb.iconst(20)), CELLS - 1);
+    auto xa = fb.load(fb.add(pp, fb.shli(a, 3)), 0);
+    auto xb = fb.load(fb.add(pp, fb.shli(b, 3)), 0);
+    auto wa = fb.load(fb.add(pw, fb.shli(a, 3)), 0);
+    auto wb = fb.load(fb.add(pw, fb.shli(b, 3)), 0);
+    auto d = fb.sub(xa, xb);
+    auto absd = fb.select(fb.cmpLt(d, fb.iconst(0)),
+                          fb.sub(fb.iconst(0), d), d);
+    auto delta = fb.sub(fb.mul(absd, wa), fb.mul(absd, wb));
+    fb.br(fb.cmpLt(delta, fb.iconst(0)), "acc", "maybe");
+    fb.label("maybe");
+    fb.br(fb.cmpLt(fb.andi(seed, 255), fb.iconst(16)), "acc", "rej");
+    fb.label("acc");
+    fb.store(fb.add(pp, fb.shli(a, 3)), xb, 0);
+    fb.store(fb.add(pp, fb.shli(b, 3)), xa, 0);
+    fb.assign(cost, fb.add(cost, delta));
+    fb.assign(accept, fb.addi(accept, 1));
+    fb.label("rej");
+    fb.assign(iter, fb.addi(iter, 1));
+    fb.br(fb.cmpLt(iter, fb.iconst(8192)), "loop", "done");
+    fb.label("done");
+    fb.ret(fb.add(cost, accept));
+    fb.finish();
+}
+
+/** vortex: open-addressing record store with insert/lookup calls. */
+void
+buildVortex(Module &m)
+{
+    constexpr size_t TAB = 4096, OPS = 4096;
+    Addr tab = globalZero(m, "tab", TAB * 2 * 8);  // key, field
+
+    {
+        FunctionBuilder fb(m, "h_insert", 2);
+        auto key = fb.param(0);
+        auto val = fb.param(1);
+        auto pt = fb.iconst(static_cast<i64>(tab));
+        auto slot = fb.andi(fb.mul(key, fb.iconst(2654435761LL)),
+                            TAB - 1);
+        auto probes = fb.iconst(0);
+        fb.label("probe");
+        auto base = fb.add(pt, fb.shli(fb.shli(slot, 1), 3));
+        auto k = fb.load(base, 0);
+        auto freeslot = fb.bor(fb.cmpEq(k, fb.iconst(0)),
+                               fb.cmpEq(k, key));
+        fb.br(freeslot, "put", "step");
+        fb.label("step");
+        fb.assign(slot, fb.andi(fb.addi(slot, 1), TAB - 1));
+        fb.assign(probes, fb.addi(probes, 1));
+        fb.br(fb.cmpLt(probes, fb.iconst(TAB)), "probe", "fail");
+        fb.label("put");
+        fb.store(base, key, 0);
+        fb.store(base, val, 8);
+        fb.ret(probes);
+        fb.label("fail");
+        fb.ret(fb.iconst(-1));
+        fb.finish();
+    }
+    {
+        FunctionBuilder fb(m, "h_lookup", 1);
+        auto key = fb.param(0);
+        auto pt = fb.iconst(static_cast<i64>(tab));
+        auto slot = fb.andi(fb.mul(key, fb.iconst(2654435761LL)),
+                            TAB - 1);
+        auto probes = fb.iconst(0);
+        fb.label("probe");
+        auto base = fb.add(pt, fb.shli(fb.shli(slot, 1), 3));
+        auto k = fb.load(base, 0);
+        fb.br(fb.cmpEq(k, key), "hit", "miss1");
+        fb.label("miss1");
+        fb.br(fb.cmpEq(k, fb.iconst(0)), "nf", "step");
+        fb.label("step");
+        fb.assign(slot, fb.andi(fb.addi(slot, 1), TAB - 1));
+        fb.assign(probes, fb.addi(probes, 1));
+        fb.br(fb.cmpLt(probes, fb.iconst(TAB)), "probe", "nf");
+        fb.label("hit");
+        fb.ret(fb.load(base, 8));
+        fb.label("nf");
+        fb.ret(fb.iconst(0));
+        fb.finish();
+    }
+
+    FunctionBuilder fb(m, "main", 0);
+    auto i = fb.iconst(0);
+    auto acc = fb.iconst(0);
+    auto seed = fb.iconst(12345);
+    fb.label("loop");
+    fb.assign(seed, fb.bxor(seed, fb.shli(seed, 13)));
+    fb.assign(seed, fb.bxor(seed, fb.shr(seed, fb.iconst(9))));
+    auto key = fb.addi(fb.andi(seed, 2047), 1);
+    fb.br(fb.cmpLt(fb.andi(i, 3), fb.iconst(2)), "ins", "look");
+    fb.label("ins");
+    auto p = fb.call("h_insert", {key, fb.add(key, i)});
+    fb.assign(acc, fb.add(acc, p));
+    fb.jmp("nx");
+    fb.label("look");
+    auto v = fb.call("h_lookup", {key});
+    fb.assign(acc, fb.bxor(acc, v));
+    fb.label("nx");
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(OPS)), "loop", "done");
+    fb.label("done");
+    fb.ret(acc);
+    fb.finish();
+}
+
+/** vpr: BFS maze-routing wavefront over a grid with obstacles. */
+void
+buildVpr(Module &m)
+{
+    constexpr i64 W = 64;
+    Rng rng(310);
+    Addr grid = globalI64(m, "grid", W * W, [&](size_t k) {
+        i64 x = static_cast<i64>(k % W), y = static_cast<i64>(k / W);
+        if (x == 0 || y == 0 || x == W - 1 || y == W - 1)
+            return i64{-1};
+        return rng.chance(0.25) ? i64{-1} : i64{0};
+    });
+    Addr queue = globalZero(m, "queue", W * W * 8);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pg = fb.iconst(static_cast<i64>(grid));
+    auto pq = fb.iconst(static_cast<i64>(queue));
+    auto head = fb.iconst(0);
+    auto tail = fb.iconst(0);
+    auto start = fb.iconst(W + 1);
+    fb.store(fb.add(pg, fb.shli(start, 3)), fb.iconst(1), 0);
+    fb.store(pq, start, 0);
+    fb.assign(tail, fb.addi(tail, 1));
+    auto reached = fb.iconst(1);
+    fb.label("bfs");
+    auto more = fb.cmpLt(head, tail);
+    fb.br(more, "pop", "done");
+    fb.label("pop");
+    auto cur = fb.load(fb.add(pq, fb.shli(head, 3)), 0);
+    fb.assign(head, fb.addi(head, 1));
+    auto cd = fb.load(fb.add(pg, fb.shli(cur, 3)), 0);
+    // four neighbors: -1, +1, -W, +W (explicit sequence of diamonds)
+    auto expand = [&](i64 delta, const char *tag) {
+        std::string t = std::string("t") + tag;
+        std::string s = std::string("s") + tag;
+        auto nb = fb.addi(cur, delta);
+        auto val = fb.load(fb.add(pg, fb.shli(nb, 3)), 0);
+        fb.br(fb.cmpEq(val, fb.iconst(0)), t, s);
+        fb.label(t);
+        fb.store(fb.add(pg, fb.shli(nb, 3)), fb.addi(cd, 1), 0);
+        fb.store(fb.add(pq, fb.shli(tail, 3)), nb, 0);
+        fb.assign(tail, fb.addi(tail, 1));
+        fb.assign(reached, fb.addi(reached, 1));
+        fb.label(s);
+    };
+    expand(-1, "a");
+    expand(1, "b");
+    expand(-W, "c");
+    expand(W, "d");
+    fb.jmp("bfs");
+    fb.label("done");
+    fb.ret(reached);
+    fb.finish();
+}
+
+} // namespace
+
+std::vector<Workload>
+specIntWorkloads()
+{
+    return {
+        {"bzip2", "specint", false, buildBzip2},
+        {"crafty", "specint", false, buildCrafty},
+        {"gcc", "specint", false, buildGcc},
+        {"gzip", "specint", false, buildGzip},
+        {"mcf", "specint", false, buildMcf},
+        {"parser", "specint", false, buildParser},
+        {"perlbmk", "specint", false, buildPerlbmk},
+        {"twolf", "specint", false, buildTwolf},
+        {"vortex", "specint", false, buildVortex},
+        {"vpr", "specint", false, buildVpr},
+    };
+}
+
+} // namespace trips::workloads

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for workload builders: deterministic input-data
+ * initialization for global arrays.
+ */
+
+#ifndef TRIPSIM_WORKLOADS_UTIL_HH
+#define TRIPSIM_WORKLOADS_UTIL_HH
+
+#include <cstring>
+#include <functional>
+
+#include "support/rng.hh"
+#include "wir/wir.hh"
+
+namespace trips::workloads {
+
+/** Add a global of @p count 64-bit ints initialized by @p gen. */
+inline Addr
+globalI64(wir::Module &m, const std::string &name, size_t count,
+          const std::function<i64(size_t)> &gen)
+{
+    Addr a = m.addGlobal(name, count * 8);
+    auto &g = m.globals.back();
+    g.init.resize(count * 8);
+    for (size_t i = 0; i < count; ++i) {
+        u64 v = static_cast<u64>(gen(i));
+        for (unsigned b = 0; b < 8; ++b)
+            g.init[i * 8 + b] = static_cast<u8>(v >> (8 * b));
+    }
+    return a;
+}
+
+/** Add a global of @p count doubles initialized by @p gen. */
+inline Addr
+globalF64(wir::Module &m, const std::string &name, size_t count,
+          const std::function<double(size_t)> &gen)
+{
+    return globalI64(m, name, count, [&](size_t i) {
+        double d = gen(i);
+        i64 bits;
+        std::memcpy(&bits, &d, 8);
+        return bits;
+    });
+}
+
+/** Add a global of @p count bytes initialized by @p gen. */
+inline Addr
+globalU8(wir::Module &m, const std::string &name, size_t count,
+         const std::function<u8(size_t)> &gen)
+{
+    Addr a = m.addGlobal(name, count);
+    auto &g = m.globals.back();
+    g.init.resize(count);
+    for (size_t i = 0; i < count; ++i)
+        g.init[i] = gen(i);
+    return a;
+}
+
+/** Zero-initialized output buffer. */
+inline Addr
+globalZero(wir::Module &m, const std::string &name, size_t bytes)
+{
+    return m.addGlobal(name, bytes);
+}
+
+} // namespace trips::workloads
+
+#endif // TRIPSIM_WORKLOADS_UTIL_HH

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * VersaBench-style bit and stream workloads: an FM radio pipeline
+ * (FIR + demodulation), an 802.11a-style convolutional encoder with
+ * interleaving, and an 8b/10b line encoder with running disparity.
+ */
+
+#include "wir/builder.hh"
+#include "workloads/util.hh"
+#include "workloads/workload.hh"
+
+namespace trips::workloads {
+
+using wir::FunctionBuilder;
+using wir::MemWidth;
+using wir::Module;
+
+namespace {
+
+void
+buildFmradio(Module &m)
+{
+    constexpr size_t N = 3072, TAPS = 8;
+    Rng rng(101);
+    Addr in = globalF64(m, "in", N + TAPS + 1,
+                        [&](size_t) { return rng.uniform() * 2 - 1; });
+    Addr taps = globalF64(m, "taps", TAPS,
+                          [](size_t k) { return 0.54 - 0.46 * (k & 1); });
+    Addr lp = globalZero(m, "lp", (N + 1) * 8);
+    Addr out = globalZero(m, "out", N * 8);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pin = fb.iconst(static_cast<i64>(in));
+    auto pt = fb.iconst(static_cast<i64>(taps));
+    auto plp = fb.iconst(static_cast<i64>(lp));
+    auto pout = fb.iconst(static_cast<i64>(out));
+    // Stage 1: low-pass FIR.
+    auto i = fb.iconst(0);
+    fb.label("fir");
+    auto acc = fb.fconst(0.0);
+    auto k = fb.iconst(0);
+    fb.label("taps");
+    fb.assign(acc, fb.fadd(acc,
+        fb.fmul(fb.load(fb.add(pin, fb.shli(fb.add(i, k), 3)), 0),
+                fb.load(fb.add(pt, fb.shli(k, 3)), 0))));
+    fb.assign(k, fb.addi(k, 1));
+    fb.br(fb.cmpLt(k, fb.iconst(TAPS)), "taps", "tdone");
+    fb.label("tdone");
+    fb.store(fb.add(plp, fb.shli(i, 3)), acc, 0);
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLe(i, fb.iconst(N)), "fir", "demod");
+    // Stage 2: FM demodulation (product of adjacent samples scaled).
+    fb.label("demod");
+    auto j = fb.iconst(0);
+    fb.label("dl");
+    auto cur = fb.load(fb.add(plp, fb.shli(j, 3)), 0);
+    auto nxt = fb.load(fb.add(plp, fb.shli(j, 3)), 8);
+    fb.store(fb.add(pout, fb.shli(j, 3)),
+             fb.fmul(fb.fsub(nxt, cur), fb.fconst(75.0)), 0);
+    fb.assign(j, fb.addi(j, 1));
+    fb.br(fb.cmpLt(j, fb.iconst(N)), "dl", "done");
+    fb.label("done");
+    fb.ret(fb.ftoi(fb.fmul(fb.load(pout, 8 * 70), fb.fconst(1e6))));
+    fb.finish();
+}
+
+void
+build80211a(Module &m)
+{
+    // Rate-1/2 K=7 convolutional encoder (802.11a polynomials 133/171
+    // octal) followed by a block interleaver.
+    constexpr size_t NBITS = 2048;
+    Rng rng(102);
+    Addr bits = globalU8(m, "bits", NBITS,
+                         [&](size_t) { return rng.below(2); });
+    Addr coded = globalZero(m, "coded", NBITS * 2);
+    Addr ilv = globalZero(m, "ilv", NBITS * 2);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto pb = fb.iconst(static_cast<i64>(bits));
+    auto pc = fb.iconst(static_cast<i64>(coded));
+    auto pi = fb.iconst(static_cast<i64>(ilv));
+    auto sr = fb.iconst(0);   // shift register
+    auto i = fb.iconst(0);
+    fb.label("enc");
+    auto bit = fb.load(fb.add(pb, i), 0, MemWidth::B1, false);
+    fb.assign(sr, fb.bor(fb.shli(fb.andi(sr, 0x3f), 1), bit));
+    // parity of sr & poly via shift-xor folding
+    auto p1 = fb.andi(sr, 0x5b);  // 133 octal = 0x5b
+    auto p2 = fb.andi(sr, 0x79);  // 171 octal = 0x79
+    auto fold = [&](wir::Vreg v) {
+        auto t = fb.bxor(v, fb.shr(v, fb.iconst(4)));
+        t = fb.bxor(t, fb.shr(t, fb.iconst(2)));
+        t = fb.bxor(t, fb.shr(t, fb.iconst(1)));
+        return fb.andi(t, 1);
+    };
+    fb.store(fb.add(pc, fb.shli(i, 1)), fold(p1), 0, MemWidth::B1);
+    fb.store(fb.add(pc, fb.shli(i, 1)), fold(p2), 1, MemWidth::B1);
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(NBITS)), "enc", "ilv");
+    // Interleave: out[(j % 16) * (2N/16) + j/16] = coded[j].
+    fb.label("ilv");
+    auto j = fb.iconst(0);
+    auto stride = fb.iconst(2 * NBITS / 16);
+    fb.label("il");
+    auto v = fb.load(fb.add(pc, j), 0, MemWidth::B1, false);
+    auto pos = fb.add(fb.mul(fb.andi(j, 15), stride),
+                      fb.shr(j, fb.iconst(4)));
+    fb.store(fb.add(pi, pos), v, 0, MemWidth::B1);
+    fb.assign(j, fb.addi(j, 1));
+    fb.br(fb.cmpLt(j, fb.iconst(2 * NBITS)), "il", "sum");
+    // Checksum.
+    fb.label("sum");
+    auto s = fb.iconst(0);
+    auto t = fb.iconst(0);
+    fb.label("sl");
+    fb.assign(s, fb.add(fb.shli(s, 1),
+                        fb.load(fb.add(pi, t), 0, MemWidth::B1, false)));
+    fb.assign(s, fb.bxor(s, fb.shr(s, fb.iconst(13))));
+    fb.assign(t, fb.addi(t, 1));
+    fb.br(fb.cmpLt(t, fb.iconst(2 * NBITS)), "sl", "done");
+    fb.label("done");
+    fb.ret(s);
+    fb.finish();
+}
+
+void
+build8b10b(Module &m)
+{
+    // 8b/10b encode with running-disparity selection. The 5b/6b and
+    // 3b/4b code tables are precomputed into the data segment.
+    constexpr size_t N = 4096;
+    Rng rng(103);
+    auto ones = [](u32 v) {
+        return static_cast<unsigned>(__builtin_popcount(v));
+    };
+    // 5b/6b: value and alternate (complement) per 5-bit input.
+    Addr t6 = globalI64(m, "t6", 32, [&](size_t k) {
+        u32 code = static_cast<u32>((k * 2654435761u) & 0x3f);
+        if (ones(code) < 2)
+            code |= 0x21;
+        return static_cast<i64>(code);
+    });
+    Addr t4 = globalI64(m, "t4", 8, [&](size_t k) {
+        u32 code = static_cast<u32>((k * 40503u) & 0xf);
+        if (ones(code) == 0)
+            code |= 0x9;
+        return static_cast<i64>(code);
+    });
+    Addr in = globalU8(m, "in", N,
+                       [&](size_t) { return static_cast<u8>(rng.below(256)); });
+    Addr out = globalZero(m, "out", N * 2);
+
+    FunctionBuilder fb(m, "main", 0);
+    auto p6 = fb.iconst(static_cast<i64>(t6));
+    auto p4 = fb.iconst(static_cast<i64>(t4));
+    auto pin = fb.iconst(static_cast<i64>(in));
+    auto pout = fb.iconst(static_cast<i64>(out));
+    auto disp = fb.iconst(0);   // running disparity (signed)
+    auto i = fb.iconst(0);
+    fb.label("loop");
+    auto byte = fb.load(fb.add(pin, i), 0, MemWidth::B1, false);
+    auto lo5 = fb.andi(byte, 31);
+    auto hi3 = fb.shr(byte, fb.iconst(5));
+    auto c6 = fb.load(fb.add(p6, fb.shli(lo5, 3)), 0);
+    auto c4 = fb.load(fb.add(p4, fb.shli(hi3, 3)), 0);
+    auto code = fb.bor(fb.shli(c6, 4), c4);
+    // Population count of the 10-bit code word.
+    auto pc1 = fb.sub(code, fb.band(fb.shr(code, fb.iconst(1)),
+                                    fb.iconst(0x155)));
+    auto pc2 = fb.add(fb.andi(pc1, 0x33),
+                      fb.band(fb.shr(pc1, fb.iconst(2)),
+                              fb.iconst(0xb3)));
+    auto pops = fb.band(fb.add(pc2, fb.shr(pc2, fb.iconst(4))),
+                        fb.iconst(0x10f));
+    auto bal = fb.sub(fb.muli(fb.andi(pops, 15), 2), fb.iconst(10));
+    // Disparity control: complement the word when it worsens RD.
+    fb.br(fb.cmpGt(fb.mul(bal, disp), fb.iconst(0)), "flip", "keep");
+    fb.label("flip");
+    fb.assign(code, fb.andi(fb.bnot(code), 0x3ff));
+    fb.assign(disp, fb.sub(disp, bal));
+    fb.jmp("emit");
+    fb.label("keep");
+    fb.assign(disp, fb.add(disp, bal));
+    fb.label("emit");
+    fb.store(fb.add(pout, fb.shli(i, 1)), code, 0, MemWidth::B2);
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(N)), "loop", "done");
+    fb.label("done");
+    fb.ret(disp);
+    fb.finish();
+}
+
+} // namespace
+
+std::vector<Workload>
+versabenchWorkloads()
+{
+    return {
+        {"fmradio", "versa", true, buildFmradio},
+        {"802.11a", "versa", true, build80211a},
+        {"8b10b", "versa", true, build8b10b},
+    };
+}
+
+} // namespace trips::workloads

@@ -1,0 +1,58 @@
+#include "workloads/workload.hh"
+
+#include "support/common.hh"
+
+namespace trips::workloads {
+
+const std::vector<Workload> &
+all()
+{
+    static const std::vector<Workload> registry = [] {
+        std::vector<Workload> v;
+        auto add = [&](std::vector<Workload> ws) {
+            for (auto &w : ws)
+                v.push_back(std::move(w));
+        };
+        add(kernelWorkloads());
+        add(versabenchWorkloads());
+        add(eembcWorkloads());
+        add(specIntWorkloads());
+        add(specFpWorkloads());
+        return v;
+    }();
+    return registry;
+}
+
+std::vector<const Workload *>
+suite(const std::string &name)
+{
+    std::vector<const Workload *> out;
+    for (const auto &w : all()) {
+        if (w.suite == name)
+            out.push_back(&w);
+    }
+    return out;
+}
+
+const Workload &
+find(const std::string &name)
+{
+    for (const auto &w : all()) {
+        if (w.name == name)
+            return w;
+    }
+    TRIPS_FATAL("unknown workload ", name);
+}
+
+std::vector<const Workload *>
+simpleSuite()
+{
+    std::vector<const Workload *> out;
+    for (const auto &w : all()) {
+        if (w.isSimple)
+            out.push_back(&w);
+    }
+    return out;
+}
+
+} // namespace trips::workloads

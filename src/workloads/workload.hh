@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Benchmark registry mirroring the paper's Table 2: four scientific
+ * kernels, three VersaBench programs, an EEMBC-class embedded set, and
+ * miniature proxies for the SPEC CPU2000 integer and floating-point
+ * benchmarks (the proxy-to-original mapping is documented in
+ * DESIGN.md §4). The fifteen "Simple" benchmarks additionally run
+ * under the hand-optimized compiler preset.
+ *
+ * Every workload is a WIR module builder; all execution models
+ * (interpreter, RISC, TRIPS functional, TRIPS cycle-level) consume the
+ * same module, so cross-ISA and cross-machine comparisons are
+ * same-source by construction.
+ */
+
+#ifndef TRIPSIM_WORKLOADS_WORKLOAD_HH
+#define TRIPSIM_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "wir/wir.hh"
+
+namespace trips::workloads {
+
+struct Workload
+{
+    std::string name;
+    std::string suite;      ///< kernel | versa | eembc | specint | specfp
+    bool isSimple = false;  ///< member of the 15-benchmark Simple suite
+    std::function<void(wir::Module &)> build;
+};
+
+/** All registered workloads (stable order). */
+const std::vector<Workload> &all();
+
+/** Workloads of one suite. */
+std::vector<const Workload *> suite(const std::string &name);
+
+/** Lookup by name; fatal if unknown. */
+const Workload &find(const std::string &name);
+
+/** The 15 Simple benchmarks (hand-optimizable set). */
+std::vector<const Workload *> simpleSuite();
+
+// Suite builders (one translation unit each).
+std::vector<Workload> kernelWorkloads();
+std::vector<Workload> versabenchWorkloads();
+std::vector<Workload> eembcWorkloads();
+std::vector<Workload> specIntWorkloads();
+std::vector<Workload> specFpWorkloads();
+
+} // namespace trips::workloads
+
+#endif // TRIPSIM_WORKLOADS_WORKLOAD_HH

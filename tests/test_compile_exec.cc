@@ -1,0 +1,333 @@
+/**
+ * @file
+ * End-to-end tests: WIR programs compiled to TRIPS and executed on the
+ * functional block-dataflow simulator must produce the same
+ * architectural results as the WIR reference interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/codegen.hh"
+#include "support/memimage.hh"
+#include "support/rng.hh"
+#include "trips/func_sim.hh"
+#include "wir/builder.hh"
+#include "wir/interp.hh"
+
+using namespace trips;
+using wir::FunctionBuilder;
+using wir::MemWidth;
+using wir::Module;
+
+namespace {
+
+/** Run both the interpreter and the compiled TRIPS program; compare
+ *  return values and the contents of the named output globals. */
+void
+checkEquivalence(Module &mod, const std::vector<std::string> &out_globals,
+                 const compiler::Options &opts)
+{
+    MemImage ref_mem;
+    wir::Interp::loadGlobals(mod, ref_mem);
+    auto ref = wir::Interp{}.run(mod, ref_mem);
+    ASSERT_FALSE(ref.fuelExhausted);
+
+    auto prog = compiler::compileToTrips(mod, opts);
+
+    MemImage trips_mem;
+    wir::Interp::loadGlobals(mod, trips_mem);
+    sim::FuncSim fsim(prog, trips_mem);
+    auto res = fsim.run();
+    ASSERT_FALSE(res.fuelExhausted);
+
+    EXPECT_EQ(res.retVal, ref.retVal);
+    for (const auto &g : out_globals) {
+        const auto &gv = mod.global(g);
+        for (u64 i = 0; i < gv.size; ++i) {
+            ASSERT_EQ(trips_mem.read8(gv.addr + i),
+                      ref_mem.read8(gv.addr + i))
+                << "global " << g << " byte " << i;
+        }
+    }
+}
+
+void
+checkAllPresets(Module &mod, const std::vector<std::string> &outs)
+{
+    {
+        SCOPED_TRACE("compiled");
+        checkEquivalence(mod, outs, compiler::Options::compiled());
+    }
+    {
+        SCOPED_TRACE("hand");
+        checkEquivalence(mod, outs, compiler::Options::hand());
+    }
+    {
+        SCOPED_TRACE("basicBlock");
+        checkEquivalence(mod, outs, compiler::Options::basicBlock());
+    }
+}
+
+} // namespace
+
+TEST(CompileExec, StraightLineArith)
+{
+    Module mod;
+    FunctionBuilder fb(mod, "main", 0);
+    auto a = fb.iconst(1234);
+    auto b = fb.iconst(-77);
+    auto c = fb.mul(fb.add(a, b), fb.iconst(3));
+    auto d = fb.sub(c, fb.shl(a, fb.iconst(2)));
+    fb.ret(fb.bxor(d, fb.iconst(0x5a5a)));
+    fb.finish();
+    checkAllPresets(mod, {});
+}
+
+TEST(CompileExec, Diamond)
+{
+    // if (x > 10) y = x*2; else y = x+100; return y;
+    Module mod;
+    FunctionBuilder fb(mod, "main", 0);
+    auto x = fb.iconst(7);
+    auto y = fb.fresh();
+    fb.br(fb.cmpGt(x, fb.iconst(10)), "then", "else");
+    fb.label("then");
+    fb.assign(y, fb.muli(x, 2));
+    fb.jmp("join");
+    fb.label("else");
+    fb.assign(y, fb.addi(x, 100));
+    fb.label("join");
+    fb.ret(y);
+    fb.finish();
+    checkAllPresets(mod, {});
+}
+
+TEST(CompileExec, NestedDiamondWithStores)
+{
+    Module mod;
+    Addr out = mod.addGlobal("out", 64);
+    FunctionBuilder fb(mod, "main", 0);
+    auto base = fb.iconst(static_cast<i64>(out));
+    auto x = fb.iconst(42);
+    fb.br(fb.cmpGt(x, fb.iconst(10)), "t1", "e1");
+    fb.label("t1");
+    fb.br(fb.cmpGt(x, fb.iconst(50)), "t2", "e2");
+    fb.label("t2");
+    fb.store(base, fb.iconst(1), 0);
+    fb.jmp("j2");
+    fb.label("e2");
+    fb.store(base, fb.iconst(2), 0);
+    fb.label("j2");
+    fb.store(base, fb.iconst(3), 8);
+    fb.jmp("join");
+    fb.label("e1");
+    fb.store(base, fb.iconst(4), 0);
+    fb.label("join");
+    fb.store(base, fb.iconst(5), 16);
+    fb.ret(fb.load(base, 0));
+    fb.finish();
+    checkAllPresets(mod, {"out"});
+}
+
+TEST(CompileExec, CountedLoopSum)
+{
+    // sum of i*i for i in [0,100)
+    Module mod;
+    FunctionBuilder fb(mod, "main", 0);
+    auto i = fb.iconst(0);
+    auto sum = fb.iconst(0);
+    auto n = fb.iconst(100);
+    fb.label("loop");
+    fb.assign(sum, fb.add(sum, fb.mul(i, i)));
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, n), "loop", "done");
+    fb.label("done");
+    fb.ret(sum);
+    fb.finish();
+    checkAllPresets(mod, {});
+}
+
+TEST(CompileExec, MemoryLoopWithDependence)
+{
+    // Fibonacci-like array fill: a[i] = a[i-1] + a[i-2] (mod 2^64).
+    Module mod;
+    Addr arr = mod.addGlobal("arr", 64 * 8);
+    FunctionBuilder fb(mod, "main", 0);
+    auto base = fb.iconst(static_cast<i64>(arr));
+    fb.store(base, fb.iconst(1), 0);
+    fb.store(base, fb.iconst(1), 8);
+    auto i = fb.iconst(2);
+    fb.label("loop");
+    auto addr = fb.add(base, fb.shli(i, 3));
+    auto v = fb.add(fb.load(addr, -8), fb.load(addr, -16));
+    fb.store(addr, v, 0);
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(64)), "loop", "done");
+    fb.label("done");
+    fb.ret(fb.load(base, 63 * 8));
+    fb.finish();
+    checkAllPresets(mod, {"arr"});
+}
+
+TEST(CompileExec, PredicatedStoresInLoop)
+{
+    // Store even/odd markers through a branch inside a loop.
+    Module mod;
+    Addr out = mod.addGlobal("out", 32 * 8);
+    FunctionBuilder fb(mod, "main", 0);
+    auto base = fb.iconst(static_cast<i64>(out));
+    auto i = fb.iconst(0);
+    fb.label("loop");
+    auto addr = fb.add(base, fb.shli(i, 3));
+    fb.br(fb.cmpEq(fb.andi(i, 1), fb.iconst(0)), "even", "odd");
+    fb.label("even");
+    fb.store(addr, fb.muli(i, 10), 0);
+    fb.jmp("next");
+    fb.label("odd");
+    fb.store(addr, fb.iconst(-1), 0);
+    fb.label("next");
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(32)), "loop", "done");
+    fb.label("done");
+    fb.ret(i);
+    fb.finish();
+    checkAllPresets(mod, {"out"});
+}
+
+TEST(CompileExec, FloatingPoint)
+{
+    Module mod;
+    Addr out = mod.addGlobal("fout", 8);
+    FunctionBuilder fb(mod, "main", 0);
+    auto x = fb.fconst(1.5);
+    auto y = fb.fconst(-2.25);
+    auto z = fb.fdiv(fb.fmul(fb.fadd(x, y), fb.fconst(8.0)), fb.fconst(3.0));
+    fb.store(fb.iconst(static_cast<i64>(out)), z, 0);
+    fb.ret(fb.ftoi(fb.fmul(z, fb.fconst(100.0))));
+    fb.finish();
+    checkAllPresets(mod, {"fout"});
+}
+
+TEST(CompileExec, SelectAndCompare)
+{
+    Module mod;
+    FunctionBuilder fb(mod, "main", 0);
+    auto a = fb.iconst(13);
+    auto b = fb.iconst(29);
+    auto mx = fb.select(fb.cmpGt(a, b), a, b);
+    auto mn = fb.select(fb.cmpGt(a, b), b, a);
+    fb.ret(fb.sub(fb.muli(mx, 100), mn));
+    fb.finish();
+    checkAllPresets(mod, {});
+}
+
+TEST(CompileExec, FunctionCallsAndRecursionDepth)
+{
+    // square(x) called from a loop; also tests caller-save spills.
+    Module mod;
+    {
+        FunctionBuilder fb(mod, "square", 1);
+        auto x = fb.param(0);
+        fb.ret(fb.mul(x, x));
+        fb.finish();
+    }
+    {
+        FunctionBuilder fb(mod, "main", 0);
+        auto i = fb.iconst(0);
+        auto acc = fb.iconst(0);
+        fb.label("loop");
+        auto sq = fb.call("square", {i});
+        fb.assign(acc, fb.add(acc, sq));
+        fb.assign(i, fb.addi(i, 1));
+        fb.br(fb.cmpLt(i, fb.iconst(20)), "loop", "done");
+        fb.label("done");
+        fb.ret(acc);
+        fb.finish();
+    }
+    checkAllPresets(mod, {});
+}
+
+TEST(CompileExec, RecursiveFactorial)
+{
+    Module mod;
+    {
+        FunctionBuilder fb(mod, "fact", 1);
+        auto n = fb.param(0);
+        fb.br(fb.cmpLe(n, fb.iconst(1)), "base", "rec");
+        fb.label("base");
+        fb.ret(fb.iconst(1));
+        fb.label("rec");
+        auto sub = fb.call("fact", {fb.addi(n, -1)});
+        fb.ret(fb.mul(n, sub));
+        fb.finish();
+    }
+    {
+        FunctionBuilder fb(mod, "main", 0);
+        fb.ret(fb.call("fact", {fb.iconst(12)}));
+        fb.finish();
+    }
+    checkAllPresets(mod, {});
+}
+
+TEST(CompileExec, ByteHalfWordAccess)
+{
+    Module mod;
+    Addr buf = mod.addGlobal("buf", 64);
+    FunctionBuilder fb(mod, "main", 0);
+    auto base = fb.iconst(static_cast<i64>(buf));
+    fb.store(base, fb.iconst(0xfedc), 0, MemWidth::B2);
+    fb.store(base, fb.iconst(0x7f), 2, MemWidth::B1);
+    fb.store(base, fb.iconst(-2), 4, MemWidth::B4);
+    auto a = fb.load(base, 0, MemWidth::B2, true);   // sign-extended
+    auto b = fb.load(base, 0, MemWidth::B2, false);  // zero-extended
+    auto c = fb.load(base, 2, MemWidth::B1, true);
+    auto d = fb.load(base, 4, MemWidth::B4, true);
+    fb.ret(fb.add(fb.add(a, b), fb.add(c, d)));
+    fb.finish();
+    checkAllPresets(mod, {"buf"});
+}
+
+TEST(CompileExec, WideConstants)
+{
+    Module mod;
+    FunctionBuilder fb(mod, "main", 0);
+    auto big = fb.iconst(0x123456789abcdef0LL);
+    auto neg = fb.iconst(-0x12345678LL);
+    fb.ret(fb.bxor(fb.shr(big, fb.iconst(17)), neg));
+    fb.finish();
+    checkAllPresets(mod, {});
+}
+
+TEST(CompileExec, RandomizedDiamondPrograms)
+{
+    // Property test: random structured programs agree across presets.
+    Rng rng(0xc0ffee);
+    for (int trial = 0; trial < 12; ++trial) {
+        Module mod;
+        Addr out = mod.addGlobal("out", 16 * 8);
+        FunctionBuilder fb(mod, "main", 0);
+        auto base = fb.iconst(static_cast<i64>(out));
+        auto x = fb.iconst(rng.range(-50, 50));
+        auto acc = fb.iconst(0);
+        int nbr = 3 + static_cast<int>(rng.below(3));
+        for (int k = 0; k < nbr; ++k) {
+            std::string t = "t" + std::to_string(k);
+            std::string e = "e" + std::to_string(k);
+            std::string j = "j" + std::to_string(k);
+            fb.br(fb.cmpGt(fb.andi(x, 7), fb.iconst(rng.range(0, 7))),
+                  t, e);
+            fb.label(t);
+            fb.assign(acc, fb.add(acc, fb.muli(x, k + 1)));
+            fb.store(base, acc, 8 * k);
+            fb.jmp(j);
+            fb.label(e);
+            fb.assign(acc, fb.sub(acc, fb.iconst(k)));
+            fb.label(j);
+            fb.assign(x, fb.addi(x, rng.range(1, 5)));
+        }
+        fb.ret(acc);
+        fb.finish();
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        checkAllPresets(mod, {"out"});
+    }
+}

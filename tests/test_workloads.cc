@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Cross-model validation of every registered workload: the TRIPS
+ * compiled binary (functional sim), the hand preset, the RISC gcc/icc
+ * binaries, and the cycle-level model must all reproduce the WIR
+ * interpreter's result. This is the repository's master property test.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machines.hh"
+
+using namespace trips;
+using workloads::Workload;
+
+namespace {
+
+class WorkloadTest : public ::testing::TestWithParam<const Workload *>
+{
+};
+
+} // namespace
+
+TEST_P(WorkloadTest, TripsCompiledMatchesGolden)
+{
+    const Workload &w = *GetParam();
+    i64 golden = core::runGolden(w);
+    auto run = core::runTrips(w, compiler::Options::compiled(), false);
+    EXPECT_EQ(run.retVal, golden);
+    EXPECT_GT(run.isa.blocks, 0u);
+    EXPECT_GT(run.isa.useful, 0u);
+    // Block size within architectural limits.
+    EXPECT_LE(run.isa.meanBlockSize(), 128.0);
+}
+
+TEST_P(WorkloadTest, TripsHandMatchesGolden)
+{
+    const Workload &w = *GetParam();
+    if (!w.isSimple)
+        GTEST_SKIP() << "hand preset only used for the Simple suite";
+    i64 golden = core::runGolden(w);
+    auto run = core::runTrips(w, compiler::Options::hand(), false);
+    EXPECT_EQ(run.retVal, golden);
+}
+
+TEST_P(WorkloadTest, RiscMatchesGolden)
+{
+    const Workload &w = *GetParam();
+    i64 golden = core::runGolden(w);
+    auto g = core::runRisc(w, risc::RiscOptions::gcc());
+    EXPECT_EQ(g.retVal, golden);
+    auto i = core::runRisc(w, risc::RiscOptions::icc());
+    EXPECT_EQ(i.retVal, golden);
+}
+
+TEST_P(WorkloadTest, CycleLevelMatchesGolden)
+{
+    const Workload &w = *GetParam();
+    i64 golden = core::runGolden(w);
+    auto run = core::runTrips(w, compiler::Options::compiled(), true);
+    EXPECT_EQ(run.retVal, golden);
+    EXPECT_EQ(run.uarch.retVal, golden);
+    EXPECT_FALSE(run.uarch.fuelExhausted);
+    EXPECT_GT(run.uarch.ipc(), 0.0);
+}
+
+namespace {
+
+std::vector<const Workload *>
+allWorkloadPtrs()
+{
+    std::vector<const Workload *> out;
+    for (const auto &w : workloads::all())
+        out.push_back(&w);
+    return out;
+}
+
+std::string
+workloadName(const ::testing::TestParamInfo<const Workload *> &info)
+{
+    std::string n = info.param->name;
+    for (auto &c : n) {
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return n;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadTest,
+                         ::testing::ValuesIn(allWorkloadPtrs()),
+                         workloadName);
