@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Equivalence harness for simulator refactors: runs the cycle-level
+ * model on a fixed set of workloads and prints every UarchResult field
+ * in a stable text format. Capture the output before a performance
+ * change, diff it after — any timing-semantics drift shows up as a
+ * textual difference (see README "simulator performance").
+ */
+#include <cstdio>
+
+#include "core/machines.hh"
+
+using namespace trips;
+
+static void
+dumpDist(const char *name, const Distribution &d)
+{
+    std::printf("  %s: samples=%llu mean=%.9f buckets=[",
+                name, static_cast<unsigned long long>(d.samples()),
+                d.mean());
+    for (unsigned b = 0; b < d.numBuckets(); ++b)
+        std::printf("%s%llu", b ? "," : "",
+                    static_cast<unsigned long long>(d.count(b)));
+    std::printf("]\n");
+}
+
+static void
+dump(const char *name, const char *preset, const uarch::UarchResult &r)
+{
+    std::printf("=== %s (%s) ===\n", name, preset);
+    std::printf("  retVal=%lld fuel=%d\n",
+                static_cast<long long>(r.retVal), r.fuelExhausted);
+    std::printf("  cycles=%llu committed=%llu flushed=%llu "
+                "fetched=%llu fired=%llu\n",
+                (unsigned long long)r.cycles,
+                (unsigned long long)r.blocksCommitted,
+                (unsigned long long)r.blocksFlushed,
+                (unsigned long long)r.instsFetched,
+                (unsigned long long)r.instsFired);
+    std::printf("  brMiss=%llu crMiss=%llu violFlush=%llu icMiss=%llu\n",
+                (unsigned long long)r.branchMispredicts,
+                (unsigned long long)r.callRetMispredicts,
+                (unsigned long long)r.loadViolationFlushes,
+                (unsigned long long)r.icacheMissStalls);
+    std::printf("  l1d=%llu/%llu l2=%llu/%llu loads=%llu stores=%llu\n",
+                (unsigned long long)r.l1dHits,
+                (unsigned long long)r.l1dMisses,
+                (unsigned long long)r.l2Hits,
+                (unsigned long long)r.l2Misses,
+                (unsigned long long)r.loadsExecuted,
+                (unsigned long long)r.storesCommitted);
+    std::printf("  bytesL1=%llu bytesL2=%llu bytesMem=%llu\n",
+                (unsigned long long)r.bytesL1,
+                (unsigned long long)r.bytesL2,
+                (unsigned long long)r.bytesMem);
+    std::printf("  avgBlocks=%.9f avgInsts=%.9f peakInsts=%llu\n",
+                r.avgBlocksInFlight, r.avgInstsInFlight,
+                (unsigned long long)r.peakInstsInFlight);
+    std::printf("  pred: pred=%llu miss=%llu exit=%llu tgt=%llu cr=%llu\n",
+                (unsigned long long)r.predictor.predictions,
+                (unsigned long long)r.predictor.mispredictions,
+                (unsigned long long)r.predictor.exitMispredicts,
+                (unsigned long long)r.predictor.targetMispredicts,
+                (unsigned long long)r.predictor.callRetMispredicts);
+    std::printf("  opnPackets=%llu localBypasses=%llu\n",
+                (unsigned long long)r.opnPackets,
+                (unsigned long long)r.localBypasses);
+    static const char *cls[] = {"EtEt", "EtDt", "EtRt",
+                                "EtGt", "DtRt", "DtEt",
+                                "RtEt", "Other"};
+    for (size_t c = 0; c < r.opnHops.size(); ++c)
+        dumpDist(cls[c], r.opnHops[c]);
+}
+
+int
+main()
+{
+    struct Entry
+    {
+        const char *name;
+        bool hand;
+    };
+    // Mixed suites and both compiler presets; the hand-preset entries
+    // stress LSQ forwarding and dense blocks.
+    static const Entry entries[] = {
+        {"a2time", false},  {"autocor", false}, {"gcc", false},
+        {"fft", false},     {"vadd", true},     {"matrix", true},
+    };
+    for (const auto &e : entries) {
+        const auto &w = workloads::find(e.name);
+        auto opts = e.hand ? compiler::Options::hand()
+                           : compiler::Options::compiled();
+        auto r = core::runTrips(w, opts, true);
+        dump(e.name, e.hand ? "hand" : "compiled", r.uarch);
+    }
+    return 0;
+}

@@ -4,15 +4,18 @@ using namespace trips;
 
 static void profile(const std::string &name, const core::TripsRun &r) {
     static const char *cls[] = {"ET-ET", "ET-DT", "ET-RT", "ET-GT",
-                                "DT-RT", "other"};
+                                "DT-RT", "DT-ET", "RT-ET", "other"};
+    constexpr unsigned NC =
+        static_cast<unsigned>(net::OpnClass::NUM_CLASSES);
+    static_assert(sizeof(cls) / sizeof(cls[0]) == NC);
     std::cout << "--- " << name << " ---\n";
     double total = 0, weighted = 0;
-    for (unsigned c = 0; c < 6; ++c)
+    for (unsigned c = 0; c < NC; ++c)
         total += r.uarch.opnHops[c].samples();
     TextTable t;
     t.header({"class", "share", "0h", "1h", "2h", "3h", "4h", "5h+",
               "avg"});
-    for (unsigned c = 0; c < 5; ++c) {
+    for (unsigned c = 0; c < NC - 1; ++c) {
         const auto &d = r.uarch.opnHops[c];
         if (!d.samples())
             continue;

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Run the simulator-speed microbenchmarks and (re)generate
+# BENCH_simspeed.json at the repository root.
+#
+# Usage: bench/run_simspeed.sh [build-dir] [extra google-benchmark args]
+# Example: bench/run_simspeed.sh build --benchmark_repetitions=3
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+bench_bin="$build_dir/bench_simspeed"
+if [[ ! -x "$bench_bin" ]]; then
+    echo "error: $bench_bin not found; build first:" >&2
+    echo "  cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+fi
+
+raw_json="$(mktemp)"
+trap 'rm -f "$raw_json"' EXIT
+
+"$bench_bin" \
+    --benchmark_out="$raw_json" \
+    --benchmark_out_format=json \
+    "$@"
+
+python3 - "$raw_json" "$repo_root/BENCH_simspeed.json" <<'EOF'
+import json, os, sys
+
+raw = json.load(open(sys.argv[1]))
+out = {
+    "description": "tripsim simulator-speed microbenchmarks "
+                   "(bench/bench_simspeed.cc); regenerate with "
+                   "bench/run_simspeed.sh",
+    "context": raw.get("context", {}),
+    "benchmarks": [
+        {k: b[k] for k in
+         ("name", "iterations", "real_time", "cpu_time", "time_unit")
+         if k in b}
+        for b in raw.get("benchmarks", [])
+    ],
+}
+# Historical annotations (e.g. recorded before/after baselines of past
+# optimization PRs) survive regeneration.
+if os.path.exists(sys.argv[2]):
+    try:
+        prev = json.load(open(sys.argv[2]))
+        if "baselines" in prev:
+            out["baselines"] = prev["baselines"]
+    except (ValueError, OSError):
+        pass
+json.dump(out, open(sys.argv[2], "w"), indent=2)
+print("wrote", sys.argv[2])
+EOF

@@ -75,15 +75,103 @@ struct OpInfo
     u8 latency;        ///< execute latency in cycles (loads: cache adds)
 };
 
+namespace detail {
+
+/** Indexed by Opcode value; order must match the enum. Lives in the
+ *  header so the hot simulator loops can inline the lookups. */
+inline constexpr OpInfo OP_TABLE[] = {
+    // name    class              in tgt imm  lat
+    {"add",    OpClass::IntArith, 2, 2, false, 1},
+    {"sub",    OpClass::IntArith, 2, 2, false, 1},
+    {"mul",    OpClass::IntArith, 2, 2, false, 3},
+    {"div",    OpClass::IntArith, 2, 2, false, 24},
+    {"divu",   OpClass::IntArith, 2, 2, false, 24},
+    {"mod",    OpClass::IntArith, 2, 2, false, 24},
+    {"modu",   OpClass::IntArith, 2, 2, false, 24},
+    {"and",    OpClass::IntArith, 2, 2, false, 1},
+    {"or",     OpClass::IntArith, 2, 2, false, 1},
+    {"xor",    OpClass::IntArith, 2, 2, false, 1},
+    {"not",    OpClass::IntArith, 1, 2, false, 1},
+    {"sll",    OpClass::IntArith, 2, 2, false, 1},
+    {"srl",    OpClass::IntArith, 2, 2, false, 1},
+    {"sra",    OpClass::IntArith, 2, 2, false, 1},
+    {"addi",   OpClass::IntArith, 1, 1, true,  1},
+    {"muli",   OpClass::IntArith, 1, 1, true,  3},
+    {"andi",   OpClass::IntArith, 1, 1, true,  1},
+    {"ori",    OpClass::IntArith, 1, 1, true,  1},
+    {"xori",   OpClass::IntArith, 1, 1, true,  1},
+    {"slli",   OpClass::IntArith, 1, 1, true,  1},
+    {"srli",   OpClass::IntArith, 1, 1, true,  1},
+    {"srai",   OpClass::IntArith, 1, 1, true,  1},
+    {"extsb",  OpClass::IntArith, 1, 2, false, 1},
+    {"extsh",  OpClass::IntArith, 1, 2, false, 1},
+    {"extsw",  OpClass::IntArith, 1, 2, false, 1},
+    {"extub",  OpClass::IntArith, 1, 2, false, 1},
+    {"extuh",  OpClass::IntArith, 1, 2, false, 1},
+    {"extuw",  OpClass::IntArith, 1, 2, false, 1},
+    {"gens",   OpClass::IntArith, 0, 1, true,  1},
+    {"app",    OpClass::IntArith, 1, 1, true,  1},
+    {"fadd",   OpClass::FpArith,  2, 2, false, 4},
+    {"fsub",   OpClass::FpArith,  2, 2, false, 4},
+    {"fmul",   OpClass::FpArith,  2, 2, false, 4},
+    {"fdiv",   OpClass::FpArith,  2, 2, false, 16},
+    {"itof",   OpClass::FpArith,  1, 2, false, 4},
+    {"ftoi",   OpClass::FpArith,  1, 2, false, 4},
+    {"fneg",   OpClass::FpArith,  1, 2, false, 1},
+    {"teq",    OpClass::Test,     2, 2, false, 1},
+    {"tne",    OpClass::Test,     2, 2, false, 1},
+    {"tlt",    OpClass::Test,     2, 2, false, 1},
+    {"tle",    OpClass::Test,     2, 2, false, 1},
+    {"tgt",    OpClass::Test,     2, 2, false, 1},
+    {"tge",    OpClass::Test,     2, 2, false, 1},
+    {"tltu",   OpClass::Test,     2, 2, false, 1},
+    {"tgeu",   OpClass::Test,     2, 2, false, 1},
+    {"teqi",   OpClass::Test,     1, 1, true,  1},
+    {"tnei",   OpClass::Test,     1, 1, true,  1},
+    {"tlti",   OpClass::Test,     1, 1, true,  1},
+    {"tgti",   OpClass::Test,     1, 1, true,  1},
+    {"tfeq",   OpClass::Test,     2, 2, false, 1},
+    {"tfne",   OpClass::Test,     2, 2, false, 1},
+    {"tflt",   OpClass::Test,     2, 2, false, 1},
+    {"tfle",   OpClass::Test,     2, 2, false, 1},
+    {"lb",     OpClass::Load,     1, 1, true,  1},
+    {"lbu",    OpClass::Load,     1, 1, true,  1},
+    {"lh",     OpClass::Load,     1, 1, true,  1},
+    {"lhu",    OpClass::Load,     1, 1, true,  1},
+    {"lw",     OpClass::Load,     1, 1, true,  1},
+    {"lwu",    OpClass::Load,     1, 1, true,  1},
+    {"ld",     OpClass::Load,     1, 1, true,  1},
+    {"sb",     OpClass::Store,    2, 0, true,  1},
+    {"sh",     OpClass::Store,    2, 0, true,  1},
+    {"sw",     OpClass::Store,    2, 0, true,  1},
+    {"sd",     OpClass::Store,    2, 0, true,  1},
+    {"bro",    OpClass::Branch,   0, 0, false, 1},
+    {"callo",  OpClass::Branch,   0, 0, false, 1},
+    {"ret",    OpClass::Branch,   0, 0, false, 1},
+    {"mov",    OpClass::Move,     1, 2, false, 1},
+    {"null",   OpClass::Move,     0, 2, false, 1},
+};
+
+static_assert(sizeof(OP_TABLE) / sizeof(OP_TABLE[0]) ==
+                  static_cast<size_t>(Opcode::NUM_OPCODES),
+              "OP_TABLE out of sync with Opcode enum");
+
+} // namespace detail
+
 /** Look up static properties of an opcode. */
-const OpInfo &opInfo(Opcode op);
+inline const OpInfo &
+opInfo(Opcode op)
+{
+    TRIPS_ASSERT(op < Opcode::NUM_OPCODES);
+    return detail::OP_TABLE[static_cast<size_t>(op)];
+}
 
 /** Convenience class tests. */
-bool isLoad(Opcode op);
-bool isStore(Opcode op);
-bool isMemory(Opcode op);
-bool isBranch(Opcode op);
-bool isTest(Opcode op);
+inline bool isLoad(Opcode op) { return opInfo(op).cls == OpClass::Load; }
+inline bool isStore(Opcode op) { return opInfo(op).cls == OpClass::Store; }
+inline bool isMemory(Opcode op) { return isLoad(op) || isStore(op); }
+inline bool isBranch(Opcode op) { return opInfo(op).cls == OpClass::Branch; }
+inline bool isTest(Opcode op) { return opInfo(op).cls == OpClass::Test; }
 
 /** Human-readable mnemonic. */
 inline const char *opName(Opcode op) { return opInfo(op).name; }

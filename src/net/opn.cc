@@ -8,18 +8,6 @@ constexpr unsigned PORT_N = 0, PORT_E = 1, PORT_S = 2, PORT_W = 3;
 constexpr unsigned PORT_LOCAL = 4;
 
 unsigned
-rowOf(unsigned node)
-{
-    return node / isa::OPN_COLS;
-}
-
-unsigned
-colOf(unsigned node)
-{
-    return node % isa::OPN_COLS;
-}
-
-unsigned
 neighbor(unsigned node, unsigned port)
 {
     switch (port) {
@@ -30,6 +18,46 @@ neighbor(unsigned node, unsigned port)
     }
     TRIPS_PANIC("bad port");
 }
+
+/**
+ * The mesh is 25 nodes, so every routing decision is a pure function
+ * of (node, dst) over a tiny domain: precompute Y-then-X output ports
+ * and hop counts once instead of re-deriving rows/columns per flit
+ * per cycle.
+ */
+struct RouteTables
+{
+    u8 port[OpnNetwork::NODES][OpnNetwork::NODES] = {};
+    u8 hops[OpnNetwork::NODES][OpnNetwork::NODES] = {};
+};
+
+constexpr RouteTables
+makeRouteTables()
+{
+    RouteTables t;
+    for (unsigned n = 0; n < OpnNetwork::NODES; ++n) {
+        for (unsigned d = 0; d < OpnNetwork::NODES; ++d) {
+            unsigned nr = n / isa::OPN_COLS, nc = n % isa::OPN_COLS;
+            unsigned dr = d / isa::OPN_COLS, dc = d % isa::OPN_COLS;
+            u8 p = PORT_LOCAL;
+            if (dr < nr)
+                p = PORT_N;
+            else if (dr > nr)
+                p = PORT_S;
+            else if (dc > nc)
+                p = PORT_E;
+            else if (dc < nc)
+                p = PORT_W;
+            t.port[n][d] = p;
+            t.hops[n][d] = static_cast<u8>(
+                (nr > dr ? nr - dr : dr - nr) +
+                (nc > dc ? nc - dc : dc - nc));
+        }
+    }
+    return t;
+}
+
+constexpr RouteTables ROUTE = makeRouteTables();
 
 /** Input port on the receiving router for a given output direction. */
 unsigned
@@ -47,32 +75,30 @@ oppositePort(unsigned port)
 } // namespace
 
 OpnNetwork::OpnNetwork()
-    : fifos(NODES), rr(NODES, 0)
-{}
+{
+    moves.reserve(NODES * 5);
+    arrivals.reserve(NODES);
+}
 
 unsigned
 OpnNetwork::routePort(unsigned node, unsigned dst) const
 {
-    // Y-then-X dimension order routing.
-    if (rowOf(dst) < rowOf(node))
-        return PORT_N;
-    if (rowOf(dst) > rowOf(node))
-        return PORT_S;
-    if (colOf(dst) > colOf(node))
-        return PORT_E;
-    if (colOf(dst) < colOf(node))
-        return PORT_W;
-    return PORT_LOCAL;
+    // Y-then-X dimension order routing (precomputed).
+    return ROUTE.port[node][dst];
 }
 
 bool
 OpnNetwork::inject(OpnPacket pkt, Cycle now)
 {
     pkt.injected = now;
-    auto &local = fifos[pkt.src][PORT_LOCAL];
-    if (local.size() >= FIFO_DEPTH)
+    auto &pm = meta[pkt.src][PORT_LOCAL];
+    if (pm.size >= FIFO_DEPTH)
         return false;
-    local.push_back(pkt);
+    if (pm.size == 0)
+        pm.frontDst = pkt.dst;
+    ++pm.size;
+    fifos[pkt.src][PORT_LOCAL].push_back(pkt);
+    markOccupied(pkt.src, PORT_LOCAL);
     ++packets;
     return true;
 }
@@ -81,54 +107,72 @@ void
 OpnNetwork::tick(Cycle now)
 {
     arrivals.clear();
+    moves.clear();
 
-    struct Move
-    {
-        unsigned node, in_port, out_port;
-    };
-    std::vector<Move> moves;
-    moves.reserve(NODES);
+    // Every router's round-robin pointer advances once per tick, so
+    // the per-node value is just the tick count mod 5.
+    const unsigned cur = static_cast<unsigned>(ticks % 5);
+    ++ticks;
+    if (!nodeMask)
+        return;     // nothing in flight anywhere
 
-    for (unsigned node = 0; node < NODES; ++node) {
-        // One winner per output port; inputs scanned round-robin.
-        bool port_used[5] = {false, false, false, false, false};
-        for (unsigned k = 0; k < 5; ++k) {
-            unsigned in = (rr[node] + k) % 5;
-            auto &q = fifos[node][in];
-            if (q.empty())
-                continue;
-            unsigned out = routePort(node, q.front().dst);
-            if (port_used[out])
+    // Scan only routers holding flits, ascending node order (the same
+    // order the full scan used). All arbitration reads come from the
+    // compact meta table; the FIFO buffers are only touched by moves.
+    for (u64 m = nodeMask; m; m &= m - 1) {
+        unsigned node =
+            static_cast<unsigned>(__builtin_ctzll(m));
+        // One winner per output port; occupied inputs visited in
+        // round-robin order via the rotated port mask (visiting only
+        // non-empty ports is equivalent to skipping empty ones).
+        const auto &nm = meta[node];
+        const u8 pm = portMask[node];
+        u8 rot = static_cast<u8>(((pm >> cur) | (pm << (5 - cur))) & 31);
+        u8 port_used = 0;
+        while (rot) {
+            unsigned k = static_cast<unsigned>(__builtin_ctz(rot));
+            rot = static_cast<u8>(rot & (rot - 1));
+            unsigned in = cur + k;
+            if (in >= 5)
+                in -= 5;
+            unsigned out = routePort(node, nm[in].frontDst);
+            if (port_used & (1u << out))
                 continue;
             if (out != PORT_LOCAL) {
                 // Flow control: space in the downstream FIFO.
                 unsigned nb = neighbor(node, out);
-                if (fifos[nb][oppositePort(out)].size() >= FIFO_DEPTH)
+                if (meta[nb][oppositePort(out)].size >= FIFO_DEPTH)
                     continue;
             }
-            port_used[out] = true;
+            port_used = static_cast<u8>(port_used | (1u << out));
             moves.push_back({node, in, out});
         }
-        rr[node] = (rr[node] + 1) % 5;
     }
 
     for (const auto &m : moves) {
         auto &q = fifos[m.node][m.in_port];
         OpnPacket pkt = q.front();
         q.pop_front();
+        auto &pm = meta[m.node][m.in_port];
+        if (--pm.size > 0)
+            pm.frontDst = q.front().dst;
+        updateEmptied(m.node, m.in_port);
         if (m.out_port == PORT_LOCAL) {
-            unsigned h = isa::hopDist(
-                {static_cast<int>(rowOf(pkt.src)),
-                 static_cast<int>(colOf(pkt.src))},
-                {static_cast<int>(rowOf(pkt.dst)),
-                 static_cast<int>(colOf(pkt.dst))});
-            pkt.hops = h;
+            unsigned h = ROUTE.hops[pkt.src][pkt.dst];
+            pkt.hops = static_cast<u8>(h);
             hop_dist[static_cast<size_t>(pkt.cls)].sample(h);
-            lat.add(static_cast<double>(now - pkt.injected));
+            latSum += now - pkt.injected;
+            ++latCount;
             arrivals.push_back(pkt);
         } else {
-            fifos[neighbor(m.node, m.out_port)][oppositePort(m.out_port)]
-                .push_back(pkt);
+            unsigned nb = neighbor(m.node, m.out_port);
+            unsigned port = oppositePort(m.out_port);
+            auto &dpm = meta[nb][port];
+            if (dpm.size == 0)
+                dpm.frontDst = pkt.dst;
+            ++dpm.size;
+            fifos[nb][port].push_back(pkt);
+            markOccupied(nb, port);
         }
     }
 }

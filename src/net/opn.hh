@@ -4,15 +4,14 @@
  * one 64-bit operand per link per cycle (Gratz et al. [6]). Packets
  * are single-flit; routing is Y-then-X dimension order with 4-deep
  * input FIFOs and round-robin output arbitration. Traffic classes
- * (ET-ET, ET-DT, ET-RT, ET-GT, DT-RT) are accounted for the paper's
- * Fig. 8 hop profile.
+ * (ET-ET, ET-DT, ET-RT, ET-GT, DT-RT, DT-ET, RT-ET) are accounted for
+ * the paper's Fig. 8 hop profile.
  */
 
 #ifndef TRIPSIM_NET_OPN_HH
 #define TRIPSIM_NET_OPN_HH
 
 #include <array>
-#include <deque>
 #include <vector>
 
 #include "isa/topology.hh"
@@ -20,18 +19,25 @@
 
 namespace trips::net {
 
-/** Traffic classes for the Fig. 8 breakdown. */
-enum class OpnClass : u8 { EtEt, EtDt, EtRt, EtGt, DtRt, Other,
-                           NUM_CLASSES };
+/**
+ * Traffic classes for the Fig. 8 breakdown. Requests and replies are
+ * distinct: EtDt is ET->DT memory requests while DtEt is DT->ET load
+ * replies, and EtRt is ET->RT register writes while RtEt is RT->ET
+ * read operands (lumping them skews the per-class hop profile).
+ */
+enum class OpnClass : u8 { EtEt, EtDt, EtRt, EtGt, DtRt, DtEt, RtEt,
+                           Other, NUM_CLASSES };
 
+/** Single-flit packet, packed to 16 bytes so four fit a cache line
+ *  (the router FIFOs are scanned every simulated cycle). */
 struct OpnPacket
 {
-    unsigned src = 0;         ///< flat mesh node id (row*5+col)
-    unsigned dst = 0;
-    u64 tag = 0;              ///< owner-defined payload handle
+    u8 src = 0;               ///< flat mesh node id (row*5+col)
+    u8 dst = 0;
     OpnClass cls = OpnClass::Other;
+    u8 hops = 0;
+    u32 tag = 0;              ///< owner-defined payload handle
     Cycle injected = 0;
-    unsigned hops = 0;
 };
 
 class OpnNetwork
@@ -63,16 +69,99 @@ class OpnNetwork
     }
 
     u64 packetsSent() const { return packets; }
-    double avgLatency() const { return lat.mean(); }
+    double avgLatency() const
+    {
+        return latCount ? static_cast<double>(latSum) / latCount : 0.0;
+    }
 
   private:
+    /**
+     * Fixed-capacity input FIFO: router buffers are FIFO_DEPTH deep by
+     * construction, so a bounded ring avoids any steady-state
+     * allocation (unlike a deque, which churns chunks).
+     */
+    struct Fifo
+    {
+        std::array<OpnPacket, FIFO_DEPTH> buf;
+        u8 head = 0;
+        u8 count = 0;
+
+        bool empty() const { return count == 0; }
+        unsigned size() const { return count; }
+        OpnPacket &front() { return buf[head]; }
+
+        void
+        push_back(const OpnPacket &p)
+        {
+            buf[(head + count) % FIFO_DEPTH] = p;
+            ++count;
+        }
+
+        void
+        pop_front()
+        {
+            head = (head + 1) % FIFO_DEPTH;
+            --count;
+        }
+    };
+
+    struct Move
+    {
+        unsigned node, in_port, out_port;
+    };
+
+    static_assert(NODES <= 64, "node occupancy mask is one u64");
+
+    /**
+     * Routing metadata mirrored out of the FIFOs: the head packet's
+     * destination and the queue depth per input port. The whole table
+     * is ~250 bytes, so the per-tick arbitration scan stays in a
+     * handful of cache lines and the packet buffers are touched only
+     * when a flit actually moves.
+     */
+    struct PortMeta
+    {
+        u8 size = 0;
+        u8 frontDst = 0;
+    };
+
     /** Input FIFOs per node per port (0..3 = N,E,S,W, 4 = local). */
-    std::vector<std::array<std::deque<OpnPacket>, 5>> fifos;
-    std::vector<unsigned> rr;   ///< round-robin pointer per node
+    std::array<std::array<Fifo, 5>, NODES> fifos{};
+    std::array<std::array<PortMeta, 5>, NODES> meta{};
+    std::vector<Move> moves;    ///< per-tick scratch (reused)
     std::vector<OpnPacket> arrivals;
+
+    /**
+     * Occupancy tracking so tick() touches only routers that hold
+     * flits: one bit per node, plus a per-node bit per input port.
+     * The round-robin arbitration pointer advances uniformly for all
+     * nodes every tick, so a single counter replaces the per-node
+     * array the scan used to maintain.
+     */
+    u64 nodeMask = 0;
+    std::array<u8, NODES> portMask{};
+    u64 ticks = 0;
+
+    void
+    markOccupied(unsigned node, unsigned port)
+    {
+        portMask[node] |= static_cast<u8>(1u << port);
+        nodeMask |= u64{1} << node;
+    }
+
+    void
+    updateEmptied(unsigned node, unsigned port)
+    {
+        if (fifos[node][port].empty()) {
+            portMask[node] &= static_cast<u8>(~(1u << port));
+            if (portMask[node] == 0)
+                nodeMask &= ~(u64{1} << node);
+        }
+    }
     std::array<Distribution, static_cast<size_t>(OpnClass::NUM_CLASSES)>
         hop_dist;
-    Counter lat;
+    u64 latSum = 0;       ///< integer accumulation: one add per arrival
+    u64 latCount = 0;
     u64 packets = 0;
 
     unsigned routePort(unsigned node, unsigned dst) const;

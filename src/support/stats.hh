@@ -71,6 +71,21 @@ class Distribution
         return total ? static_cast<double>(weighted_sum) / total : 0.0;
     }
 
+    /** Accumulate another distribution into this one (bucket-wise;
+     *  buckets beyond our last clamp into it; the weighted sum is
+     *  carried over exactly). */
+    void
+    merge(const Distribution &o)
+    {
+        for (unsigned b = 0; b < o.numBuckets(); ++b) {
+            unsigned idx = b >= buckets.size()
+                ? static_cast<unsigned>(buckets.size() - 1) : b;
+            buckets[idx] += o.buckets[b];
+        }
+        total += o.total;
+        weighted_sum += o.weighted_sum;
+    }
+
     void
     reset()
     {

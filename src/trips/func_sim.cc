@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/pool.hh"
 #include "trips/exec_core.hh"
 
 namespace trips::sim {
@@ -75,8 +76,27 @@ struct FuncSim::BlockMeta
     }
 };
 
+/**
+ * Per-block dataflow buffers, allocated once per simulator and reused
+ * for every block instance (assign() keeps capacity, SmallVec keeps
+ * its buffer), so steady-state block execution does not allocate.
+ */
+struct FuncSim::Scratch
+{
+    std::vector<std::array<Tok, 3>> opnd;
+    std::vector<u8> state;
+    std::vector<u8> data_ready;
+    std::vector<i32> fired_idx;
+    std::vector<Tok> write_tok;
+    std::vector<u8> color;
+    std::vector<u8> marked;
+    SmallVec<u16, 128> readyq;
+    SmallVec<u16, 128> mq;
+};
+
 FuncSim::FuncSim(const isa::Program &prog, MemImage &mem)
-    : prog(prog), mem(mem), metas(prog.numBlocks())
+    : prog(prog), mem(mem), metas(prog.numBlocks()),
+      scratch(std::make_unique<Scratch>())
 {
     // Stack pointer convention: R1 starts at the module stack base.
     regfile[1] = STACK_BASE;
@@ -92,22 +112,33 @@ FuncSim::meta(u32 bidx)
     return *metas[bidx];
 }
 
-BlockRecord
+BlockRecord &
 FuncSim::executeBlock(u32 bidx)
 {
     const Block &b = prog.block(bidx);
     const BlockMeta &m = meta(bidx);
     const size_t n = b.insts.size();
 
-    std::vector<std::array<Tok, 3>> opnd(n);
-    std::vector<u8> state(n, ST_PENDING);
-    std::vector<u8> data_ready(n, 0);
-    std::vector<i32> fired_idx(n, -1);
-    std::vector<Tok> write_tok(b.writes.size());
-    std::vector<u16> readyq;
+    auto &opnd = scratch->opnd;
+    auto &state = scratch->state;
+    auto &data_ready = scratch->data_ready;
+    auto &fired_idx = scratch->fired_idx;
+    auto &write_tok = scratch->write_tok;
+    auto &readyq = scratch->readyq;
+    opnd.assign(n, {});
+    state.assign(n, ST_PENDING);
+    data_ready.assign(n, 0);
+    fired_idx.assign(n, -1);
+    write_tok.assign(b.writes.size(), Tok{});
+    readyq.clear();
 
-    BlockRecord rec;
+    BlockRecord &rec = workRec;
     rec.blockIdx = bidx;
+    rec.nextBlock = 0;
+    rec.exitTaken = 0;
+    rec.isCall = rec.isRet = rec.halts = false;
+    rec.branchInst = 0;
+    rec.fired.clear();
     rec.writeProducer.assign(b.writes.size(), PROD_NONE);
     rec.writeIsNull.assign(b.writes.size(), false);
 
@@ -249,7 +280,8 @@ FuncSim::executeBlock(u32 bidx)
 
     // Conservative reachability: can instruction i still fire?
     // colors: 0 unvisited, 1 visiting, 2 yes, 3 no.
-    std::vector<u8> color(n, 0);
+    auto &color = scratch->color;
+    color.assign(n, 0);
     auto can_still_fire = [&](auto &&self, u16 i) -> bool {
         if (state[i] == ST_FIRED || state[i] == ST_DEAD)
             return false;
@@ -386,8 +418,10 @@ FuncSim::executeBlock(u32 bidx)
     }
 
     // Usefulness marking: backward from committed outputs.
-    std::vector<u8> marked(n, 0);
-    std::vector<u16> mq;
+    auto &marked = scratch->marked;
+    auto &mq = scratch->mq;
+    marked.assign(n, 0);
+    mq.clear();
     auto seed = [&](i16 p) {
         if (p >= 0 && !marked[p]) {
             marked[p] = 1;
@@ -461,7 +495,7 @@ FuncSim::run(u64 max_blocks)
     FuncResult result;
     u32 cur = prog.entry;
     for (u64 count = 0; count < max_blocks; ++count) {
-        BlockRecord rec = executeBlock(cur);
+        BlockRecord &rec = executeBlock(cur);
         const auto &br = prog.block(cur).insts[rec.branchInst];
         if (rec.isCall) {
             TRIPS_ASSERT(br.returnBlock >= 0);

@@ -21,6 +21,7 @@
 #define TRIPSIM_TRIPS_FUNC_SIM_HH
 
 #include <array>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -134,9 +135,14 @@ class FuncSim
 
   private:
     struct BlockMeta;
+    struct Scratch;
 
-    /** Execute one block instance; returns the record. */
-    BlockRecord executeBlock(u32 bidx);
+    /**
+     * Execute one block instance; returns the record (owned by the
+     * simulator and reused across blocks, so the per-block dataflow
+     * buffers are allocated once, not per block).
+     */
+    BlockRecord &executeBlock(u32 bidx);
     const BlockMeta &meta(u32 bidx);
 
     const isa::Program &prog;
@@ -145,6 +151,8 @@ class FuncSim
     std::vector<u32> callStack;
     std::vector<BlockObserver *> observers;
     std::vector<std::optional<BlockMeta>> metas;
+    std::unique_ptr<Scratch> scratch;
+    BlockRecord workRec;
     IsaStats stats;
 };
 

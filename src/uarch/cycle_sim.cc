@@ -1,7 +1,6 @@
 #include "uarch/cycle_sim.hh"
 
 #include <algorithm>
-#include <queue>
 
 #include "trips/exec_core.hh"
 
@@ -25,6 +24,15 @@ struct Tok
     u64 v = 0;
 };
 
+/** Per-instruction dynamic state, kept together so one token delivery
+ *  (operand write + wake check) stays within a cache line or two. */
+struct InstState
+{
+    std::array<Tok, 3> opnd;
+    u8 istate = IS_WAITING;
+    u8 dispatched = 0;
+};
+
 struct LsqEntry
 {
     u16 inst = 0;
@@ -34,6 +42,7 @@ struct LsqEntry
     bool isNull = false;
     Addr addr = 0;
     u8 width = 0;
+    u32 order = 0;      ///< insertion (execution) order within the frame
     u64 value = 0;
     Cycle execTime = 0;
 };
@@ -43,34 +52,38 @@ struct LsqEntry
 struct CycleSim::Frame
 {
     enum class St : u8 { Free, Fetching, Dispatching, Executing };
+
+    // Hot scalars first: the per-cycle frame-queue walks (commit
+    // check, RET resolution, older-store checks) should stay within
+    // the frame's leading cache lines; the bulky containers follow.
     St st = St::Free;
-    u32 blockIdx = 0;
-    u64 seq = 0;
-    u32 epoch = 0;
-    const Block *blk = nullptr;
-
-    u32 predictedNext = 0;
-
-    std::vector<std::array<Tok, 3>> opnd;
-    std::vector<u8> istate;
-    std::vector<u8> dispatched;
-    unsigned dispatchedCount = 0;
-
-    unsigned writesNeeded = 0, writesDone = 0;
-    unsigned storesNeeded = 0, storesDone = 0;
-    u32 storeDoneMask = 0;
-    std::vector<Tok> writeVals;
-    std::vector<LsqEntry> lsq;
-
     bool branchResolved = false;
     bool retPending = false;
     bool nextKnown = false;
-    u16 branchInst = 0;
-    u8 exitTaken = 0;
-    u32 actualNext = 0;
     bool isCall = false, isRet = false, haltsCandidate = false;
+    u8 exitTaken = 0;
+    u16 branchInst = 0;
+    u32 blockIdx = 0;
+    u64 seq = 0;
+    u32 epoch = 0;
+    u32 predictedNext = 0;
+    u32 actualNext = 0;
+    const Block *blk = nullptr;
+    const InstMeta *im = nullptr;   ///< per-inst static facts (cached)
 
+    unsigned dispatchedCount = 0;
+    unsigned writesNeeded = 0, writesDone = 0;
+    unsigned storesNeeded = 0, storesDone = 0;
+    u32 storeDoneMask = 0;
+    u32 lsqOrder = 0;
     unsigned firedCount = 0;
+
+    std::vector<InstState> is;
+    std::vector<Tok> writeVals;
+    /** LSQ kept insertion-sorted by LSID so loads merge in place.
+     *  Small inline buffer: spills stay allocated for the life of the
+     *  frame slot, so steady state is still allocation-free. */
+    SmallVec<LsqEntry, 8> lsq;
 
     bool
     complete() const
@@ -78,28 +91,23 @@ struct CycleSim::Frame
         return writesDone >= writesNeeded && storesDone >= storesNeeded &&
                nextKnown;
     }
-};
 
-/** Payload bound to an in-flight OPN packet. */
-struct CycleSim::PacketData
-{
-    enum class Kind : u8 { Operand, WriteArrive, MemRequest, Branch };
-    Kind kind = Kind::Operand;
-    unsigned fidx = 0;
-    u32 epoch = 0;
-    u16 inst = 0;          ///< consumer slot / memory inst / branch inst
-    u8 operand = 0;        ///< 0/1/2 for Operand
-    u8 writeSlot = 0;
-    u64 value = 0;
-    bool isNull = false;
-    bool isStoreReq = false;
-    Addr addr = 0;
-    u8 width = 0;
+    /** Insert into the LSQ keeping ascending LSID order (stable). */
+    void
+    lsqInsert(const LsqEntry &le_in)
+    {
+        LsqEntry le = le_in;
+        le.order = lsqOrder++;
+        size_t i = lsq.size();
+        while (i > 0 && lsq[i - 1].lsid > le.lsid)
+            --i;
+        lsq.insertAt(i, le);
+    }
 };
 
 struct CycleSim::DtState
 {
-    std::deque<u64> queue;     ///< packet ids (MemRequest)
+    RingQueue<u32, 64> queue;     ///< packet-pool ids (MemRequest)
     Cycle bankFree = 0;
 };
 
@@ -121,6 +129,43 @@ CycleSim::CycleSim(const isa::Program &prog, MemImage &mem,
         l2.emplace_back(cfg.l2Bank);
     regfile[1] = STACK_BASE;
     nextFetchBlock = prog.entry;
+    retStack.reserve(64);
+    instMeta.resize(prog.numBlocks());
+}
+
+const std::vector<CycleSim::InstMeta> &
+CycleSim::metaFor(u32 block_idx)
+{
+    auto &m = instMeta[block_idx];
+    if (!m.empty())
+        return m;
+    const Block &blk = prog.block(block_idx);
+    m.resize(blk.insts.size());
+    for (size_t i = 0; i < blk.insts.size(); ++i) {
+        const Instruction &in = blk.insts[i];
+        const auto &info = opInfo(in.op);
+        InstMeta &im = m[i];
+        im.et = static_cast<u8>(
+            blk.placement.empty() ? (i % isa::NUM_ETS)
+                                  : blk.placement[i]);
+        im.etNode = static_cast<u8>(isa::opnNode(isa::etCoord(im.et)));
+        im.numInputs = info.numInputs;
+        im.latency = info.latency;
+        im.lsid = in.lsid;
+        u8 fl = 0;
+        if (in.predicated())
+            fl |= FL_PREDICATED;
+        if (in.pr == PredMode::OnTrue)
+            fl |= FL_PRED_ON_TRUE;
+        if (isBranch(in.op))
+            fl |= FL_BRANCH;
+        if (isMemory(in.op))
+            fl |= FL_MEMORY;
+        if (isLoad(in.op))
+            fl |= FL_LOAD;
+        im.flags = fl;
+    }
+    return m;
 }
 
 CycleSim::~CycleSim() = default;
@@ -129,6 +174,95 @@ bool
 CycleSim::frameOlder(unsigned a, unsigned b) const
 {
     return frames[a].seq < frames[b].seq;
+}
+
+// ---------------------------------------------------------------------
+// Event machinery
+// ---------------------------------------------------------------------
+
+void
+CycleSim::pushEvent(Event ev)
+{
+    ev.seq = ++eventSeq;
+    // The wheel requires a completion at least one cycle out; clamp
+    // so zero-latency UarchConfig settings degrade to next-cycle
+    // completion instead of landing in an already-drained bucket.
+    if (ev.when <= now)
+        ev.when = now + 1;
+    u64 delta = ev.when - now;
+    if (delta < WHEEL_SIZE)
+        wheel[ev.when & WHEEL_MASK].push_back(ev);
+    else
+        overflow.push(ev);
+}
+
+void
+CycleSim::processEvent(const Event &ev)
+{
+    Frame &f = frames[ev.fidx];
+    if (f.st == Frame::St::Free || f.epoch != ev.epoch)
+        return;
+    switch (ev.kind) {
+      case 0:
+        finishExecute(ev.fidx, ev.inst, ev.value, ev.isNull);
+        break;
+      case 1:
+        deliverToken(ev.fidx, ev.inst, ev.operand, ev.value, ev.isNull);
+        break;
+      case 2:
+        ++f.writesDone;
+        break;
+      case 3:
+        if (!(f.storeDoneMask & (1u << ev.lsid))) {
+            f.storeDoneMask |= 1u << ev.lsid;
+            ++f.storesDone;
+        }
+        break;
+      case 4:
+        finishExecute(ev.fidx, ev.inst, ev.value, false,
+                      /*is_load_reply=*/true);
+        break;
+    }
+}
+
+void
+CycleSim::drainEvents()
+{
+    // Merge the current wheel bucket (FIFO, seq-ascending by
+    // construction) with due overflow events, preserving global
+    // (when, seq) order. Events pushed while draining always land at
+    // least one cycle ahead, never in this bucket.
+    auto &bucket = wheel[now & WHEEL_MASK];
+    if (overflow.empty() || overflow.top().when > now) {
+        // Common case: nothing due in the overflow heap. Processing
+        // can push new overflow events, but those are never due this
+        // cycle, so the bucket alone is the whole drain.
+        for (size_t i = 0; i < bucket.size(); ++i) {
+            const Event ev = bucket[i];
+            processEvent(ev);
+        }
+        bucket.clear();
+        return;
+    }
+    size_t bi = 0;
+    while (true) {
+        bool have_b = bi < bucket.size();
+        bool have_o = !overflow.empty() && overflow.top().when <= now;
+        if (!have_b && !have_o)
+            break;
+        if (have_b &&
+            (!have_o || bucket[bi].seq < overflow.top().seq)) {
+            // Bucket entries are due exactly now: pushEvent asserts
+            // when > push-time now and the span keeps buckets unique.
+            const Event ev = bucket[bi++];
+            processEvent(ev);
+        } else {
+            const Event ev = overflow.top();
+            overflow.pop();
+            processEvent(ev);
+        }
+    }
+    bucket.clear();
 }
 
 // ---------------------------------------------------------------------
@@ -156,9 +290,8 @@ CycleSim::startFetch(u32 block_idx)
     f.seq = nextSeq++;
     ++f.epoch;
     f.blk = &blk;
-    f.opnd.assign(blk.insts.size(), {});
-    f.istate.assign(blk.insts.size(), IS_WAITING);
-    f.dispatched.assign(blk.insts.size(), 0);
+    f.im = metaFor(block_idx).data();
+    f.is.assign(blk.insts.size(), InstState{});
     f.dispatchedCount = 0;
     f.writesNeeded = static_cast<unsigned>(blk.writes.size());
     f.writesDone = 0;
@@ -168,6 +301,7 @@ CycleSim::startFetch(u32 block_idx)
     f.storeDoneMask = 0;
     f.writeVals.assign(blk.writes.size(), Tok{});
     f.lsq.clear();
+    f.lsqOrder = 0;
     f.branchResolved = f.retPending = f.nextKnown = false;
     f.isCall = f.isRet = f.haltsCandidate = false;
     f.firedCount = 0;
@@ -225,13 +359,15 @@ CycleSim::tickDispatch()
             rtQueues[bank].push_back(
                 {static_cast<unsigned>(fetchingFrame), f.epoch,
                  static_cast<u16>(r)});
+            rtBusy |= static_cast<u8>(1u << bank);
         }
     }
     unsigned budget = cfg.dispatchPerCycle;
     while (budget > 0 && dispatchCursor < f.blk->insts.size()) {
         u16 i = static_cast<u16>(dispatchCursor);
-        f.dispatched[i] = 1;
+        f.is[i].dispatched = 1;
         ++f.dispatchedCount;
+        ++liveInsts;
         const Instruction &in = f.blk->insts[i];
         if (opInfo(in.op).numInputs == 0 && !in.predicated())
             maybeWake(static_cast<unsigned>(fetchingFrame), i);
@@ -259,7 +395,7 @@ CycleSim::deliverToken(unsigned fidx, u16 inst, unsigned operand,
     Frame &f = frames[fidx];
     if (f.st == Frame::St::Free)
         return;
-    auto &slot = f.opnd[inst][operand];
+    auto &slot = f.is[inst].opnd[operand];
     TRIPS_ASSERT(slot.st == TOK_EMPTY, "operand received two tokens");
     slot.st = is_null ? TOK_NULL : TOK_VALUE;
     slot.v = value;
@@ -270,28 +406,26 @@ void
 CycleSim::maybeWake(unsigned fidx, u16 inst)
 {
     Frame &f = frames[fidx];
-    if (!f.dispatched[inst] || f.istate[inst] != IS_WAITING)
+    if (!f.is[inst].dispatched || f.is[inst].istate != IS_WAITING)
         return;
-    const Instruction &in = f.blk->insts[inst];
-    const auto &info = opInfo(in.op);
-    if (in.predicated()) {
-        const auto &p = f.opnd[inst][2];
+    const InstMeta im = f.im[inst];
+    if (im.flags & FL_PREDICATED) {
+        const auto &p = f.is[inst].opnd[2];
         if (p.st == TOK_EMPTY)
             return;
-        bool want = in.pr == PredMode::OnTrue;
+        bool want = (im.flags & FL_PRED_ON_TRUE) != 0;
         if (p.st == TOK_NULL || (p.v != 0) != want) {
-            f.istate[inst] = IS_DEAD;
+            f.is[inst].istate = IS_DEAD;
             return;
         }
     }
-    for (unsigned k = 0; k < info.numInputs; ++k) {
-        if (f.opnd[inst][k].st == TOK_EMPTY)
+    for (unsigned k = 0; k < im.numInputs; ++k) {
+        if (f.is[inst].opnd[k].st == TOK_EMPTY)
             return;
     }
-    f.istate[inst] = IS_READY;
-    unsigned et = f.blk->placement.empty() ? (inst % isa::NUM_ETS)
-                                           : f.blk->placement[inst];
-    etReady[et].push_back({fidx, f.epoch, inst});
+    f.is[inst].istate = IS_READY;
+    etReady[im.et].push_back({fidx, f.epoch, inst});
+    etReadyMask |= 1u << im.et;
 }
 
 // ---------------------------------------------------------------------
@@ -301,43 +435,41 @@ CycleSim::maybeWake(unsigned fidx, u16 inst)
 void
 CycleSim::tickEts()
 {
-    for (unsigned et = 0; et < isa::NUM_ETS; ++et) {
+    // Only ETs whose ready queue holds entries (ascending order, same
+    // as the full scan). Queues never gain entries for a *different*
+    // ET mid-loop (the only in-loop push is the same-ET retry), so the
+    // snapshot mask covers everything the full scan would visit.
+    for (u32 mask = etReadyMask; mask; mask &= mask - 1) {
+        unsigned et = static_cast<unsigned>(__builtin_ctz(mask));
         auto &q = etReady[et];
-        // Drop stale entries; select the oldest-frame ready entry.
-        int best = -1;
-        for (size_t k = 0; k < q.size(); ++k) {
-            auto &e = q[k];
-            Frame &f = frames[e.fidx];
-            if (f.st == Frame::St::Free || f.epoch != e.epoch ||
-                f.istate[e.inst] != IS_READY) {
-                e.stale = true;
-                continue;
-            }
-            if (best < 0 || frames[q[best].fidx].seq > f.seq)
-                best = static_cast<int>(k);
-        }
-        q.erase(std::remove_if(q.begin(), q.end(),
-                               [](const ReadyEntry &e) {
-                                   return e.stale;
-                               }),
-                q.end());
-        if (best < 0)
-            continue;
-        // Recompute index after erase.
-        int sel = -1;
+        // One pass: compact stale entries out while selecting the
+        // oldest-frame ready entry (first-wins on ties, matching
+        // queue order).
+        size_t w = 0;
+        size_t sel = ~size_t{0};
         u64 best_seq = ~0ULL;
         for (size_t k = 0; k < q.size(); ++k) {
-            if (frames[q[k].fidx].seq < best_seq &&
-                frames[q[k].fidx].istate[q[k].inst] == IS_READY) {
-                best_seq = frames[q[k].fidx].seq;
-                sel = static_cast<int>(k);
+            const ReadyEntry e = q[k];
+            Frame &f = frames[e.fidx];
+            if (f.st == Frame::St::Free || f.epoch != e.epoch ||
+                f.is[e.inst].istate != IS_READY)
+                continue;   // stale: drop
+            if (f.seq < best_seq) {
+                best_seq = f.seq;
+                sel = w;
             }
+            q[w++] = e;
         }
-        if (sel < 0)
-            continue;
-        ReadyEntry e = q[sel];
-        q.erase(q.begin() + sel);
-        issueInst(e.fidx, e.inst, et);
+        q.truncate(w);
+        if (sel < q.size()) {
+            const ReadyEntry e = q[sel];
+            q.eraseStable(sel);
+            issueInst(e.fidx, e.inst, et);
+        }
+        // issueInst may have re-queued a retry entry; only clear the
+        // occupancy bit when the queue really drained.
+        if (q.empty())
+            etReadyMask &= ~(1u << et);
     }
 }
 
@@ -346,10 +478,11 @@ CycleSim::issueInst(unsigned fidx, u16 inst, unsigned et)
 {
     Frame &f = frames[fidx];
     const Instruction &in = f.blk->insts[inst];
-    f.istate[inst] = IS_ISSUED;
-    unsigned lat = opInfo(in.op).latency;
+    const InstMeta im = f.im[inst];
+    f.is[inst].istate = IS_ISSUED;
+    unsigned lat = im.latency;
 
-    if (isBranch(in.op)) {
+    if (im.flags & FL_BRANCH) {
         // Exit packet to the GT.
         OutPacket op;
         op.pkt.src = isa::opnNode(isa::etCoord(et));
@@ -361,16 +494,16 @@ CycleSim::issueInst(unsigned fidx, u16 inst, unsigned et)
         pd.epoch = f.epoch;
         pd.inst = inst;
         queuePacket(op, pd);
-        f.istate[inst] = IS_FIRED;
+        f.is[inst].istate = IS_FIRED;
         ++f.firedCount;
         return;
     }
 
-    if (isMemory(in.op)) {
-        bool addr_null = f.opnd[inst][0].st == TOK_NULL;
-        Addr ea = f.opnd[inst][0].v +
+    if (im.flags & FL_MEMORY) {
+        bool addr_null = f.is[inst].opnd[0].st == TOK_NULL;
+        Addr ea = f.is[inst].opnd[0].v +
                   static_cast<u64>(static_cast<i64>(in.imm));
-        if (isLoad(in.op)) {
+        if (im.flags & FL_LOAD) {
             if (addr_null) {
                 // Null loads complete locally.
                 Event ev;
@@ -380,15 +513,16 @@ CycleSim::issueInst(unsigned fidx, u16 inst, unsigned et)
                 ev.epoch = f.epoch;
                 ev.inst = inst;
                 ev.isNull = true;
-                events.push(ev);
+                pushEvent(ev);
                 return;
             }
             // Dependence predictor: wait for older stores?
             u64 key = prog.blockAddr(f.blockIdx) + inst;
             if (depPred.shouldWait(key) && !olderStoresDone(fidx, inst)) {
                 // Retry next cycle.
-                f.istate[inst] = IS_READY;
+                f.is[inst].istate = IS_READY;
                 etReady[et].push_back({fidx, f.epoch, inst});
+                etReadyMask |= 1u << et;
                 return;
             }
             depPred.decayTick();
@@ -396,7 +530,7 @@ CycleSim::issueInst(unsigned fidx, u16 inst, unsigned et)
             return;
         }
         // Store.
-        bool val_null = f.opnd[inst][1].st == TOK_NULL;
+        bool val_null = f.is[inst].opnd[1].st == TOK_NULL;
         bool is_null = addr_null || val_null;
         if (is_null) {
             // Null store: completion token only.
@@ -406,32 +540,31 @@ CycleSim::issueInst(unsigned fidx, u16 inst, unsigned et)
             ev.fidx = fidx;
             ev.epoch = f.epoch;
             ev.lsid = in.lsid;
-            events.push(ev);
+            pushEvent(ev);
             LsqEntry le;
             le.inst = inst;
             le.lsid = in.lsid;
             le.isStore = true;
             le.executed = true;
             le.isNull = true;
-            f.lsq.push_back(le);
-            f.istate[inst] = IS_FIRED;
+            f.lsqInsert(le);
+            f.is[inst].istate = IS_FIRED;
             ++f.firedCount;
             return;
         }
-        sendMemRequest(fidx, inst, et, true, ea, f.opnd[inst][1].v,
+        sendMemRequest(fidx, inst, et, true, ea, f.is[inst].opnd[1].v,
                        false);
         return;
     }
 
     // Plain compute.
     bool any_null = false;
-    const auto &info = opInfo(in.op);
-    for (unsigned k = 0; k < info.numInputs; ++k)
-        any_null |= f.opnd[inst][k].st == TOK_NULL;
+    for (unsigned k = 0; k < im.numInputs; ++k)
+        any_null |= f.is[inst].opnd[k].st == TOK_NULL;
     u64 value = 0;
     bool is_null = any_null || in.op == Opcode::NULLW;
     if (!is_null)
-        value = sim::evalOp(in.op, f.opnd[inst][0].v, f.opnd[inst][1].v,
+        value = sim::evalOp(in.op, f.is[inst].opnd[0].v, f.is[inst].opnd[1].v,
                             in.imm);
     Event ev;
     ev.when = now + lat;
@@ -441,7 +574,7 @@ CycleSim::issueInst(unsigned fidx, u16 inst, unsigned et)
     ev.inst = inst;
     ev.value = value;
     ev.isNull = is_null;
-    events.push(ev);
+    pushEvent(ev);
 }
 
 bool
@@ -457,7 +590,8 @@ CycleSim::olderStoresDone(unsigned fidx, u16 inst) const
             return false;
     }
     // Older frames: all their stores completed.
-    for (unsigned idx : frameQueue) {
+    for (size_t qi = 0; qi < frameQueue.size(); ++qi) {
+        unsigned idx = frameQueue[qi];
         if (idx == fidx)
             break;
         const Frame &g = frames[idx];
@@ -497,37 +631,43 @@ CycleSim::sendMemRequest(unsigned fidx, u16 inst, unsigned et,
 // ---------------------------------------------------------------------
 
 void
-CycleSim::finishExecute(unsigned fidx, u16 inst, u64 value, bool is_null)
+CycleSim::finishExecute(unsigned fidx, u16 inst, u64 value, bool is_null,
+                        bool is_load_reply)
 {
     Frame &f = frames[fidx];
     if (f.st == Frame::St::Free)
         return;
-    if (f.istate[inst] != IS_FIRED) {
-        f.istate[inst] = IS_FIRED;
+    if (f.is[inst].istate != IS_FIRED) {
+        f.is[inst].istate = IS_FIRED;
         ++f.firedCount;
     }
     const Instruction &in = f.blk->insts[inst];
-    unsigned et = f.blk->placement.empty() ? (inst % isa::NUM_ETS)
-                                           : f.blk->placement[inst];
-    unsigned src = isa::opnNode(isa::etCoord(et));
+    unsigned src = f.im[inst].etNode;
     for (const auto &t : in.targets) {
         if (t.valid())
-            routeOperand(fidx, inst, src, t, value, is_null);
+            routeOperand(fidx, inst, src, t, value, is_null,
+                         is_load_reply);
     }
 }
 
 void
-CycleSim::routeOperand(unsigned fidx, u16 producer, unsigned src_node,
-                       const Target &t, u64 value, bool is_null)
+CycleSim::routeOperand(unsigned fidx, u16 /*producer*/, unsigned src_node,
+                       const Target &t, u64 value, bool is_null,
+                       bool is_load_reply)
 {
+    // Traffic-class accounting note: the model folds the DT->ET reply
+    // leg of a load into the reply event's latency and distributes the
+    // result from the load's own ET, so reply packets physically
+    // originate at an ET node. They are still *accounted* as DT-ET /
+    // DT-RT traffic (the paper's Fig. 8 reply classes); their hop
+    // counts therefore measure the ET->consumer leg.
     Frame &f = frames[fidx];
     if (t.kind == Target::Kind::Write) {
         unsigned bank = Block::regBank(f.blk->writes[t.index].reg);
         unsigned dst = isa::opnNode(isa::rtCoord(bank));
-        net::OpnClass cls = net::OpnClass::EtRt;
         // Loads replying straight to a write slot are DT->RT traffic.
-        if (srcIsDt(src_node))
-            cls = net::OpnClass::DtRt;
+        net::OpnClass cls = is_load_reply ? net::OpnClass::DtRt
+                                          : net::OpnClass::EtRt;
         OutPacket op;
         op.pkt.src = src_node;
         op.pkt.dst = dst;
@@ -544,13 +684,13 @@ CycleSim::routeOperand(unsigned fidx, u16 producer, unsigned src_node,
     }
     unsigned operand = t.kind == Target::Kind::Op0 ? 0
                      : t.kind == Target::Kind::Op1 ? 1 : 2;
-    unsigned dst_et = f.blk->placement.empty()
-        ? (t.index % isa::NUM_ETS) : f.blk->placement[t.index];
-    unsigned dst = isa::opnNode(isa::etCoord(dst_et));
+    unsigned dst = f.im[t.index].etNode;
     if (dst == src_node && !srcIsDt(src_node) && !srcIsRt(src_node)) {
         // Local bypass within the ET: no network traversal.
         ++res.localBypasses;
-        res.opnHops[static_cast<size_t>(net::OpnClass::EtEt)].sample(0);
+        net::OpnClass bcls = is_load_reply ? net::OpnClass::DtEt
+                                           : net::OpnClass::EtEt;
+        res.opnHops[static_cast<size_t>(bcls)].sample(0);
         Event ev;
         ev.when = now + 1;
         ev.kind = 1;
@@ -560,14 +700,14 @@ CycleSim::routeOperand(unsigned fidx, u16 producer, unsigned src_node,
         ev.operand = static_cast<u8>(operand);
         ev.value = value;
         ev.isNull = is_null;
-        events.push(ev);
+        pushEvent(ev);
         return;
     }
     net::OpnClass cls = net::OpnClass::EtEt;
-    if (srcIsDt(src_node))
-        cls = net::OpnClass::EtDt;
+    if (is_load_reply)
+        cls = net::OpnClass::DtEt;      // load reply to a consumer ET
     else if (srcIsRt(src_node))
-        cls = net::OpnClass::EtRt;
+        cls = net::OpnClass::RtEt;      // register read operand
     OutPacket op;
     op.pkt.src = src_node;
     op.pkt.dst = dst;
@@ -598,8 +738,8 @@ CycleSim::srcIsRt(unsigned node)
 void
 CycleSim::queuePacket(OutPacket op, const PacketData &pd)
 {
-    u64 id = nextPacketId++;
-    packetData[id] = pd;
+    u32 id = packetPool.alloc();
+    packetPool[id] = pd;
     op.pkt.tag = id;
     outbox.push_back(op);
 }
@@ -607,32 +747,35 @@ CycleSim::queuePacket(OutPacket op, const PacketData &pd)
 void
 CycleSim::pumpOutbox()
 {
-    for (size_t i = 0; i < outbox.size();) {
-        if (opn.inject(outbox[i].pkt, now)) {
-            outbox.erase(outbox.begin() + i);
-        } else {
-            ++i;
-        }
+    // Try each packet once, in order; keep the failures in order
+    // (stable in-place compaction, no O(n^2) middle erases).
+    size_t w = 0;
+    for (size_t i = 0; i < outbox.size(); ++i) {
+        if (!opn.inject(outbox[i].pkt, now))
+            outbox[w++] = outbox[i];
     }
+    outbox.truncate(w);
 }
 
 void
 CycleSim::deliverPackets()
 {
     for (const auto &pkt : opn.delivered()) {
-        auto it = packetData.find(pkt.tag);
-        TRIPS_ASSERT(it != packetData.end());
-        PacketData pd = it->second;
-        packetData.erase(it);
+        u32 id = static_cast<u32>(pkt.tag);
+        const PacketData pd = packetPool[id];
         Frame &f = frames[pd.fidx];
-        if (f.st == Frame::St::Free || f.epoch != pd.epoch)
+        if (f.st == Frame::St::Free || f.epoch != pd.epoch) {
+            packetPool.free(id);
             continue;  // squashed
+        }
         switch (pd.kind) {
           case PacketData::Kind::Operand:
+            packetPool.free(id);
             deliverToken(pd.fidx, pd.inst, pd.operand, pd.value,
                          pd.isNull);
             break;
           case PacketData::Kind::WriteArrive: {
+            packetPool.free(id);
             auto &slot = f.writeVals[pd.writeSlot];
             TRIPS_ASSERT(slot.st == TOK_EMPTY,
                          "write slot received two tokens");
@@ -643,17 +786,19 @@ CycleSim::deliverPackets()
             ev.kind = 2;
             ev.fidx = pd.fidx;
             ev.epoch = pd.epoch;
-            events.push(ev);
+            pushEvent(ev);
             break;
           }
           case PacketData::Kind::MemRequest: {
+            // Payload stays in the pool while the request sits in the
+            // data tile's queue; the id is recycled in tickDts().
             unsigned bank = isa::dtForAddr(pd.addr);
-            u64 id = nextPacketId++;
-            packetData[id] = pd;
             dts[bank].queue.push_back(id);
+            dtBusy |= static_cast<u8>(1u << bank);
             break;
           }
           case PacketData::Kind::Branch:
+            packetPool.free(id);
             resolveBranch(pd.fidx, pd.inst,
                           f.blk->insts[pd.inst].exit);
             break;
@@ -688,16 +833,19 @@ CycleSim::l2Access(Addr addr, bool is_write, unsigned requester_bank)
 void
 CycleSim::tickDts()
 {
-    for (unsigned bank = 0; bank < isa::NUM_DTS; ++bank) {
+    // Most cycles carry no memory traffic at all; the busy mask makes
+    // that case a single test instead of four scattered queue probes.
+    for (u8 mask = dtBusy; mask; mask &= static_cast<u8>(mask - 1)) {
+        unsigned bank = static_cast<unsigned>(__builtin_ctz(mask));
         auto &dt = dts[bank];
-        if (dt.queue.empty() || now < dt.bankFree)
+        if (now < dt.bankFree)
             continue;
-        u64 id = dt.queue.front();
+        u32 id = dt.queue.front();
         dt.queue.pop_front();
-        auto it = packetData.find(id);
-        TRIPS_ASSERT(it != packetData.end());
-        PacketData pd = it->second;
-        packetData.erase(it);
+        if (dt.queue.empty())
+            dtBusy &= static_cast<u8>(~(1u << bank));
+        const PacketData pd = packetPool[id];
+        packetPool.free(id);
         Frame &f = frames[pd.fidx];
         if (f.st == Frame::St::Free || f.epoch != pd.epoch)
             continue;
@@ -714,9 +862,9 @@ CycleSim::tickDts()
             le.width = pd.width;
             le.value = pd.value;
             le.execTime = now;
-            f.lsq.push_back(le);
-            if (f.istate[pd.inst] != IS_FIRED) {
-                f.istate[pd.inst] = IS_FIRED;
+            f.lsqInsert(le);
+            if (f.is[pd.inst].istate != IS_FIRED) {
+                f.is[pd.inst].istate = IS_FIRED;
                 ++f.firedCount;
             }
             Event ev;
@@ -725,7 +873,7 @@ CycleSim::tickDts()
             ev.fidx = pd.fidx;
             ev.epoch = pd.epoch;
             ev.lsid = in.lsid;
-            events.push(ev);
+            pushEvent(ev);
             checkViolations(pd.fidx, pd.inst, pd.addr, pd.width,
                             in.lsid);
             continue;
@@ -742,7 +890,7 @@ CycleSim::tickDts()
         u64 value = loadValue(pd.fidx, in.lsid, pd.addr, pd.width);
         value = sim::extendLoad(in.op, value);
         le.value = value;
-        f.lsq.push_back(le);
+        f.lsqInsert(le);
         ++res.loadsExecuted;
         res.bytesL1 += pd.width;
 
@@ -762,7 +910,7 @@ CycleSim::tickDts()
         ev.epoch = pd.epoch;
         ev.inst = pd.inst;
         ev.value = value;
-        events.push(ev);
+        pushEvent(ev);
     }
 }
 
@@ -771,6 +919,8 @@ CycleSim::loadValue(unsigned fidx, u8 lsid, Addr addr, u8 width)
 {
     // Committed memory overlaid with older in-flight stores, oldest
     // frame first, LSID order within a frame (byte-accurate merge).
+    // Each frame's LSQ is kept LSID-sorted, so the merge walks it in
+    // place -- no temporary vector, no sort.
     u64 v = mem.read(addr, width);
     auto overlay = [&](const LsqEntry &s) {
         for (unsigned b = 0; b < width; ++b) {
@@ -782,23 +932,17 @@ CycleSim::loadValue(unsigned fidx, u8 lsid, Addr addr, u8 width)
             }
         }
     };
-    for (unsigned idx : frameQueue) {
+    for (size_t qi = 0; qi < frameQueue.size(); ++qi) {
+        unsigned idx = frameQueue[qi];
         const Frame &g = frames[idx];
         bool same = idx == fidx;
-        std::vector<const LsqEntry *> stores;
         for (const auto &e : g.lsq) {
+            if (same && e.lsid >= lsid)
+                break;
             if (!e.isStore || !e.executed || e.isNull)
                 continue;
-            if (same && e.lsid >= lsid)
-                continue;
-            stores.push_back(&e);
+            overlay(e);
         }
-        std::sort(stores.begin(), stores.end(),
-                  [](const LsqEntry *a, const LsqEntry *b) {
-                      return a->lsid < b->lsid;
-                  });
-        for (const auto *s : stores)
-            overlay(*s);
         if (same)
             break;
     }
@@ -811,13 +955,18 @@ CycleSim::checkViolations(unsigned fidx, u16, Addr addr, u8 width,
 {
     // A store arriving after a younger load to an overlapping address
     // already executed means the load got stale data: flush the load's
-    // frame (and younger) and train the load-wait table.
+    // frame (and younger) and train the load-wait table. Among several
+    // overlapping loads in the first offending frame the one that
+    // executed earliest is trained (the LSQ is LSID-sorted, so
+    // execution order is tracked explicitly per entry).
     bool past_store_frame = false;
-    for (unsigned idx : frameQueue) {
+    for (size_t qi = 0; qi < frameQueue.size(); ++qi) {
+        unsigned idx = frameQueue[qi];
         Frame &g = frames[idx];
         bool same = idx == fidx;
         if (!past_store_frame && !same)
             continue;
+        const LsqEntry *victim = nullptr;
         for (const auto &e : g.lsq) {
             if (e.isStore || !e.executed)
                 continue;
@@ -827,8 +976,12 @@ CycleSim::checkViolations(unsigned fidx, u16, Addr addr, u8 width,
                            addr < e.addr + e.width;
             if (!overlap)
                 continue;
+            if (!victim || e.order < victim->order)
+                victim = &e;
+        }
+        if (victim) {
             ++res.loadViolationFlushes;
-            u64 key = prog.blockAddr(g.blockIdx) + e.inst;
+            u64 key = prog.blockAddr(g.blockIdx) + victim->inst;
             depPred.trainViolation(key);
             flushFrameAndYounger(idx, g.blockIdx);
             return;
@@ -845,29 +998,30 @@ CycleSim::checkViolations(unsigned fidx, u16, Addr addr, u8 width,
 void
 CycleSim::tickRts()
 {
-    for (unsigned bank = 0; bank < isa::NUM_REG_BANKS; ++bank) {
+    for (u8 bm = rtBusy; bm; bm &= static_cast<u8>(bm - 1)) {
+        unsigned bank = static_cast<unsigned>(__builtin_ctz(bm));
         auto &q = rtQueues[bank];
-        if (q.empty())
-            continue;
         RtRead rr = q.front();
         q.pop_front();
+        if (q.empty())
+            rtBusy &= static_cast<u8>(~(1u << bank));
         Frame &f = frames[rr.fidx];
         if (f.st == Frame::St::Free || f.epoch != rr.epoch)
             continue;
         const auto &read = f.blk->reads[rr.readIdx];
 
-        // Resolve against older in-flight frames, youngest first.
+        // Resolve against older in-flight frames, youngest first
+        // (walking the frame queue backwards from this frame's
+        // position -- no temporary list).
+        size_t pos = 0;
+        const size_t qn = frameQueue.size();
+        while (pos < qn && frameQueue[pos] != rr.fidx)
+            ++pos;
         bool wait = false;
         bool have = false;
         u64 value = 0;
-        std::vector<unsigned> older;
-        for (unsigned idx : frameQueue) {
-            if (idx == rr.fidx)
-                break;
-            older.push_back(idx);
-        }
-        for (auto it = older.rbegin(); it != older.rend(); ++it) {
-            Frame &g = frames[*it];
+        for (size_t oi = pos; oi-- > 0;) {
+            Frame &g = frames[frameQueue[oi]];
             if (g.st == Frame::St::Fetching ||
                 g.st == Frame::St::Dispatching) {
                 wait = true;  // writes unknown until header dispatched
@@ -891,6 +1045,7 @@ CycleSim::tickRts()
         }
         if (wait) {
             q.push_back(rr);  // retry next cycle
+            rtBusy |= static_cast<u8>(1u << bank);
             continue;
         }
         if (!have)
@@ -932,6 +1087,7 @@ CycleSim::resolveBranch(unsigned fidx, u16 inst, u8 exit)
         onNextKnown(fidx);
     } else {
         f.retPending = true;
+        ++retsPending;
         tryResolveRets();
     }
 }
@@ -939,32 +1095,41 @@ CycleSim::resolveBranch(unsigned fidx, u16 inst, u8 exit)
 void
 CycleSim::tryResolveRets()
 {
+    // The walk below only has side effects on frames with a pending
+    // RET; skip it entirely (most cycles) when there are none.
+    if (retsPending == 0)
+        return;
     // Resolve pending RET targets once all older frames know theirs.
-    std::vector<u32> stack = archStack;
-    for (unsigned idx : frameQueue) {
+    // The walk speculates over the architectural call stack; the copy
+    // lives in a member scratch buffer so the per-cycle call does not
+    // allocate.
+    retStack.assign(archStack.begin(), archStack.end());
+    for (size_t qi = 0; qi < frameQueue.size(); ++qi) {
+        unsigned idx = frameQueue[qi];
         Frame &f = frames[idx];
         if (!f.branchResolved && f.st != Frame::St::Free)
             return;  // an older unresolved frame blocks the walk
         if (f.st == Frame::St::Free)
             continue;
         if (f.isCall && f.nextKnown) {
-            stack.push_back(
+            retStack.push_back(
                 static_cast<u32>(f.blk->insts[f.branchInst].returnBlock));
         } else if (f.isRet) {
             if (f.retPending) {
-                if (stack.empty()) {
+                if (retStack.empty()) {
                     f.haltsCandidate = true;
                     f.actualNext = f.blockIdx;  // unused
                 } else {
-                    f.actualNext = stack.back();
+                    f.actualNext = retStack.back();
                 }
                 f.retPending = false;
+                --retsPending;
                 f.nextKnown = true;
                 onNextKnown(idx);
                 return;  // frameQueue may have changed (flush)
             }
-            if (f.nextKnown && !f.haltsCandidate && !stack.empty())
-                stack.pop_back();
+            if (f.nextKnown && !f.haltsCandidate && !retStack.empty())
+                retStack.pop_back();
         }
     }
 }
@@ -976,7 +1141,8 @@ CycleSim::onNextKnown(unsigned fidx)
     // Find the successor frame (next in queue after fidx).
     bool found = false;
     i32 succ = -1;
-    for (unsigned idx : frameQueue) {
+    for (size_t qi = 0; qi < frameQueue.size(); ++qi) {
+        unsigned idx = frameQueue[qi];
         if (found) {
             succ = static_cast<i32>(idx);
             break;
@@ -1007,36 +1173,28 @@ CycleSim::onNextKnown(unsigned fidx)
 void
 CycleSim::flushYoungerThan(unsigned fidx)
 {
-    // Squash every frame younger than fidx.
-    std::deque<unsigned> keep;
-    bool younger = false;
-    for (unsigned idx : frameQueue) {
-        if (younger) {
-            squashFrame(idx);
-            continue;
-        }
-        keep.push_back(idx);
-        if (idx == fidx)
-            younger = true;
-    }
-    frameQueue = keep;
+    // Squash every frame younger than fidx (in place on the ring).
+    const size_t n = frameQueue.size();
+    size_t pos = 0;
+    while (pos < n && frameQueue[pos] != fidx)
+        ++pos;
+    if (pos == n)
+        return;
+    for (size_t i = pos + 1; i < n; ++i)
+        squashFrame(frameQueue[i]);
+    frameQueue.truncate(pos + 1);
 }
 
 void
 CycleSim::flushFrameAndYounger(unsigned fidx, u32 restart_block)
 {
-    std::deque<unsigned> keep;
-    bool hit = false;
-    for (unsigned idx : frameQueue) {
-        if (idx == fidx)
-            hit = true;
-        if (hit) {
-            squashFrame(idx);
-        } else {
-            keep.push_back(idx);
-        }
-    }
-    frameQueue = keep;
+    const size_t n = frameQueue.size();
+    size_t pos = 0;
+    while (pos < n && frameQueue[pos] != fidx)
+        ++pos;
+    for (size_t i = pos; i < n; ++i)
+        squashFrame(frameQueue[i]);
+    frameQueue.truncate(pos);
     ++res.blocksFlushed;
     nextFetchBlock = restart_block;
     fetchReadyAt = std::max(fetchReadyAt, now + cfg.redirectPenalty);
@@ -1047,6 +1205,11 @@ void
 CycleSim::squashFrame(unsigned idx)
 {
     Frame &f = frames[idx];
+    liveInsts -= f.dispatchedCount;
+    if (f.retPending) {
+        f.retPending = false;
+        --retsPending;
+    }
     f.st = Frame::St::Free;
     ++f.epoch;
     f.lsq.clear();
@@ -1082,10 +1245,7 @@ CycleSim::tickCommit()
         if (f.writeVals[w].st == TOK_VALUE)
             regfile[f.blk->writes[w].reg] = f.writeVals[w].v;
     }
-    std::sort(f.lsq.begin(), f.lsq.end(),
-              [](const LsqEntry &a, const LsqEntry &b) {
-                  return a.lsid < b.lsid;
-              });
+    // The LSQ is LSID-sorted by construction; stores drain in order.
     for (const auto &e : f.lsq) {
         if (!e.isStore || e.isNull)
             continue;
@@ -1129,6 +1289,7 @@ CycleSim::tickCommit()
         halted = true;
         res.retVal = static_cast<i64>(regfile[3]);
     }
+    liveInsts -= f.dispatchedCount;
     f.st = Frame::St::Free;
     ++f.epoch;
     f.lsq.clear();
@@ -1145,34 +1306,7 @@ CycleSim::run()
     while (!halted && now < cfg.maxCycles) {
         opn.tick(now);
         deliverPackets();
-        while (!events.empty() && events.top().when <= now) {
-            Event ev = events.top();
-            events.pop();
-            Frame &f = frames[ev.fidx];
-            if (f.st == Frame::St::Free || f.epoch != ev.epoch)
-                continue;
-            switch (ev.kind) {
-              case 0:
-                finishExecute(ev.fidx, ev.inst, ev.value, ev.isNull);
-                break;
-              case 1:
-                deliverToken(ev.fidx, ev.inst, ev.operand, ev.value,
-                             ev.isNull);
-                break;
-              case 2:
-                ++f.writesDone;
-                break;
-              case 3:
-                if (!(f.storeDoneMask & (1u << ev.lsid))) {
-                    f.storeDoneMask |= 1u << ev.lsid;
-                    ++f.storesDone;
-                }
-                break;
-              case 4:
-                finishExecute(ev.fidx, ev.inst, ev.value, false);
-                break;
-            }
-        }
+        drainEvents();
         tickDts();
         tickRts();
         tickEts();
@@ -1182,19 +1316,11 @@ CycleSim::run()
         tryResolveRets();
         pumpOutbox();
 
-        // Window occupancy sampling.
-        unsigned blocks = 0;
-        u64 insts = 0;
-        for (unsigned idx : frameQueue) {
-            const Frame &f = frames[idx];
-            if (f.st == Frame::St::Free)
-                continue;
-            ++blocks;
-            insts += f.dispatchedCount;
-        }
-        sumBlocksInFlight += blocks;
-        sumInstsInFlight += static_cast<double>(insts);
-        res.peakInstsInFlight = std::max(res.peakInstsInFlight, insts);
+        // Window occupancy sampling (counters kept incrementally).
+        sumBlocksInFlight += static_cast<double>(frameQueue.size());
+        sumInstsInFlight += static_cast<double>(liveInsts);
+        res.peakInstsInFlight =
+            std::max(res.peakInstsInFlight, liveInsts);
 
         ++now;
     }
@@ -1204,8 +1330,11 @@ CycleSim::run()
     res.avgBlocksInFlight = now ? sumBlocksInFlight / now : 0;
     res.avgInstsInFlight = now ? sumInstsInFlight / now : 0;
     res.predictor = predictor.stats();
-    for (unsigned c = 0; c < 6; ++c)
-        res.opnHops[c] = opn.hopDist(static_cast<net::OpnClass>(c));
+    // res.opnHops already holds the local-bypass samples (0 hops);
+    // fold in the traffic that actually crossed the network so the
+    // per-class profile covers every delivered operand.
+    for (size_t c = 0; c < res.opnHops.size(); ++c)
+        res.opnHops[c].merge(opn.hopDist(static_cast<net::OpnClass>(c)));
     res.opnPackets = opn.packetsSent();
     return res;
 }

@@ -13,15 +13,22 @@
  * protocol. Architectural state (register file + memory image) is
  * updated only at commit, so the model commits exactly the same block
  * stream as the functional simulator (asserted by tests).
+ *
+ * The per-cycle machinery is allocation-free in steady state: packet
+ * payloads live in a SlabPool keyed by dense ids carried as OPN tags,
+ * timed events sit in a bucketed timing wheel (bounded latencies) with
+ * a small overflow heap (rare long-latency DRAM replies), and every
+ * per-tile queue is a reuse-friendly SmallVec/RingQueue. Event order
+ * is fully deterministic: same-cycle events fire in push order
+ * (tracked by a sequence number), which the wheel's FIFO buckets and
+ * the (when, seq)-ordered overflow heap preserve exactly.
  */
 
 #ifndef TRIPSIM_UARCH_CYCLE_SIM_HH
 #define TRIPSIM_UARCH_CYCLE_SIM_HH
 
 #include <array>
-#include <deque>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "isa/program.hh"
@@ -31,6 +38,7 @@
 #include "net/opn.hh"
 #include "pred/predictors.hh"
 #include "support/memimage.hh"
+#include "support/pool.hh"
 #include "uarch/config.hh"
 
 namespace trips::uarch {
@@ -70,7 +78,8 @@ struct UarchResult
     pred::NextBlockStats predictor;
 
     // OPN traffic profile (per class; bucket = hop count).
-    std::array<Distribution, 6> opnHops;
+    std::array<Distribution,
+               static_cast<size_t>(net::OpnClass::NUM_CLASSES)> opnHops;
     u64 opnPackets = 0;
     u64 localBypasses = 0;
 
@@ -92,15 +101,32 @@ class CycleSim
 
   private:
     struct Frame;
-    struct PacketData;
     struct DtState;
+
+    /** Payload bound to an in-flight OPN packet (tag = pool id).
+     *  Field order keeps the struct at 32 bytes: the pool is walked on
+     *  every delivery, so density is cache hits. */
+    struct PacketData
+    {
+        enum class Kind : u8 { Operand, WriteArrive, MemRequest, Branch };
+        u64 value = 0;
+        Addr addr = 0;
+        unsigned fidx = 0;
+        u32 epoch = 0;
+        u16 inst = 0;       ///< consumer slot / memory inst / branch inst
+        Kind kind = Kind::Operand;
+        u8 operand = 0;     ///< 0/1/2 for Operand
+        u8 writeSlot = 0;
+        bool isNull = false;
+        bool isStoreReq = false;
+        u8 width = 0;
+    };
 
     struct ReadyEntry
     {
         unsigned fidx;
         u32 epoch;
         u16 inst;
-        bool stale = false;
     };
 
     struct RtRead
@@ -115,21 +141,35 @@ class CycleSim
         net::OpnPacket pkt;
     };
 
+    /** Packed to 40 bytes: wheel buckets copy these by value. */
     struct Event
     {
         Cycle when = 0;
-        u8 kind = 0;   // 0 ExecDone, 1 TokenDeliver, 2 GtWriteNote,
-                       // 3 GtStoreNote, 4 LoadReply
+        u64 value = 0;
+        u64 seq = 0;   ///< push order; same-cycle events fire FIFO
         unsigned fidx = 0;
         u32 epoch = 0;
         u16 inst = 0;
+        u8 kind = 0;   // 0 ExecDone, 1 TokenDeliver, 2 GtWriteNote,
+                       // 3 GtStoreNote, 4 LoadReply
         u8 operand = 0;
-        u64 value = 0;
         bool isNull = false;
         u8 lsid = 0;
 
-        bool operator<(const Event &o) const { return when > o.when; }
+        bool operator<(const Event &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
     };
+
+    /** Timing-wheel span: covers every bounded latency in the model
+     *  (ALU <= 24, status/token/cache-hit <= ~40 with NUCA steps);
+     *  longer waits (DRAM replies) take the overflow heap. */
+    static constexpr unsigned WHEEL_BITS = 6;
+    static constexpr unsigned WHEEL_SIZE = 1u << WHEEL_BITS;
+    static constexpr unsigned WHEEL_MASK = WHEEL_SIZE - 1;
 
     // Pipeline stages per cycle.
     void tickFetch();
@@ -140,6 +180,7 @@ class CycleSim
     void tickCommit();
     void deliverPackets();
     void pumpOutbox();
+    void drainEvents();
 
     // Helpers.
     void startFetch(u32 block_idx);
@@ -156,36 +197,72 @@ class CycleSim
     bool frameOlder(unsigned a, unsigned b) const;
     unsigned frameIndexOf(Frame &f) const;
     void routeOperand(unsigned fidx, u16 producer, unsigned src_node,
-                      const isa::Target &t, u64 value, bool is_null);
+                      const isa::Target &t, u64 value, bool is_null,
+                      bool is_load_reply = false);
     void deliverToken(unsigned fidx, u16 inst, unsigned operand,
                       u64 value, bool is_null);
     void maybeWake(unsigned fidx, u16 inst);
     void finishExecute(unsigned fidx, u16 inst, u64 value,
-                       bool is_null);
+                       bool is_null, bool is_load_reply = false);
     u64 loadValue(unsigned fidx, u8 lsid, Addr addr, u8 width);
     void checkViolations(unsigned fidx, u16 inst, Addr addr, u8 width,
                          u8 lsid);
     Cycle l2Access(Addr addr, bool is_write, unsigned requester_bank);
     void queuePacket(OutPacket op, const PacketData &pd);
+    void pushEvent(Event ev);
+    void processEvent(const Event &ev);
     static bool srcIsDt(unsigned node);
     static bool srcIsRt(unsigned node);
+
+    /**
+     * Per-instruction static facts, decoded once per block and kept
+     * hot: the wake/issue/route paths run every cycle and would
+     * otherwise re-read the wide Instruction record, the opcode table
+     * and the placement vector each time.
+     */
+    struct InstMeta
+    {
+        u8 et = 0;          ///< execution tile index (0..15)
+        u8 etNode = 0;      ///< OPN node id of that ET
+        u8 numInputs = 0;
+        u8 latency = 0;
+        u8 flags = 0;       ///< see FL_* below
+        u8 lsid = 0;
+    };
+    enum : u8 {
+        FL_PREDICATED = 1 << 0,
+        FL_PRED_ON_TRUE = 1 << 1,
+        FL_BRANCH = 1 << 2,
+        FL_MEMORY = 1 << 3,
+        FL_LOAD = 1 << 4,
+    };
+
+    const std::vector<InstMeta> &metaFor(u32 block_idx);
 
     const isa::Program &prog;
     MemImage &mem;
     UarchConfig cfg;
 
+    std::vector<std::vector<InstMeta>> instMeta;  ///< per block, lazy
+
     std::array<u64, isa::NUM_REGS> regfile{};
     std::vector<u32> archStack;
 
-    std::vector<Frame> frames;        ///< cfg.numFrames slots
-    std::deque<unsigned> frameQueue;  ///< oldest..youngest (positions)
+    std::vector<Frame> frames;           ///< cfg.numFrames slots
+    RingQueue<unsigned, 8> frameQueue;   ///< oldest..youngest (positions)
     u64 nextSeq = 1;
 
     net::OpnNetwork opn;
-    std::unordered_map<u64, PacketData> packetData;
-    u64 nextPacketId = 1;
-    std::vector<OutPacket> outbox;
-    std::priority_queue<Event> events;
+    SlabPool<PacketData> packetPool;
+    SmallVec<OutPacket, 64> outbox;
+
+    // Event machinery: wheel buckets hold same-cycle events in push
+    // (seq) order; the overflow heap is ordered by (when, seq). Small
+    // inline buckets keep the wheel's working set compact; heavy
+    // buckets spill once and keep their buffer.
+    std::array<SmallVec<Event, 8>, WHEEL_SIZE> wheel;
+    std::priority_queue<Event> overflow;
+    u64 eventSeq = 0;
 
     mem::Cache l1i;
     std::vector<mem::Cache> l1d;      ///< 4 banks
@@ -195,8 +272,14 @@ class CycleSim
     pred::DependencePredictor depPred;
 
     std::vector<DtState> dts;
-    std::array<std::vector<ReadyEntry>, isa::NUM_ETS> etReady;
-    std::array<std::deque<RtRead>, isa::NUM_REG_BANKS> rtQueues;
+    u8 dtBusy = 0;         ///< bit per DT bank with queued requests
+    std::array<SmallVec<ReadyEntry, 32>, isa::NUM_ETS> etReady;
+    u32 etReadyMask = 0;   ///< bit per ET with a non-empty ready queue
+    std::array<RingQueue<RtRead, 16>, isa::NUM_REG_BANKS> rtQueues;
+    u8 rtBusy = 0;         ///< bit per register bank with queued reads
+
+    std::vector<u32> retStack;        ///< tryResolveRets scratch (reused)
+    unsigned retsPending = 0;         ///< frames with an unresolved RET
 
     // Fetch/dispatch engine.
     i32 fetchingFrame = -1;           ///< frame being fetched/dispatched
@@ -213,6 +296,8 @@ class CycleSim
     Cycle commitDoneAt = 0;
     bool committing = false;
 
+    // Window occupancy, maintained incrementally (no per-cycle walk).
+    u64 liveInsts = 0;                ///< dispatched insts in queued frames
     double sumBlocksInFlight = 0;
     double sumInstsInFlight = 0;
 };

@@ -311,9 +311,11 @@ TEST(CompileExec, RandomizedDiamondPrograms)
         auto acc = fb.iconst(0);
         int nbr = 3 + static_cast<int>(rng.below(3));
         for (int k = 0; k < nbr; ++k) {
-            std::string t = "t" + std::to_string(k);
-            std::string e = "e" + std::to_string(k);
-            std::string j = "j" + std::to_string(k);
+            // std::string{} first: sidesteps GCC 12's -Wrestrict
+            // false positive on "literal" + std::to_string (PR105329).
+            std::string t = std::string("t") + std::to_string(k);
+            std::string e = std::string("e") + std::to_string(k);
+            std::string j = std::string("j") + std::to_string(k);
             fb.br(fb.cmpGt(fb.andi(x, 7), fb.iconst(rng.range(0, 7))),
                   t, e);
             fb.label(t);

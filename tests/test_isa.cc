@@ -67,8 +67,9 @@ TEST(IsaEncode, RoundTripRandomInstructions)
         EXPECT_EQ(back->op, in.op) << disasmInstruction(in);
         EXPECT_EQ(back->imm, in.imm) << disasmInstruction(in);
         EXPECT_EQ(back->pr, in.pr) << disasmInstruction(in);
-        if (isMemory(in.op))
+        if (isMemory(in.op)) {
             EXPECT_EQ(back->lsid, in.lsid);
+        }
         for (unsigned t = 0; t < opInfo(in.op).numTargets; ++t) {
             EXPECT_EQ(back->targets[t], in.targets[t])
                 << disasmInstruction(in) << " target " << t;

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Regression pins for the cycle-level simulator's statistics and its
+ * allocation discipline:
+ *
+ *  - Golden-stats tests pin cycles / instsFired / blocksFlushed /
+ *    opnPackets for two deterministic programs. The values were
+ *    captured from the pre-refactor simulator (the seed with the
+ *    deterministic same-cycle event order pinned -- see cycle_sim.hh),
+ *    and the pool/wheel rework reproduced them bit-for-bit; any future
+ *    perf work that shifts timing semantics trips these.
+ *  - OPN traffic-class accounting: every delivered operand lands in
+ *    exactly one class distribution, request and reply classes are
+ *    distinct, and the totals balance against packetsSent + bypasses.
+ *  - Byte-accurate store->load forwarding through the LSID-sorted LSQ
+ *    (overlapping partial-width stores, in-block and cross-frame).
+ *  - Load violation flush + dependence-predictor training.
+ *  - Steady-state allocation freedom: heap allocations during run()
+ *    plateau after warm-up instead of scaling with simulated cycles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "compiler/codegen.hh"
+#include "trips/func_sim.hh"
+#include "uarch/cycle_sim.hh"
+#include "wir/builder.hh"
+#include "wir/interp.hh"
+
+using namespace trips;
+using wir::FunctionBuilder;
+using wir::MemWidth;
+using wir::Module;
+
+// ---------------------------------------------------------------------
+// Global allocation counter (whole test binary; sampled around run()).
+// ---------------------------------------------------------------------
+
+static std::atomic<size_t> g_heap_allocs{0};
+
+static void *
+countedAlloc(std::size_t n, std::size_t align)
+{
+    ++g_heap_allocs;
+    void *p = align > alignof(std::max_align_t)
+        ? std::aligned_alloc(align, (n + align - 1) / align * align)
+        : std::malloc(n);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *operator new(std::size_t n) { return countedAlloc(n, 0); }
+void *operator new[](std::size_t n) { return countedAlloc(n, 0); }
+void *
+operator new(std::size_t n, std::align_val_t a)
+{
+    return countedAlloc(n, static_cast<std::size_t>(a));
+}
+void *
+operator new[](std::size_t n, std::align_val_t a)
+{
+    return countedAlloc(n, static_cast<std::size_t>(a));
+}
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+void operator delete(void *p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::align_val_t) noexcept { std::free(p); }
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace {
+
+struct RunResult
+{
+    uarch::UarchResult uarch;
+    i64 funcRetVal = 0;
+};
+
+/** Compile and run on both simulators; assert architectural equality. */
+RunResult
+runBoth(Module &mod, const compiler::Options &opts)
+{
+    auto prog = compiler::compileToTrips(mod, opts);
+
+    MemImage fmem;
+    wir::Interp::loadGlobals(mod, fmem);
+    sim::FuncSim fsim(prog, fmem);
+    auto fres = fsim.run();
+    EXPECT_FALSE(fres.fuelExhausted);
+
+    MemImage cmem;
+    wir::Interp::loadGlobals(mod, cmem);
+    uarch::CycleSim csim(prog, cmem);
+    RunResult r;
+    r.uarch = csim.run();
+    r.funcRetVal = fres.retVal;
+    EXPECT_FALSE(r.uarch.fuelExhausted);
+    EXPECT_EQ(r.uarch.retVal, fres.retVal);
+    return r;
+}
+
+/** Golden program 1: data-dependent branching plus a store/load mix. */
+void
+buildGolden1(Module &mod)
+{
+    Addr out = mod.addGlobal("out", 64 * 8);
+    FunctionBuilder fb(mod, "main", 0);
+    auto base = fb.iconst(static_cast<i64>(out));
+    auto i = fb.iconst(0);
+    auto x = fb.iconst(987654321);
+    fb.label("loop");
+    fb.assign(x, fb.bxor(x, fb.shli(x, 13)));
+    fb.assign(x, fb.bxor(x, fb.shr(x, fb.iconst(9))));
+    auto slot = fb.add(base, fb.shli(fb.andi(i, 63), 3));
+    fb.store(slot, x, 0);
+    fb.assign(x, fb.add(x, fb.load(slot, 0)));
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(300)), "loop", "done");
+    fb.label("done");
+    fb.ret(x);
+    fb.finish();
+}
+
+/** Golden program 2: call-heavy control flow. */
+void
+buildGolden2(Module &mod)
+{
+    {
+        FunctionBuilder fb(mod, "mix", 2);
+        auto a = fb.param(0);
+        auto b = fb.param(1);
+        fb.ret(fb.add(fb.mul(a, fb.iconst(37)), fb.bxor(b, a)));
+        fb.finish();
+    }
+    {
+        FunctionBuilder fb(mod, "main", 0);
+        auto i = fb.iconst(0);
+        auto acc = fb.iconst(11);
+        fb.label("loop");
+        fb.assign(acc, fb.call("mix", {acc, i}));
+        fb.assign(i, fb.addi(i, 1));
+        fb.br(fb.cmpLt(i, fb.iconst(80)), "loop", "done");
+        fb.label("done");
+        fb.ret(acc);
+        fb.finish();
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Golden statistics
+// ---------------------------------------------------------------------
+
+TEST(UarchGoldenStats, StoreLoadLoop)
+{
+    Module mod;
+    buildGolden1(mod);
+    auto r = runBoth(mod, compiler::Options::compiled());
+    EXPECT_EQ(r.uarch.cycles, 12287u);
+    EXPECT_EQ(r.uarch.instsFired, 7057u);
+    EXPECT_EQ(r.uarch.blocksFlushed, 63u);
+    EXPECT_EQ(r.uarch.opnPackets, 7266u);
+}
+
+TEST(UarchGoldenStats, CallLoop)
+{
+    Module mod;
+    buildGolden2(mod);
+    auto r = runBoth(mod, compiler::Options::compiled());
+    EXPECT_EQ(r.uarch.cycles, 3666u);
+    EXPECT_EQ(r.uarch.instsFired, 1604u);
+    EXPECT_EQ(r.uarch.blocksFlushed, 277u);
+    EXPECT_EQ(r.uarch.opnPackets, 3203u);
+}
+
+// ---------------------------------------------------------------------
+// OPN traffic-class accounting
+// ---------------------------------------------------------------------
+
+TEST(OpnClasses, TotalsBalanceAndRepliesAreDistinct)
+{
+    Module mod;
+    buildGolden1(mod);
+    auto r = runBoth(mod, compiler::Options::compiled());
+
+    u64 total = 0;
+    for (const auto &d : r.uarch.opnHops)
+        total += d.samples();
+    // Every injected packet is delivered and sampled exactly once, and
+    // every local bypass is sampled as a zero-hop delivery: the class
+    // totals balance exactly (the program drains before halting).
+    EXPECT_EQ(total, r.uarch.opnPackets + r.uarch.localBypasses);
+
+    auto samples = [&](net::OpnClass c) {
+        return r.uarch.opnHops[static_cast<size_t>(c)].samples();
+    };
+    // Register reads travel RT->ET, distinct from ET->RT writes.
+    EXPECT_GT(samples(net::OpnClass::RtEt), 0u);
+    EXPECT_GT(samples(net::OpnClass::EtRt), 0u);
+    // Memory requests (ET->DT) and load replies (DT->ET) are distinct
+    // classes; this program loads on every iteration.
+    EXPECT_GT(samples(net::OpnClass::EtDt), 0u);
+    EXPECT_GT(samples(net::OpnClass::DtEt), 0u);
+    // Exactly one exit packet per issued branch reaches the GT.
+    EXPECT_GT(samples(net::OpnClass::EtGt), 0u);
+    EXPECT_EQ(samples(net::OpnClass::Other), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Byte-accurate store->load forwarding
+// ---------------------------------------------------------------------
+
+TEST(LsqForwarding, OverlappingPartialWidthStoresInBlock)
+{
+    Module mod;
+    Addr buf = mod.addGlobal("buf", 64);
+    FunctionBuilder fb(mod, "main", 0);
+    auto base = fb.iconst(static_cast<i64>(buf));
+    // LSID order: wide store, then two overlapping narrow stores, then
+    // the load that must merge all three byte-accurately.
+    fb.store(base, fb.iconst(0x1122334455667788LL), 0, MemWidth::B8);
+    fb.store(base, fb.iconst(0xAB), 3, MemWidth::B1);
+    fb.store(base, fb.iconst(0xCDEF), 6, MemWidth::B2);
+    fb.ret(fb.load(base, 0, MemWidth::B8));
+    fb.finish();
+
+    auto r = runBoth(mod, compiler::Options::hand());
+    // Little-endian merge: byte 3 <- 0xAB, bytes 6..7 <- 0xEF 0xCD.
+    EXPECT_EQ(static_cast<u64>(r.uarch.retVal), 0xCDEF3344AB667788ULL);
+}
+
+TEST(LsqForwarding, CrossFrameForwardingWithLsidOrder)
+{
+    // Loads read slots written by the previous loop iteration (a
+    // different in-flight frame), exercising the older-frame walk of
+    // the LSID-sorted LSQs; the functional simulator is the oracle.
+    Module mod;
+    Addr buf = mod.addGlobal("buf", 8 * 8);
+    FunctionBuilder fb(mod, "main", 0);
+    auto base = fb.iconst(static_cast<i64>(buf));
+    auto i = fb.iconst(1);
+    auto acc = fb.iconst(0);
+    fb.store(base, fb.iconst(0x5150), 0, MemWidth::B8);
+    fb.label("loop");
+    auto slot = fb.add(base, fb.shli(fb.andi(i, 7), 3));
+    auto prev = fb.add(base, fb.shli(fb.andi(fb.addi(i, -1), 7), 3));
+    fb.store(slot, fb.mul(i, fb.addi(i, 17)), 0, MemWidth::B4);
+    fb.store(slot, fb.addi(i, 5), 2, MemWidth::B1);
+    fb.assign(acc, fb.add(acc, fb.load(prev, 0, MemWidth::B8)));
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(96)), "loop", "done");
+    fb.label("done");
+    fb.ret(acc);
+    fb.finish();
+
+    auto r = runBoth(mod, compiler::Options::compiled());
+    EXPECT_GT(r.uarch.loadsExecuted, 90u);
+}
+
+// ---------------------------------------------------------------------
+// Violation flush + dependence-predictor training
+// ---------------------------------------------------------------------
+
+TEST(Violations, FlushThenPredictorLearnsToWait)
+{
+    // The store's value hangs off a multiply chain while the load's
+    // address is immediately ready, so on a cold dependence predictor
+    // the load races ahead, the store's arrival detects the violation,
+    // the frame flushes, and the load-wait table is trained. Later
+    // iterations should wait instead of flushing every time.
+    Module mod;
+    Addr buf = mod.addGlobal("buf", 8 * 8);
+    FunctionBuilder fb(mod, "main", 0);
+    auto base = fb.iconst(static_cast<i64>(buf));
+    auto i = fb.iconst(0);
+    auto acc = fb.iconst(0);
+    fb.label("loop");
+    auto slot = fb.add(base, fb.shli(fb.andi(i, 7), 3));
+    auto v = fb.mul(fb.mul(fb.addi(i, 3), fb.addi(i, 5)),
+                    fb.mul(fb.addi(i, 7), fb.addi(i, 11)));
+    fb.store(slot, v, 0, MemWidth::B8);
+    fb.assign(acc, fb.bxor(acc, fb.load(slot, 0, MemWidth::B8)));
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(200)), "loop", "done");
+    fb.label("done");
+    fb.ret(acc);
+    fb.finish();
+
+    auto r = runBoth(mod, compiler::Options::hand());
+    EXPECT_GE(r.uarch.loadViolationFlushes, 1u);
+    // Training must kick in: far fewer flushes than iterations.
+    EXPECT_LT(r.uarch.loadViolationFlushes, 100u);
+    EXPECT_EQ(r.uarch.retVal, r.funcRetVal);
+}
+
+// ---------------------------------------------------------------------
+// Steady-state allocation freedom
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+buildCountedLoop(Module &mod, int iters)
+{
+    Addr buf = mod.addGlobal("buf", 8 * 8);
+    FunctionBuilder fb(mod, "main", 0);
+    auto base = fb.iconst(static_cast<i64>(buf));
+    auto i = fb.iconst(0);
+    auto acc = fb.iconst(0);
+    fb.label("loop");
+    auto slot = fb.add(base, fb.shli(fb.andi(i, 7), 3));
+    fb.store(slot, fb.mul(i, fb.addi(i, 3)), 0);
+    fb.assign(acc, fb.add(acc, fb.load(slot, 0)));
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(iters)), "loop", "done");
+    fb.label("done");
+    fb.ret(acc);
+    fb.finish();
+}
+
+size_t
+allocsDuringRun(int iters)
+{
+    Module mod;
+    buildCountedLoop(mod, iters);
+    auto prog = compiler::compileToTrips(mod, compiler::Options::compiled());
+    MemImage cmem;
+    wir::Interp::loadGlobals(mod, cmem);
+    uarch::CycleSim csim(prog, cmem);
+    size_t before = g_heap_allocs.load();
+    auto r = csim.run();
+    EXPECT_FALSE(r.fuelExhausted);
+    return g_heap_allocs.load() - before;
+}
+
+} // namespace
+
+TEST(CycleSimAlloc, RunAllocationsPlateauAfterWarmup)
+{
+    // Same block structure, 32x the simulated work: heap allocations
+    // during run() must come from warm-up (buffers growing to their
+    // high-water mark), not from per-cycle machinery.
+    size_t shortRun = allocsDuringRun(64);
+    size_t longRun = allocsDuringRun(2048);
+    EXPECT_LE(longRun, shortRun + 16)
+        << "allocations scale with cycles: short=" << shortRun
+        << " long=" << longRun;
+}
