@@ -41,13 +41,15 @@ out = {
         for b in raw.get("benchmarks", [])
     ],
 }
-# Historical annotations (e.g. recorded before/after baselines of past
-# optimization PRs) survive regeneration.
+# Historical annotations (recorded baselines of past optimization PRs)
+# and the sweep-engine section (written by bench/run_sweep.sh) survive
+# regeneration.
 if os.path.exists(sys.argv[2]):
     try:
         prev = json.load(open(sys.argv[2]))
-        if "baselines" in prev:
-            out["baselines"] = prev["baselines"]
+        for key in ("baselines", "sweep"):
+            if key in prev:
+                out[key] = prev[key]
     except (ValueError, OSError):
         pass
 json.dump(out, open(sys.argv[2], "w"), indent=2)

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Measure the parallel sweep engine (bench/sweep_main) and record the
+# results under the "sweep" key of BENCH_simspeed.json:
+#   - the figure-matrix wall clock serial (--jobs 1) vs all cores,
+#   - the differential-fuzz throughput (programs/s, all cores).
+#
+# Usage: bench/run_sweep.sh [build-dir] [fuzz-count]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+fuzz_count="${2:-1000}"
+
+sweep_bin="$build_dir/sweep_main"
+if [[ ! -x "$sweep_bin" ]]; then
+    echo "error: $sweep_bin not found; build first:" >&2
+    echo "  cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+fi
+
+serial_json="$("$sweep_bin" --figures --json --jobs 1)"
+parallel_json="$("$sweep_bin" --figures --json --jobs 0)"
+fuzz_json="$("$sweep_bin" --fuzz "$fuzz_count" --seed 1 --json)"
+
+python3 - "$repo_root/BENCH_simspeed.json" \
+    "$serial_json" "$parallel_json" "$fuzz_json" <<'EOF'
+import json, os, sys
+
+path = sys.argv[1]
+serial = json.loads(sys.argv[2])
+parallel = json.loads(sys.argv[3])
+fuzz = json.loads(sys.argv[4])
+
+out = json.load(open(path))
+out["sweep"] = {
+    "description": "bench/sweep_main parallel sweep engine; regenerate "
+                   "with bench/run_sweep.sh",
+    "host_cpus": os.cpu_count(),
+    "note": "speedup is bounded by host_cpus; a single-core host "
+            "can only show ~1.0x",
+    "figure_matrix": {
+        "tasks": serial["tasks"],
+        "serial_wall_ms": serial["wall_ms"],
+        "parallel_jobs": parallel["jobs"],
+        "parallel_wall_ms": parallel["wall_ms"],
+        "speedup": serial["wall_ms"] / parallel["wall_ms"],
+    },
+    "fuzz": fuzz,
+}
+json.dump(out, open(path, "w"), indent=2)
+print(json.dumps(out["sweep"], indent=2))
+print("wrote", path)
+EOF

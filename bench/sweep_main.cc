@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Parallel sweep driver.
+ *
+ * Three modes, all sharded across the work-stealing SweepPool:
+ *
+ *   --figures       run the full (workload x compiler preset x model)
+ *                   simulation matrix the paper's figures are built
+ *                   from, and report wall-clock + aggregate stats.
+ *                   With --json, emit a machine-readable summary
+ *                   (consumed by bench/run_sweep.sh to record the
+ *                   serial-vs-parallel speedup in BENCH_simspeed.json).
+ *   --fuzz N        differentially check N generated programs
+ *                   (seeds taskSeed(--seed, i)) across every model;
+ *                   exit 1 and print repro lines on divergence.
+ *                   --out FILE additionally writes one repro seed per
+ *                   line (CI uploads it as an artifact).
+ *   --repro SEED    re-run one generated program verbosely
+ *                   [--shrink K applies the minimizer's shape rung].
+ *
+ * Common flags: --jobs N (0 = all cores), --seed BASE, --no-cycle.
+ */
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/machines.hh"
+#include "harness/diff.hh"
+#include "harness/fuzzgen.hh"
+#include "harness/sweep.hh"
+
+using namespace trips;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+struct Args
+{
+    unsigned jobs = 0;
+    u64 seed = 1;
+    u64 fuzzCount = 0;
+    u64 reproSeed = 0;
+    unsigned shrink = 0;
+    bool figures = false;
+    bool json = false;
+    bool cycleLevel = true;
+    bool repro = false;
+    std::string outFile;
+    /** Shape-field edits, applied on top of the shrink rung in
+     *  shape() — so --shrink and shape flags compose in any order. */
+    std::vector<std::function<void(harness::ShapeConfig &)>> shapeEdits;
+
+    harness::ShapeConfig
+    shape() const
+    {
+        auto s = harness::ShapeConfig{}.shrunk(shrink);
+        for (const auto &edit : shapeEdits)
+            edit(s);
+        return s;
+    }
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: sweep_main [--jobs N] [--seed BASE] [--no-cycle]\n"
+        << "                  (--figures [--json] | --fuzz N [--out F]\n"
+        << "                   | --repro SEED [--shrink K])\n"
+        << "shape flags (fuzz/repro): --funcs N --top N --body N\n"
+        << "  --depth N --trip N --slots N --no-float --no-call\n"
+        << "  --no-mem --no-subword\n";
+    std::exit(2);
+}
+
+Args
+parse(int argc, char **argv)
+{
+    Args a;
+    auto val = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--jobs")) {
+            a.jobs = static_cast<unsigned>(std::stoul(val(i)));
+        } else if (!std::strcmp(argv[i], "--seed")) {
+            a.seed = std::stoull(val(i));
+        } else if (!std::strcmp(argv[i], "--fuzz")) {
+            a.fuzzCount = std::stoull(val(i));
+        } else if (!std::strcmp(argv[i], "--repro")) {
+            a.repro = true;
+            a.reproSeed = std::stoull(val(i));
+        } else if (!std::strcmp(argv[i], "--shrink")) {
+            a.shrink = static_cast<unsigned>(std::stoul(val(i)));
+        } else if (!std::strcmp(argv[i], "--figures")) {
+            a.figures = true;
+        } else if (!std::strcmp(argv[i], "--json")) {
+            a.json = true;
+        } else if (!std::strcmp(argv[i], "--no-cycle")) {
+            a.cycleLevel = false;
+        } else if (!std::strcmp(argv[i], "--out")) {
+            a.outFile = val(i);
+        } else if (!std::strcmp(argv[i], "--funcs")) {
+            unsigned v = static_cast<unsigned>(std::stoul(val(i)));
+            a.shapeEdits.push_back(
+                [v](auto &s) { s.helperFuncs = v; });
+        } else if (!std::strcmp(argv[i], "--top")) {
+            unsigned v = static_cast<unsigned>(std::stoul(val(i)));
+            a.shapeEdits.push_back([v](auto &s) { s.topStmts = v; });
+        } else if (!std::strcmp(argv[i], "--body")) {
+            unsigned v = static_cast<unsigned>(std::stoul(val(i)));
+            a.shapeEdits.push_back([v](auto &s) { s.bodyStmts = v; });
+        } else if (!std::strcmp(argv[i], "--depth")) {
+            unsigned v = static_cast<unsigned>(std::stoul(val(i)));
+            a.shapeEdits.push_back([v](auto &s) { s.maxDepth = v; });
+        } else if (!std::strcmp(argv[i], "--trip")) {
+            unsigned v = static_cast<unsigned>(std::stoul(val(i)));
+            a.shapeEdits.push_back([v](auto &s) { s.maxLoopTrip = v; });
+        } else if (!std::strcmp(argv[i], "--slots")) {
+            unsigned v = static_cast<unsigned>(std::stoul(val(i)));
+            a.shapeEdits.push_back([v](auto &s) { s.memSlots = v; });
+        } else if (!std::strcmp(argv[i], "--no-float")) {
+            a.shapeEdits.push_back([](auto &s) { s.floats = false; });
+        } else if (!std::strcmp(argv[i], "--no-call")) {
+            a.shapeEdits.push_back([](auto &s) { s.calls = false; });
+        } else if (!std::strcmp(argv[i], "--no-mem")) {
+            a.shapeEdits.push_back([](auto &s) { s.memory = false; });
+        } else if (!std::strcmp(argv[i], "--no-subword")) {
+            a.shapeEdits.push_back([](auto &s) { s.subWord = false; });
+        } else {
+            usage();
+        }
+    }
+    if (!a.figures && a.fuzzCount == 0 && !a.repro)
+        usage();
+    return a;
+}
+
+// ---------------------------------------------------------------------
+// --figures: the simulation matrix behind the paper's figure set.
+// ---------------------------------------------------------------------
+
+struct MatrixTask
+{
+    const workloads::Workload *w;
+    enum class Kind : u8 { Golden, RiscGcc, RiscIcc, Compiled, Hand } kind;
+    bool cycle = false;
+};
+
+int
+runFigures(const Args &a)
+{
+    std::vector<MatrixTask> tasks;
+    for (const auto &w : workloads::all()) {
+        tasks.push_back({&w, MatrixTask::Kind::Golden, false});
+        tasks.push_back({&w, MatrixTask::Kind::RiscGcc, false});
+        tasks.push_back({&w, MatrixTask::Kind::RiscIcc, false});
+        tasks.push_back({&w, MatrixTask::Kind::Compiled, a.cycleLevel});
+        if (w.isSimple)
+            tasks.push_back({&w, MatrixTask::Kind::Hand, a.cycleLevel});
+    }
+
+    struct Cell
+    {
+        double ms = 0;
+        u64 cycles = 0;
+        double ipc = 0;
+    };
+    std::vector<Cell> cells(tasks.size());
+
+    harness::SweepPool pool(a.jobs);
+    auto t0 = Clock::now();
+    pool.parallelFor(tasks.size(), [&](u64 i) {
+        const MatrixTask &t = tasks[i];
+        auto c0 = Clock::now();
+        switch (t.kind) {
+          case MatrixTask::Kind::Golden:
+            core::runGolden(*t.w);
+            break;
+          case MatrixTask::Kind::RiscGcc:
+            core::runRisc(*t.w, risc::RiscOptions::gcc());
+            break;
+          case MatrixTask::Kind::RiscIcc:
+            core::runRisc(*t.w, risc::RiscOptions::icc());
+            break;
+          case MatrixTask::Kind::Compiled:
+          case MatrixTask::Kind::Hand: {
+            auto opts = t.kind == MatrixTask::Kind::Compiled
+                            ? compiler::Options::compiled()
+                            : compiler::Options::hand();
+            auto r = core::runTrips(*t.w, opts, t.cycle);
+            if (t.cycle) {
+                cells[i].cycles = r.uarch.cycles;
+                cells[i].ipc = r.uarch.ipc();
+            }
+            break;
+          }
+        }
+        cells[i].ms = msSince(c0);
+    });
+    double wallMs = msSince(t0);
+
+    double serialMs = 0;
+    u64 totalCycles = 0;
+    for (const auto &c : cells) {
+        serialMs += c.ms;
+        totalCycles += c.cycles;
+    }
+
+    if (a.json) {
+        std::cout << "{\"tasks\": " << tasks.size()
+                  << ", \"jobs\": " << pool.jobs()
+                  << ", \"wall_ms\": " << wallMs
+                  << ", \"task_ms_sum\": " << serialMs
+                  << ", \"simulated_cycles\": " << totalCycles << "}\n";
+    } else {
+        std::cout << "figure matrix: " << tasks.size() << " tasks over "
+                  << workloads::all().size() << " workloads on "
+                  << pool.jobs() << " worker(s)\n"
+                  << "wall " << wallMs << " ms (sum of task times "
+                  << serialMs << " ms, pool efficiency "
+                  << serialMs / (wallMs * pool.jobs()) << ")\n"
+                  << "simulated " << totalCycles
+                  << " cycle-level cycles\n";
+    }
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// --fuzz: the differential sweep.
+// ---------------------------------------------------------------------
+
+int
+runFuzz(const Args &a)
+{
+    harness::ShapeConfig shape = a.shape();
+    harness::DiffOptions opts;
+    opts.cycleLevel = a.cycleLevel;
+    harness::SweepPool pool(a.jobs);
+
+    auto t0 = Clock::now();
+    auto bad = harness::sweepDiff(pool, a.seed, a.fuzzCount, shape, opts);
+    double wallMs = msSince(t0);
+
+    // With --json the summary goes to stdout as one machine-readable
+    // object (consumed by bench/run_sweep.sh) and the human lines move
+    // to stderr; without it everything is human-readable on stdout.
+    std::ostream &human = a.json ? std::cerr : std::cout;
+    human << "fuzzed " << a.fuzzCount << " programs ["
+          << shape.describe() << "] on " << pool.jobs()
+          << " worker(s) in " << wallMs << " ms ("
+          << a.fuzzCount / (wallMs / 1000.0) << " programs/s)\n";
+    for (const auto &r : bad) {
+        human << "DIVERGENCE seed=" << r.seed << " ["
+              << r.shape.describe() << "]\n  " << r.divergence
+              << "\n  repro: " << r.reproCmd() << "\n";
+    }
+    if (!a.outFile.empty() && !bad.empty()) {
+        std::ofstream out(a.outFile);
+        for (const auto &r : bad)
+            out << r.reproCmd() << "  # " << r.divergence << "\n";
+    }
+    human << (bad.empty() ? "all models agree\n" : "DIVERGENCES FOUND\n");
+    if (a.json) {
+        std::cout << "{\"programs\": " << a.fuzzCount
+                  << ", \"jobs\": " << pool.jobs()
+                  << ", \"wall_ms\": " << wallMs
+                  << ", \"programs_per_second\": "
+                  << a.fuzzCount / (wallMs / 1000.0)
+                  << ", \"divergences\": " << bad.size() << "}\n";
+    }
+    return bad.empty() ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------
+// --repro: one seed, verbosely.
+// ---------------------------------------------------------------------
+
+int
+runRepro(const Args &a)
+{
+    harness::ShapeConfig shape = a.shape();
+    std::cout << "seed " << a.reproSeed << " [" << shape.describe()
+              << "]\n";
+    wir::Module mod = harness::generate(a.reproSeed, shape);
+
+    MemImage goldenMem;
+    auto golden = core::runGolden(mod, &goldenMem);
+    std::cout << "golden      retVal=" << golden.retVal
+              << " dynOps=" << golden.dynOps << " loads=" << golden.loads
+              << " stores=" << golden.stores << "\n";
+
+    auto riscLine = [&](const char *name, const risc::RiscOptions &o) {
+        MemImage m;
+        auto r = core::runRisc(mod, o, &m);
+        std::cout << name << " retVal=" << r.retVal << " insts="
+                  << r.counters.insts
+                  << (r.retVal == golden.retVal ? "" : "  <-- DIVERGES")
+                  << harness::compareDataSegments(mod, goldenMem, m, " mem:")
+                  << "\n";
+    };
+    riscLine("risc/gcc   ", risc::RiscOptions::gcc());
+    riscLine("risc/icc   ", risc::RiscOptions::icc());
+
+    auto tripsLine = [&](const char *name, const compiler::Options &o,
+                         bool cycle) {
+        MemImage fm, cm;
+        auto r = core::runTrips(mod, o, cycle, uarch::UarchConfig{}, &fm,
+                                &cm);
+        std::cout << name << " retVal=" << r.retVal
+                  << " blocks=" << r.isa.blocks << " fired=" << r.isa.fired
+                  << (r.retVal == golden.retVal ? "" : "  <-- DIVERGES")
+                  << harness::compareDataSegments(mod, goldenMem, fm,
+                                                  " mem:")
+                  << "\n";
+        if (cycle) {
+            std::cout << "trips/cycle retVal=" << r.uarch.retVal
+                      << " cycles=" << r.uarch.cycles
+                      << " ipc=" << r.uarch.ipc()
+                      << " flushes=" << r.uarch.blocksFlushed
+                      << (r.uarch.retVal == golden.retVal
+                              ? "" : "  <-- DIVERGES")
+                      << harness::compareDataSegments(mod, goldenMem, cm,
+                                                      " mem:")
+                      << "\n";
+        }
+    };
+    tripsLine("trips/func ", compiler::Options::compiled(), a.cycleLevel);
+    tripsLine("trips/hand ", compiler::Options::hand(), false);
+
+    harness::DiffOptions opts;
+    opts.cycleLevel = a.cycleLevel;
+    auto full = harness::diffOne(a.reproSeed, shape, opts);
+    std::cout << (full.ok ? "oracle: ok\n"
+                          : "oracle: " + full.divergence + "\n");
+    return full.ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args a = parse(argc, argv);
+    if (a.repro)
+        return runRepro(a);
+    if (a.fuzzCount)
+        return runFuzz(a);
+    return runFigures(a);
+}

@@ -824,11 +824,19 @@ class FuncCompiler
     {
         auto def = [&](ValSource vs) { ctx[in.dst] = std::move(vs);
                                        g.defined.insert(in.dst); };
-        auto unpredTotal = [&](i32 node) {
+        // A speculated (unpredicated) op still only delivers when all
+        // its inputs deliver, so totality is ANDed through the inputs:
+        // an add fed by a predicated load is NOT total, and a store
+        // address built from it must get NULLW complement coverage
+        // like any other predicated operand (found by differential
+        // fuzzing: blocks hung at commit with the store's address
+        // operand starved on the untaken path).
+        auto unpredTotal = [&](i32 node, bool inputs_total) {
             bool spec = speculable();
             if (!spec)
                 setPred(g, node, chain);
-            return makeNodeVS(g, node, spec || chain.empty());
+            return makeNodeVS(g, node,
+                              (spec || chain.empty()) && inputs_total);
         };
 
         switch (in.op) {
@@ -868,7 +876,9 @@ class FuncCompiler
             connect(g, m2, 0, fv);
             ValSource vs;
             vs.prods = {m1, m2};
-            vs.total = tv.total && fv.total &&
+            // The predicated movs can only fire if the test itself
+            // delivers, so the condition's totality gates the result.
+            vs.total = c.total && tv.total && fv.total &&
                        (speculable() || chain.empty());
             def(std::move(vs));
             return;
@@ -996,7 +1006,7 @@ class FuncCompiler
                     i32 n = newNode(g, mapping.imm);
                     g.hb.nodes[n].imm = cv->cval;
                     connect(g, n, 0, *ov);
-                    def(unpredTotal(n));
+                    def(unpredTotal(n, ov->total));
                     return;
                 }
             }
@@ -1005,7 +1015,7 @@ class FuncCompiler
                 i32 n = newNode(g, Opcode::ADDI);
                 g.hb.nodes[n].imm = -b->cval;
                 connect(g, n, 0, a);
-                def(unpredTotal(n));
+                def(unpredTotal(n, a.total));
                 return;
             }
         }
@@ -1015,7 +1025,7 @@ class FuncCompiler
         connect(g, n, 0, a);
         if (b)
             connect(g, n, 1, *b);
-        def(unpredTotal(n));
+        def(unpredTotal(n, a.total && (!b || b->total)));
     }
 
     /** addr + wide constant helper (pre-add when disp exceeds imm9). */
@@ -1352,6 +1362,26 @@ class FuncCompiler
                          "multi-exit region with unpredicated exit");
             const CElem &leaf = l.e->chain.back();
             if (!l.vs) {
+                // No in-region definition on this exit. If the value is
+                // live into the exit's target it is live-THROUGH (e.g.
+                // a parameter used past a join): forward the incoming
+                // register value. A NULLW here would commit null over
+                // the live value (found by differential fuzzing: params
+                // read as 0 after a region with a conditional call).
+                // Only a genuinely dead exit gets the slot-satisfying
+                // NULLW.
+                bool live_through =
+                    !l.e->isRet && w.fixedReg < 0 &&
+                    (*live).liveIn[exitTargetOf(g, *l.e)].test(w.v);
+                if (live_through) {
+                    i32 mv = newNode(g, Opcode::MOV);
+                    g.hb.nodes[mv].predNode = leaf.test;
+                    g.hb.nodes[mv].predPol = leaf.pol;
+                    ValSource inc = incomingVS(g, w.v);
+                    connect(g, mv, 0, inc);
+                    w.prods.push_back(mv);
+                    continue;
+                }
                 i32 nn = newNode(g, Opcode::NULLW);
                 g.hb.nodes[nn].predNode = leaf.test;
                 g.hb.nodes[nn].predPol = leaf.pol;

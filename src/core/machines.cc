@@ -4,12 +4,32 @@
 
 namespace trips::core {
 
-TripsRun
-runTrips(const workloads::Workload &w, const compiler::Options &opts,
-         bool cycle_level, const uarch::UarchConfig &ucfg)
+// ---------------------------------------------------------------------
+// Module-level entry points (batch/fuzz friendly, never abort).
+// ---------------------------------------------------------------------
+
+GoldenRun
+runGolden(const wir::Module &mod, MemImage *final_mem)
 {
-    wir::Module mod;
-    w.build(mod);
+    MemImage mem;
+    wir::Interp::loadGlobals(mod, mem);
+    auto res = wir::Interp{}.run(mod, mem);
+    GoldenRun run;
+    run.retVal = res.retVal;
+    run.dynOps = res.dynOps;
+    run.loads = res.loads;
+    run.stores = res.stores;
+    run.fuelExhausted = res.fuelExhausted;
+    if (final_mem)
+        *final_mem = std::move(mem);
+    return run;
+}
+
+TripsRun
+runTrips(const wir::Module &mod, const compiler::Options &opts,
+         bool cycle_level, const uarch::UarchConfig &ucfg,
+         MemImage *func_mem, MemImage *cycle_mem)
+{
     TripsRun run;
     auto prog = compiler::compileToTrips(mod, opts, &run.compile);
     run.codeBytes = prog.codeBytes();
@@ -18,17 +38,62 @@ runTrips(const workloads::Workload &w, const compiler::Options &opts,
     wir::Interp::loadGlobals(mod, fmem);
     sim::FuncSim fsim(prog, fmem);
     auto fres = fsim.run();
-    TRIPS_ASSERT(!fres.fuelExhausted, "functional fuel exhausted on ",
-                 w.name);
+    run.funcFuelExhausted = fres.fuelExhausted;
     run.retVal = fres.retVal;
     run.isa = fres.stats;
+    if (func_mem)
+        *func_mem = std::move(fmem);
 
-    if (cycle_level) {
+    // Fail fast: a program the functional model couldn't finish would
+    // spin the cycle-level model to its maxCycles bound (hundreds of
+    // millions of cycles) for nothing. Callers see cycleLevel == false
+    // alongside funcFuelExhausted and report the fuel problem instead.
+    if (cycle_level && !run.funcFuelExhausted) {
         MemImage cmem;
         wir::Interp::loadGlobals(mod, cmem);
         uarch::CycleSim csim(prog, cmem, ucfg);
         run.uarch = csim.run();
         run.cycleLevel = true;
+        if (cycle_mem)
+            *cycle_mem = std::move(cmem);
+    }
+    return run;
+}
+
+RiscRun
+runRisc(const wir::Module &mod, const risc::RiscOptions &opts,
+        MemImage *final_mem)
+{
+    auto prog = risc::compileToRisc(mod, opts);
+    MemImage mem;
+    wir::Interp::loadGlobals(mod, mem);
+    risc::Core core(prog, mem);
+    RiscRun run;
+    run.retVal = core.run();
+    run.fuelExhausted = core.fuelExhausted();
+    run.counters = core.counters();
+    run.codeBytes = prog.codeBytes();
+    if (final_mem)
+        *final_mem = std::move(mem);
+    return run;
+}
+
+// ---------------------------------------------------------------------
+// Workload-level entry points (fuel exhaustion is fatal).
+// ---------------------------------------------------------------------
+
+TripsRun
+runTrips(const workloads::Workload &w, const compiler::Options &opts,
+         bool cycle_level, const uarch::UarchConfig &ucfg)
+{
+    wir::Module mod;
+    w.build(mod);
+    TripsRun run = runTrips(mod, opts, cycle_level, ucfg);
+    TRIPS_ASSERT(!run.funcFuelExhausted, "functional fuel exhausted on ",
+                 w.name);
+    if (cycle_level) {
+        TRIPS_ASSERT(!run.uarch.fuelExhausted, "cycle fuel exhausted on ",
+                     w.name);
         TRIPS_ASSERT(run.uarch.retVal == run.retVal,
                      "cycle/functional mismatch on ", w.name);
     }
@@ -64,16 +129,8 @@ runRisc(const workloads::Workload &w, const risc::RiscOptions &opts)
 {
     wir::Module mod;
     w.build(mod);
-    auto prog = risc::compileToRisc(mod, opts);
-    MemImage mem;
-    wir::Interp::loadGlobals(mod, mem);
-    risc::Core core(prog, mem);
-    RiscRun run;
-    run.retVal = core.run();
-    TRIPS_ASSERT(!core.fuelExhausted(), "RISC fuel exhausted on ",
-                 w.name);
-    run.counters = core.counters();
-    run.codeBytes = prog.codeBytes();
+    RiscRun run = runRisc(mod, opts, nullptr);
+    TRIPS_ASSERT(!run.fuelExhausted, "RISC fuel exhausted on ", w.name);
     return run;
 }
 
@@ -94,12 +151,9 @@ runGolden(const workloads::Workload &w)
 {
     wir::Module mod;
     w.build(mod);
-    MemImage mem;
-    wir::Interp::loadGlobals(mod, mem);
-    auto res = wir::Interp{}.run(mod, mem);
-    TRIPS_ASSERT(!res.fuelExhausted, "interp fuel exhausted on ",
-                 w.name);
-    return res.retVal;
+    GoldenRun run = runGolden(mod, nullptr);
+    TRIPS_ASSERT(!run.fuelExhausted, "interp fuel exhausted on ", w.name);
+    return run.retVal;
 }
 
 ideal::IdealResult

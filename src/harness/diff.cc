@@ -1,0 +1,234 @@
+#include "harness/diff.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/machines.hh"
+
+namespace trips::harness {
+
+std::string
+compareDataSegments(const wir::Module &mod, const MemImage &golden,
+                    const MemImage &other, const char *who)
+{
+    // Only the data segment is comparable: the compiled models also
+    // write their call stacks (golden executes calls natively), so a
+    // whole-image comparison would always differ.
+    for (const auto &g : mod.globals) {
+        for (u64 i = 0; i < g.size; ++i) {
+            u8 a = golden.read8(g.addr + i);
+            u8 b = other.read8(g.addr + i);
+            if (a != b) {
+                std::ostringstream os;
+                os << who << " memory diverges at " << g.name << "+" << i
+                   << " (addr 0x" << std::hex << g.addr + i << std::dec
+                   << "): golden=" << static_cast<unsigned>(a)
+                   << " got=" << static_cast<unsigned>(b);
+                return os.str();
+            }
+        }
+    }
+    return "";
+}
+
+namespace {
+
+std::string
+checkRetVal(i64 golden, i64 got, const char *who)
+{
+    if (golden == got)
+        return "";
+    std::ostringstream os;
+    os << who << " retVal " << got << " != golden " << golden;
+    return os.str();
+}
+
+/** ISA-stat sanity on a functional TRIPS run. */
+std::string
+checkIsaInvariants(const core::TripsRun &r, const char *who)
+{
+    std::ostringstream os;
+    const auto &s = r.isa;
+    if (s.blocks == 0) {
+        os << who << ": no blocks committed";
+    } else if (s.fired > s.fetched) {
+        os << who << ": fired " << s.fired << " > fetched " << s.fetched;
+    } else if (s.useful + s.moves > s.fired) {
+        os << who << ": useful+moves " << s.useful + s.moves
+           << " > fired " << s.fired;
+    } else if (s.meanBlockSize() > 128.0) {
+        os << who << ": mean block size " << s.meanBlockSize()
+           << " exceeds the 128-instruction architectural limit";
+    }
+    return os.str();
+}
+
+/** Cycle-level self-consistency (the class-total balance and
+ *  occupancy bounds the paper's Figs. 6 and 8 are built from). */
+std::string
+checkUarchInvariants(const uarch::UarchResult &u,
+                     const uarch::UarchConfig &cfg)
+{
+    std::ostringstream os;
+    u64 hopTotal = 0;
+    for (const auto &d : u.opnHops)
+        hopTotal += d.samples();
+    if (u.fuelExhausted) {
+        os << "cycle-level fuel exhausted after " << u.cycles << " cycles";
+    } else if (u.cycles == 0 || u.blocksCommitted == 0) {
+        os << "cycle-level committed nothing";
+    } else if (hopTotal != u.opnPackets + u.localBypasses) {
+        os << "OPN class totals " << hopTotal << " != packets "
+           << u.opnPackets << " + bypasses " << u.localBypasses;
+    } else if (u.avgBlocksInFlight > cfg.numFrames + 1e-9) {
+        os << "avg blocks in flight " << u.avgBlocksInFlight
+           << " exceeds " << cfg.numFrames << " frames";
+    } else if (u.peakInstsInFlight > static_cast<u64>(cfg.numFrames) * 128) {
+        os << "peak insts in flight " << u.peakInstsInFlight
+           << " exceeds window capacity";
+    } else if (u.instsFired > u.instsFetched) {
+        os << "cycle-level fired " << u.instsFired << " > fetched "
+           << u.instsFetched;
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+DiffResult::reproCmd() const
+{
+    std::ostringstream os;
+    os << "build/sweep_main --repro " << seed;
+    ShapeConfig dflt;
+    for (unsigned s = 0; s <= ShapeConfig::SHRINK_STEPS; ++s) {
+        if (dflt.shrunk(s).describe() == shape.describe()) {
+            if (s)
+                os << " --shrink " << s;
+            return os.str();
+        }
+    }
+    // Not a shrink-ladder rung (a custom sweep shape): spell out the
+    // exact flags so the pasted command regenerates this program, not
+    // the default-shape one.
+    os << " " << shape.cliFlags();
+    return os.str();
+}
+
+DiffResult
+diffOne(u64 seed, const ShapeConfig &shape, const DiffOptions &opts)
+{
+    DiffResult res;
+    res.seed = seed;
+    res.shape = shape;
+
+    wir::Module mod = generate(seed, shape);
+
+    auto fail = [&res](std::string why) {
+        if (res.ok && !why.empty()) {
+            res.ok = false;
+            res.divergence = std::move(why);
+        }
+        return !res.ok;
+    };
+
+    MemImage goldenMem;
+    core::GoldenRun golden = core::runGolden(mod, &goldenMem);
+    res.goldenDynOps = golden.dynOps;
+    if (golden.fuelExhausted) {
+        // Valid-by-construction programs terminate; hitting fuel is a
+        // generator bug, not a model divergence.
+        fail("golden run exhausted fuel (generator termination bug)");
+        return res;
+    }
+
+    // RISC baselines.
+    {
+        MemImage m;
+        auto r = core::runRisc(mod, risc::RiscOptions::gcc(), &m);
+        if (r.fuelExhausted && fail("risc/gcc exhausted fuel"))
+            return res;
+        if (fail(checkRetVal(golden.retVal, r.retVal, "risc/gcc")) ||
+            fail(compareDataSegments(mod, goldenMem, m, "risc/gcc")))
+            return res;
+    }
+    if (opts.iccPreset) {
+        MemImage m;
+        auto r = core::runRisc(mod, risc::RiscOptions::icc(), &m);
+        if (r.fuelExhausted && fail("risc/icc exhausted fuel"))
+            return res;
+        if (fail(checkRetVal(golden.retVal, r.retVal, "risc/icc")) ||
+            fail(compareDataSegments(mod, goldenMem, m, "risc/icc")))
+            return res;
+    }
+
+    // TRIPS functional (+ cycle-level), compiled preset.
+    {
+        MemImage fm, cm;
+        auto r = core::runTrips(mod, compiler::Options::compiled(),
+                                opts.cycleLevel, opts.ucfg, &fm, &cm);
+        if (r.funcFuelExhausted && fail("trips functional exhausted fuel"))
+            return res;
+        if (fail(checkRetVal(golden.retVal, r.retVal, "trips/func")) ||
+            fail(compareDataSegments(mod, goldenMem, fm, "trips/func")) ||
+            fail(checkIsaInvariants(r, "trips/func")))
+            return res;
+        if (opts.cycleLevel) {
+            res.cycles = r.uarch.cycles;
+            if (fail(checkRetVal(golden.retVal, r.uarch.retVal,
+                                 "trips/cycle")) ||
+                fail(compareDataSegments(mod, goldenMem, cm, "trips/cycle")) ||
+                fail(checkUarchInvariants(r.uarch, opts.ucfg)))
+                return res;
+        }
+    }
+
+    // TRIPS functional, hand preset (different region formation).
+    if (opts.handPreset) {
+        MemImage fm;
+        auto r = core::runTrips(mod, compiler::Options::hand(), false,
+                                opts.ucfg, &fm, nullptr);
+        if (r.funcFuelExhausted && fail("trips/hand exhausted fuel"))
+            return res;
+        if (fail(checkRetVal(golden.retVal, r.retVal, "trips/hand")) ||
+            fail(compareDataSegments(mod, goldenMem, fm, "trips/hand")))
+            return res;
+    }
+
+    return res;
+}
+
+DiffResult
+minimizeDivergence(const DiffResult &bad, const DiffOptions &opts)
+{
+    if (bad.ok)
+        return bad;
+    DiffResult best = bad;
+    for (unsigned step = 1; step <= ShapeConfig::SHRINK_STEPS; ++step) {
+        DiffResult cand = diffOne(bad.seed, bad.shape.shrunk(step), opts);
+        if (!cand.ok)
+            best = cand;
+        else
+            break;  // ladder is cumulative: first passing rung ends it
+    }
+    return best;
+}
+
+std::vector<DiffResult>
+sweepDiff(SweepPool &pool, u64 base, u64 count, const ShapeConfig &shape,
+          const DiffOptions &opts)
+{
+    // One pre-sized slot per index: workers never touch shared state.
+    std::vector<DiffResult> all(count);
+    pool.parallelFor(count, [&](u64 i) {
+        all[i] = diffOne(taskSeed(base, i), shape, opts);
+    });
+    std::vector<DiffResult> bad;
+    for (auto &r : all) {
+        if (!r.ok)
+            bad.push_back(minimizeDivergence(r, opts));
+    }
+    return bad;
+}
+
+} // namespace trips::harness

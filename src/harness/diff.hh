@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Differential oracle over the execution models.
+ *
+ * diffOne() takes one (seed, shape), generates the WIR module once,
+ * and runs it through every model the paper's methodology compares:
+ * the WIR interpreter (golden), the RISC baseline under both compiler
+ * presets, the TRIPS functional simulator under the compiled and hand
+ * presets, and the TRIPS cycle-level simulator. It then cross-checks
+ *
+ *   - return values: every model against golden;
+ *   - memory: the final data-segment image (each generated global,
+ *     byte for byte) of every model against golden — stacks differ by
+ *     ISA and are excluded;
+ *   - ISA-stat invariants on the functional run (fetched >= fired >=
+ *     useful, committed blocks within architectural bounds);
+ *   - uarch self-consistency on the cycle-level run (OPN class totals
+ *     balance against packets + bypasses, window occupancy within the
+ *     configured frame count, cycle/functional retVal agreement).
+ *
+ * On divergence the report carries a human-readable detail string and
+ * minimizeDivergence() walks the generator's shrink ladder to find
+ * the smallest shape that still reproduces it, so the reproducer
+ * pinned in a regression test is as readable as possible.
+ */
+
+#ifndef TRIPSIM_HARNESS_DIFF_HH
+#define TRIPSIM_HARNESS_DIFF_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/fuzzgen.hh"
+#include "harness/sweep.hh"
+#include "support/memimage.hh"
+#include "uarch/config.hh"
+
+namespace trips::harness {
+
+/**
+ * Byte-compare two final memory images over a module's data segment
+ * (every generated global; stacks are excluded — they differ by ISA).
+ * Returns "" on equality, else a description of the first differing
+ * byte prefixed with `who`.
+ */
+std::string compareDataSegments(const wir::Module &mod,
+                                const MemImage &golden,
+                                const MemImage &other, const char *who);
+
+struct DiffOptions
+{
+    bool cycleLevel = true;   ///< include the cycle-level model
+    bool handPreset = true;   ///< include the hand compiler preset
+    bool iccPreset = true;    ///< include the second RISC compiler
+    uarch::UarchConfig ucfg{};
+};
+
+struct DiffResult
+{
+    u64 seed = 0;
+    ShapeConfig shape;
+    bool ok = true;
+    std::string divergence;   ///< empty iff ok; first failure found
+
+    // Aggregate statistics for sweep reporting.
+    u64 goldenDynOps = 0;
+    u64 cycles = 0;
+
+    /** Command line that reproduces this program standalone. */
+    std::string reproCmd() const;
+};
+
+/** Generate and cross-check one program. */
+DiffResult diffOne(u64 seed, const ShapeConfig &shape = ShapeConfig{},
+                   const DiffOptions &opts = DiffOptions{});
+
+/**
+ * Shrink a diverging result down the ShapeConfig ladder: each rung is
+ * kept only if the divergence (any divergence) still reproduces.
+ * Returns the smallest still-diverging result.
+ */
+DiffResult minimizeDivergence(const DiffResult &bad,
+                              const DiffOptions &opts = DiffOptions{});
+
+/**
+ * Differentially check `count` programs with seeds taskSeed(base, i),
+ * sharded across the pool. Returns the diverging results only, in
+ * deterministic (index) order, each already minimized.
+ */
+std::vector<DiffResult> sweepDiff(SweepPool &pool, u64 base, u64 count,
+                                  const ShapeConfig &shape = ShapeConfig{},
+                                  const DiffOptions &opts = DiffOptions{});
+
+} // namespace trips::harness
+
+#endif // TRIPSIM_HARNESS_DIFF_HH

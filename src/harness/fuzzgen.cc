@@ -1,0 +1,541 @@
+#include "harness/fuzzgen.hh"
+
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "support/rng.hh"
+#include "wir/builder.hh"
+
+namespace trips::harness {
+
+ShapeConfig
+ShapeConfig::shrunk(unsigned step) const
+{
+    ShapeConfig s = *this;
+    if (step >= 1)
+        s.floats = false;
+    if (step >= 2)
+        s.calls = false;
+    if (step >= 3) {
+        s.subWord = false;
+        s.memSlots = 8;
+    }
+    if (step >= 4)
+        s.maxDepth = 1;
+    if (step >= 5) {
+        s.topStmts = 4;
+        s.bodyStmts = 2;
+        s.helperFuncs = 1;
+    }
+    if (step >= 6)
+        s.maxLoopTrip = 3;
+    if (step >= 7)
+        s.memory = false;
+    return s;
+}
+
+std::string
+ShapeConfig::cliFlags() const
+{
+    std::ostringstream os;
+    os << "--funcs " << helperFuncs << " --top " << topStmts
+       << " --body " << bodyStmts << " --depth " << maxDepth
+       << " --trip " << maxLoopTrip << " --slots " << memSlots;
+    if (!floats)
+        os << " --no-float";
+    if (!calls)
+        os << " --no-call";
+    if (!memory)
+        os << " --no-mem";
+    if (!subWord)
+        os << " --no-subword";
+    return os.str();
+}
+
+std::string
+ShapeConfig::describe() const
+{
+    std::ostringstream os;
+    os << "funcs=" << helperFuncs << " top=" << topStmts
+       << " body=" << bodyStmts << " depth=" << maxDepth
+       << " trip=" << maxLoopTrip << " slots=" << memSlots
+       << (floats ? " +f" : " -f") << (calls ? " +c" : " -c")
+       << (memory ? " +m" : " -m") << (subWord ? " +w" : " -w");
+    return os.str();
+}
+
+namespace {
+
+using wir::FunctionBuilder;
+using wir::MemWidth;
+using wir::Module;
+using wir::Vreg;
+
+/** One registered helper: name, arity, whether its body loops (used
+ *  to keep in-loop call sites cheap so programs stay fast). */
+struct Helper
+{
+    std::string name;
+    unsigned numParams;
+    bool hasLoops;
+};
+
+class Gen
+{
+  public:
+    Gen(u64 seed, const ShapeConfig &shape, Module &mod)
+        : rng(seed), shape(shape), mod(mod)
+    {
+        // Two arenas so traffic spreads across DT banks and stores in
+        // one can alias loads in the other function's view of it. An
+        // extra 8-byte pad lets sub-word accesses at the last slot use
+        // any in-slot offset without leaving the arena.
+        arenaA = mod.addGlobal("arenaA", 8 * shape.memSlots + 8);
+        arenaB = mod.addGlobal("arenaB", 8 * shape.memSlots + 8);
+    }
+
+    void
+    run()
+    {
+        unsigned nHelpers = shape.calls ? shape.helperFuncs : 0;
+        for (unsigned h = 0; h < nHelpers; ++h)
+            genHelper(h);
+        genMain();
+    }
+
+  private:
+    // Per-function generation state. Values are only entered into
+    // `pool` when their definition dominates every later use site
+    // (defined at the current or an enclosing structured level), and
+    // both pool and vars are truncated when a structured scope closes,
+    // so generated code never reads a vreg whose def is control-
+    // dependent — the one WIR shape where a register allocator and the
+    // zero-initialising interpreter could legally disagree.
+    struct FnState
+    {
+        FunctionBuilder *fb = nullptr;
+        std::vector<Vreg> pool;   ///< dominating, readable values
+        std::vector<Vreg> vars;   ///< assignable (loop-carried/phi) vars
+        Vreg acc = 0;             ///< running checksum variable
+        Vreg baseA = 0, baseB = 0;
+        unsigned nextLabel = 0;
+        unsigned inLoop = 0;      ///< loop nesting at the cursor
+    };
+
+    Rng rng;
+    const ShapeConfig &shape;
+    Module &mod;
+    Addr arenaA = 0, arenaB = 0;
+    std::vector<Helper> helpers;
+    FnState fs;
+
+    // -- tiny helpers -------------------------------------------------
+
+    Vreg
+    pick()
+    {
+        return fs.pool[rng.below(fs.pool.size())];
+    }
+
+    void push(Vreg v) { fs.pool.push_back(v); }
+
+    std::string
+    lbl(const char *stem)
+    {
+        return std::string(stem) + "_" + std::to_string(fs.nextLabel++);
+    }
+
+    MemWidth
+    pickWidth()
+    {
+        if (!shape.subWord)
+            return MemWidth::B8;
+        switch (rng.below(4)) {
+          case 0: return MemWidth::B1;
+          case 1: return MemWidth::B2;
+          case 2: return MemWidth::B4;
+          default: return MemWidth::B8;
+        }
+    }
+
+    /** Arena address: mask a pool value into a slot index, scale,
+     *  and add a base — always inside the arena by construction. */
+    Vreg
+    arenaAddr()
+    {
+        FunctionBuilder &fb = *fs.fb;
+        Vreg base = rng.chance(0.5) ? fs.baseA : fs.baseB;
+        Vreg slot = fb.andi(pick(), static_cast<i64>(shape.memSlots - 1));
+        return fb.add(base, fb.shli(slot, 3));
+    }
+
+    /** Interesting integer constants: small, boundary, random bits. */
+    i64
+    pickConst()
+    {
+        switch (rng.below(8)) {
+          case 0: return 0;
+          case 1: return 1;
+          case 2: return -1;
+          case 3: return rng.range(-128, 127);
+          case 4: return static_cast<i64>(1) << rng.below(63);
+          case 5: return std::numeric_limits<i64>::max();
+          case 6: return std::numeric_limits<i64>::min();
+          default: return static_cast<i64>(rng.next());
+        }
+    }
+
+    // -- statements ---------------------------------------------------
+
+    void
+    stmtArith()
+    {
+        FunctionBuilder &fb = *fs.fb;
+        Vreg a = pick(), b = pick();
+        Vreg r;
+        switch (rng.below(12)) {
+          case 0: r = fb.add(a, b); break;
+          case 1: r = fb.sub(a, b); break;
+          case 2: r = fb.mul(a, b); break;
+          case 3: r = fb.band(a, b); break;
+          case 4: r = fb.bor(a, b); break;
+          case 5: r = fb.bxor(a, b); break;
+          case 6: r = fb.shl(a, b); break;
+          case 7: r = fb.shr(a, b); break;
+          case 8: r = fb.sar(a, b); break;
+          case 9: r = fb.bnot(a); break;
+          case 10:
+            switch (rng.below(6)) {
+              case 0: r = fb.sextb(a); break;
+              case 1: r = fb.sexth(a); break;
+              case 2: r = fb.sextw(a); break;
+              case 3: r = fb.zextb(a); break;
+              case 4: r = fb.zexth(a); break;
+              default: r = fb.zextw(a); break;
+            }
+            break;
+          default: {
+            // Division family, operand-guarded: the divisor is forced
+            // into [1, 255] so no model ever sees x/0 or INT_MIN/-1.
+            Vreg div = fb.bor(fb.andi(b, 0xff), fb.iconst(1));
+            switch (rng.below(4)) {
+              case 0: r = fb.div(a, div); break;
+              case 1: r = fb.divu(a, div); break;
+              case 2: r = fb.mod(a, div); break;
+              default: r = fb.modu(a, div); break;
+            }
+            break;
+          }
+        }
+        push(r);
+    }
+
+    void
+    stmtCompare()
+    {
+        FunctionBuilder &fb = *fs.fb;
+        Vreg a = pick(), b = pick();
+        Vreg r;
+        switch (rng.below(8)) {
+          case 0: r = fb.cmpEq(a, b); break;
+          case 1: r = fb.cmpNe(a, b); break;
+          case 2: r = fb.cmpLt(a, b); break;
+          case 3: r = fb.cmpLe(a, b); break;
+          case 4: r = fb.cmpGt(a, b); break;
+          case 5: r = fb.cmpGe(a, b); break;
+          case 6: r = fb.cmpLtU(a, b); break;
+          default: r = fb.cmpGeU(a, b); break;
+        }
+        push(rng.chance(0.5) ? fb.select(r, a, b) : r);
+    }
+
+    /**
+     * Replace a NaN result with +0.0: r = isNaN(r) ? 0.0 : r, in pure
+     * WIR (fcmpEq(r, r) is false exactly for NaN). NaN *payloads* are
+     * the one FP bit pattern IEEE leaves implementation-defined — for
+     * two NaN operands the hardware keeps the payload of whichever
+     * operand the compiler scheduled first, so payload bits vary with
+     * the optimization level that built each simulator (found when the
+     * TSan build's interpreter disagreed with its own backends). All
+     * other FP results (inf, denormals, -0.0) are bit-deterministic
+     * and flow through untouched.
+     */
+    Vreg
+    canonFp(Vreg r)
+    {
+        FunctionBuilder &fb = *fs.fb;
+        return fb.select(fb.fcmpEq(r, r), r, fb.fconst(0.0));
+    }
+
+    void
+    stmtFloat()
+    {
+        FunctionBuilder &fb = *fs.fb;
+        // Bits-to-double reinterpretation of pool values is fair game:
+        // operand bits are deterministic, and canonFp keeps the one
+        // nondeterministic case (NaN payload selection) out of the
+        // pool. FToI is the one op the generator never emits
+        // (out-of-range casts are UB in C++ and constant-folding could
+        // legalise it differently per backend).
+        Vreg a = rng.chance(0.3) ? fb.itof(pick()) : pick();
+        Vreg b = rng.chance(0.3)
+            ? fb.fconst(rng.uniform() * 1e6 - 5e5) : pick();
+        Vreg r;
+        switch (rng.below(8)) {
+          case 0: r = canonFp(fb.fadd(a, b)); break;
+          case 1: r = canonFp(fb.fsub(a, b)); break;
+          case 2: r = canonFp(fb.fmul(a, b)); break;
+          case 3: r = canonFp(fb.fdiv(a, b)); break;
+          case 4: r = canonFp(fb.fneg(a)); break;
+          case 5: r = fb.fcmpEq(a, b); break;
+          case 6: r = fb.fcmpLt(a, b); break;
+          default: r = fb.fcmpLe(a, b); break;
+        }
+        push(r);
+    }
+
+    void
+    stmtLoad()
+    {
+        FunctionBuilder &fb = *fs.fb;
+        MemWidth w = pickWidth();
+        i64 off = static_cast<i64>(
+            rng.below(9 - static_cast<u64>(w)));
+        push(fb.load(arenaAddr(), off, w, rng.chance(0.5)));
+    }
+
+    void
+    stmtStore()
+    {
+        FunctionBuilder &fb = *fs.fb;
+        MemWidth w = pickWidth();
+        i64 off = static_cast<i64>(
+            rng.below(9 - static_cast<u64>(w)));
+        fb.store(arenaAddr(), pick(), off, w);
+    }
+
+    void
+    stmtMixAcc()
+    {
+        FunctionBuilder &fb = *fs.fb;
+        Vreg v = pick();
+        Vreg mixed = rng.chance(0.5)
+            ? fb.add(fb.shli(fs.acc, 1), v)
+            : fb.bxor(fs.acc, fb.add(v, fb.shr(fs.acc, fb.iconst(7))));
+        fb.assign(fs.acc, mixed);
+    }
+
+    void
+    stmtAssignVar()
+    {
+        FunctionBuilder &fb = *fs.fb;
+        Vreg dst = fs.vars[rng.below(fs.vars.size())];
+        fb.assign(dst, rng.chance(0.5) ? pick()
+                                       : fb.add(dst, pick()));
+    }
+
+    void
+    stmtCall()
+    {
+        if (helpers.empty())
+            return;
+        FunctionBuilder &fb = *fs.fb;
+        // Inside a loop only loop-free helpers are eligible, so trip
+        // counts never multiply with callee loops and programs stay in
+        // the thousands-of-dynamic-ops range.
+        std::vector<unsigned> eligible;
+        for (unsigned h = 0; h < helpers.size(); ++h) {
+            if (fs.inLoop == 0 || !helpers[h].hasLoops)
+                eligible.push_back(h);
+        }
+        if (eligible.empty())
+            return;
+        const Helper &h = helpers[eligible[rng.below(eligible.size())]];
+        std::vector<Vreg> args;
+        for (unsigned i = 0; i < h.numParams; ++i)
+            args.push_back(pick());
+        push(fb.call(h.name, std::move(args)));
+    }
+
+    void
+    stmtIf(unsigned depth)
+    {
+        FunctionBuilder &fb = *fs.fb;
+        Vreg cond = rng.chance(0.7) ? fb.cmpLt(pick(), pick())
+                                    : fb.andi(pick(), 1);
+        // The merge value dominates the diamond; each arm overwrites
+        // it, so uses after the join are well-defined on every path.
+        Vreg out = fb.iconst(pickConst());
+        std::string lt = lbl("then"), le = lbl("else"), lj = lbl("join");
+        fb.br(cond, lt, le);
+
+        size_t poolMark = fs.pool.size(), varMark = fs.vars.size();
+        fb.label(lt);
+        stmts(shape.bodyStmts, depth + 1);
+        fb.assign(out, pick());
+        fb.jmp(lj);
+        fs.pool.resize(poolMark);
+        fs.vars.resize(varMark);
+
+        fb.label(le);
+        if (rng.chance(0.7))
+            stmts(shape.bodyStmts, depth + 1);
+        fb.assign(out, pick());
+        fs.pool.resize(poolMark);
+        fs.vars.resize(varMark);
+
+        fb.label(lj);
+        push(out);
+    }
+
+    void
+    stmtLoop(unsigned depth)
+    {
+        FunctionBuilder &fb = *fs.fb;
+        i64 trip = rng.range(1, static_cast<i64>(shape.maxLoopTrip));
+        Vreg i = fb.iconst(0);
+        Vreg limit = fb.iconst(trip);
+        // A loop-carried variable per loop keeps cross-iteration
+        // dependences flowing through the register tiles.
+        Vreg carried = fb.iconst(pickConst());
+        fs.vars.push_back(carried);
+        std::string lh = lbl("head"), lx = lbl("exit");
+
+        size_t poolMark = fs.pool.size(), varMark = fs.vars.size();
+        fb.label(lh);
+        ++fs.inLoop;
+        stmts(shape.bodyStmts, depth + 1);
+        fb.assign(carried, fb.add(carried, fs.acc));
+        --fs.inLoop;
+        fs.pool.resize(poolMark);
+        fs.vars.resize(varMark);
+        fb.assign(i, fb.addi(i, 1));
+        fb.br(fb.cmpLt(i, limit), lh, lx);
+        fb.label(lx);
+        push(carried);
+        push(i);
+    }
+
+    void
+    stmt(unsigned depth)
+    {
+        bool nested = depth < shape.maxDepth;
+        u64 w = rng.below(16);
+        if (w < 4) {
+            stmtArith();
+        } else if (w < 6) {
+            stmtCompare();
+        } else if (w < 8 && shape.memory) {
+            stmtLoad();
+        } else if (w < 10 && shape.memory) {
+            stmtStore();
+        } else if (w < 11 && shape.floats) {
+            stmtFloat();
+        } else if (w < 12 && nested) {
+            stmtIf(depth);
+        } else if (w < 13 && nested) {
+            stmtLoop(depth);
+        } else if (w < 14 && shape.calls) {
+            stmtCall();
+        } else if (w < 15) {
+            stmtAssignVar();
+        } else {
+            stmtMixAcc();
+        }
+    }
+
+    void
+    stmts(unsigned n, unsigned depth)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            stmt(depth);
+    }
+
+    // -- functions ----------------------------------------------------
+
+    void
+    beginFunction(FunctionBuilder &fb, unsigned numParams)
+    {
+        fs = FnState{};
+        fs.fb = &fb;
+        for (unsigned p = 0; p < numParams; ++p)
+            push(fb.param(p));
+        fs.baseA = fb.iconst(static_cast<i64>(arenaA));
+        fs.baseB = fb.iconst(static_cast<i64>(arenaB));
+        for (int k = 0; k < 3; ++k)
+            push(fb.iconst(pickConst()));
+        fs.acc = fb.iconst(static_cast<i64>(rng.next()));
+        fs.vars.push_back(fs.acc);
+    }
+
+    void
+    genHelper(unsigned idx)
+    {
+        Helper h;
+        h.name = "helper" + std::to_string(idx);
+        h.numParams = static_cast<unsigned>(rng.range(1, 3));
+        // helper0 is always loop-free: the only callee allowed at
+        // in-loop call sites (see stmtCall).
+        h.hasLoops = idx != 0;
+
+        FunctionBuilder fb(mod, h.name, h.numParams);
+        beginFunction(fb, h.numParams);
+        unsigned depth = h.hasLoops ? shape.maxDepth > 1 ? 1 : 0
+                                    : shape.maxDepth;
+        stmts(shape.bodyStmts + 2, depth);
+        fb.assign(fs.acc, fb.bxor(fs.acc, pick()));
+        fb.ret(fs.acc);
+        fb.finish();
+        helpers.push_back(h);
+    }
+
+    void
+    genMain()
+    {
+        FunctionBuilder fb(mod, mod.mainFunction, 0);
+        beginFunction(fb, 0);
+        stmts(shape.topStmts, 0);
+        if (shape.memory)
+            emitChecksumLoop(fb);
+        fb.ret(fs.acc);
+        fb.finish();
+    }
+
+    /** Fold every arena slot into acc so any memory divergence also
+     *  surfaces in the return value, not just in the image diff. */
+    void
+    emitChecksumLoop(FunctionBuilder &fb)
+    {
+        for (Vreg base : {fs.baseA, fs.baseB}) {
+            Vreg i = fb.iconst(0);
+            Vreg limit = fb.iconst(static_cast<i64>(shape.memSlots));
+            std::string lh = lbl("ck"), lx = lbl("ckx");
+            fb.label(lh);
+            Vreg v = fb.load(fb.add(base, fb.shli(i, 3)), 0);
+            fb.assign(fs.acc, fb.add(fb.bxor(fs.acc, v),
+                                     fb.shli(fs.acc, 1)));
+            fb.assign(i, fb.addi(i, 1));
+            fb.br(fb.cmpLt(i, limit), lh, lx);
+            fb.label(lx);
+        }
+    }
+};
+
+} // namespace
+
+Module
+generate(u64 seed, const ShapeConfig &shape)
+{
+    TRIPS_ASSERT(shape.memSlots && !(shape.memSlots & (shape.memSlots - 1)),
+                 "memSlots must be a power of two");
+    Module mod;
+    Gen gen(seed, shape, mod);
+    gen.run();
+    std::string err = wir::verifyModule(mod);
+    TRIPS_ASSERT(err.empty(), "fuzzgen emitted invalid WIR (seed ", seed,
+                 "): ", err);
+    return mod;
+}
+
+} // namespace trips::harness

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Seeded random WIR program generator.
+ *
+ * generate(seed, shape) deterministically emits a wir::Module that is
+ * valid by construction (see DESIGN.md "Fuzz generator invariants"):
+ * every program terminates, every vreg use is dominated by a
+ * definition, memory traffic stays inside generated global arenas,
+ * and no operation has target-divergent semantics (division is
+ * operand-guarded, float-to-int is never emitted). Within those
+ * fences the generator aims squarely at the machinery the paper's
+ * cross-platform comparison stresses: deep arithmetic chains,
+ * if-diamonds the TRIPS compiler if-converts into predication,
+ * counted loop nests it unrolls into big hyperblocks, aliasing
+ * sub-word stores/loads through shared arenas (LSQ forwarding and
+ * dependence-predictor food), and call DAGs across small functions.
+ *
+ * ShapeConfig scales each axis so sweeps can target the block-
+ * composition corner cases of Fig. 3 (many tiny blocks vs few full
+ * ones), and shrunk() walks a reduction ladder the differential
+ * harness uses to minimize a diverging (seed, shape) reproducer.
+ */
+
+#ifndef TRIPSIM_HARNESS_FUZZGEN_HH
+#define TRIPSIM_HARNESS_FUZZGEN_HH
+
+#include <string>
+
+#include "wir/wir.hh"
+
+namespace trips::harness {
+
+struct ShapeConfig
+{
+    unsigned helperFuncs = 2;   ///< callable helper functions (call DAG)
+    unsigned topStmts = 8;      ///< structured statements in main
+    unsigned bodyStmts = 3;     ///< statements per nested region body
+    unsigned maxDepth = 2;      ///< max if/loop nesting depth
+    unsigned maxLoopTrip = 12;  ///< max constant trip count per loop
+    unsigned memSlots = 32;     ///< 8-byte slots per arena (power of 2)
+    bool floats = true;         ///< emit FP arithmetic/compares
+    bool calls = true;          ///< emit calls into the helper DAG
+    bool memory = true;         ///< emit loads/stores
+    bool subWord = true;        ///< emit 1/2/4-byte memory widths
+
+    /**
+     * One step down the minimization ladder (0 = unchanged). Steps
+     * progressively strip features and scale, ending at straight-line
+     * integer arithmetic; past the last rung the shape stops changing.
+     */
+    ShapeConfig shrunk(unsigned step) const;
+
+    /** Number of distinct rungs on the shrink ladder. */
+    static constexpr unsigned SHRINK_STEPS = 7;
+
+    /** Compact human-readable form for divergence reports. */
+    std::string describe() const;
+
+    /** The sweep_main flags that reconstruct this exact shape (used
+     *  by repro lines when the shape is not a shrink-ladder rung). */
+    std::string cliFlags() const;
+};
+
+/** Deterministically generate a valid WIR module from (seed, shape).
+ *  The result always passes wir::verifyModule (asserted internally). */
+wir::Module generate(u64 seed, const ShapeConfig &shape = ShapeConfig{});
+
+} // namespace trips::harness
+
+#endif // TRIPSIM_HARNESS_FUZZGEN_HH

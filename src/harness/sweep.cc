@@ -1,0 +1,147 @@
+#include "harness/sweep.hh"
+
+#include <algorithm>
+
+namespace trips::harness {
+
+SweepPool::SweepPool(unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+    shards.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i)
+        shards.push_back(std::make_unique<Shard>());
+    workers.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i)
+        workers.emplace_back([this, i] { workerLoop(i); });
+}
+
+SweepPool::~SweepPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(jobMu);
+        shuttingDown = true;
+    }
+    jobCv.notify_all();
+    for (auto &t : workers)
+        t.join();
+}
+
+void
+SweepPool::parallelFor(u64 n, const std::function<void(u64)> &fn)
+{
+    if (n == 0)
+        return;
+
+    // Shard the index space: several chunks per worker so stealing has
+    // granularity to balance with, dealt round-robin so every worker
+    // starts with work spread across the range.
+    u64 parts = std::min<u64>(n, static_cast<u64>(jobs()) * 8);
+    u64 chunk = (n + parts - 1) / parts;
+    unsigned shard = 0;
+    for (u64 begin = 0; begin < n; begin += chunk) {
+        Chunk c{begin, std::min(n, begin + chunk)};
+        std::lock_guard<std::mutex> lk(shards[shard]->mu);
+        shards[shard]->chunks.push_back(c);
+        shard = (shard + 1) % jobs();
+    }
+
+    std::unique_lock<std::mutex> lk(jobMu);
+    jobFn = &fn;
+    pendingIndices = n;
+    firstError = nullptr;
+    ++jobGen;
+    jobCv.notify_all();
+    // Wait for every index AND every worker: a straggler still inside
+    // runShard must not survive into the next sweep's chunk deal,
+    // where it would run new chunks against this sweep's dead closure.
+    doneCv.wait(lk, [this] {
+        return pendingIndices == 0 && activeWorkers == 0;
+    });
+    jobFn = nullptr;
+    if (firstError) {
+        auto err = firstError;
+        firstError = nullptr;
+        lk.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+void
+SweepPool::workerLoop(unsigned self)
+{
+    u64 seenGen = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lk(jobMu);
+            jobCv.wait(lk, [&] {
+                return shuttingDown || (jobFn && jobGen != seenGen);
+            });
+            if (shuttingDown)
+                return;
+            seenGen = jobGen;
+            ++activeWorkers;
+        }
+        runShard(self);
+        {
+            std::lock_guard<std::mutex> lk(jobMu);
+            if (--activeWorkers == 0 && pendingIndices == 0)
+                doneCv.notify_all();
+        }
+    }
+}
+
+void
+SweepPool::runShard(unsigned self)
+{
+    const std::function<void(u64)> *fn;
+    {
+        std::lock_guard<std::mutex> lk(jobMu);
+        fn = jobFn;
+    }
+    Chunk c;
+    while (popOwn(self, c) || stealOther(self, c)) {
+        std::exception_ptr err;
+        for (u64 i = c.begin; i < c.end; ++i) {
+            try {
+                (*fn)(i);
+            } catch (...) {
+                if (!err)
+                    err = std::current_exception();
+            }
+        }
+        std::lock_guard<std::mutex> lk(jobMu);
+        if (err && !firstError)
+            firstError = err;
+        pendingIndices -= c.end - c.begin;
+    }
+}
+
+bool
+SweepPool::popOwn(unsigned self, Chunk &out)
+{
+    Shard &s = *shards[self];
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (s.chunks.empty())
+        return false;
+    out = s.chunks.back();
+    s.chunks.pop_back();
+    return true;
+}
+
+bool
+SweepPool::stealOther(unsigned self, Chunk &out)
+{
+    for (unsigned off = 1; off < jobs(); ++off) {
+        Shard &s = *shards[(self + off) % jobs()];
+        std::lock_guard<std::mutex> lk(s.mu);
+        if (s.chunks.empty())
+            continue;
+        out = s.chunks.front();
+        s.chunks.pop_front();
+        return true;
+    }
+    return false;
+}
+
+} // namespace trips::harness

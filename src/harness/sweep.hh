@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Work-stealing parallel sweep engine.
+ *
+ * SweepPool shards an index space [0, n) across a set of persistent
+ * worker threads. Each worker owns a deque of index chunks: it pops
+ * work from the back of its own deque and, when empty, steals a chunk
+ * from the front of a victim's — the classic Cilk-style discipline
+ * that keeps each worker on cache-warm consecutive indices while load
+ * imbalance (a fuzz program that hits a pathological cycle count, a
+ * SPEC proxy next to a ten-line kernel) is absorbed by stealing.
+ *
+ * Determinism contract: work is identified by index, never by worker,
+ * so anything derived from the index (taskSeed, output slots sized
+ * up front) is identical no matter how the chunks get scheduled.
+ * Callbacks write only to their own index's slot; the pool itself
+ * provides the fork/join memory ordering (results written by workers
+ * are visible to the caller when parallelFor returns).
+ */
+
+#ifndef TRIPSIM_HARNESS_SWEEP_HH
+#define TRIPSIM_HARNESS_SWEEP_HH
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/common.hh"
+
+namespace trips::harness {
+
+/**
+ * Deterministic per-task seed: splitmix64 over (base, index). The
+ * mapping is fixed — task i of a sweep seeded with base generates the
+ * same program whether it runs on 1 thread or 64, first or last.
+ */
+inline u64
+taskSeed(u64 base, u64 index)
+{
+    u64 z = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z = z ^ (z >> 31);
+    return z ? z : 1;
+}
+
+class SweepPool
+{
+  public:
+    /** @param jobs worker count; 0 means hardware_concurrency. */
+    explicit SweepPool(unsigned jobs = 0);
+    ~SweepPool();
+
+    SweepPool(const SweepPool &) = delete;
+    SweepPool &operator=(const SweepPool &) = delete;
+
+    /** Number of workers (>= 1). */
+    unsigned jobs() const { return static_cast<unsigned>(shards.size()); }
+
+    /**
+     * Run fn(i) for every i in [0, n), sharded across the workers;
+     * blocks until all indices completed. If any callback throws, the
+     * first exception is rethrown here after the sweep drains (the
+     * remaining chunks still run: a fuzz divergence in one program
+     * must not hide divergences in later ones). Not reentrant: one
+     * sweep at a time per pool.
+     */
+    void parallelFor(u64 n, const std::function<void(u64)> &fn);
+
+  private:
+    /** A half-open index range of pending work. */
+    struct Chunk
+    {
+        u64 begin;
+        u64 end;
+    };
+
+    /** Per-worker chunk deque. Own pops take the back, steals take
+     *  the front, so a thief grabs the victim's coldest work. */
+    struct Shard
+    {
+        std::mutex mu;
+        std::deque<Chunk> chunks;
+    };
+
+    void workerLoop(unsigned self);
+    void runShard(unsigned self);
+    bool popOwn(unsigned self, Chunk &out);
+    bool stealOther(unsigned self, Chunk &out);
+
+    std::vector<std::unique_ptr<Shard>> shards;
+    std::vector<std::thread> workers;
+
+    // Job state, valid while generation is odd (sweep in flight).
+    std::mutex jobMu;
+    std::condition_variable jobCv;      ///< workers wait for a sweep
+    std::condition_variable doneCv;     ///< caller waits for drain
+    const std::function<void(u64)> *jobFn = nullptr;
+    u64 jobGen = 0;                     ///< bumped per parallelFor
+    u64 pendingIndices = 0;
+    unsigned activeWorkers = 0;         ///< workers inside runShard
+    std::exception_ptr firstError;
+    bool shuttingDown = false;
+};
+
+} // namespace trips::harness
+
+#endif // TRIPSIM_HARNESS_SWEEP_HH

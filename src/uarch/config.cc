@@ -1,0 +1,83 @@
+#include "uarch/config.hh"
+
+#include <sstream>
+
+namespace trips::uarch {
+
+namespace {
+
+bool
+validCache(const mem::CacheConfig &c, const char *name, std::ostream &os)
+{
+    if (c.lineBytes == 0 || (c.lineBytes & (c.lineBytes - 1))) {
+        os << name << ": lineBytes must be a power of two";
+        return false;
+    }
+    if (c.assoc == 0) {
+        os << name << ": associativity must be >= 1";
+        return false;
+    }
+    if (c.sizeBytes == 0 ||
+        c.sizeBytes % (static_cast<u64>(c.assoc) * c.lineBytes) != 0) {
+        os << name << ": size must be a multiple of assoc * lineBytes";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+UarchConfig::validate() const
+{
+    std::ostringstream os;
+    if (numFrames < 1 || numFrames > 8) {
+        os << "numFrames must be in [1, 8] (the frame queue is 8 deep)";
+    } else if (dispatchPerCycle < 1) {
+        os << "dispatchPerCycle must be >= 1";
+    } else if (dtServicePeriod < 1) {
+        os << "dtServicePeriod must be >= 1";
+    } else if (lsqEntriesPerFrame < 1 || lsqEntriesPerFrame > 32) {
+        os << "lsqEntriesPerFrame must be in [1, 32] (LSID space)";
+    } else if (l1iHitLatency < 1 || l1dHitLatency < 1) {
+        os << "cache hit latencies must be >= 1";
+    } else if (maxCycles == 0) {
+        os << "maxCycles must be > 0";
+    } else if (depPredEntries == 0 ||
+               (depPredEntries & (depPredEntries - 1))) {
+        os << "depPredEntries must be a power of two";
+    } else {
+        validCache(l1dBank, "l1dBank", os) &&
+            validCache(l1i, "l1i", os) && validCache(l2Bank, "l2Bank", os);
+    }
+    return os.str();
+}
+
+UarchConfig
+UarchConfig::smallWindow()
+{
+    UarchConfig c;
+    c.numFrames = 2;
+    return c;
+}
+
+UarchConfig
+UarchConfig::narrowIssue()
+{
+    UarchConfig c;
+    c.dispatchPerCycle = 4;
+    c.dtServicePeriod = 2;
+    return c;
+}
+
+UarchConfig
+UarchConfig::tinyMemory()
+{
+    UarchConfig c;
+    c.l1dBank = mem::CacheConfig{1 * 1024, 2, 64};
+    c.l2Bank = mem::CacheConfig{8 * 1024, 4, 64};
+    c.depPredEntries = 16;
+    return c;
+}
+
+} // namespace trips::uarch

@@ -10,6 +10,8 @@
 #ifndef TRIPSIM_UARCH_CONFIG_HH
 #define TRIPSIM_UARCH_CONFIG_HH
 
+#include <string>
+
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "pred/predictors.hh"
@@ -37,8 +39,45 @@ struct UarchConfig
     pred::NextBlockConfig predictor = pred::NextBlockConfig::prototype();
     unsigned depPredEntries = 1024;
 
+    /** Cycles a DT bank is busy per serviced memory request (1 =
+     *  prototype: one LSQ dequeue per bank per cycle). */
+    unsigned dtServicePeriod = 1;
+
+    /** LSQ capacity per in-flight block; the hardware provides one
+     *  entry per LSID, so 32 (the architectural LSID space) means
+     *  unconstrained. Blocks whose memory-instruction count exceeds
+     *  this are rejected at simulation start. */
+    unsigned lsqEntriesPerFrame = 32;
+
     /** Stop simulation after this many cycles (safety). */
     u64 maxCycles = 400'000'000;
+
+    /**
+     * Validate the configuration against the model's structural
+     * limits. Returns "" when usable, else a description of the first
+     * violated constraint. CycleSim fatals on an invalid config, so
+     * sweep drivers should call this before launching a run.
+     */
+    std::string validate() const;
+
+    // ---- named variants (all validated by construction) -------------
+
+    /** The TRIPS prototype configuration (= the defaults). */
+    static UarchConfig prototype() { return UarchConfig{}; }
+
+    /** Reduced speculation window: 2 frames instead of 8 (Fig. 6
+     *  occupancy sensitivity). */
+    static UarchConfig smallWindow();
+
+    /** Narrow front end and memory pipes: quarter dispatch bandwidth,
+     *  half-rate DT service. (The LSQ capacity knob is left at the
+     *  architectural 32: it is a structural fit constraint, and the
+     *  compiler's hand preset emits blocks with up to 28 memory ops.) */
+    static UarchConfig narrowIssue();
+
+    /** Starved memory hierarchy: 1KB L1D banks, 8KB L2 banks, a
+     *  16-entry dependence predictor. */
+    static UarchConfig tinyMemory();
 };
 
 } // namespace trips::uarch

@@ -113,9 +113,26 @@ struct CycleSim::DtState
 
 // ---------------------------------------------------------------------
 
+namespace {
+
+/** Fatal on an invalid config *before* any member consumes it: Cache
+ *  and the predictors assert on malformed geometry themselves, so a
+ *  post-construction check would crash with their internal messages
+ *  instead of validate()'s diagnostics. */
+const UarchConfig &
+checkedConfig(const UarchConfig &cfg)
+{
+    std::string err = cfg.validate();
+    if (!err.empty())
+        TRIPS_FATAL("invalid UarchConfig: ", err);
+    return cfg;
+}
+
+} // namespace
+
 CycleSim::CycleSim(const isa::Program &prog, MemImage &mem,
                    const UarchConfig &cfg_)
-    : prog(prog), mem(mem), cfg(cfg_),
+    : prog(prog), mem(mem), cfg(checkedConfig(cfg_)),
       frames(cfg.numFrames),
       l1i(cfg.l1i),
       dram(cfg.dram),
@@ -127,6 +144,19 @@ CycleSim::CycleSim(const isa::Program &prog, MemImage &mem,
         l1d.emplace_back(cfg.l1dBank);
     for (unsigned b = 0; b < 16; ++b)
         l2.emplace_back(cfg.l2Bank);
+    // Structural fit: every block's memory footprint must fit the
+    // configured per-frame LSQ (one entry per LSID in hardware).
+    for (u32 b = 0; b < prog.numBlocks(); ++b) {
+        unsigned mem_insts = 0;
+        for (const auto &in : prog.block(b).insts) {
+            if (isa::isMemory(in.op))
+                ++mem_insts;
+        }
+        if (mem_insts > cfg.lsqEntriesPerFrame)
+            TRIPS_FATAL("block ", prog.block(b).label, " needs ",
+                        mem_insts, " LSQ entries but the config provides ",
+                        cfg.lsqEntriesPerFrame, " per frame");
+    }
     regfile[1] = STACK_BASE;
     nextFetchBlock = prog.entry;
     retStack.reserve(64);
@@ -849,7 +879,7 @@ CycleSim::tickDts()
         Frame &f = frames[pd.fidx];
         if (f.st == Frame::St::Free || f.epoch != pd.epoch)
             continue;
-        dt.bankFree = now + 1;
+        dt.bankFree = now + cfg.dtServicePeriod;
 
         const Instruction &in = f.blk->insts[pd.inst];
         if (pd.isStoreReq) {

@@ -135,10 +135,13 @@ verifyModule(const Module &m)
             };
             if (t.kind == TermKind::Br &&
                 (!check_target(t.thenBlock) || !check_target(t.elseBlock) ||
-                 t.cond == NO_VREG))
+                 t.cond == NO_VREG || t.cond >= f.nextVreg))
                 return name + ": malformed Br";
             if (t.kind == TermKind::Jmp && !check_target(t.thenBlock))
                 return name + ": malformed Jmp";
+            if (t.kind == TermKind::Ret && t.retVal != NO_VREG &&
+                t.retVal >= f.nextVreg)
+                return name + ": Ret of unallocated vreg";
         }
     }
     return "";

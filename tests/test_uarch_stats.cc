@@ -26,6 +26,7 @@
 #include <new>
 
 #include "compiler/codegen.hh"
+#include "core/machines.hh"
 #include "trips/func_sim.hh"
 #include "uarch/cycle_sim.hh"
 #include "wir/builder.hh"
@@ -361,4 +362,142 @@ TEST(CycleSimAlloc, RunAllocationsPlateauAfterWarmup)
     EXPECT_LE(longRun, shortRun + 16)
         << "allocations scale with cycles: short=" << shortRun
         << " long=" << longRun;
+}
+
+// ---------------------------------------------------------------------
+// Non-default configurations: the simulator must stay self-consistent
+// when resources shrink, not just reproduce the default-config pins.
+// ---------------------------------------------------------------------
+
+namespace {
+
+uarch::UarchResult
+runCycleWith(Module &mod, const uarch::UarchConfig &cfg, i64 *golden)
+{
+    auto r = core::runTrips(mod, compiler::Options::compiled(), true, cfg);
+    EXPECT_FALSE(r.funcFuelExhausted);
+    *golden = r.retVal;
+    return r.uarch;
+}
+
+void
+expectSelfConsistent(const uarch::UarchResult &r,
+                     const uarch::UarchConfig &cfg, i64 golden,
+                     const char *name)
+{
+    SCOPED_TRACE(name);
+    EXPECT_FALSE(r.fuelExhausted);
+    EXPECT_EQ(r.retVal, golden);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.blocksCommitted, 0u);
+    // OPN class totals balance against injected packets + bypasses.
+    u64 hopTotal = 0;
+    for (const auto &d : r.opnHops)
+        hopTotal += d.samples();
+    EXPECT_EQ(hopTotal, r.opnPackets + r.localBypasses);
+    // Window occupancy bounded by the configured frame count.
+    EXPECT_LE(r.avgBlocksInFlight,
+              static_cast<double>(cfg.numFrames) + 1e-9);
+    EXPECT_LE(r.peakInstsInFlight, static_cast<u64>(cfg.numFrames) * 128);
+    EXPECT_GE(r.instsFetched, r.instsFired);
+}
+
+} // namespace
+
+TEST(UarchConfigs, ReducedResourceVariantsStaySelfConsistent)
+{
+    const std::pair<const char *, uarch::UarchConfig> variants[] = {
+        {"prototype", uarch::UarchConfig::prototype()},
+        {"smallWindow", uarch::UarchConfig::smallWindow()},
+        {"narrowIssue", uarch::UarchConfig::narrowIssue()},
+        {"tinyMemory", uarch::UarchConfig::tinyMemory()},
+    };
+    for (const auto &[name, cfg] : variants) {
+        ASSERT_EQ(cfg.validate(), "") << name;
+        Module mod;
+        buildGolden1(mod);
+        i64 golden = 0;
+        auto r = runCycleWith(mod, cfg, &golden);
+        expectSelfConsistent(r, cfg, golden, name);
+    }
+}
+
+TEST(UarchConfigs, BandwidthCutsCostCycles)
+{
+    // Note: a *smaller window* is not asserted slower — with 2 frames
+    // this loop actually commits in fewer cycles than with 8, because
+    // misspeculated frames stop stealing DT bandwidth (the same
+    // overspeculation effect the paper discusses). Pure bandwidth
+    // cuts, by contrast, must cost cycles on a memory-bound loop.
+    auto cyclesWith = [](const uarch::UarchConfig &cfg) {
+        Module mod;
+        buildGolden1(mod);
+        i64 golden = 0;
+        auto r = runCycleWith(mod, cfg, &golden);
+        EXPECT_EQ(r.retVal, golden);
+        return r.cycles;
+    };
+    u64 base = cyclesWith(uarch::UarchConfig::prototype());
+    EXPECT_GT(cyclesWith(uarch::UarchConfig::narrowIssue()), base);
+    // golden1's 512B working set fits even the starved hierarchy, so
+    // tinyMemory may only tie the prototype — it must never win.
+    EXPECT_GE(cyclesWith(uarch::UarchConfig::tinyMemory()), base);
+
+    // A 4x slower DT service period alone must also cost cycles on
+    // this store/load-heavy loop.
+    uarch::UarchConfig slowDt;
+    slowDt.dtServicePeriod = 4;
+    EXPECT_GT(cyclesWith(slowDt), base);
+}
+
+TEST(UarchConfigs, ValidationRejectsStructurallyImpossibleConfigs)
+{
+    auto bad = [](auto mut) {
+        uarch::UarchConfig c;
+        mut(c);
+        return c.validate();
+    };
+    EXPECT_EQ(uarch::UarchConfig{}.validate(), "");
+    EXPECT_NE(bad([](auto &c) { c.numFrames = 0; }), "");
+    EXPECT_NE(bad([](auto &c) { c.numFrames = 9; }), "");
+    EXPECT_NE(bad([](auto &c) { c.dispatchPerCycle = 0; }), "");
+    EXPECT_NE(bad([](auto &c) { c.dtServicePeriod = 0; }), "");
+    EXPECT_NE(bad([](auto &c) { c.lsqEntriesPerFrame = 0; }), "");
+    EXPECT_NE(bad([](auto &c) { c.lsqEntriesPerFrame = 33; }), "");
+    EXPECT_NE(bad([](auto &c) { c.depPredEntries = 48; }), "");
+    EXPECT_NE(bad([](auto &c) { c.maxCycles = 0; }), "");
+    EXPECT_NE(bad([](auto &c) { c.l1dBank.lineBytes = 48; }), "");
+    EXPECT_NE(bad([](auto &c) { c.l2Bank.sizeBytes = 1000; }), "");
+}
+
+TEST(UarchConfigs, InvalidConfigAndLsqOverflowAreFatal)
+{
+    Module mod;
+    buildGolden1(mod);
+    auto prog = compiler::compileToTrips(mod, compiler::Options::compiled());
+    MemImage mem;
+    wir::Interp::loadGlobals(mod, mem);
+
+    uarch::UarchConfig invalid;
+    invalid.numFrames = 0;
+    EXPECT_EXIT(uarch::CycleSim(prog, mem, invalid),
+                ::testing::ExitedWithCode(1), "invalid UarchConfig");
+
+    // Validation must fire before member construction: with a bad
+    // depPred geometry the predictor's own assert would otherwise
+    // win (or a zero-assoc cache would divide by zero).
+    uarch::UarchConfig badPred;
+    badPred.depPredEntries = 48;
+    EXPECT_EXIT(uarch::CycleSim(prog, mem, badPred),
+                ::testing::ExitedWithCode(1), "invalid UarchConfig");
+    uarch::UarchConfig badCache;
+    badCache.l1dBank.assoc = 0;
+    EXPECT_EXIT(uarch::CycleSim(prog, mem, badCache),
+                ::testing::ExitedWithCode(1), "invalid UarchConfig");
+
+    // A 1-entry LSQ cannot hold this program's memory blocks.
+    uarch::UarchConfig tinyLsq;
+    tinyLsq.lsqEntriesPerFrame = 1;
+    EXPECT_EXIT(uarch::CycleSim(prog, mem, tinyLsq),
+                ::testing::ExitedWithCode(1), "LSQ entries");
 }

@@ -8,7 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "core/machines.hh"
+#include "harness/diff.hh"
 
 using namespace trips;
 using workloads::Workload;
@@ -53,6 +57,38 @@ TEST_P(WorkloadTest, RiscMatchesGolden)
     EXPECT_EQ(i.retVal, golden);
 }
 
+TEST_P(WorkloadTest, FinalMemoryMatchesGoldenByteForByte)
+{
+    // Return values can collude (a checksum can survive a wrong
+    // intermediate); the data segment cannot. Every Table 2 workload's
+    // final memory image must equal the interpreter's on the RISC and
+    // TRIPS functional models.
+    const Workload &w = *GetParam();
+    wir::Module mod;
+    w.build(mod);
+
+    MemImage goldenMem;
+    auto golden = core::runGolden(mod, &goldenMem);
+    ASSERT_FALSE(golden.fuelExhausted);
+
+    MemImage riscMem;
+    auto r = core::runRisc(mod, risc::RiscOptions::gcc(), &riscMem);
+    ASSERT_FALSE(r.fuelExhausted);
+    EXPECT_EQ(r.retVal, golden.retVal);
+    EXPECT_EQ(harness::compareDataSegments(mod, goldenMem, riscMem,
+                                           "risc/gcc"),
+              "");
+
+    MemImage funcMem;
+    auto t = core::runTrips(mod, compiler::Options::compiled(), false,
+                            uarch::UarchConfig{}, &funcMem, nullptr);
+    ASSERT_FALSE(t.funcFuelExhausted);
+    EXPECT_EQ(t.retVal, golden.retVal);
+    EXPECT_EQ(harness::compareDataSegments(mod, goldenMem, funcMem,
+                                           "trips/func"),
+              "");
+}
+
 TEST_P(WorkloadTest, CycleLevelMatchesGolden)
 {
     const Workload &w = *GetParam();
@@ -91,3 +127,37 @@ workloadName(const ::testing::TestParamInfo<const Workload *> &info)
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadTest,
                          ::testing::ValuesIn(allWorkloadPtrs()),
                          workloadName);
+
+// ---------------------------------------------------------------------
+// Table 2 completeness: the registry carries every suite member the
+// paper's evaluation names, so the parameterized cross-model tests
+// above are guaranteed to cover all of Table 2 — a silently dropped
+// workload would fail here, not just shrink the test count.
+// ---------------------------------------------------------------------
+
+TEST(Table2, EverySuiteMemberIsRegistered)
+{
+    const std::map<std::string, std::set<std::string>> expected = {
+        {"kernel", {"vadd", "ct", "conv", "matrix"}},
+        {"versa", {"fmradio", "802.11a", "8b10b"}},
+        {"eembc",
+         {"a2time", "rspeed", "ospf", "routelookup", "autocor", "conven",
+          "fbital", "fft", "bitmnp", "idctrn"}},
+        {"specint",
+         {"bzip2", "crafty", "gcc", "gzip", "mcf", "parser", "perlbmk",
+          "twolf", "vortex", "vpr"}},
+        {"specfp",
+         {"applu", "apsi", "art", "equake", "mesa", "mgrid", "swim",
+          "wupwise"}},
+    };
+    size_t total = 0;
+    for (const auto &[suite, members] : expected) {
+        std::set<std::string> got;
+        for (const auto *w : workloads::suite(suite))
+            got.insert(w->name);
+        EXPECT_EQ(got, members) << "suite " << suite;
+        total += members.size();
+    }
+    EXPECT_EQ(workloads::all().size(), total);
+    EXPECT_EQ(workloads::simpleSuite().size(), 15u);
+}
