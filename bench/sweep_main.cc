@@ -16,15 +16,21 @@
  *                   --out FILE additionally writes one repro seed per
  *                   line (CI uploads it as an artifact).
  *   --repro SEED    re-run one generated program verbosely
- *                   [--shrink K applies the minimizer's shape rung].
+ *                   [--shrink K applies the minimizer's shape rung;
+ *                   --dump-til streams the TIL after each backend
+ *                   pass; --compile-stats prints the per-pass
+ *                   CompileStats table].
  *
- * Common flags: --jobs N (0 = all cores), --seed BASE, --no-cycle.
+ * Common flags: --jobs N (0 = all cores), --seed BASE, --no-cycle,
+ * --verify-til (TIL structural verification between backend passes),
+ * --grow K (the block-splitting stress ladder, see ShapeConfig).
  */
 
 #include <chrono>
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <iomanip>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -53,19 +59,23 @@ struct Args
     u64 fuzzCount = 0;
     u64 reproSeed = 0;
     unsigned shrink = 0;
+    unsigned grow = 0;
     bool figures = false;
     bool json = false;
     bool cycleLevel = true;
     bool repro = false;
+    bool verifyTil = false;
+    bool dumpTil = false;
+    bool compileStats = false;
     std::string outFile;
-    /** Shape-field edits, applied on top of the shrink rung in
-     *  shape() — so --shrink and shape flags compose in any order. */
+    /** Shape-field edits, applied on top of the grow/shrink rungs in
+     *  shape() — so ladder and shape flags compose in any order. */
     std::vector<std::function<void(harness::ShapeConfig &)>> shapeEdits;
 
     harness::ShapeConfig
     shape() const
     {
-        auto s = harness::ShapeConfig{}.shrunk(shrink);
+        auto s = harness::ShapeConfig{}.grown(grow).shrunk(shrink);
         for (const auto &edit : shapeEdits)
             edit(s);
         return s;
@@ -77,11 +87,16 @@ usage()
 {
     std::cerr
         << "usage: sweep_main [--jobs N] [--seed BASE] [--no-cycle]\n"
+        << "                  [--verify-til]\n"
         << "                  (--figures [--json] | --fuzz N [--out F]\n"
-        << "                   | --repro SEED [--shrink K])\n"
-        << "shape flags (fuzz/repro): --funcs N --top N --body N\n"
-        << "  --depth N --trip N --slots N --no-float --no-call\n"
-        << "  --no-mem --no-subword\n";
+        << "                   | --repro SEED [--shrink K]\n"
+        << "                     [--dump-til] [--compile-stats])\n"
+        << "shape flags (fuzz/repro): --grow K --funcs N --top N\n"
+        << "  --body N --depth N --trip N --slots N --no-float\n"
+        << "  --no-call --no-mem --no-subword\n"
+        << "--verify-til runs the TIL structural verifier between\n"
+        << "backend passes of every TRIPS compile (fatal on violation);\n"
+        << "--grow walks the block-splitting stress ladder.\n";
     std::exit(2);
 }
 
@@ -106,6 +121,14 @@ parse(int argc, char **argv)
             a.reproSeed = std::stoull(val(i));
         } else if (!std::strcmp(argv[i], "--shrink")) {
             a.shrink = static_cast<unsigned>(std::stoul(val(i)));
+        } else if (!std::strcmp(argv[i], "--grow")) {
+            a.grow = static_cast<unsigned>(std::stoul(val(i)));
+        } else if (!std::strcmp(argv[i], "--verify-til")) {
+            a.verifyTil = true;
+        } else if (!std::strcmp(argv[i], "--dump-til")) {
+            a.dumpTil = true;
+        } else if (!std::strcmp(argv[i], "--compile-stats")) {
+            a.compileStats = true;
         } else if (!std::strcmp(argv[i], "--figures")) {
             a.figures = true;
         } else if (!std::strcmp(argv[i], "--json")) {
@@ -250,6 +273,7 @@ runFuzz(const Args &a)
     harness::ShapeConfig shape = a.shape();
     harness::DiffOptions opts;
     opts.cycleLevel = a.cycleLevel;
+    opts.verifyTil = a.verifyTil;
     harness::SweepPool pool(a.jobs);
 
     auto t0 = Clock::now();
@@ -316,8 +340,11 @@ runRepro(const Args &a)
     riscLine("risc/gcc   ", risc::RiscOptions::gcc());
     riscLine("risc/icc   ", risc::RiscOptions::icc());
 
-    auto tripsLine = [&](const char *name, const compiler::Options &o,
-                         bool cycle) {
+    auto tripsLine = [&](const char *name, compiler::Options o,
+                         bool cycle, bool debug) {
+        o.verifyTil = a.verifyTil;
+        if (debug && a.dumpTil)
+            o.tilDump = &std::cout;
         MemImage fm, cm;
         auto r = core::runTrips(mod, o, cycle, uarch::UarchConfig{}, &fm,
                                 &cm);
@@ -327,6 +354,30 @@ runRepro(const Args &a)
                   << harness::compareDataSegments(mod, goldenMem, fm,
                                                   " mem:")
                   << "\n";
+        if (debug && a.compileStats) {
+            const auto &cs = r.compile;
+            std::cout << "  compile: functions=" << cs.functions
+                      << " regions=" << cs.regions << " blocks="
+                      << cs.blocks << " insts=" << cs.totalInsts
+                      << " movs=" << cs.movInsts << " nulls="
+                      << cs.nullInsts << " tests=" << cs.testInsts
+                      << "\n  split: +" << cs.splitBlocks
+                      << " blocks, " << cs.spillWrites
+                      << " spill writes, " << cs.spillReads
+                      << " spill reads, " << cs.overflowRetries
+                      << " region retries\n";
+            for (unsigned p = 0; p < compiler::NUM_PASSES; ++p) {
+                const auto &pc = cs.pass[p];
+                std::cout << "  pass " << std::left << std::setw(12)
+                          << compiler::passName(
+                                 static_cast<compiler::PassId>(p))
+                          << std::right << " blocks=" << pc.tilBlocks
+                          << " nodes=" << pc.tilNodes << " (+"
+                          << pc.addedNodes << ") movs=" << pc.movNodes
+                          << " nulls=" << pc.nullNodes << " tests="
+                          << pc.testNodes << "\n";
+            }
+        }
         if (cycle) {
             std::cout << "trips/cycle retVal=" << r.uarch.retVal
                       << " cycles=" << r.uarch.cycles
@@ -339,11 +390,13 @@ runRepro(const Args &a)
                       << "\n";
         }
     };
-    tripsLine("trips/func ", compiler::Options::compiled(), a.cycleLevel);
-    tripsLine("trips/hand ", compiler::Options::hand(), false);
+    tripsLine("trips/func ", compiler::Options::compiled(), a.cycleLevel,
+              true);
+    tripsLine("trips/hand ", compiler::Options::hand(), false, false);
 
     harness::DiffOptions opts;
     opts.cycleLevel = a.cycleLevel;
+    opts.verifyTil = a.verifyTil;
     auto full = harness::diffOne(a.reproSeed, shape, opts);
     std::cout << (full.ok ? "oracle: ok\n"
                           : "oracle: " + full.divergence + "\n");

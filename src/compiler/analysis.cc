@@ -55,6 +55,24 @@ Liveness::Liveness(const Function &f)
     }
 }
 
+bool
+isCallBlock(const Function &f, u32 b)
+{
+    const auto &ins = f.blocks[b].instrs;
+    return !ins.empty() && ins.back().op == WOp::Call;
+}
+
+unsigned
+blockMemOps(const Function &f, u32 b)
+{
+    unsigned n = 0;
+    for (const auto &in : f.blocks[b].instrs) {
+        if (in.op == WOp::Load || in.op == WOp::Store)
+            ++n;
+    }
+    return n;
+}
+
 std::vector<u32>
 reversePostOrder(const Function &f)
 {

@@ -89,6 +89,12 @@ std::vector<NaturalLoop> findLoops(const wir::Function &f);
 /** Reverse post-order of reachable blocks. */
 std::vector<u32> reversePostOrder(const wir::Function &f);
 
+/** True iff the block ends in a Call (call blocks terminate regions). */
+bool isCallBlock(const wir::Function &f, u32 b);
+
+/** Number of Load/Store instructions in the block. */
+unsigned blockMemOps(const wir::Function &f, u32 b);
+
 } // namespace trips::compiler
 
 #endif // TRIPSIM_COMPILER_ANALYSIS_HH

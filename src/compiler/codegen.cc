@@ -1,21 +1,30 @@
-#include "compiler/codegen.hh"
+/**
+ * @file
+ * The WIR-to-TIL front end of the TRIPS backend: hyperblock region
+ * formation over the WIR CFG and if-conversion of regions into
+ * predicated TIL dataflow graphs (speculating conditional-arm
+ * arithmetic per the paper's model). Driven per-pass by the pipeline
+ * manager in pipeline.cc through the `Frontend` interface.
+ */
+
+#include "compiler/pipeline.hh"
 
 #include <algorithm>
 #include <cstring>
-#include <cstdlib>
-#include <functional>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "compiler/analysis.hh"
-#include "compiler/placement.hh"
-#include "isa/disasm.hh"
 #include "compiler/transform.hh"
 
 namespace trips::compiler {
 
 using isa::Opcode;
-using isa::PredMode;
+using til::HBlock;
+using til::HRead;
+using til::HWrite;
+using til::TNode;
 using wir::Function;
 using wir::Instr;
 using wir::MemWidth;
@@ -25,20 +34,6 @@ using wir::Vreg;
 using wir::WOp;
 
 namespace {
-
-constexpr int REG_SP = 1;
-constexpr int REG_RETVAL = 3;
-constexpr int REG_ARG0 = 4;
-constexpr unsigned MAX_ARGS = 8;
-constexpr int FIRST_ALLOC_REG = 12;
-
-/** Thrown when an emitted block exceeds a prototype limit; the driver
- *  retries with the offending region split into singletons. */
-struct Overflow
-{
-    std::vector<u32> wirBlocks;  ///< members of the offending region
-    std::string reason;
-};
 
 // ---------------------------------------------------------------------
 // Region formation
@@ -50,24 +45,6 @@ struct Region
     bool isCall = false;
 };
 
-bool
-isCallBlock(const Function &f, u32 b)
-{
-    const auto &ins = f.blocks[b].instrs;
-    return !ins.empty() && ins.back().op == WOp::Call;
-}
-
-unsigned
-blockMemOps(const Function &f, u32 b)
-{
-    unsigned n = 0;
-    for (const auto &in : f.blocks[b].instrs) {
-        if (in.op == WOp::Load || in.op == WOp::Store)
-            ++n;
-    }
-    return n;
-}
-
 struct FormElem
 {
     u32 block;
@@ -77,8 +54,8 @@ struct FormElem
 using FormChain = std::vector<FormElem>;
 
 std::vector<Region>
-formRegions(const Function &f, const Options &opts,
-            const std::set<u32> &force_singleton)
+formRegionsOf(const Function &f, const Options &opts,
+              const std::set<u32> &force_singleton)
 {
     const size_t nb = f.blocks.size();
     std::vector<std::vector<u32>> preds(nb);
@@ -206,7 +183,7 @@ formRegions(const Function &f, const Options &opts,
 }
 
 // ---------------------------------------------------------------------
-// TIL graph
+// If-conversion: lowering one region to TIL
 // ---------------------------------------------------------------------
 
 /** A value source: the set of producers that deliver exactly one token
@@ -219,42 +196,6 @@ struct ValSource
     i64 cval = 0;
 };
 
-struct TNode
-{
-    Opcode op = Opcode::MOV;
-    i64 imm = 0;
-    i32 predNode = -1;        ///< producer of the predicate operand
-    bool predPol = true;
-    u8 lsid = 0;
-    std::string targetLabel;  ///< BRO/CALLO destination
-    std::string returnLabel;  ///< CALLO continuation
-    std::vector<i32> in0, in1;
-};
-
-struct HRead
-{
-    Vreg v = wir::NO_VREG;
-    int fixedReg = -1;
-    int assignedReg = -1;
-};
-
-struct HWrite
-{
-    Vreg v = wir::NO_VREG;
-    int fixedReg = -1;
-    int assignedReg = -1;
-    std::vector<i32> prods;
-};
-
-struct HBlock
-{
-    std::string label;
-    std::vector<TNode> nodes;
-    std::vector<HRead> reads;
-    std::vector<HWrite> writes;
-    std::vector<u32> wirMembers;
-};
-
 struct CElem
 {
     i32 test;
@@ -263,18 +204,12 @@ struct CElem
 };
 using CChain = std::vector<CElem>;
 
-// Defined below; used inside FuncCompiler::run so block overflows can
-// trigger the region-splitting retry.
-void fanoutPass(HBlock &hb);
-void allocateRegisters(std::vector<HBlock> &hbs,
-                       const std::string &fname,
-                       const std::vector<std::vector<Vreg>> &live_sets);
-isa::Block emitBlock(HBlock &hb,
-                     std::vector<std::pair<u32, std::string>> &fixups,
-                     std::vector<std::pair<u32, std::string>> &ret_fixups);
+/** Sanity ceiling on pre-split memory ops in one region (the split
+ *  pass renumbers per chunk; TNode::lsid is 16-bit). */
+constexpr unsigned PRESPLIT_LSID_CAP = 4096;
 
 // ---------------------------------------------------------------------
-// Per-function compiler
+// Per-function front end
 // ---------------------------------------------------------------------
 
 class FuncCompiler
@@ -282,16 +217,14 @@ class FuncCompiler
   public:
     FuncCompiler(const Module &mod, const std::string &fname,
                  const Options &opts)
-        : mod(mod), opts(opts), fname(fname), f(mod.function(fname))
+        : opts(opts), mod(mod), fname(fname), f(mod.function(fname))
     {}
 
-    std::vector<HBlock> hbs;
-    /** Emitted blocks and their (inst, label, isReturnLabel) fixups. */
-    std::vector<isa::Block> emitted;
-    std::vector<std::tuple<u32, u32, std::string, bool>> emitFixups;
+    Options opts;   ///< by value: overflow retries shrink budgets
+    bool oversizedOk = false;   ///< final attempt: split, don't retry
 
     void
-    run()
+    normalize()
     {
         unrollLoops(f, opts);
         normalizeBlocks(f, 32, 20);
@@ -301,62 +234,47 @@ class FuncCompiler
         vregSPREST = f.nextVreg++;
         live.emplace(f);
         planSpills();
-
-        std::set<u32> force_singleton;
-        for (int attempt = 0; attempt < 6; ++attempt) {
-            try {
-                regions = formRegions(f, opts, force_singleton);
-                blockRegion.assign(f.blocks.size(), -1);
-                for (u32 ri = 0; ri < regions.size(); ++ri) {
-                    for (u32 m : regions[ri].members)
-                        blockRegion[m] = static_cast<i32>(ri);
-                }
-                hbs.clear();
-                for (u32 ri = 0; ri < regions.size(); ++ri)
-                    hbs.push_back(genRegion(ri));
-                std::vector<std::vector<Vreg>> live_sets(regions.size());
-                for (u32 ri = 0; ri < regions.size(); ++ri) {
-                    std::set<Vreg> ls;
-                    for (u32 b : regions[ri].members) {
-                        for (u32 v : (*live).liveIn[b].bits())
-                            ls.insert(v);
-                        for (u32 v : (*live).liveOut[b].bits())
-                            ls.insert(v);
-                    }
-                    live_sets[ri].assign(ls.begin(), ls.end());
-                }
-                allocateRegisters(hbs, fname, live_sets);
-                emitted.clear();
-                emitFixups.clear();
-                for (u32 hi = 0; hi < hbs.size(); ++hi) {
-                    std::vector<std::pair<u32, std::string>> fix, rfix;
-                    emitted.push_back(emitBlock(hbs[hi], fix, rfix));
-                    for (auto &[inst, label] : fix)
-                        emitFixups.emplace_back(hi, inst, label, false);
-                    for (auto &[inst, label] : rfix)
-                        emitFixups.emplace_back(hi, inst, label, true);
-                }
-                return;
-            } catch (const Overflow &o) {
-                if (o.wirBlocks.size() <= 1) {
-                    TRIPS_FATAL("single WIR block overflows a TRIPS "
-                                "block in ", fname, ": ", o.reason);
-                }
-                if (attempt < 3 && opts.regionBudgetOps > 20) {
-                    // First response: form smaller regions everywhere
-                    // rather than degrading one region to singletons.
-                    opts.regionBudgetOps =
-                        std::max(18u, opts.regionBudgetOps * 3 / 5);
-                    opts.regionBudgetMem =
-                        std::max(8u, opts.regionBudgetMem * 3 / 4);
-                } else {
-                    for (u32 b : o.wirBlocks)
-                        force_singleton.insert(b);
-                }
-            }
-        }
-        TRIPS_FATAL("region splitting did not converge in ", fname);
     }
+
+    unsigned
+    formRegions(const std::set<u32> &force_singleton)
+    {
+        regions = formRegionsOf(f, opts, force_singleton);
+        blockRegion.assign(f.blocks.size(), -1);
+        for (u32 ri = 0; ri < regions.size(); ++ri) {
+            for (u32 m : regions[ri].members)
+                blockRegion[m] = static_cast<i32>(ri);
+        }
+        return static_cast<unsigned>(regions.size());
+    }
+
+    std::vector<HBlock>
+    ifConvert()
+    {
+        std::vector<HBlock> hbs;
+        for (u32 ri = 0; ri < regions.size(); ++ri)
+            hbs.push_back(genRegion(ri));
+        return hbs;
+    }
+
+    std::vector<std::vector<Vreg>>
+    regionLiveSets() const
+    {
+        std::vector<std::vector<Vreg>> live_sets(regions.size());
+        for (u32 ri = 0; ri < regions.size(); ++ri) {
+            std::set<Vreg> ls;
+            for (u32 b : regions[ri].members) {
+                for (u32 v : (*live).liveIn[b].bits())
+                    ls.insert(v);
+                for (u32 v : (*live).liveOut[b].bits())
+                    ls.insert(v);
+            }
+            live_sets[ri].assign(ls.begin(), ls.end());
+        }
+        return live_sets;
+    }
+
+    Vreg freshVreg() { return f.nextVreg++; }
 
     std::string
     labelOf(u32 region_idx) const
@@ -368,7 +286,6 @@ class FuncCompiler
 
   private:
     const Module &mod;
-    Options opts;   ///< by value: overflow retries shrink budgets
     std::string fname;
     Function f;
     std::optional<Liveness> live;
@@ -440,6 +357,7 @@ class FuncCompiler
         std::map<u32, i32> ctlTest;
         std::map<Vreg, u32> readIdx;
         std::map<i64, i32> constPool;
+        std::map<i64, i32> spAddrPool;  ///< wide frame-slot addresses
         std::set<Vreg> defined;
         std::vector<CExit> exits;
         unsigned memSeq = 0;
@@ -458,9 +376,19 @@ class FuncCompiler
     newMemNode(GenState &g, Opcode op)
     {
         i32 n = newNode(g, op);
-        if (g.memSeq >= isa::MAX_LSIDS)
-            throw Overflow{regions[curRegion].members, "LSIDs"};
-        g.hb.nodes[n].lsid = static_cast<u8>(g.memSeq++);
+        // Multi-block regions re-form with smaller budgets (the retry
+        // ladder); single-block regions — and everything on the final
+        // attempt — are left for the splitting pass, which renumbers
+        // LSIDs per chunk.
+        if (g.memSeq >= isa::MAX_LSIDS && !oversizedOk &&
+            regions[curRegion].members.size() > 1)
+            throw BlockOverflow{regions[curRegion].members, "LSIDs"};
+        if (g.memSeq >= PRESPLIT_LSID_CAP)
+            TRIPS_FATAL("function ", fname, " region ", curRegion, " (",
+                        labelOf(curRegion), "): ", g.memSeq,
+                        " memory ops exceed the pre-split cap of ",
+                        PRESPLIT_LSID_CAP);
+        g.hb.nodes[n].lsid = static_cast<u16>(g.memSeq++);
         return n;
     }
 
@@ -545,11 +473,12 @@ class FuncCompiler
             r.v = v;
             bool entry_region = curRegion == 0;
             if (entry_region && v < f.numParams) {
-                TRIPS_ASSERT(v < MAX_ARGS, "too many parameters");
-                r.fixedReg = REG_ARG0 + static_cast<int>(v);
+                TRIPS_ASSERT(v < abi::MAX_ARGS, "too many parameters in ",
+                             fname);
+                r.fixedReg = abi::REG_ARG0 + static_cast<int>(v);
             }
             if (v == vregSPV)
-                r.fixedReg = REG_SP;  // SP lives in R1 across regions
+                r.fixedReg = abi::REG_SP;  // SP lives in R1 across regions
             g.readIdx[v] = static_cast<u32>(g.hb.reads.size());
             g.hb.reads.push_back(r);
             rit = g.readIdx.find(v);
@@ -583,11 +512,12 @@ class FuncCompiler
             HRead r;
             r.v = v;
             if (curRegion == 0 && v < f.numParams) {
-                TRIPS_ASSERT(v < MAX_ARGS, "too many parameters");
-                r.fixedReg = REG_ARG0 + static_cast<int>(v);
+                TRIPS_ASSERT(v < abi::MAX_ARGS, "too many parameters in ",
+                             fname);
+                r.fixedReg = abi::REG_ARG0 + static_cast<int>(v);
             }
             if (v == vregSPV)
-                r.fixedReg = REG_SP;
+                r.fixedReg = abi::REG_SP;
             g.readIdx[v] = static_cast<u32>(g.hb.reads.size());
             g.hb.reads.push_back(r);
             rit = g.readIdx.find(v);
@@ -620,10 +550,10 @@ class FuncCompiler
             ValSource &sp = lookup(g, vregSPV);
             // Force the read to fixed R1: the entry read of SPV *is* the
             // incoming stack pointer.
-            g.hb.reads[g.readIdx[vregSPV]].fixedReg = REG_SP;
-            i32 adj = newNode(g, Opcode::ADDI);
-            g.hb.nodes[adj].imm = -static_cast<i64>(frameBytes());
-            connect(g, adj, 0, sp);
+            g.hb.reads[g.readIdx[vregSPV]].fixedReg = abi::REG_SP;
+            i32 adj = spAdjustNode(g, sp,
+                                   -static_cast<i64>(frameBytes()),
+                                   false);
             g.ctxOf[root][vregSPV] = makeNodeVS(g, adj, true);
             g.defined.insert(vregSPV);
         }
@@ -636,7 +566,7 @@ class FuncCompiler
             if (call.dst != wir::NO_VREG) {
                 HRead rr;
                 rr.v = call.dst;
-                rr.fixedReg = REG_RETVAL;
+                rr.fixedReg = abi::REG_RETVAL;
                 g.readIdx[call.dst] = static_cast<u32>(g.hb.reads.size());
                 g.hb.reads.push_back(rr);
                 ValSource vs;
@@ -649,9 +579,10 @@ class FuncCompiler
                 if (!(*live).liveIn[root].test(v))
                     continue;
                 ValSource &sp = lookup(g, vregSPV);
+                auto [base, disp] = frameSlotAddr(g, sp, slot);
                 i32 ld = newMemNode(g, Opcode::LD);
-                g.hb.nodes[ld].imm = static_cast<i64>(slot) * 8;
-                connect(g, ld, 0, sp);
+                g.hb.nodes[ld].imm = disp;
+                connect(g, ld, 0, base);
                 g.ctxOf[root][v] = makeNodeVS(g, ld, true);
                 g.defined.insert(v);
             }
@@ -681,6 +612,57 @@ class FuncCompiler
 
     u64 frameBytes() const { return (frameSlots + 1) * 8; }
 
+    /**
+     * The stack pointer plus an immediate, as a node: an ADDI when the
+     * immediate fits the 9-bit form, else an ADD against a
+     * materialized constant (the prototype's wide-offset idiom, used
+     * by frames of 32+ spill slots). With `cache`, repeated offsets —
+     * the spill/reload loops — share one node per region; the frame
+     * adjustments on entry and return are unique per site and stay
+     * uncached.
+     */
+    i32
+    spAdjustNode(GenState &g, ValSource &sp, i64 imm, bool cache)
+    {
+        if (cache) {
+            auto it = g.spAddrPool.find(imm);
+            if (it != g.spAddrPool.end())
+                return it->second;
+        }
+        i32 n;
+        if (imm >= isa::IMM9_MIN && imm <= isa::IMM9_MAX) {
+            n = newNode(g, Opcode::ADDI);
+            g.hb.nodes[n].imm = imm;
+            connect(g, n, 0, sp);
+        } else {
+            i32 cn = constNode(g, imm);
+            n = newNode(g, Opcode::ADD);
+            connect(g, n, 0, sp);
+            g.hb.nodes[n].in1.push_back(cn);
+        }
+        if (cache)
+            g.spAddrPool[imm] = n;
+        return n;
+    }
+
+    /**
+     * Address of a caller-save frame slot as (base source, imm9
+     * displacement). Slots beyond the 9-bit displacement range round
+     * down to a shared 256-byte base — one cached ADD per region
+     * serves a whole run of wide slots — with the remainder in the
+     * memory op's immediate.
+     */
+    std::pair<ValSource, i64>
+    frameSlotAddr(GenState &g, ValSource &sp, unsigned slot)
+    {
+        i64 disp = static_cast<i64>(slot) * 8;
+        if (disp <= isa::IMM9_MAX)
+            return {sp, disp};
+        i64 base = disp & ~i64{255};
+        return {makeNodeVS(g, spAdjustNode(g, sp, base, true), sp.total),
+                disp - base};
+    }
+
     /** Compute chain and context of a non-root member from its
      *  in-region predecessors. */
     void
@@ -701,7 +683,7 @@ class FuncCompiler
             }
         }
         TRIPS_ASSERT(!in.empty() && in.size() <= 2,
-                     "bad join shape in region");
+                     "bad join shape in region of ", fname);
         if (in.size() == 1) {
             g.chains[B] = in[0].second;
             g.ctxOf[B] = g.ctxOf.at(in[0].first);
@@ -1115,11 +1097,12 @@ class FuncCompiler
     void
     lowerCall(GenState &g, u32 B, const Instr &in)
     {
-        TRIPS_ASSERT(in.srcs.size() <= MAX_ARGS, "too many call args");
+        TRIPS_ASSERT(in.srcs.size() <= abi::MAX_ARGS,
+                     "too many call args in ", fname);
         // Argument writes.
         for (size_t i = 0; i < in.srcs.size(); ++i) {
             HWrite w;
-            w.fixedReg = REG_ARG0 + static_cast<int>(i);
+            w.fixedReg = abi::REG_ARG0 + static_cast<int>(i);
             ValSource &vs = lookup(g, in.srcs[i]);
             for (i32 p : prodsOf(g, vs))
                 w.prods.push_back(p);
@@ -1129,9 +1112,10 @@ class FuncCompiler
         for (auto &[v, slot] : spillMap.at(B)) {
             ValSource &sp = lookup(g, vregSPV);
             ValSource &val = lookup(g, v);
+            auto [base, disp] = frameSlotAddr(g, sp, slot);
             i32 st = newMemNode(g, Opcode::SD);
-            g.hb.nodes[st].imm = static_cast<i64>(slot) * 8;
-            connect(g, st, 0, sp);
+            g.hb.nodes[st].imm = disp;
+            connect(g, st, 0, base);
             connect(g, st, 1, val);
         }
         // The CALLO exit itself.
@@ -1139,7 +1123,7 @@ class FuncCompiler
         g.hb.nodes[c].targetLabel = in.callee + ".r0";
         u32 cont = callCont.at(B);
         i32 cont_region = blockRegion[cont];
-        TRIPS_ASSERT(cont_region >= 0);
+        TRIPS_ASSERT(cont_region >= 0, "in ", fname);
         g.hb.nodes[c].returnLabel =
             labelOf(static_cast<u32>(cont_region));
         CExit e;
@@ -1181,7 +1165,7 @@ class FuncCompiler
         auto emit_bro = [&](u32 target, const CChain &bchain) {
             i32 n = newNode(g, Opcode::BRO);
             i32 tr = blockRegion[target];
-            TRIPS_ASSERT(tr >= 0);
+            TRIPS_ASSERT(tr >= 0, "in ", fname);
             g.hb.nodes[n].targetLabel = labelOf(static_cast<u32>(tr));
             if (!bchain.empty()) {
                 g.hb.nodes[n].predNode = bchain.back().test;
@@ -1226,9 +1210,8 @@ class FuncCompiler
                 // the ret-exit context of SPV becomes SP + frame, so
                 // the (fixed R1) write commits the restored value.
                 ValSource &sp = lookup(g, vregSPV);
-                i32 adj = newNode(g, Opcode::ADDI);
-                g.hb.nodes[adj].imm = static_cast<i64>(frameBytes());
-                connect(g, adj, 0, sp);
+                i32 adj = spAdjustNode(
+                    g, sp, static_cast<i64>(frameBytes()), false);
                 g.ctxOf[B][vregSPV] = makeNodeVS(g, adj, false);
                 g.defined.insert(vregSPV);
             }
@@ -1258,7 +1241,7 @@ class FuncCompiler
             if (g.defined.count(vregSPV)) {
                 HWrite w;
                 w.v = vregSPV;
-                w.fixedReg = REG_SP;
+                w.fixedReg = abi::REG_SP;
                 connectOneWrite(g, w);
                 g.hb.writes.push_back(std::move(w));
             }
@@ -1285,9 +1268,9 @@ class FuncCompiler
             HWrite w;
             w.v = v;
             if (v == vregRETV)
-                w.fixedReg = REG_RETVAL;
+                w.fixedReg = abi::REG_RETVAL;
             if (v == vregSPV)
-                w.fixedReg = REG_SP;
+                w.fixedReg = abi::REG_SP;
             connectOneWrite(g, w);
             g.hb.writes.push_back(std::move(w));
         }
@@ -1317,7 +1300,7 @@ class FuncCompiler
                 return pol ? t.thenBlock : t.elseBlock;
             return t.thenBlock;
         }
-        TRIPS_PANIC("ret exit has no target");
+        TRIPS_PANIC("ret exit has no target in ", fname);
     }
 
     void
@@ -1359,7 +1342,8 @@ class FuncCompiler
         }
         for (Leaf &l : leaves) {
             TRIPS_ASSERT(!l.e->chain.empty(),
-                         "multi-exit region with unpredicated exit");
+                         "multi-exit region with unpredicated exit in ",
+                         fname);
             const CElem &leaf = l.e->chain.back();
             if (!l.vs) {
                 // No in-region definition on this exit. If the value is
@@ -1400,366 +1384,61 @@ class FuncCompiler
 } // namespace
 
 // ---------------------------------------------------------------------
-// Fanout, register allocation, emission, and the driver live in
-// compile.cc's translation unit via this interface.
+// Frontend: the pipeline-facing interface
 // ---------------------------------------------------------------------
 
-namespace detail {
-
-/** Exposed for compile.cc (internal linkage workaround). */
-} // namespace detail
-
-// The driver below completes the pipeline: fanout + regalloc + emit.
-
-namespace {
-
-struct ConsumerRef
+struct Frontend::Impl
 {
-    enum class Kind : u8 { Op0, Op1, Pred, Write };
-    Kind kind;
-    u32 index;
+    FuncCompiler fc;
 };
 
+Frontend::Frontend(const Module &mod, const std::string &fname,
+                   const Options &opts)
+    : impl(std::make_unique<Impl>(Impl{FuncCompiler(mod, fname, opts)}))
+{}
+
+Frontend::~Frontend() = default;
+
+void
+Frontend::normalize()
+{
+    impl->fc.normalize();
+}
+
 unsigned
-nodeCapacity(const TNode &n)
+Frontend::formRegions(const std::set<u32> &forceSingleton)
 {
-    return isa::opInfo(n.op).numTargets;
+    return impl->fc.formRegions(forceSingleton);
 }
 
-/**
- * Fanout: ensure no producer exceeds its target capacity by inserting
- * MOV trees. Rewrites all operand lists of the block.
- */
+std::vector<til::HBlock>
+Frontend::ifConvert()
+{
+    return impl->fc.ifConvert();
+}
+
+std::vector<std::vector<Vreg>>
+Frontend::regionLiveSets() const
+{
+    return impl->fc.regionLiveSets();
+}
+
+Options &
+Frontend::options()
+{
+    return impl->fc.opts;
+}
+
+Vreg
+Frontend::freshVreg()
+{
+    return impl->fc.freshVreg();
+}
+
 void
-fanoutPass(HBlock &hb)
+Frontend::allowOversized(bool yes)
 {
-    // Gather edges per producer. Producer ids: node>=0, read = -1-idx.
-    std::map<i32, std::vector<ConsumerRef>> cons;
-    auto add_edges = [&](std::vector<i32> &list, ConsumerRef::Kind k,
-                         u32 idx) {
-        for (i32 p : list)
-            cons[p].push_back({k, idx});
-        list.clear();
-    };
-    for (u32 i = 0; i < hb.nodes.size(); ++i) {
-        add_edges(hb.nodes[i].in0, ConsumerRef::Kind::Op0, i);
-        add_edges(hb.nodes[i].in1, ConsumerRef::Kind::Op1, i);
-        if (hb.nodes[i].predNode >= 0) {
-            cons[hb.nodes[i].predNode].push_back(
-                {ConsumerRef::Kind::Pred, i});
-            hb.nodes[i].predNode = -1000000;  // reconnected below
-        }
-    }
-    for (u32 w = 0; w < hb.writes.size(); ++w)
-        add_edges(hb.writes[w].prods, ConsumerRef::Kind::Write, w);
-
-    // Re-attach respecting capacities, inserting movs.
-    auto attach = [&](i32 prod, const ConsumerRef &c) {
-        switch (c.kind) {
-          case ConsumerRef::Kind::Op0:
-            hb.nodes[c.index].in0.push_back(prod);
-            break;
-          case ConsumerRef::Kind::Op1:
-            hb.nodes[c.index].in1.push_back(prod);
-            break;
-          case ConsumerRef::Kind::Pred:
-            hb.nodes[c.index].predNode = prod;
-            break;
-          case ConsumerRef::Kind::Write:
-            hb.writes[c.index].prods.push_back(prod);
-            break;
-        }
-    };
-
-    // Recursive tree build. Consumers of `prod` split into `cap`
-    // groups; singleton groups attach directly, larger groups go
-    // through a fresh MOV (capacity 2).
-    std::function<void(i32, std::vector<ConsumerRef>, unsigned)> place =
-        [&](i32 prod, std::vector<ConsumerRef> list, unsigned cap) {
-            TRIPS_ASSERT(cap >= 1);
-            if (list.size() <= cap) {
-                for (const auto &c : list)
-                    attach(prod, c);
-                return;
-            }
-            // Split into cap balanced groups.
-            std::vector<std::vector<ConsumerRef>> groups(cap);
-            for (size_t i = 0; i < list.size(); ++i)
-                groups[i % cap].push_back(list[i]);
-            for (auto &grp : groups) {
-                if (grp.empty())
-                    continue;
-                if (grp.size() == 1) {
-                    attach(prod, grp[0]);
-                    continue;
-                }
-                u32 mv = static_cast<u32>(hb.nodes.size());
-                hb.nodes.push_back(TNode{});
-                hb.nodes.back().op = Opcode::MOV;
-                hb.nodes.back().predNode = -1;
-                attach(prod, {ConsumerRef::Kind::Op0, mv});
-                place(static_cast<i32>(mv), std::move(grp), 2);
-            }
-        };
-
-    for (auto &[prod, list] : cons) {
-        unsigned cap = prod >= 0 ? nodeCapacity(hb.nodes[prod]) : 2u;
-        place(prod, list, cap);
-    }
-    // Sanity: no dangling pred markers.
-    for (auto &n : hb.nodes) {
-        if (n.predNode == -1000000)
-            n.predNode = -1;
-    }
-}
-
-} // namespace
-
-// compile.cc implements the remaining pipeline using these internals;
-// to keep a single translation unit boundary simple we finish the
-// driver here.
-
-namespace {
-
-/**
- * Linear-scan register allocation over a function's HBlocks. Ranges
- * come from WIR liveness projected onto regions (live_sets), not just
- * read/write touch points: a value carried around a loop is live in
- * every region of the loop even where untouched, and its register must
- * not be reused there.
- */
-void
-allocateRegisters(std::vector<HBlock> &hbs, const std::string &fname,
-                  const std::vector<std::vector<Vreg>> &live_sets)
-{
-    struct Range { u32 lo = 0xffffffff, hi = 0; };
-    std::map<Vreg, Range> ranges;
-    auto touch = [&](Vreg v, u32 region) {
-        if (v == wir::NO_VREG)
-            return;
-        auto &r = ranges[v];
-        r.lo = std::min(r.lo, region);
-        r.hi = std::max(r.hi, region);
-    };
-    for (u32 i = 0; i < hbs.size(); ++i) {
-        for (auto &r : hbs[i].reads) {
-            if (r.fixedReg < 0)
-                touch(r.v, i);
-        }
-        for (auto &w : hbs[i].writes) {
-            if (w.fixedReg < 0)
-                touch(w.v, i);
-        }
-    }
-    // Extend over liveness: only for vregs that need a register at all.
-    for (u32 i = 0; i < live_sets.size() && i < hbs.size(); ++i) {
-        for (Vreg v : live_sets[i]) {
-            if (ranges.count(v))
-                touch(v, i);
-        }
-    }
-    std::vector<std::pair<Vreg, Range>> order(ranges.begin(),
-                                              ranges.end());
-    std::sort(order.begin(), order.end(),
-              [](const auto &a, const auto &b) {
-                  return a.second.lo < b.second.lo;
-              });
-    std::map<Vreg, int> assign;
-    std::vector<std::pair<u32, int>> active;  // (end, reg)
-    std::vector<int> free_regs;
-    for (int r = isa::NUM_REGS - 1; r >= FIRST_ALLOC_REG; --r)
-        free_regs.push_back(r);
-    for (auto &[v, range] : order) {
-        // Expire.
-        for (size_t i = 0; i < active.size();) {
-            if (active[i].first < range.lo) {
-                free_regs.push_back(active[i].second);
-                active.erase(active.begin() + i);
-            } else {
-                ++i;
-            }
-        }
-        if (free_regs.empty())
-            TRIPS_FATAL("out of registers in ", fname,
-                        " (cross-region values exceed 116)");
-        int reg = free_regs.back();
-        free_regs.pop_back();
-        assign[v] = reg;
-        active.emplace_back(range.hi, reg);
-    }
-    for (auto &hb : hbs) {
-        for (auto &r : hb.reads)
-            r.assignedReg = r.fixedReg >= 0 ? r.fixedReg : assign.at(r.v);
-        for (auto &w : hb.writes)
-            w.assignedReg = w.fixedReg >= 0 ? w.fixedReg : assign.at(w.v);
-    }
-}
-
-/** Emit one HBlock as an isa::Block. Throws Overflow on limit breach. */
-isa::Block
-emitBlock(HBlock &hb, std::vector<std::pair<u32, std::string>> &fixups,
-          std::vector<std::pair<u32, std::string>> &ret_fixups)
-{
-    fanoutPass(hb);
-    if (hb.nodes.size() > isa::MAX_INSTS)
-        throw Overflow{hb.wirMembers,
-                       "instructions: " + std::to_string(hb.nodes.size())};
-    if (hb.reads.size() > isa::MAX_READS)
-        throw Overflow{hb.wirMembers, "reads"};
-    if (hb.writes.size() > isa::MAX_WRITES)
-        throw Overflow{hb.wirMembers, "writes"};
-
-    isa::Block blk;
-    blk.label = hb.label;
-
-    // Consumer edges -> target fields.
-    std::vector<std::vector<isa::Target>> targets(hb.nodes.size());
-    std::vector<std::vector<isa::Target>> read_targets(hb.reads.size());
-    auto add_target = [&](i32 prod, isa::Target t) {
-        if (prod >= 0) {
-            targets[prod].push_back(t);
-        } else {
-            read_targets[-1 - prod].push_back(t);
-        }
-    };
-    for (u32 i = 0; i < hb.nodes.size(); ++i) {
-        const TNode &n = hb.nodes[i];
-        for (i32 p : n.in0)
-            add_target(p, {isa::Target::Kind::Op0, static_cast<u8>(i)});
-        for (i32 p : n.in1)
-            add_target(p, {isa::Target::Kind::Op1, static_cast<u8>(i)});
-        if (n.predNode >= 0)
-            add_target(n.predNode,
-                       {isa::Target::Kind::Pred, static_cast<u8>(i)});
-    }
-    for (u32 w = 0; w < hb.writes.size(); ++w) {
-        for (i32 p : hb.writes[w].prods)
-            add_target(p, {isa::Target::Kind::Write, static_cast<u8>(w)});
-    }
-
-    unsigned exit_no = 0;
-    for (u32 i = 0; i < hb.nodes.size(); ++i) {
-        const TNode &n = hb.nodes[i];
-        isa::Instruction inst;
-        inst.op = n.op;
-        inst.imm = static_cast<i32>(n.imm);
-        inst.lsid = n.lsid;
-        if (n.predNode >= 0)
-            inst.pr = n.predPol ? PredMode::OnTrue : PredMode::OnFalse;
-        if (isBranch(n.op)) {
-            if (exit_no >= isa::MAX_EXITS)
-                throw Overflow{hb.wirMembers, "exits"};
-            inst.exit = static_cast<u8>(exit_no++);
-            if (n.op != Opcode::RET) {
-                fixups.emplace_back(
-                    static_cast<u32>(blk.insts.size()), n.targetLabel);
-            }
-            if (n.op == Opcode::CALLO) {
-                ret_fixups.emplace_back(
-                    static_cast<u32>(blk.insts.size()), n.returnLabel);
-            }
-        }
-        const auto &tl = targets[i];
-        TRIPS_ASSERT(tl.size() <= isa::opInfo(n.op).numTargets,
-                     "fanout failed for ", isa::opName(n.op));
-        for (size_t t = 0; t < tl.size(); ++t)
-            inst.targets[t] = tl[t];
-        if (isStore(n.op))
-            blk.storeMask |= 1u << n.lsid;
-        blk.insts.push_back(inst);
-    }
-    for (u32 r = 0; r < hb.reads.size(); ++r) {
-        isa::ReadInst ri;
-        ri.reg = static_cast<u8>(hb.reads[r].assignedReg);
-        const auto &tl = read_targets[r];
-        TRIPS_ASSERT(tl.size() <= 2, "read fanout failed");
-        for (size_t t = 0; t < tl.size(); ++t)
-            ri.targets[t] = tl[t];
-        blk.reads.push_back(ri);
-    }
-    for (auto &w : hb.writes) {
-        isa::WriteInst wi;
-        wi.reg = static_cast<u8>(w.assignedReg);
-        blk.writes.push_back(wi);
-    }
-    return blk;
-}
-
-} // namespace
-
-isa::Program
-compileToTrips(const Module &mod, const Options &opts,
-               CompileStats *stats)
-{
-    auto err = wir::verifyModule(mod);
-    if (!err.empty())
-        TRIPS_FATAL("WIR verification failed: ", err);
-
-    isa::Program prog;
-    CompileStats cs;
-
-    // main first, then remaining functions in name order.
-    std::vector<std::string> order;
-    order.push_back(mod.mainFunction);
-    for (const auto &[name, fn] : mod.functions) {
-        if (name != mod.mainFunction)
-            order.push_back(name);
-    }
-
-    // (block index, inst index) -> label fixups across functions.
-    std::vector<std::tuple<u32, u32, std::string, bool>> fixups;
-
-    for (const auto &fname : order) {
-        FuncCompiler fc(mod, fname, opts);
-        fc.run();
-        ++cs.functions;
-        cs.regions += static_cast<unsigned>(fc.emitted.size());
-        std::vector<u32> local_to_global;
-        for (auto &blk : fc.emitted) {
-            local_to_global.push_back(prog.addBlock(std::move(blk)));
-            ++cs.blocks;
-        }
-        for (auto &[hi, inst, label, is_ret] : fc.emitFixups)
-            fixups.emplace_back(local_to_global[hi], inst, label, is_ret);
-    }
-
-    for (auto &[bidx, inst, label, is_ret] : fixups) {
-        u32 target = prog.blockIndex(label);
-        auto &in = prog.mutableBlock(bidx).insts[inst];
-        if (is_ret)
-            in.returnBlock = static_cast<i32>(target);
-        else
-            in.targetBlock = static_cast<i32>(target);
-    }
-    prog.entry = prog.blockIndex(mod.mainFunction + ".r0");
-
-    for (u32 b = 0; b < prog.numBlocks(); ++b) {
-        const auto &blk = prog.block(b);
-        cs.totalInsts += blk.insts.size();
-        for (const auto &in : blk.insts) {
-            if (in.op == Opcode::MOV)
-                ++cs.movInsts;
-            if (in.op == Opcode::NULLW)
-                ++cs.nullInsts;
-            if (isTest(in.op))
-                ++cs.testInsts;
-        }
-    }
-    if (stats)
-        *stats = cs;
-
-    placeProgram(prog);
-
-    auto ferr = prog.finalize();
-    if (!ferr.empty()) {
-        if (std::getenv("TRIPSIM_DUMP_ON_ERROR")) {
-            for (u32 b = 0; b < prog.numBlocks(); ++b)
-                std::fputs(isa::disasmBlock(prog.block(b)).c_str(),
-                           stderr);
-        }
-        TRIPS_FATAL("compiled program failed validation: ", ferr);
-    }
-    return prog;
+    impl->fc.oversizedOk = yes;
 }
 
 } // namespace trips::compiler

@@ -1,10 +1,17 @@
 /**
  * @file
- * TRIPS backend code generation: hyperblock region formation over the
- * WIR CFG, conversion of regions to predicated dataflow (TIL) graphs,
- * mov-fanout, register allocation, and emission of isa::Blocks.
+ * TRIPS backend entry point and compilation statistics.
  *
- * The predication scheme follows the paper's model:
+ * The backend is organized as a pass pipeline over TIL, the predicated
+ * dataflow intermediate language (compiler/til.hh):
+ *
+ *   region formation -> if-conversion/predication (with speculation)
+ *   -> block splitting -> mov fanout -> register allocation
+ *   -> emission -> placement
+ *
+ * The pass manager lives in compiler/pipeline.hh; this header carries
+ * the public facade (`compileToTrips`) plus the per-pass statistics it
+ * reports. The predication scheme follows the paper's model:
  *  - each region is a single-entry DAG of WIR blocks whose internal
  *    join points are proper diamond joins, so every block's predicate
  *    is a chain [(test1,pol1),...,(testk,polk)] of chained tests;
@@ -14,7 +21,11 @@
  *    NULLW tokens covering the complement paths (the paper's null/st
  *    idiom), so all block outputs complete on every path;
  *  - values consumed by more than a producer's target capacity get
- *    trees of MOV instructions (the paper's ~20% move overhead).
+ *    trees of MOV instructions (the paper's ~20% move overhead);
+ *  - regions whose dataflow graph exceeds a prototype block limit are
+ *    split by spilling cut-crossing values through register
+ *    write/read pairs (compiler/pipeline.hh), so no size limit is
+ *    fatal.
  */
 
 #ifndef TRIPSIM_COMPILER_CODEGEN_HH
@@ -29,22 +40,67 @@
 
 namespace trips::compiler {
 
+/** ABI register conventions shared by the backend passes. */
+namespace abi {
+constexpr int REG_SP = 1;        ///< stack pointer (live across calls)
+constexpr int REG_RETVAL = 3;    ///< return value
+constexpr int REG_ARG0 = 4;      ///< first argument register
+constexpr unsigned MAX_ARGS = 8;
+constexpr int FIRST_ALLOC_REG = 12;  ///< first allocatable register
+} // namespace abi
+
+/** The backend passes, in pipeline order. */
+enum class PassId : u8 {
+    RegionForm,   ///< hyperblock region formation over the WIR CFG
+    IfConvert,    ///< region -> predicated TIL dataflow (w/ speculation)
+    Split,        ///< spill oversized TIL blocks through registers
+    Fanout,       ///< MOV trees for over-capacity producers
+    RegAlloc,     ///< linear-scan over region-crossing values
+    Emit,         ///< TIL -> isa::Block encoding
+};
+constexpr unsigned NUM_PASSES = 6;
+
+/** Human-readable pass name. */
+const char *passName(PassId id);
+
+/** TIL shape snapshot taken after one pass (summed over functions). */
+struct PassCounters
+{
+    u64 tilBlocks = 0;   ///< TIL blocks after the pass
+    u64 tilNodes = 0;    ///< TIL nodes after the pass
+    u64 movNodes = 0;    ///< MOV nodes after the pass
+    u64 nullNodes = 0;   ///< NULLW nodes after the pass
+    u64 testNodes = 0;   ///< test nodes after the pass
+    u64 addedNodes = 0;  ///< nodes this pass added
+};
+
 /** Aggregate per-compilation statistics (reported by benches/tests). */
 struct CompileStats
 {
     unsigned functions = 0;
-    unsigned regions = 0;
-    unsigned blocks = 0;
+    unsigned regions = 0;        ///< hyperblock regions formed
+    unsigned blocks = 0;         ///< emitted blocks (regions + splits)
     u64 totalInsts = 0;
     u64 movInsts = 0;
     u64 nullInsts = 0;
     u64 testInsts = 0;
+
+    // Block-splitting pass activity.
+    unsigned splitBlocks = 0;    ///< extra blocks created by splitting
+    u64 spillWrites = 0;         ///< cut-crossing register writes
+    u64 spillReads = 0;          ///< cut-crossing register reads
+    unsigned overflowRetries = 0;  ///< region re-formation attempts
+
+    /** Per-pass snapshots from each function's successful attempt,
+     *  indexed by PassId and summed across functions. */
+    PassCounters pass[NUM_PASSES];
 };
 
 /**
- * Compile a WIR module to a TRIPS program.
- * Fatal on programs that exceed prototype limits the backend cannot
- * split around (documented in DESIGN.md).
+ * Compile a WIR module to a TRIPS program. Programs that exceed
+ * prototype block limits are compiled via the block-splitting pass;
+ * the one remaining hard limit is the register file (more than ~116
+ * simultaneously live region-crossing values is fatal).
  */
 isa::Program compileToTrips(const wir::Module &mod, const Options &opts,
                             CompileStats *stats = nullptr);

@@ -11,6 +11,8 @@
 #ifndef TRIPSIM_COMPILER_OPTIONS_HH
 #define TRIPSIM_COMPILER_OPTIONS_HH
 
+#include <iosfwd>
+
 #include "support/common.hh"
 
 namespace trips::compiler {
@@ -41,6 +43,14 @@ struct Options
 
     /** Fold small constants into 9-bit immediate instruction forms. */
     bool foldImmediates = true;
+
+    /** Debug: run the TIL structural verifier between backend passes
+     *  (fatal on the first violation). See compiler/pipeline.hh. */
+    bool verifyTil = false;
+
+    /** Debug: stream receiving a textual TIL dump after each
+     *  TIL-shaping pass (nullptr = off; not owned). */
+    std::ostream *tilDump = nullptr;
 
     /** Named presets. */
     static Options compiled();

@@ -1,0 +1,1077 @@
+/**
+ * @file
+ * The TRIPS backend pass manager: drives the WIR-to-TIL front end
+ * (codegen.cc), the block-splitting / fanout / register-allocation /
+ * emission passes over TIL, and the overflow retry ladder. See
+ * pipeline.hh for the pass order and the splitting scheme.
+ */
+
+#include "compiler/pipeline.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <queue>
+
+#include "compiler/placement.hh"
+#include "isa/disasm.hh"
+
+namespace trips::compiler {
+
+using isa::Opcode;
+using isa::PredMode;
+using til::HBlock;
+using til::HRead;
+using til::HWrite;
+using til::TNode;
+using wir::Module;
+using wir::Vreg;
+
+const char *
+passName(PassId id)
+{
+    switch (id) {
+      case PassId::RegionForm: return "region-form";
+      case PassId::IfConvert: return "if-convert";
+      case PassId::Split: return "split";
+      case PassId::Fanout: return "fanout";
+      case PassId::RegAlloc: return "regalloc";
+      case PassId::Emit: return "emit";
+    }
+    TRIPS_PANIC("bad pass id");
+}
+
+// ---------------------------------------------------------------------
+// Pass 4 — fanout
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct ConsumerRef
+{
+    enum class Kind : u8 { Op0, Op1, Pred, Write };
+    Kind kind;
+    u32 index;
+};
+
+unsigned
+nodeCapacity(const TNode &n)
+{
+    return isa::opInfo(n.op).numTargets;
+}
+
+} // namespace
+
+void
+fanoutPass(HBlock &hb)
+{
+    // Gather edges per producer. Producer ids: node>=0, read = -1-idx.
+    std::map<i32, std::vector<ConsumerRef>> cons;
+    auto add_edges = [&](std::vector<i32> &list, ConsumerRef::Kind k,
+                         u32 idx) {
+        for (i32 p : list)
+            cons[p].push_back({k, idx});
+        list.clear();
+    };
+    for (u32 i = 0; i < hb.nodes.size(); ++i) {
+        add_edges(hb.nodes[i].in0, ConsumerRef::Kind::Op0, i);
+        add_edges(hb.nodes[i].in1, ConsumerRef::Kind::Op1, i);
+        if (hb.nodes[i].predNode >= 0) {
+            cons[hb.nodes[i].predNode].push_back(
+                {ConsumerRef::Kind::Pred, i});
+            hb.nodes[i].predNode = -1000000;  // reconnected below
+        }
+    }
+    for (u32 w = 0; w < hb.writes.size(); ++w)
+        add_edges(hb.writes[w].prods, ConsumerRef::Kind::Write, w);
+
+    // Re-attach respecting capacities, inserting movs.
+    auto attach = [&](i32 prod, const ConsumerRef &c) {
+        switch (c.kind) {
+          case ConsumerRef::Kind::Op0:
+            hb.nodes[c.index].in0.push_back(prod);
+            break;
+          case ConsumerRef::Kind::Op1:
+            hb.nodes[c.index].in1.push_back(prod);
+            break;
+          case ConsumerRef::Kind::Pred:
+            hb.nodes[c.index].predNode = prod;
+            break;
+          case ConsumerRef::Kind::Write:
+            hb.writes[c.index].prods.push_back(prod);
+            break;
+        }
+    };
+
+    // Recursive tree build. Consumers of `prod` split into `cap`
+    // groups; singleton groups attach directly, larger groups go
+    // through a fresh MOV (capacity 2).
+    std::function<void(i32, std::vector<ConsumerRef>, unsigned)> place =
+        [&](i32 prod, std::vector<ConsumerRef> list, unsigned cap) {
+            TRIPS_ASSERT(cap >= 1);
+            if (list.size() <= cap) {
+                for (const auto &c : list)
+                    attach(prod, c);
+                return;
+            }
+            // Split into cap balanced groups.
+            std::vector<std::vector<ConsumerRef>> groups(cap);
+            for (size_t i = 0; i < list.size(); ++i)
+                groups[i % cap].push_back(list[i]);
+            for (auto &grp : groups) {
+                if (grp.empty())
+                    continue;
+                if (grp.size() == 1) {
+                    attach(prod, grp[0]);
+                    continue;
+                }
+                u32 mv = static_cast<u32>(hb.nodes.size());
+                hb.nodes.push_back(TNode{});
+                hb.nodes.back().op = Opcode::MOV;
+                hb.nodes.back().predNode = -1;
+                attach(prod, {ConsumerRef::Kind::Op0, mv});
+                place(static_cast<i32>(mv), std::move(grp), 2);
+            }
+        };
+
+    for (auto &[prod, list] : cons) {
+        unsigned cap = prod >= 0 ? nodeCapacity(hb.nodes[prod]) : 2u;
+        place(prod, list, cap);
+    }
+    // Sanity: no dangling pred markers.
+    for (auto &n : hb.nodes) {
+        if (n.predNode == -1000000)
+            n.predNode = -1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Block-limit check (trial fanout)
+// ---------------------------------------------------------------------
+
+std::string
+checkBlockLimits(const HBlock &hb)
+{
+    HBlock trial = hb;
+    fanoutPass(trial);
+    if (trial.nodes.size() > isa::MAX_INSTS)
+        return "instructions: " + std::to_string(trial.nodes.size());
+    if (hb.reads.size() > isa::MAX_READS)
+        return "reads: " + std::to_string(hb.reads.size());
+    if (hb.writes.size() > isa::MAX_WRITES)
+        return "writes: " + std::to_string(hb.writes.size());
+    unsigned mems = 0, exits = 0;
+    for (const TNode &n : hb.nodes) {
+        if (isa::isMemory(n.op))
+            ++mems;
+        if (isa::isBranch(n.op))
+            ++exits;
+    }
+    if (mems > isa::MAX_LSIDS)
+        return "LSIDs: " + std::to_string(mems);
+    if (exits > isa::MAX_EXITS)
+        return "exits: " + std::to_string(exits);
+    return "";
+}
+
+// ---------------------------------------------------------------------
+// Pass 3 — block splitting
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** One valid cut of `rest` at node index K, fully materialized. */
+struct Cut
+{
+    HBlock a, b;
+    u64 spills = 0;   ///< register write/read pairs crossing the cut
+};
+
+/**
+ * Stable topological renumbering. The front end's id order is
+ * topological except for on-demand constant materialization (GENS/APP
+ * chains created after their first consumer), and the cut works on id
+ * ranges. Kahn's algorithm with a min-original-id heap keeps the
+ * order deterministic and as close to creation order as possible.
+ * Returns false on a dataflow cycle.
+ */
+bool
+topoNormalize(HBlock &hb)
+{
+    const size_t n = hb.nodes.size();
+    bool sorted = true;
+    for (size_t i = 0; i < n && sorted; ++i) {
+        const TNode &nd = hb.nodes[i];
+        auto before = [&](i32 p) {
+            return p < 0 || p < static_cast<i32>(i);
+        };
+        sorted &= nd.predNode < 0 || before(nd.predNode);
+        for (i32 p : nd.in0)
+            sorted &= before(p);
+        for (i32 p : nd.in1)
+            sorted &= before(p);
+    }
+    if (sorted)
+        return true;
+
+    std::vector<std::vector<u32>> succ(n);
+    std::vector<u32> indeg(n, 0);
+    auto edge = [&](i32 p, u32 c) {
+        if (p >= 0) {
+            succ[p].push_back(c);
+            ++indeg[c];
+        }
+    };
+    for (u32 i = 0; i < n; ++i) {
+        const TNode &nd = hb.nodes[i];
+        for (i32 p : nd.in0)
+            edge(p, i);
+        for (i32 p : nd.in1)
+            edge(p, i);
+        edge(nd.predNode, i);
+    }
+    std::priority_queue<u32, std::vector<u32>, std::greater<u32>> q;
+    for (u32 i = 0; i < n; ++i) {
+        if (indeg[i] == 0)
+            q.push(i);
+    }
+    std::vector<i32> newId(n, -1);
+    u32 next = 0;
+    while (!q.empty()) {
+        u32 i = q.top();
+        q.pop();
+        newId[i] = static_cast<i32>(next++);
+        for (u32 c : succ[i]) {
+            if (--indeg[c] == 0)
+                q.push(c);
+        }
+    }
+    if (next != n)
+        return false;
+
+    std::vector<TNode> nodes(n);
+    for (u32 i = 0; i < n; ++i) {
+        TNode nd = std::move(hb.nodes[i]);
+        auto remap = [&](i32 p) { return p >= 0 ? newId[p] : p; };
+        for (i32 &p : nd.in0)
+            p = remap(p);
+        for (i32 &p : nd.in1)
+            p = remap(p);
+        if (nd.predNode >= 0)
+            nd.predNode = newId[nd.predNode];
+        nodes[static_cast<u32>(newId[i])] = std::move(nd);
+    }
+    hb.nodes = std::move(nodes);
+    for (HWrite &w : hb.writes) {
+        for (i32 &p : w.prods) {
+            if (p >= 0)
+                p = newId[p];
+        }
+    }
+    return true;
+}
+
+/**
+ * Try to cut `rest` before node K into (A, B). Returns false when the
+ * cut is invalid: an operand producer set straddles the cut, a
+ * crossing set is not total (its spill write could starve), a branch
+ * would land in A, or memory order would be violated (all of A's
+ * LSIDs must precede B's — chunks commit in chain order).
+ */
+bool
+cutAt(const HBlock &rest, u32 K, const std::string &bLabel,
+      const std::function<Vreg()> &freshVreg,
+      const std::vector<bool> &always, Cut &out)
+{
+    const size_t n = rest.nodes.size();
+    if (K == 0 || K >= n)
+        return false;
+    u16 maxLsidA = 0, minLsidB = 0xffff;
+    for (u32 i = 0; i < n; ++i) {
+        const TNode &nd = rest.nodes[i];
+        if (i < K && isa::isBranch(nd.op))
+            return false;  // original exits must stay in the tail
+        if (isa::isMemory(nd.op)) {
+            if (i < K)
+                maxLsidA = std::max(maxLsidA, nd.lsid);
+            else
+                minLsidB = std::min(minLsidB, nd.lsid);
+        }
+    }
+    if (maxLsidA > minLsidB && minLsidB != 0xffff)
+        return false;
+
+    auto inA = [&](i32 p) { return p >= 0 && p < static_cast<i32>(K); };
+
+    // Classify every producer set consumed on the B side.
+    auto crossing = [&](const std::vector<i32> &set, bool &straddle) {
+        bool any_a = false, any_b = false;
+        for (i32 p : set) {
+            if (inA(p))
+                any_a = true;
+            else if (p >= 0)
+                any_b = true;
+        }
+        straddle = any_a && any_b;
+        return any_a;
+    };
+
+    // Distinct crossing predicate roots, in ascending id order.
+    std::vector<i32> predSpills;
+    for (size_t j = K; j < n; ++j) {
+        i32 p = rest.nodes[j].predNode;
+        if (p >= 0 && inA(p)) {
+            if (!always[p])
+                return false;  // test may not deliver: cannot spill
+            if (std::find(predSpills.begin(), predSpills.end(), p) ==
+                predSpills.end())
+                predSpills.push_back(p);
+        }
+    }
+    std::sort(predSpills.begin(), predSpills.end());
+
+    // Validate all crossing sets up front.
+    auto validate = [&](const std::vector<i32> &set) {
+        bool straddle = false;
+        if (!crossing(set, straddle))
+            return !straddle;
+        if (straddle)
+            return false;
+        return til::totalSet(rest, always, set);
+    };
+    for (size_t j = K; j < n; ++j) {
+        if (!validate(rest.nodes[j].in0) || !validate(rest.nodes[j].in1))
+            return false;
+    }
+    for (const HWrite &w : rest.writes) {
+        if (!validate(w.prods))
+            return false;
+    }
+
+    // Which architectural writes can commit in A? A write whose
+    // producer set lies wholly on the A side and is total delivers one
+    // path-independent value, so committing it a block early is
+    // equivalent — unless some B-side consumer still reads the same
+    // register (it would see the new value instead of the incoming
+    // one). Migrating writes is what keeps the tail chunk's read and
+    // write counts inside the format limits.
+    std::vector<u8> readUsedByB(rest.reads.size(), 0);
+    {
+        auto scan = [&](const std::vector<i32> &set) {
+            bool straddle = false;
+            if (crossing(set, straddle))
+                return;  // spilled: B sees a fresh vreg, not the read
+            for (i32 p : set) {
+                if (p < 0)
+                    readUsedByB[-1 - p] = 1;
+            }
+        };
+        for (size_t j = K; j < n; ++j) {
+            scan(rest.nodes[j].in0);
+            scan(rest.nodes[j].in1);
+        }
+    }
+    std::vector<u8> moveWrite(rest.writes.size(), 0);
+    for (size_t w = 0; w < rest.writes.size(); ++w) {
+        const HWrite &hw = rest.writes[w];
+        bool all_a = true;
+        for (i32 p : hw.prods)
+            all_a &= p < 0 || inA(p);
+        if (!all_a || !til::totalSet(rest, always, hw.prods))
+            continue;
+        // Conflict: a B-side node, or another write staying in B,
+        // still reads this write's register.
+        auto conflicts = [&](u32 ridx) {
+            const HRead &r = rest.reads[ridx];
+            if (hw.v != wir::NO_VREG && r.v == hw.v)
+                return true;
+            return hw.fixedReg >= 0 && r.fixedReg == hw.fixedReg;
+        };
+        bool clash = false;
+        for (u32 ridx = 0; ridx < rest.reads.size() && !clash; ++ridx)
+            clash = readUsedByB[ridx] && conflicts(ridx);
+        for (size_t w2 = 0; w2 < rest.writes.size() && !clash; ++w2) {
+            if (w2 == w)
+                continue;
+            bool straddle = false;
+            if (crossing(rest.writes[w2].prods, straddle))
+                continue;
+            for (i32 p : rest.writes[w2].prods) {
+                if (p < 0 && conflicts(static_cast<u32>(-1 - p)))
+                    clash = true;
+            }
+        }
+        if (!clash)
+            moveWrite[w] = 1;
+    }
+
+    // ---- materialize ----
+    HBlock &A = out.a;
+    HBlock &B = out.b;
+    A = HBlock{};
+    B = HBlock{};
+    A.label = rest.label;
+    B.label = bLabel;
+    A.wirMembers = rest.wirMembers;
+    B.wirMembers = rest.wirMembers;
+    A.nodes.assign(rest.nodes.begin(), rest.nodes.begin() + K);
+
+    // Reads referenced by the A side keep their slots (compacted in
+    // original order); the B side re-registers the reads it still
+    // uses plus one fresh spill read per crossing set.
+    std::vector<i32> readMapA(rest.reads.size(), -1);
+    auto readA = [&](i32 old) {
+        i32 idx = -1 - old;
+        if (readMapA[idx] < 0) {
+            readMapA[idx] = static_cast<i32>(A.reads.size());
+            A.reads.push_back(rest.reads[idx]);
+        }
+        return -1 - readMapA[idx];
+    };
+    std::vector<i32> readMapB(rest.reads.size(), -1);
+    auto readB = [&](i32 old) {
+        i32 idx = -1 - old;
+        if (readMapB[idx] < 0) {
+            readMapB[idx] = static_cast<i32>(B.reads.size());
+            B.reads.push_back(rest.reads[idx]);
+        }
+        return -1 - readMapB[idx];
+    };
+
+    // Remap an A-side producer list (A node ids are unchanged).
+    auto remapA = [&](const std::vector<i32> &set) {
+        std::vector<i32> out_set;
+        for (i32 p : set)
+            out_set.push_back(p >= 0 ? p : readA(p));
+        return out_set;
+    };
+
+    // One spill per distinct crossing set: a register write of the set
+    // in A, a read of the fresh vreg in B.
+    std::map<std::vector<i32>, i32> spillOf;  // set -> B read producer id
+    auto spill = [&](const std::vector<i32> &set) {
+        auto it = spillOf.find(set);
+        if (it != spillOf.end())
+            return it->second;
+        Vreg v = freshVreg();
+        HWrite w;
+        w.v = v;
+        w.prods = remapA(set);
+        A.writes.push_back(std::move(w));
+        HRead r;
+        r.v = v;
+        i32 prod = -1 - static_cast<i32>(B.reads.size());
+        B.reads.push_back(r);
+        spillOf.emplace(set, prod);
+        ++out.spills;
+        return prod;
+    };
+
+    // Cut-crossing predicates: spill the test's value and re-derive
+    // the predicate in B with a TNEI against zero (tests produce 0/1).
+    const i32 P = static_cast<i32>(predSpills.size());
+    std::map<i32, i32> predNodeInB;  // old test id -> B TNEI id
+    for (i32 t : predSpills) {
+        i32 rd = spill({t});
+        TNode tn;
+        tn.op = Opcode::TNEI;
+        tn.imm = 0;
+        tn.in0.push_back(rd);
+        predNodeInB[t] = static_cast<i32>(B.nodes.size());
+        B.nodes.push_back(std::move(tn));
+    }
+
+    auto mapBNode = [&](i32 old) {
+        return old - static_cast<i32>(K) + P;
+    };
+    auto remapB = [&](const std::vector<i32> &set) {
+        bool straddle = false;
+        std::vector<i32> out_set;
+        if (crossing(set, straddle)) {
+            out_set.push_back(spill(set));
+            return out_set;
+        }
+        for (i32 p : set)
+            out_set.push_back(p >= 0 ? mapBNode(p) : readB(p));
+        return out_set;
+    };
+
+    for (size_t j = K; j < n; ++j) {
+        TNode nd = rest.nodes[j];
+        nd.in0 = remapB(rest.nodes[j].in0);
+        nd.in1 = remapB(rest.nodes[j].in1);
+        if (nd.predNode >= 0) {
+            nd.predNode = inA(nd.predNode)
+                              ? predNodeInB.at(nd.predNode)
+                              : mapBNode(nd.predNode);
+        }
+        B.nodes.push_back(std::move(nd));
+    }
+    for (size_t w = 0; w < rest.writes.size(); ++w) {
+        HWrite nw = rest.writes[w];
+        if (moveWrite[w]) {
+            nw.prods = remapA(rest.writes[w].prods);
+            A.writes.push_back(std::move(nw));
+        } else {
+            nw.prods = remapB(rest.writes[w].prods);
+            B.writes.push_back(std::move(nw));
+        }
+    }
+
+    // Remap read references inside A's node operand lists.
+    for (TNode &nd : A.nodes) {
+        for (auto *list : {&nd.in0, &nd.in1}) {
+            for (i32 &p : *list) {
+                if (p < 0)
+                    p = readA(p);
+            }
+        }
+    }
+
+    // A exits unconditionally into B.
+    {
+        TNode br;
+        br.op = Opcode::BRO;
+        br.targetLabel = bLabel;
+        A.nodes.push_back(std::move(br));
+    }
+
+    // Renumber LSIDs densely per side, preserving the original order
+    // (monotonicity across the cut was checked above).
+    for (HBlock *side : {&A, &B}) {
+        std::vector<std::pair<u16, TNode *>> mems;
+        for (TNode &nd : side->nodes) {
+            if (isa::isMemory(nd.op))
+                mems.emplace_back(nd.lsid, &nd);
+        }
+        std::sort(mems.begin(), mems.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        u16 seq = 0;
+        for (auto &[lsid, nd] : mems)
+            nd->lsid = seq++;
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<HBlock>
+splitPass(HBlock hb, const std::string &fname,
+          const std::function<Vreg()> &freshVreg, CompileStats *stats)
+{
+    std::vector<HBlock> out;
+    if (checkBlockLimits(hb).empty()) {
+        out.push_back(std::move(hb));
+        return out;
+    }
+
+    // The splitter cuts by node-id range, so bring the graph into a
+    // stable topological id order first (on-demand constants are the
+    // one place lowering emits a producer after its consumer).
+    if (!topoNormalize(hb))
+        throw BlockOverflow{hb.wirMembers, "cyclic TIL"};
+
+    const std::string base = hb.label;
+    unsigned chunkNo = 0;
+    HBlock rest = std::move(hb);
+    std::string reason;
+    while (!(reason = checkBlockLimits(rest)).empty()) {
+        const size_t prevNodes = rest.nodes.size();
+        u32 firstBranch = 0;
+        while (firstBranch < rest.nodes.size() &&
+               !isa::isBranch(rest.nodes[firstBranch].op))
+            ++firstBranch;
+        const auto always = til::alwaysDelivers(rest);
+
+        // Prefer the largest prefix whose post-fanout form fits
+        // (fewer, fuller blocks), but scan every smaller cut before
+        // giving up: a prefix can be invalid (non-total crossing set,
+        // fanout overflow) while a smaller one is legal.
+        bool made = false;
+        for (u32 K = std::min<u32>(firstBranch, 88); K >= 1 && !made;
+             --K) {
+            Cut cut;
+            if (!cutAt(rest, K, base + ".s" + std::to_string(chunkNo + 1),
+                       freshVreg, always, cut))
+                continue;
+            if (!checkBlockLimits(cut.a).empty())
+                continue;  // prefix overflows post-fanout: cut earlier
+            if (cut.b.nodes.size() >= prevNodes)
+                continue;  // no progress (re-derived tests dominate)
+            out.push_back(std::move(cut.a));
+            rest = std::move(cut.b);
+            ++chunkNo;
+            if (stats) {
+                ++stats->splitBlocks;
+                stats->spillWrites += cut.spills;
+                stats->spillReads += cut.spills;
+            }
+            made = true;
+        }
+        if (!made)
+            throw BlockOverflow{
+                rest.wirMembers,
+                "unsplittable (" + reason + " in " + fname + ")"};
+    }
+    out.push_back(std::move(rest));
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Pass 5 — register allocation
+// ---------------------------------------------------------------------
+
+/**
+ * Linear-scan register allocation over a function's TIL blocks. Ranges
+ * come from WIR liveness projected onto blocks (liveSets), not just
+ * read/write touch points: a value carried around a loop is live in
+ * every region of the loop even where untouched, and its register must
+ * not be reused there.
+ */
+void
+allocateRegisters(std::vector<HBlock> &hbs, const std::string &fname,
+                  const std::vector<std::vector<Vreg>> &liveSets)
+{
+    struct Range { u32 lo = 0xffffffff, hi = 0; };
+    std::map<Vreg, Range> ranges;
+    auto touch = [&](Vreg v, u32 region) {
+        if (v == wir::NO_VREG)
+            return;
+        auto &r = ranges[v];
+        r.lo = std::min(r.lo, region);
+        r.hi = std::max(r.hi, region);
+    };
+    for (u32 i = 0; i < hbs.size(); ++i) {
+        for (auto &r : hbs[i].reads) {
+            if (r.fixedReg < 0)
+                touch(r.v, i);
+        }
+        for (auto &w : hbs[i].writes) {
+            if (w.fixedReg < 0)
+                touch(w.v, i);
+        }
+    }
+    // Extend over liveness: only for vregs that need a register at all.
+    for (u32 i = 0; i < liveSets.size() && i < hbs.size(); ++i) {
+        for (Vreg v : liveSets[i]) {
+            if (ranges.count(v))
+                touch(v, i);
+        }
+    }
+    std::vector<std::pair<Vreg, Range>> order(ranges.begin(),
+                                              ranges.end());
+    std::sort(order.begin(), order.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second.lo < b.second.lo;
+              });
+    std::map<Vreg, int> assign;
+    std::vector<std::pair<u32, int>> active;  // (end, reg)
+    std::vector<int> free_regs;
+    for (int r = isa::NUM_REGS - 1; r >= abi::FIRST_ALLOC_REG; --r)
+        free_regs.push_back(r);
+    for (auto &[v, range] : order) {
+        // Expire.
+        for (size_t i = 0; i < active.size();) {
+            if (active[i].first < range.lo) {
+                free_regs.push_back(active[i].second);
+                active.erase(active.begin() + i);
+            } else {
+                ++i;
+            }
+        }
+        if (free_regs.empty())
+            TRIPS_FATAL("out of registers in ", fname,
+                        " (cross-region values exceed 116)");
+        int reg = free_regs.back();
+        free_regs.pop_back();
+        assign[v] = reg;
+        active.emplace_back(range.hi, reg);
+    }
+    for (auto &hb : hbs) {
+        for (auto &r : hb.reads)
+            r.assignedReg = r.fixedReg >= 0 ? r.fixedReg : assign.at(r.v);
+        for (auto &w : hb.writes)
+            w.assignedReg = w.fixedReg >= 0 ? w.fixedReg : assign.at(w.v);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 6 — emission
+// ---------------------------------------------------------------------
+
+isa::Block
+emitBlock(const HBlock &hb, const std::string &fname,
+          std::vector<std::pair<u32, std::string>> &fixups,
+          std::vector<std::pair<u32, std::string>> &ret_fixups)
+{
+    // The splitting pass guarantees the format limits; a breach here is
+    // a pipeline bug, reported with full context.
+    auto limit = [&](bool ok, const char *what, size_t got, size_t max) {
+        if (!ok)
+            TRIPS_FATAL("function ", fname, " block ", hb.label, ": ",
+                        got, " ", what, " exceed the limit of ", max,
+                        " (block splitting failed to engage)");
+    };
+    limit(hb.nodes.size() <= isa::MAX_INSTS, "instructions",
+          hb.nodes.size(), isa::MAX_INSTS);
+    limit(hb.reads.size() <= isa::MAX_READS, "reads", hb.reads.size(),
+          isa::MAX_READS);
+    limit(hb.writes.size() <= isa::MAX_WRITES, "writes",
+          hb.writes.size(), isa::MAX_WRITES);
+
+    isa::Block blk;
+    blk.label = hb.label;
+
+    // Consumer edges -> target fields.
+    std::vector<std::vector<isa::Target>> targets(hb.nodes.size());
+    std::vector<std::vector<isa::Target>> read_targets(hb.reads.size());
+    auto add_target = [&](i32 prod, isa::Target t) {
+        if (prod >= 0) {
+            targets[prod].push_back(t);
+        } else {
+            read_targets[-1 - prod].push_back(t);
+        }
+    };
+    for (u32 i = 0; i < hb.nodes.size(); ++i) {
+        const TNode &n = hb.nodes[i];
+        for (i32 p : n.in0)
+            add_target(p, {isa::Target::Kind::Op0, static_cast<u8>(i)});
+        for (i32 p : n.in1)
+            add_target(p, {isa::Target::Kind::Op1, static_cast<u8>(i)});
+        if (n.predNode >= 0)
+            add_target(n.predNode,
+                       {isa::Target::Kind::Pred, static_cast<u8>(i)});
+    }
+    for (u32 w = 0; w < hb.writes.size(); ++w) {
+        for (i32 p : hb.writes[w].prods)
+            add_target(p, {isa::Target::Kind::Write, static_cast<u8>(w)});
+    }
+
+    unsigned exit_no = 0;
+    for (u32 i = 0; i < hb.nodes.size(); ++i) {
+        const TNode &n = hb.nodes[i];
+        isa::Instruction inst;
+        inst.op = n.op;
+        inst.imm = static_cast<i32>(n.imm);
+        limit(n.lsid < isa::MAX_LSIDS || !isa::isMemory(n.op), "LSIDs",
+              n.lsid, isa::MAX_LSIDS);
+        inst.lsid = static_cast<u8>(n.lsid);
+        if (n.predNode >= 0)
+            inst.pr = n.predPol ? PredMode::OnTrue : PredMode::OnFalse;
+        if (isBranch(n.op)) {
+            limit(exit_no < isa::MAX_EXITS, "exits", exit_no + 1,
+                  isa::MAX_EXITS);
+            inst.exit = static_cast<u8>(exit_no++);
+            if (n.op != Opcode::RET) {
+                fixups.emplace_back(
+                    static_cast<u32>(blk.insts.size()), n.targetLabel);
+            }
+            if (n.op == Opcode::CALLO) {
+                ret_fixups.emplace_back(
+                    static_cast<u32>(blk.insts.size()), n.returnLabel);
+            }
+        }
+        const auto &tl = targets[i];
+        TRIPS_ASSERT(tl.size() <= isa::opInfo(n.op).numTargets,
+                     "fanout failed for ", isa::opName(n.op), " in ",
+                     fname, " block ", hb.label);
+        for (size_t t = 0; t < tl.size(); ++t)
+            inst.targets[t] = tl[t];
+        if (isStore(n.op))
+            blk.storeMask |= 1u << n.lsid;
+        blk.insts.push_back(inst);
+    }
+    for (u32 r = 0; r < hb.reads.size(); ++r) {
+        isa::ReadInst ri;
+        ri.reg = static_cast<u8>(hb.reads[r].assignedReg);
+        const auto &tl = read_targets[r];
+        TRIPS_ASSERT(tl.size() <= 2, "read fanout failed in ", fname,
+                     " block ", hb.label);
+        for (size_t t = 0; t < tl.size(); ++t)
+            ri.targets[t] = tl[t];
+        blk.reads.push_back(ri);
+    }
+    for (auto &w : hb.writes) {
+        isa::WriteInst wi;
+        wi.reg = static_cast<u8>(w.assignedReg);
+        blk.writes.push_back(wi);
+    }
+    return blk;
+}
+
+// ---------------------------------------------------------------------
+// The pass manager
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Snapshot the TIL node mix after a pass. */
+void
+recordPass(PassCounters local[], PassId id, const std::vector<HBlock> &hbs,
+           u64 prevNodes)
+{
+    PassCounters &pc = local[static_cast<unsigned>(id)];
+    pc = PassCounters{};
+    pc.tilBlocks = hbs.size();
+    for (const HBlock &hb : hbs) {
+        pc.tilNodes += hb.nodes.size();
+        for (const TNode &n : hb.nodes) {
+            if (n.op == Opcode::MOV)
+                ++pc.movNodes;
+            if (n.op == Opcode::NULLW)
+                ++pc.nullNodes;
+            if (isa::isTest(n.op))
+                ++pc.testNodes;
+        }
+    }
+    pc.addedNodes = pc.tilNodes > prevNodes ? pc.tilNodes - prevNodes : 0;
+}
+
+/** Between-pass debug hooks: TIL dump and/or verification. */
+void
+passDebug(const Options &opts, const std::string &fname, PassId id,
+          const std::vector<HBlock> &hbs, bool sizeLimits)
+{
+    if (opts.tilDump) {
+        *opts.tilDump << "=== TIL after " << passName(id) << " ("
+                      << fname << ")\n";
+        for (const HBlock &hb : hbs)
+            *opts.tilDump << til::dump(hb);
+    }
+    if (opts.verifyTil) {
+        til::VerifyOptions vo;
+        vo.sizeLimits = sizeLimits;
+        for (const HBlock &hb : hbs) {
+            std::string verr = til::verify(hb, vo);
+            if (!verr.empty())
+                TRIPS_FATAL("TIL verification failed after ",
+                            passName(id), " pass in ", fname, ": ",
+                            verr);
+        }
+    }
+}
+
+struct FuncOutput
+{
+    std::vector<isa::Block> emitted;
+    /** (local block, inst, label, isReturnLabel) fixups. */
+    std::vector<std::tuple<u32, u32, std::string, bool>> fixups;
+    unsigned regions = 0;
+};
+
+/** The historical overflow retry ladder: 4 budget-shrink attempts, 2
+ *  force-singleton attempts, then one final attempt that splits every
+ *  oversized region outright. */
+constexpr int MAX_ATTEMPTS = 7;
+
+FuncOutput
+compileFunction(const Module &mod, const std::string &fname,
+                const Options &opts, CompileStats &cs)
+{
+    Frontend fe(mod, fname, opts);
+    fe.normalize();
+
+    std::set<u32> force_singleton;
+    for (int attempt = 0; attempt < MAX_ATTEMPTS; ++attempt) {
+        PassCounters local[NUM_PASSES];
+        CompileStats splitStats;
+        fe.allowOversized(attempt == MAX_ATTEMPTS - 1);
+        try {
+            // Pass 1 — region formation.
+            unsigned nregions = fe.formRegions(force_singleton);
+            local[static_cast<unsigned>(PassId::RegionForm)].tilBlocks =
+                nregions;
+
+            // Pass 2 — if-conversion to TIL.
+            std::vector<HBlock> hbs = fe.ifConvert();
+            recordPass(local, PassId::IfConvert, hbs, 0);
+            passDebug(opts, fname, PassId::IfConvert, hbs, false);
+            auto regionLive = fe.regionLiveSets();
+
+            // Pass 3 — block splitting. Regions the retry ladder can
+            // still shrink are sent back to region formation instead
+            // (keeps the historical ladder bit-identical); only
+            // irreducible regions — single WIR blocks, call spill and
+            // reload regions — are split, plus everything oversized on
+            // the final attempt.
+            const bool splitAll = attempt == MAX_ATTEMPTS - 1;
+            std::vector<HBlock> blocks;
+            std::vector<std::vector<Vreg>> liveSets;
+            u64 preSplitNodes =
+                local[static_cast<unsigned>(PassId::IfConvert)].tilNodes;
+            for (u32 ri = 0; ri < hbs.size(); ++ri) {
+                std::string reason = checkBlockLimits(hbs[ri]);
+                if (!reason.empty() && hbs[ri].wirMembers.size() > 1 &&
+                    !splitAll)
+                    throw BlockOverflow{hbs[ri].wirMembers, reason};
+                std::vector<HBlock> chunks;
+                if (reason.empty()) {
+                    chunks.push_back(std::move(hbs[ri]));
+                } else {
+                    chunks = splitPass(std::move(hbs[ri]), fname,
+                                       [&] { return fe.freshVreg(); },
+                                       &splitStats);
+                }
+                for (auto &c : chunks) {
+                    blocks.push_back(std::move(c));
+                    liveSets.push_back(regionLive[ri]);
+                }
+            }
+            recordPass(local, PassId::Split, blocks, preSplitNodes);
+            passDebug(opts, fname, PassId::Split, blocks, true);
+
+            // Pass 4 — fanout.
+            u64 preFanoutNodes =
+                local[static_cast<unsigned>(PassId::Split)].tilNodes;
+            for (HBlock &hb : blocks)
+                fanoutPass(hb);
+            recordPass(local, PassId::Fanout, blocks, preFanoutNodes);
+            passDebug(opts, fname, PassId::Fanout, blocks, true);
+
+            // Pass 5 — register allocation (no TIL shape change).
+            allocateRegisters(blocks, fname, liveSets);
+            recordPass(local, PassId::RegAlloc, blocks,
+                       local[static_cast<unsigned>(PassId::Fanout)]
+                           .tilNodes);
+
+            // Pass 6 — emission.
+            FuncOutput outp;
+            outp.regions = nregions;
+            for (u32 hi = 0; hi < blocks.size(); ++hi) {
+                std::vector<std::pair<u32, std::string>> fix, rfix;
+                outp.emitted.push_back(
+                    emitBlock(blocks[hi], fname, fix, rfix));
+                for (auto &[inst, label] : fix)
+                    outp.fixups.emplace_back(hi, inst, label, false);
+                for (auto &[inst, label] : rfix)
+                    outp.fixups.emplace_back(hi, inst, label, true);
+            }
+            recordPass(local, PassId::Emit, blocks,
+                       local[static_cast<unsigned>(PassId::RegAlloc)]
+                           .tilNodes);
+
+            // Success: merge this attempt's counters.
+            for (unsigned p = 0; p < NUM_PASSES; ++p) {
+                PassCounters &dst = cs.pass[p];
+                const PassCounters &src = local[p];
+                dst.tilBlocks += src.tilBlocks;
+                dst.tilNodes += src.tilNodes;
+                dst.movNodes += src.movNodes;
+                dst.nullNodes += src.nullNodes;
+                dst.testNodes += src.testNodes;
+                dst.addedNodes += src.addedNodes;
+            }
+            cs.splitBlocks += splitStats.splitBlocks;
+            cs.spillWrites += splitStats.spillWrites;
+            cs.spillReads += splitStats.spillReads;
+            return outp;
+        } catch (const BlockOverflow &o) {
+            ++cs.overflowRetries;
+            if (o.wirBlocks.size() <= 1 || attempt == MAX_ATTEMPTS - 1) {
+                // The splitting pass is the backstop; if even it gave
+                // up, report precisely what cannot be compiled.
+                std::string members;
+                for (u32 b : o.wirBlocks)
+                    members += " " + std::to_string(b);
+                TRIPS_FATAL("function ", fname, ": WIR block(s)",
+                            members, " exceed limit '", o.reason,
+                            "' and cannot be split");
+            }
+            Options &op = fe.options();
+            if (attempt < 3 && op.regionBudgetOps > 20) {
+                // First response: form smaller regions everywhere
+                // rather than degrading one region to singletons.
+                op.regionBudgetOps =
+                    std::max(18u, op.regionBudgetOps * 3 / 5);
+                op.regionBudgetMem =
+                    std::max(8u, op.regionBudgetMem * 3 / 4);
+            } else {
+                for (u32 b : o.wirBlocks)
+                    force_singleton.insert(b);
+            }
+        }
+    }
+    TRIPS_FATAL("region splitting did not converge in ", fname);
+}
+
+} // namespace
+
+isa::Program
+compileToTrips(const Module &mod, const Options &opts,
+               CompileStats *stats)
+{
+    auto err = wir::verifyModule(mod);
+    if (!err.empty())
+        TRIPS_FATAL("WIR verification failed: ", err);
+
+    isa::Program prog;
+    CompileStats cs;
+
+    // main first, then remaining functions in name order.
+    std::vector<std::string> order;
+    order.push_back(mod.mainFunction);
+    for (const auto &[name, fn] : mod.functions) {
+        if (name != mod.mainFunction)
+            order.push_back(name);
+    }
+
+    // (block index, inst index) -> label fixups across functions.
+    std::vector<std::tuple<u32, u32, std::string, bool>> fixups;
+
+    for (const auto &fname : order) {
+        FuncOutput fo = compileFunction(mod, fname, opts, cs);
+        ++cs.functions;
+        cs.regions += fo.regions;
+        std::vector<u32> local_to_global;
+        for (auto &blk : fo.emitted) {
+            local_to_global.push_back(prog.addBlock(std::move(blk)));
+            ++cs.blocks;
+        }
+        for (auto &[hi, inst, label, is_ret] : fo.fixups)
+            fixups.emplace_back(local_to_global[hi], inst, label, is_ret);
+    }
+
+    for (auto &[bidx, inst, label, is_ret] : fixups) {
+        u32 target = prog.blockIndex(label);
+        auto &in = prog.mutableBlock(bidx).insts[inst];
+        if (is_ret)
+            in.returnBlock = static_cast<i32>(target);
+        else
+            in.targetBlock = static_cast<i32>(target);
+    }
+    prog.entry = prog.blockIndex(mod.mainFunction + ".r0");
+
+    for (u32 b = 0; b < prog.numBlocks(); ++b) {
+        const auto &blk = prog.block(b);
+        cs.totalInsts += blk.insts.size();
+        for (const auto &in : blk.insts) {
+            if (in.op == Opcode::MOV)
+                ++cs.movInsts;
+            if (in.op == Opcode::NULLW)
+                ++cs.nullInsts;
+            if (isTest(in.op))
+                ++cs.testInsts;
+        }
+    }
+    if (stats)
+        *stats = cs;
+
+    placeProgram(prog);
+
+    auto ferr = prog.finalize();
+    if (!ferr.empty()) {
+        if (std::getenv("TRIPSIM_DUMP_ON_ERROR")) {
+            for (u32 b = 0; b < prog.numBlocks(); ++b)
+                std::fputs(isa::disasmBlock(prog.block(b)).c_str(),
+                           stderr);
+        }
+        TRIPS_FATAL("compiled program failed validation: ", ferr);
+    }
+    return prog;
+}
+
+} // namespace trips::compiler

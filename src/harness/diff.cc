@@ -165,8 +165,10 @@ diffOne(u64 seed, const ShapeConfig &shape, const DiffOptions &opts)
     // TRIPS functional (+ cycle-level), compiled preset.
     {
         MemImage fm, cm;
-        auto r = core::runTrips(mod, compiler::Options::compiled(),
-                                opts.cycleLevel, opts.ucfg, &fm, &cm);
+        auto copts = compiler::Options::compiled();
+        copts.verifyTil = opts.verifyTil;
+        auto r = core::runTrips(mod, copts, opts.cycleLevel, opts.ucfg,
+                                &fm, &cm);
         if (r.funcFuelExhausted && fail("trips functional exhausted fuel"))
             return res;
         if (fail(checkRetVal(golden.retVal, r.retVal, "trips/func")) ||
@@ -186,8 +188,10 @@ diffOne(u64 seed, const ShapeConfig &shape, const DiffOptions &opts)
     // TRIPS functional, hand preset (different region formation).
     if (opts.handPreset) {
         MemImage fm;
-        auto r = core::runTrips(mod, compiler::Options::hand(), false,
-                                opts.ucfg, &fm, nullptr);
+        auto hopts = compiler::Options::hand();
+        hopts.verifyTil = opts.verifyTil;
+        auto r = core::runTrips(mod, hopts, false, opts.ucfg, &fm,
+                                nullptr);
         if (r.funcFuelExhausted && fail("trips/hand exhausted fuel"))
             return res;
         if (fail(checkRetVal(golden.retVal, r.retVal, "trips/hand")) ||

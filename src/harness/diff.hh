@@ -52,6 +52,9 @@ struct DiffOptions
     bool cycleLevel = true;   ///< include the cycle-level model
     bool handPreset = true;   ///< include the hand compiler preset
     bool iccPreset = true;    ///< include the second RISC compiler
+    /** Run the TIL structural verifier between backend passes of every
+     *  TRIPS compile (fatal on violation); see compiler/til.hh. */
+    bool verifyTil = false;
     uarch::UarchConfig ucfg{};
 };
 

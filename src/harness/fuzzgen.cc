@@ -35,6 +35,33 @@ ShapeConfig::shrunk(unsigned step) const
     return s;
 }
 
+ShapeConfig
+ShapeConfig::grown(unsigned step) const
+{
+    ShapeConfig s = *this;
+    if (step >= 1) {
+        // Live values pile up across in-line calls: call spill/reload
+        // regions blow the 32-LSID and 32-read block limits.
+        s.topStmts = 24;
+        s.bodyStmts = 8;
+    }
+    if (step >= 2) {
+        // Deep nests of fat if-arms: single WIR blocks whose predicated
+        // TIL expansion exceeds the 128-instruction format.
+        s.topStmts = 32;
+        s.bodyStmts = 12;
+        s.maxDepth = 3;
+        s.memSlots = 64;
+    }
+    if (step >= 3) {
+        s.topStmts = 48;
+        s.bodyStmts = 14;
+        s.helperFuncs = 4;
+        s.maxLoopTrip = 16;
+    }
+    return s;
+}
+
 std::string
 ShapeConfig::cliFlags() const
 {

@@ -53,6 +53,19 @@ struct ShapeConfig
     /** Number of distinct rungs on the shrink ladder. */
     static constexpr unsigned SHRINK_STEPS = 7;
 
+    /**
+     * One step up the stress ladder (0 = unchanged): progressively
+     * longer straight-line runs, deeper nests, and more values live
+     * across calls — shapes whose TIL graphs exceed the prototype
+     * block limits (reads, LSIDs, instructions) and exercise the
+     * backend's block-splitting pass. Rungs are cumulative; past the
+     * last rung the shape stops changing.
+     */
+    ShapeConfig grown(unsigned step) const;
+
+    /** Number of distinct rungs on the growth ladder. */
+    static constexpr unsigned GROW_STEPS = 3;
+
     /** Compact human-readable form for divergence reports. */
     std::string describe() const;
 

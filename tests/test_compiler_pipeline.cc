@@ -1,0 +1,465 @@
+/**
+ * @file
+ * The TRIPS backend pass pipeline: per-pass CompileStats pinned on
+ * golden workloads (the mov/null/test instruction mix behind the
+ * paper's Fig. 5 composition breakdown), the TIL structural verifier
+ * against hand-broken graphs, and the block-splitting pass on
+ * programs that exceed the prototype block limits the seed backend
+ * fataled on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "compiler/pipeline.hh"
+#include "compiler/til.hh"
+#include "core/machines.hh"
+#include "wir/builder.hh"
+
+using namespace trips;
+using compiler::PassId;
+using compiler::til::HBlock;
+using compiler::til::HRead;
+using compiler::til::HWrite;
+using compiler::til::TNode;
+using isa::Opcode;
+using wir::FunctionBuilder;
+using wir::Module;
+
+namespace {
+
+const compiler::PassCounters &
+pass(const compiler::CompileStats &cs, PassId id)
+{
+    return cs.pass[static_cast<unsigned>(id)];
+}
+
+compiler::CompileStats
+compileWorkload(const char *name, compiler::Options opts)
+{
+    wir::Module mod;
+    workloads::find(name).build(mod);
+    compiler::CompileStats cs;
+    opts.verifyTil = true;
+    compiler::compileToTrips(mod, opts, &cs);
+    return cs;
+}
+
+// ---- small TIL graph builders for the verifier tests ----
+
+/** A block with one read, one unpredicated BRO exit, and `n` nodes
+ *  appended by the caller. */
+HBlock
+skeleton()
+{
+    HBlock hb;
+    hb.label = "t.r0";
+    HRead r;
+    r.v = 100;
+    hb.reads.push_back(r);
+    return hb;
+}
+
+i32
+addNode(HBlock &hb, Opcode op, std::vector<i32> in0 = {},
+        std::vector<i32> in1 = {}, i32 pred = -1, bool pol = true)
+{
+    TNode n;
+    n.op = op;
+    n.in0 = std::move(in0);
+    n.in1 = std::move(in1);
+    n.predNode = pred;
+    n.predPol = pol;
+    hb.nodes.push_back(std::move(n));
+    return static_cast<i32>(hb.nodes.size() - 1);
+}
+
+void
+addExit(HBlock &hb)
+{
+    TNode br;
+    br.op = Opcode::BRO;
+    br.targetLabel = "t.r1";
+    hb.nodes.push_back(std::move(br));
+}
+
+constexpr i32 READ0 = -1;
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Per-pass CompileStats on golden workloads
+// ---------------------------------------------------------------------
+
+TEST(PassStats, VaddPinnedPerPassBreakdown)
+{
+    auto cs = compileWorkload("vadd", compiler::Options::compiled());
+    // Final instruction mix (the Fig. 5-style composition for vadd).
+    EXPECT_EQ(cs.regions, 3u);
+    EXPECT_EQ(cs.blocks, 3u);
+    EXPECT_EQ(cs.totalInsts, 94u);
+    EXPECT_EQ(cs.movInsts, 40u);
+    EXPECT_EQ(cs.nullInsts, 3u);
+    EXPECT_EQ(cs.testInsts, 5u);
+    // Per-pass: if-conversion produces the dataflow; fanout adds the
+    // mov trees (the paper's mov overhead); nothing splits.
+    EXPECT_EQ(pass(cs, PassId::IfConvert).tilNodes, 60u);
+    EXPECT_EQ(pass(cs, PassId::IfConvert).movNodes, 6u);
+    EXPECT_EQ(pass(cs, PassId::Split).addedNodes, 0u);
+    EXPECT_EQ(pass(cs, PassId::Fanout).tilNodes, 94u);
+    EXPECT_EQ(pass(cs, PassId::Fanout).addedNodes, 34u);
+    EXPECT_EQ(cs.splitBlocks, 0u);
+    EXPECT_EQ(cs.overflowRetries, 0u);
+}
+
+TEST(PassStats, MesaPinnedPerPassBreakdown)
+{
+    // mesa is the predication-heavy proxy: more movs and NULLWs from
+    // if-conversion itself, before fanout adds its trees.
+    auto cs = compileWorkload("mesa", compiler::Options::compiled());
+    EXPECT_EQ(cs.regions, 5u);
+    EXPECT_EQ(cs.totalInsts, 111u);
+    EXPECT_EQ(cs.movInsts, 52u);
+    EXPECT_EQ(cs.nullInsts, 7u);
+    EXPECT_EQ(cs.testInsts, 8u);
+    EXPECT_EQ(pass(cs, PassId::IfConvert).tilNodes, 73u);
+    EXPECT_EQ(pass(cs, PassId::IfConvert).movNodes, 14u);
+    EXPECT_EQ(pass(cs, PassId::IfConvert).nullNodes, 7u);
+    EXPECT_EQ(pass(cs, PassId::Fanout).addedNodes, 38u);
+}
+
+TEST(PassStats, StructuralInvariantsAcrossAllWorkloads)
+{
+    for (const auto &w : workloads::all()) {
+        auto cs = compileWorkload(w.name.c_str(),
+                                  compiler::Options::compiled());
+        SCOPED_TRACE(w.name);
+        // Region count is the region-form pass's block count; no
+        // registered workload needs the splitting pass, so emitted
+        // blocks == regions.
+        EXPECT_EQ(pass(cs, PassId::RegionForm).tilBlocks, cs.regions);
+        EXPECT_EQ(cs.blocks, cs.regions + cs.splitBlocks);
+        EXPECT_EQ(cs.splitBlocks, 0u);
+        // Fanout only ever adds MOV nodes.
+        EXPECT_EQ(pass(cs, PassId::Fanout).addedNodes,
+                  pass(cs, PassId::Fanout).movNodes -
+                      pass(cs, PassId::Split).movNodes);
+        EXPECT_EQ(pass(cs, PassId::Fanout).nullNodes,
+                  pass(cs, PassId::Split).nullNodes);
+        EXPECT_EQ(pass(cs, PassId::Fanout).testNodes,
+                  pass(cs, PassId::Split).testNodes);
+        // Regalloc and emission do not reshape the TIL.
+        EXPECT_EQ(pass(cs, PassId::RegAlloc).tilNodes,
+                  pass(cs, PassId::Fanout).tilNodes);
+        EXPECT_EQ(pass(cs, PassId::Emit).tilNodes,
+                  pass(cs, PassId::Fanout).tilNodes);
+        // The emitted program is exactly the post-fanout TIL.
+        EXPECT_EQ(cs.totalInsts, pass(cs, PassId::Emit).tilNodes);
+        EXPECT_EQ(cs.movInsts, pass(cs, PassId::Emit).movNodes);
+        // The paper's mov-fanout overhead: a substantial but bounded
+        // slice of all instructions (Fig. 4/5's move category; the
+        // small proxies sit above the paper's ~20% static share
+        // because their blocks are short).
+        double movFrac = static_cast<double>(cs.movInsts) /
+                         static_cast<double>(cs.totalInsts);
+        EXPECT_GT(movFrac, 0.05);
+        EXPECT_LT(movFrac, 0.80);
+    }
+}
+
+TEST(PassStats, AllPresetsCompileUnderTilVerification)
+{
+    // The verifier re-checks every block between every pass; any
+    // operand-totality or coverage bug in the backend fatals here.
+    for (const auto &w : workloads::all()) {
+        compileWorkload(w.name.c_str(), compiler::Options::compiled());
+        compileWorkload(w.name.c_str(), compiler::Options::hand());
+        compileWorkload(w.name.c_str(), compiler::Options::basicBlock());
+    }
+    SUCCEED();
+}
+
+// ---------------------------------------------------------------------
+// TIL verifier: positive case and hand-broken graphs
+// ---------------------------------------------------------------------
+
+TEST(TilVerify, WellFormedDiamondPasses)
+{
+    HBlock hb = skeleton();
+    i32 t = addNode(hb, Opcode::TNEI, {READ0});
+    i32 m1 = addNode(hb, Opcode::MOV, {READ0}, {}, t, true);
+    i32 m2 = addNode(hb, Opcode::MOV, {READ0}, {}, t, false);
+    HWrite w;
+    w.v = 101;
+    w.prods = {m1, m2};
+    hb.writes.push_back(w);
+    addExit(hb);
+    EXPECT_EQ(compiler::til::verify(hb), "");
+}
+
+TEST(TilVerify, MissingOperandProducer)
+{
+    HBlock hb = skeleton();
+    addNode(hb, Opcode::ADD, {READ0}, {});  // operand 1 unfed
+    addExit(hb);
+    auto err = compiler::til::verify(hb);
+    EXPECT_NE(err.find("has no producer"), std::string::npos) << err;
+}
+
+TEST(TilVerify, DoubleDeliveryToWrite)
+{
+    HBlock hb = skeleton();
+    i32 m1 = addNode(hb, Opcode::MOV, {READ0});
+    i32 m2 = addNode(hb, Opcode::MOV, {READ0});
+    HWrite w;
+    w.v = 101;
+    w.prods = {m1, m2};  // both unpredicated: two tokens on every path
+    hb.writes.push_back(w);
+    addExit(hb);
+    auto err = compiler::til::verify(hb);
+    EXPECT_NE(err.find("received two tokens"), std::string::npos) << err;
+}
+
+TEST(TilVerify, NullwComplementCoverageHole)
+{
+    // The write is fed only on the taken polarity; the complement path
+    // starves it — exactly the class of bug the differential fuzzer
+    // caught as blocks hanging at commit.
+    HBlock hb = skeleton();
+    i32 t = addNode(hb, Opcode::TNEI, {READ0});
+    i32 m1 = addNode(hb, Opcode::MOV, {READ0}, {}, t, true);
+    HWrite w;
+    w.v = 101;
+    w.prods = {m1};
+    hb.writes.push_back(w);
+    addExit(hb);
+    auto err = compiler::til::verify(hb);
+    EXPECT_NE(err.find("coverage hole"), std::string::npos) << err;
+}
+
+TEST(TilVerify, PredicateRootedAtNonTest)
+{
+    HBlock hb = skeleton();
+    i32 a = addNode(hb, Opcode::ADDI, {READ0});
+    addNode(hb, Opcode::MOV, {READ0}, {}, a, true);
+    addExit(hb);
+    auto err = compiler::til::verify(hb);
+    EXPECT_NE(err.find("non-test"), std::string::npos) << err;
+}
+
+TEST(TilVerify, PredicatedStoreRejected)
+{
+    // Stores must settle on every path (store mask); gating belongs on
+    // the operands via the NULLW idiom, never on the store itself.
+    HBlock hb = skeleton();
+    i32 t = addNode(hb, Opcode::TNEI, {READ0});
+    addNode(hb, Opcode::SD, {READ0}, {READ0}, t, true);
+    addExit(hb);
+    auto err = compiler::til::verify(hb);
+    EXPECT_NE(err.find("predicated"), std::string::npos) << err;
+}
+
+TEST(TilVerify, DataflowCycle)
+{
+    HBlock hb = skeleton();
+    i32 m1 = addNode(hb, Opcode::MOV, {READ0});
+    i32 m2 = addNode(hb, Opcode::MOV, {m1});
+    hb.nodes[m1].in0 = {m2};  // m1 <-> m2
+    addExit(hb);
+    auto err = compiler::til::verify(hb);
+    EXPECT_NE(err.find("cycle"), std::string::npos) << err;
+}
+
+TEST(TilVerify, DuplicateLsid)
+{
+    HBlock hb = skeleton();
+    i32 s1 = addNode(hb, Opcode::SD, {READ0}, {READ0});
+    i32 s2 = addNode(hb, Opcode::SD, {READ0}, {READ0});
+    hb.nodes[s1].lsid = 0;
+    hb.nodes[s2].lsid = 0;
+    addExit(hb);
+    auto err = compiler::til::verify(hb);
+    EXPECT_NE(err.find("duplicate LSID"), std::string::npos) << err;
+}
+
+TEST(TilVerify, TwoExitsFireOnOnePath)
+{
+    HBlock hb = skeleton();
+    addExit(hb);
+    addExit(hb);  // two unpredicated exits: both fire on every path
+    auto err = compiler::til::verify(hb);
+    EXPECT_NE(err.find("exits fired"), std::string::npos) << err;
+}
+
+TEST(TilVerify, NoExitRejected)
+{
+    HBlock hb = skeleton();
+    addNode(hb, Opcode::MOV, {READ0});
+    auto err = compiler::til::verify(hb);
+    EXPECT_NE(err.find("no block exit"), std::string::npos) << err;
+}
+
+TEST(TilVerify, SizeLimitsEnforcedWhenRequested)
+{
+    HBlock hb = skeleton();
+    i32 prev = READ0;
+    for (int i = 0; i < 200; ++i)
+        prev = addNode(hb, Opcode::ADDI, {prev});
+    addExit(hb);
+    EXPECT_EQ(compiler::til::verify(hb), "");  // no limits pre-split
+    compiler::til::VerifyOptions vo;
+    vo.sizeLimits = true;
+    auto err = compiler::til::verify(hb, vo);
+    EXPECT_NE(err.find("exceed"), std::string::npos) << err;
+}
+
+TEST(TilDump, NamesNodesReadsWritesAndTargets)
+{
+    HBlock hb = skeleton();
+    i32 t = addNode(hb, Opcode::TNEI, {READ0});
+    i32 m1 = addNode(hb, Opcode::MOV, {READ0}, {}, t, true);
+    HWrite w;
+    w.v = 101;
+    w.prods = {m1};
+    hb.writes.push_back(w);
+    addExit(hb);
+    std::string d = compiler::til::dump(hb);
+    EXPECT_NE(d.find("til block t.r0"), std::string::npos);
+    EXPECT_NE(d.find("tnei"), std::string::npos);
+    EXPECT_NE(d.find("p=+n0"), std::string::npos);
+    EXPECT_NE(d.find("-> t.r1"), std::string::npos);
+    EXPECT_NE(d.find("write w0: v101"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Block splitting
+// ---------------------------------------------------------------------
+
+TEST(BlockSplitting, LongChainSplitsIntoVerifiedChunks)
+{
+    HBlock hb = skeleton();
+    i32 prev = READ0;
+    for (int i = 0; i < 300; ++i)
+        prev = addNode(hb, Opcode::ADDI, {prev});
+    HWrite w;
+    w.v = 101;
+    w.prods = {prev};
+    hb.writes.push_back(w);
+    addExit(hb);
+    hb.wirMembers = {0};
+
+    wir::Vreg next = 200;
+    compiler::CompileStats cs;
+    auto chunks = compiler::splitPass(std::move(hb), "t",
+                                      [&] { return next++; }, &cs);
+    ASSERT_GT(chunks.size(), 2u);
+    EXPECT_EQ(cs.splitBlocks, static_cast<unsigned>(chunks.size() - 1));
+    EXPECT_GT(cs.spillWrites, 0u);
+
+    compiler::til::VerifyOptions vo;
+    vo.sizeLimits = true;
+    for (size_t i = 0; i < chunks.size(); ++i) {
+        SCOPED_TRACE("chunk " + std::to_string(i));
+        EXPECT_EQ(compiler::til::verify(chunks[i], vo), "");
+        EXPECT_EQ(compiler::checkBlockLimits(chunks[i]), "");
+        // Chain labels and BRO links.
+        std::string want = i == 0 ? "t.r0"
+                                  : "t.r0.s" + std::to_string(i);
+        EXPECT_EQ(chunks[i].label, want);
+        if (i + 1 < chunks.size()) {
+            const TNode &br = chunks[i].nodes.back();
+            EXPECT_EQ(br.op, Opcode::BRO);
+            EXPECT_EQ(br.targetLabel, chunks[i + 1].label);
+        }
+    }
+    // The original exit survives in the final chunk.
+    EXPECT_EQ(chunks.back().nodes.back().targetLabel, "t.r1");
+}
+
+TEST(BlockSplitting, FittingBlockReturnedUnchanged)
+{
+    HBlock hb = skeleton();
+    i32 a = addNode(hb, Opcode::ADDI, {READ0});
+    HWrite w;
+    w.v = 101;
+    w.prods = {a};
+    hb.writes.push_back(w);
+    addExit(hb);
+    wir::Vreg next = 200;
+    compiler::CompileStats cs;
+    auto chunks = compiler::splitPass(std::move(hb), "t",
+                                      [&] { return next++; }, &cs);
+    ASSERT_EQ(chunks.size(), 1u);
+    EXPECT_EQ(cs.splitBlocks, 0u);
+    EXPECT_EQ(chunks[0].nodes.size(), 2u);
+}
+
+TEST(BlockSplitting, ManyValuesLiveAcrossCallPreviouslyFatal)
+{
+    // Forty values live across a call: the caller-save spill region
+    // needs 40 stores and the continuation reload region 40 loads plus
+    // 40 reads — far past the 32-LSID / 32-read block limits the seed
+    // backend fataled on ("single WIR block overflows a TRIPS block").
+    // The frame is also wider than the 9-bit load/store displacement.
+    Module mod;
+    {
+        FunctionBuilder fb(mod, "inc", 1);
+        fb.ret(fb.addi(fb.param(0), 1));
+        fb.finish();
+    }
+    {
+        FunctionBuilder fb(mod, "main", 0);
+        std::vector<wir::Vreg> vals;
+        auto x = fb.iconst(3);
+        for (int i = 0; i < 40; ++i) {
+            x = fb.add(x, fb.muli(x, i % 7 + 1));
+            vals.push_back(x);
+        }
+        auto acc = fb.call("inc", {vals[0]});
+        for (auto v : vals)
+            acc = fb.bxor(fb.add(acc, v), fb.shli(acc, 1));
+        fb.ret(acc);
+        fb.finish();
+    }
+    ASSERT_EQ(wir::verifyModule(mod), "");
+
+    i64 golden = core::runGolden(mod).retVal;
+    auto opts = compiler::Options::compiled();
+    opts.verifyTil = true;
+    compiler::CompileStats cs;
+    compiler::compileToTrips(mod, opts, &cs);
+    EXPECT_GT(cs.splitBlocks, 0u);
+    EXPECT_GT(cs.spillWrites, 0u);
+
+    auto run = core::runTrips(mod, opts, true);
+    EXPECT_EQ(run.retVal, golden);
+    EXPECT_EQ(run.uarch.retVal, golden);
+    auto hand = core::runTrips(mod, compiler::Options::hand(), false);
+    EXPECT_EQ(hand.retVal, golden);
+}
+
+TEST(BlockSplitting, DumpAndStatsDebugModesRun)
+{
+    // The --dump-til / verify-between-passes debug modes on a split
+    // compile: the dump must name every pass and the split chunks.
+    Module mod;
+    FunctionBuilder fb(mod, "main", 0);
+    auto x = fb.iconst(1);
+    for (int i = 0; i < 120; ++i)
+        x = fb.add(x, fb.select(fb.cmpLt(x, fb.iconst(i)), x,
+                                fb.iconst(i)));
+    fb.ret(x);
+    fb.finish();
+
+    std::ostringstream dump;
+    auto opts = compiler::Options::compiled();
+    opts.verifyTil = true;
+    opts.tilDump = &dump;
+    compiler::CompileStats cs;
+    compiler::compileToTrips(mod, opts, &cs);
+    EXPECT_NE(dump.str().find("=== TIL after if-convert"),
+              std::string::npos);
+    EXPECT_NE(dump.str().find("=== TIL after split"), std::string::npos);
+    EXPECT_NE(dump.str().find("=== TIL after fanout"), std::string::npos);
+}

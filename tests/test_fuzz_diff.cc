@@ -192,6 +192,20 @@ TEST(FuzzGen, ShrinkLadderIsMonotoneAndStabilizes)
         EXPECT_NE(s.shrunk(k).describe(), s.shrunk(k - 1).describe());
 }
 
+TEST(FuzzGen, GrowLadderIsMonotoneAndStabilizes)
+{
+    ShapeConfig s;
+    EXPECT_EQ(s.grown(0).describe(), s.describe());
+    EXPECT_EQ(s.grown(ShapeConfig::GROW_STEPS).describe(),
+              s.grown(ShapeConfig::GROW_STEPS + 5).describe());
+    for (unsigned k = 1; k <= ShapeConfig::GROW_STEPS; ++k) {
+        EXPECT_NE(s.grown(k).describe(), s.grown(k - 1).describe());
+        // Growth only ever raises the statement scale.
+        EXPECT_GE(s.grown(k).topStmts, s.grown(k - 1).topStmts);
+        EXPECT_GE(s.grown(k).bodyStmts, s.grown(k - 1).bodyStmts);
+    }
+}
+
 // ---------------------------------------------------------------------
 // The differential sweeps
 // ---------------------------------------------------------------------
@@ -199,7 +213,12 @@ TEST(FuzzGen, ShrinkLadderIsMonotoneAndStabilizes)
 TEST(FuzzDiff, FiveHundredProgramsAcrossAllModels)
 {
     SweepPool pool;
-    auto bad = harness::sweepDiff(pool, SWEEP_BASE, 500);
+    DiffOptions opts;
+    // The TIL structural verifier re-checks every compiled block
+    // between backend passes for the whole sweep.
+    opts.verifyTil = true;
+    auto bad = harness::sweepDiff(pool, SWEEP_BASE, 500, ShapeConfig{},
+                                  opts);
     expectAllOk(bad);
 }
 
@@ -215,6 +234,32 @@ TEST(FuzzDiff, DeepShapesTargetBlockComposition)
     SweepPool pool;
     auto bad = harness::sweepDiff(pool, SWEEP_BASE + 4, 120, shape);
     expectAllOk(bad);
+}
+
+TEST(FuzzDiff, GrownShapesForceBlockSplittingAndStayEquivalent)
+{
+    // The growth ladder's shapes exceed the prototype block limits
+    // (32 LSIDs / 32 reads / 128 instructions) on most seeds, forcing
+    // the backend's block-splitting pass, with the TIL structural
+    // verifier re-checking every block between every pass. The seed
+    // backend fataled outright on these shapes.
+    SweepPool pool;
+    DiffOptions opts;
+    opts.verifyTil = true;
+    auto bad = harness::sweepDiff(pool, SWEEP_BASE + 6, 25,
+                                  ShapeConfig{}.grown(2), opts);
+    expectAllOk(bad);
+
+    // And the splitter genuinely engages across the sweep.
+    unsigned splitPrograms = 0;
+    for (u64 i = 0; i < 25; ++i) {
+        auto mod = harness::generate(harness::taskSeed(SWEEP_BASE + 6, i),
+                                     ShapeConfig{}.grown(2));
+        compiler::CompileStats cs;
+        compiler::compileToTrips(mod, compiler::Options::compiled(), &cs);
+        splitPrograms += cs.splitBlocks > 0;
+    }
+    EXPECT_GT(splitPrograms, 5u);
 }
 
 TEST(FuzzDiff, ReducedUarchConfigsStayEquivalent)
@@ -239,6 +284,28 @@ TEST(FuzzDiff, ReducedUarchConfigsStayEquivalent)
 // ---------------------------------------------------------------------
 // Regression pins: seeds and crafted reproducers of fixed bugs
 // ---------------------------------------------------------------------
+
+TEST(FuzzRegression, BlockLimitOverflowPreviouslyFatal)
+{
+    // This (seed, shape) fataled on the seed backend with "single WIR
+    // block overflows a TRIPS block in main: LSIDs" — a call
+    // continuation reloading more than 32 caller-saved values. The
+    // block-splitting pass now chains it through register spills;
+    // every model must agree on the result.
+    DiffOptions opts;
+    opts.verifyTil = true;
+    auto r = harness::diffOne(11734127987246357168ULL,
+                              ShapeConfig{}.grown(2), opts);
+    EXPECT_TRUE(r.ok) << r.divergence;
+
+    auto mod = harness::generate(11734127987246357168ULL,
+                                 ShapeConfig{}.grown(2));
+    compiler::CompileStats cs;
+    compiler::compileToTrips(mod, compiler::Options::compiled(), &cs);
+    EXPECT_GT(cs.splitBlocks, 0u);
+    EXPECT_GT(cs.spillWrites, 0u);
+    EXPECT_GT(cs.overflowRetries, 0u);
+}
 
 TEST(FuzzRegression, OperandTotalityThroughSpeculatedOps)
 {
