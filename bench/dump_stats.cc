@@ -5,8 +5,14 @@
  * in a stable text format. Capture the output before a performance
  * change, diff it after — any timing-semantics drift shows up as a
  * textual difference (see README "simulator performance").
+ *
+ * --all widens the sweep to every registered workload (compiled
+ * preset; hand preset too for the Simple suite) plus the reduced
+ * uarch presets on a fixed subset — the coverage the "bit-identical
+ * single-core timing" acceptance check diffs across refactors.
  */
 #include <cstdio>
+#include <cstring>
 
 #include "core/machines.hh"
 
@@ -49,6 +55,11 @@ dump(const char *name, const char *preset, const uarch::UarchResult &r)
                 (unsigned long long)r.l2Misses,
                 (unsigned long long)r.loadsExecuted,
                 (unsigned long long)r.storesCommitted);
+    std::printf("  l1i=%llu/%llu l1dWb=%llu l2Wb=%llu\n",
+                (unsigned long long)r.l1iHits,
+                (unsigned long long)r.l1iMisses,
+                (unsigned long long)r.l1dWritebacks,
+                (unsigned long long)r.l2Writebacks);
     std::printf("  bytesL1=%llu bytesL2=%llu bytesMem=%llu\n",
                 (unsigned long long)r.bytesL1,
                 (unsigned long long)r.bytesL2,
@@ -73,25 +84,62 @@ dump(const char *name, const char *preset, const uarch::UarchResult &r)
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    struct Entry
+    bool all = argc > 1 && !std::strcmp(argv[1], "--all");
+    if (!all) {
+        struct Entry
+        {
+            const char *name;
+            bool hand;
+        };
+        // Mixed suites and both compiler presets; the hand-preset
+        // entries stress LSQ forwarding and dense blocks.
+        static const Entry entries[] = {
+            {"a2time", false},  {"autocor", false}, {"gcc", false},
+            {"fft", false},     {"vadd", true},     {"matrix", true},
+        };
+        for (const auto &e : entries) {
+            const auto &w = workloads::find(e.name);
+            auto opts = e.hand ? compiler::Options::hand()
+                               : compiler::Options::compiled();
+            auto r = core::runTrips(w, opts, true);
+            dump(e.name, e.hand ? "hand" : "compiled", r.uarch);
+        }
+        return 0;
+    }
+
+    // --all: every workload under the compiled preset (hand too for
+    // the Simple suite), then the reduced uarch presets on a fixed
+    // subset covering every suite.
+    for (const auto &w : workloads::all()) {
+        auto r = core::runTrips(w, compiler::Options::compiled(), true);
+        dump(w.name.c_str(), "compiled", r.uarch);
+        if (w.isSimple) {
+            auto h = core::runTrips(w, compiler::Options::hand(), true);
+            dump(w.name.c_str(), "hand", h.uarch);
+        }
+    }
+    struct Preset
     {
         const char *name;
-        bool hand;
+        uarch::UarchConfig cfg;
     };
-    // Mixed suites and both compiler presets; the hand-preset entries
-    // stress LSQ forwarding and dense blocks.
-    static const Entry entries[] = {
-        {"a2time", false},  {"autocor", false}, {"gcc", false},
-        {"fft", false},     {"vadd", true},     {"matrix", true},
+    const Preset presets[] = {
+        {"smallWindow", uarch::UarchConfig::smallWindow()},
+        {"narrowIssue", uarch::UarchConfig::narrowIssue()},
+        {"tinyMemory", uarch::UarchConfig::tinyMemory()},
     };
-    for (const auto &e : entries) {
-        const auto &w = workloads::find(e.name);
-        auto opts = e.hand ? compiler::Options::hand()
-                           : compiler::Options::compiled();
-        auto r = core::runTrips(w, opts, true);
-        dump(e.name, e.hand ? "hand" : "compiled", r.uarch);
+    static const char *subset[] = {"vadd", "matrix", "fft", "a2time",
+                                   "gcc", "equake"};
+    for (const auto &p : presets) {
+        for (const char *name : subset) {
+            const auto &w = workloads::find(name);
+            auto r = core::runTrips(w, compiler::Options::compiled(),
+                                    true, p.cfg);
+            std::printf("--- preset %s ---\n", p.name);
+            dump(name, "compiled", r.uarch);
+        }
     }
     return 0;
 }

@@ -21,6 +21,19 @@
  *                   pass; --compile-stats prints the per-pass
  *                   CompileStats table].
  *
+ * Chip mode (dual-core ChipSim over the shared L2/OCN uncore):
+ *
+ *   --chip --fuzz N         N generated program *pairs*, each pair run
+ *                           solo and side by side; chip cores must
+ *                           match their solo runs architecturally.
+ *   --chip --repro A --seed2 B   one pair, verbosely.
+ *   --chip --mix A,B        run named workloads concurrently; prints
+ *                           per-core slowdown, shared-L2 miss
+ *                           inflation, bank conflicts, OCN occupancy.
+ *   --chip --mix-suite      pair up the whole workload registry and
+ *                           verify every dual-core mix against the
+ *                           solo runs (the CI chip stage).
+ *
  * Common flags: --jobs N (0 = all cores), --seed BASE, --no-cycle,
  * --verify-til (TIL structural verification between backend passes),
  * --grow K (the block-splitting stress ladder, see ShapeConfig).
@@ -39,6 +52,8 @@
 #include "harness/diff.hh"
 #include "harness/fuzzgen.hh"
 #include "harness/sweep.hh"
+#include "uarch/chip_sim.hh"
+#include "wir/interp.hh"
 
 using namespace trips;
 using Clock = std::chrono::steady_clock;
@@ -58,6 +73,7 @@ struct Args
     u64 seed = 1;
     u64 fuzzCount = 0;
     u64 reproSeed = 0;
+    u64 seed2 = 0;
     unsigned shrink = 0;
     unsigned grow = 0;
     bool figures = false;
@@ -67,6 +83,9 @@ struct Args
     bool verifyTil = false;
     bool dumpTil = false;
     bool compileStats = false;
+    bool chip = false;
+    bool mixSuite = false;
+    std::string mix;
     std::string outFile;
     /** Shape-field edits, applied on top of the grow/shrink rungs in
      *  shape() — so ladder and shape flags compose in any order. */
@@ -90,13 +109,18 @@ usage()
         << "                  [--verify-til]\n"
         << "                  (--figures [--json] | --fuzz N [--out F]\n"
         << "                   | --repro SEED [--shrink K]\n"
-        << "                     [--dump-til] [--compile-stats])\n"
+        << "                     [--dump-til] [--compile-stats]\n"
+        << "                   | --chip (--fuzz N [--out F]\n"
+        << "                             | --repro A --seed2 B\n"
+        << "                             | --mix A,B | --mix-suite))\n"
         << "shape flags (fuzz/repro): --grow K --funcs N --top N\n"
         << "  --body N --depth N --trip N --slots N --no-float\n"
         << "  --no-call --no-mem --no-subword\n"
         << "--verify-til runs the TIL structural verifier between\n"
         << "backend passes of every TRIPS compile (fatal on violation);\n"
-        << "--grow walks the block-splitting stress ladder.\n";
+        << "--grow walks the block-splitting stress ladder.\n"
+        << "--chip runs dual-core mixes on the shared L2/OCN uncore;\n"
+        << "each core must match its solo run architecturally.\n";
     std::exit(2);
 }
 
@@ -123,6 +147,16 @@ parse(int argc, char **argv)
             a.shrink = static_cast<unsigned>(std::stoul(val(i)));
         } else if (!std::strcmp(argv[i], "--grow")) {
             a.grow = static_cast<unsigned>(std::stoul(val(i)));
+        } else if (!std::strcmp(argv[i], "--seed2")) {
+            a.seed2 = std::stoull(val(i));
+        } else if (!std::strcmp(argv[i], "--chip")) {
+            a.chip = true;
+        } else if (!std::strcmp(argv[i], "--mix")) {
+            a.chip = true;
+            a.mix = val(i);
+        } else if (!std::strcmp(argv[i], "--mix-suite")) {
+            a.chip = true;
+            a.mixSuite = true;
         } else if (!std::strcmp(argv[i], "--verify-til")) {
             a.verifyTil = true;
         } else if (!std::strcmp(argv[i], "--dump-til")) {
@@ -168,7 +202,10 @@ parse(int argc, char **argv)
             usage();
         }
     }
-    if (!a.figures && a.fuzzCount == 0 && !a.repro)
+    if (!a.figures && a.fuzzCount == 0 && !a.repro && a.mix.empty() &&
+        !a.mixSuite)
+        usage();
+    if (a.chip && a.repro && a.seed2 == 0)
         usage();
     return a;
 }
@@ -311,6 +348,227 @@ runFuzz(const Args &a)
 }
 
 // ---------------------------------------------------------------------
+// --chip: dual-core (or N-core) mixes over the shared uncore.
+// ---------------------------------------------------------------------
+
+double
+l2MissPct(const uarch::UarchResult &r)
+{
+    u64 total = r.l2Hits + r.l2Misses;
+    return total ? 100.0 * static_cast<double>(r.l2Misses) / total : 0.0;
+}
+
+struct MixReport
+{
+    bool ok = true;
+    std::string detail;       ///< first architectural mismatch
+    u64 chipCycles = 0;
+    u64 bankConflicts = 0;
+    double maxSlowdown = 1.0;
+    double maxMissInflation = 0;   ///< percentage points
+};
+
+/** Run the named workloads solo and as one chip mix; verify each chip
+ *  core reproduces its solo run architecturally (retVal + data
+ *  segment). */
+MixReport
+runOneMix(const std::vector<const workloads::Workload *> &ws, bool print)
+{
+    MixReport rep;
+    const size_t n = ws.size();
+    uarch::ChipConfig ccfg;
+    ccfg.numCores = static_cast<unsigned>(n);
+
+    std::vector<wir::Module> mods(n);
+    std::vector<isa::Program> progs;
+    progs.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        ws[i]->build(mods[i]);
+        progs.push_back(compiler::compileToTrips(
+            mods[i], compiler::Options::compiled()));
+    }
+
+    std::vector<MemImage> soloMem(n);
+    std::vector<uarch::UarchResult> solo(n);
+    for (size_t i = 0; i < n; ++i) {
+        wir::Interp::loadGlobals(mods[i], soloMem[i]);
+        uarch::CycleSim sim(progs[i], soloMem[i], ccfg.core);
+        solo[i] = sim.run();
+    }
+
+    std::vector<MemImage> chipMem(n);
+    std::vector<uarch::ChipJob> jobs(n);
+    for (size_t i = 0; i < n; ++i) {
+        wir::Interp::loadGlobals(mods[i], chipMem[i]);
+        jobs[i] = {&progs[i], &chipMem[i]};
+    }
+    uarch::ChipSim chip(jobs, ccfg);
+    auto cr = chip.run();
+
+    rep.chipCycles = cr.cycles;
+    rep.bankConflicts = cr.uncore.bankConflicts;
+    if (print) {
+        std::printf("%-10s %12s %12s %9s %10s %10s\n", "core",
+                    "solo cyc", "mix cyc", "slowdown", "soloL2mr%",
+                    "mixL2mr%");
+    }
+    for (size_t i = 0; i < n; ++i) {
+        const auto &u = cr.cores[i];
+        if (u.fuelExhausted || u.retVal != solo[i].retVal) {
+            rep.ok = false;
+            if (rep.detail.empty())
+                rep.detail = ws[i]->name + ": chip retVal diverges";
+        }
+        std::string memdiff = harness::compareDataSegments(
+            mods[i], soloMem[i], chipMem[i], ws[i]->name.c_str());
+        if (!memdiff.empty()) {
+            rep.ok = false;
+            if (rep.detail.empty())
+                rep.detail = memdiff;
+        }
+        double slow = static_cast<double>(u.cycles) / solo[i].cycles;
+        double infl = l2MissPct(u) - l2MissPct(solo[i]);
+        rep.maxSlowdown = std::max(rep.maxSlowdown, slow);
+        rep.maxMissInflation = std::max(rep.maxMissInflation, infl);
+        if (print) {
+            std::printf("%-10s %12llu %12llu %8.3fx %9.2f%% %9.2f%%\n",
+                        ws[i]->name.c_str(),
+                        (unsigned long long)solo[i].cycles,
+                        (unsigned long long)u.cycles, slow,
+                        l2MissPct(solo[i]), l2MissPct(u));
+        }
+    }
+    if (print) {
+        std::printf("bank conflicts %llu (%llu stall cycles), "
+                    "OCN occupancy %.4f, %llu dirty L2 lines drained\n",
+                    (unsigned long long)cr.uncore.bankConflicts,
+                    (unsigned long long)cr.uncore.bankConflictCycles,
+                    cr.ocnOccupancy,
+                    (unsigned long long)cr.l2DirtyDrained);
+    }
+    return rep;
+}
+
+int
+runMix(const Args &a)
+{
+    std::vector<const workloads::Workload *> ws;
+    std::string cur;
+    for (char ch : a.mix + ",") {
+        if (ch == ',') {
+            if (!cur.empty())
+                ws.push_back(&workloads::find(cur));
+            cur.clear();
+        } else {
+            cur += ch;
+        }
+    }
+    if (ws.size() < 2 || ws.size() > 8) {
+        std::cerr << "--mix needs 2..8 workload names\n";
+        return 2;
+    }
+    MixReport rep = runOneMix(ws, /*print=*/true);
+    if (!rep.ok)
+        std::cout << "ARCHITECTURAL DIVERGENCE: " << rep.detail << "\n";
+    else
+        std::cout << "chip cores match their solo runs\n";
+    return rep.ok ? 0 : 1;
+}
+
+int
+runMixSuite(const Args &a)
+{
+    // Pair up the registry in order: (0,1), (2,3), ...; an odd tail
+    // pairs with the first workload.
+    const auto &all = workloads::all();
+    std::vector<std::vector<const workloads::Workload *>> mixes;
+    for (size_t i = 0; i + 1 < all.size(); i += 2)
+        mixes.push_back({&all[i], &all[i + 1]});
+    if (all.size() % 2)
+        mixes.push_back({&all.back(), &all.front()});
+
+    std::vector<MixReport> reps(mixes.size());
+    harness::SweepPool pool(a.jobs);
+    auto t0 = Clock::now();
+    pool.parallelFor(mixes.size(), [&](u64 i) {
+        reps[i] = runOneMix(mixes[i], /*print=*/false);
+    });
+    double wallMs = msSince(t0);
+
+    bool ok = true;
+    unsigned contended = 0;
+    for (size_t i = 0; i < mixes.size(); ++i) {
+        const auto &rep = reps[i];
+        ok &= rep.ok;
+        if (rep.bankConflicts > 0 || rep.maxMissInflation > 0)
+            ++contended;
+        std::printf("%-10s + %-10s %10llu cyc  slowdown %6.3fx  "
+                    "conflicts %6llu  missInfl %+6.2fpp%s\n",
+                    mixes[i][0]->name.c_str(), mixes[i][1]->name.c_str(),
+                    (unsigned long long)rep.chipCycles, rep.maxSlowdown,
+                    (unsigned long long)rep.bankConflicts,
+                    rep.maxMissInflation,
+                    rep.ok ? "" : "  <-- DIVERGES");
+        if (!rep.ok)
+            std::printf("    %s\n", rep.detail.c_str());
+    }
+    std::printf("%zu dual-core mixes over %zu workloads in %.0f ms; "
+                "%u mixes show shared-L2/OCN contention\n",
+                mixes.size(), all.size(), wallMs, contended);
+    std::printf("%s\n", ok ? "all chip cores match their solo runs"
+                           : "ARCHITECTURAL DIVERGENCES FOUND");
+    return ok ? 0 : 1;
+}
+
+int
+runChipFuzz(const Args &a)
+{
+    harness::ShapeConfig shape = a.shape();
+    harness::DiffOptions opts;
+    opts.verifyTil = a.verifyTil;
+    harness::SweepPool pool(a.jobs);
+
+    auto t0 = Clock::now();
+    auto bad = harness::sweepChipDiff(pool, a.seed, a.fuzzCount, shape,
+                                      opts);
+    double wallMs = msSince(t0);
+
+    std::cout << "chip-fuzzed " << a.fuzzCount << " program pairs ["
+              << shape.describe() << "] on " << pool.jobs()
+              << " worker(s) in " << wallMs << " ms\n";
+    for (const auto &r : bad) {
+        std::cout << "DIVERGENCE seeds=(" << r.seed << "," << r.seedB
+                  << ") [" << r.shape.describe() << "]\n  "
+                  << r.divergence << "\n  repro: " << r.reproCmd()
+                  << "\n";
+    }
+    if (!a.outFile.empty() && !bad.empty()) {
+        std::ofstream out(a.outFile);
+        for (const auto &r : bad)
+            out << r.reproCmd() << "  # " << r.divergence << "\n";
+    }
+    std::cout << (bad.empty() ? "all chip cores match their solo runs\n"
+                              : "DIVERGENCES FOUND\n");
+    return bad.empty() ? 0 : 1;
+}
+
+int
+runChipRepro(const Args &a)
+{
+    harness::ShapeConfig shape = a.shape();
+    std::cout << "chip pair seeds=(" << a.reproSeed << "," << a.seed2
+              << ") [" << shape.describe() << "]\n";
+    harness::DiffOptions opts;
+    opts.verifyTil = a.verifyTil;
+    auto r = harness::diffChipPair(a.reproSeed, a.seed2, shape, opts);
+    std::cout << (r.ok ? "oracle: ok ("
+                             + std::to_string(r.cycles)
+                             + " chip cycles)\n"
+                       : "oracle: " + r.divergence + "\n");
+    return r.ok ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------
 // --repro: one seed, verbosely.
 // ---------------------------------------------------------------------
 
@@ -409,6 +667,14 @@ int
 main(int argc, char **argv)
 {
     Args a = parse(argc, argv);
+    if (a.mixSuite)
+        return runMixSuite(a);
+    if (!a.mix.empty())
+        return runMix(a);
+    if (a.chip && a.repro)
+        return runChipRepro(a);
+    if (a.chip && a.fuzzCount)
+        return runChipFuzz(a);
     if (a.repro)
         return runRepro(a);
     if (a.fuzzCount)

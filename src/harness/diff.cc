@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "core/machines.hh"
+#include "uarch/chip_sim.hh"
+#include "wir/interp.hh"
 
 namespace trips::harness {
 
@@ -99,7 +101,10 @@ std::string
 DiffResult::reproCmd() const
 {
     std::ostringstream os;
-    os << "build/sweep_main --repro " << seed;
+    os << "build/sweep_main " << (chip ? "--chip " : "") << "--repro "
+       << seed;
+    if (chip)
+        os << " --seed2 " << seedB;
     ShapeConfig dflt;
     for (unsigned s = 0; s <= ShapeConfig::SHRINK_STEPS; ++s) {
         if (dflt.shrunk(s).describe() == shape.describe()) {
@@ -203,13 +208,95 @@ diffOne(u64 seed, const ShapeConfig &shape, const DiffOptions &opts)
 }
 
 DiffResult
+diffChipPair(u64 seed_a, u64 seed_b, const ShapeConfig &shape,
+             const DiffOptions &opts)
+{
+    DiffResult res;
+    res.seed = seed_a;
+    res.seedB = seed_b;
+    res.chip = true;
+    res.shape = shape;
+
+    auto fail = [&res](std::string why) {
+        if (res.ok && !why.empty()) {
+            res.ok = false;
+            res.divergence = std::move(why);
+        }
+        return !res.ok;
+    };
+
+    const wir::Module mods[2] = {generate(seed_a, shape),
+                                 generate(seed_b, shape)};
+
+    // Solo references: each program alone on a single core with the
+    // same per-core config the chip will use. The compiled Programs
+    // are reused for the chip run, so solo vs chip really isolates
+    // the shared uncore.
+    auto copts = compiler::Options::compiled();
+    copts.verifyTil = opts.verifyTil;
+    isa::Program progs[2] = {compiler::compileToTrips(mods[0], copts),
+                             compiler::compileToTrips(mods[1], copts)};
+    MemImage soloMem[2];
+    uarch::UarchResult solo[2];
+    for (unsigned c = 0; c < 2; ++c) {
+        wir::Interp::loadGlobals(mods[c], soloMem[c]);
+        uarch::CycleSim sim(progs[c], soloMem[c], opts.ucfg);
+        solo[c] = sim.run();
+        if (solo[c].fuelExhausted) {
+            std::ostringstream os;
+            os << "solo core " << c << " exhausted fuel";
+            fail(os.str());
+            return res;
+        }
+    }
+
+    uarch::ChipConfig ccfg;
+    ccfg.core = opts.ucfg;
+    ccfg.numCores = 2;
+    MemImage chipMem[2];
+    wir::Interp::loadGlobals(mods[0], chipMem[0]);
+    wir::Interp::loadGlobals(mods[1], chipMem[1]);
+    uarch::ChipSim chip({{&progs[0], &chipMem[0]},
+                         {&progs[1], &chipMem[1]}}, ccfg);
+    auto cr = chip.run();
+    res.cycles = cr.cycles;
+
+    for (unsigned c = 0; c < 2; ++c) {
+        std::ostringstream who;
+        who << "chip/core" << c;
+        const auto &u = cr.cores[c];
+        if (u.fuelExhausted && fail(who.str() + " exhausted fuel"))
+            return res;
+        if (fail(checkRetVal(solo[c].retVal, u.retVal,
+                             who.str().c_str())) ||
+            fail(compareDataSegments(mods[c], soloMem[c], chipMem[c],
+                                     who.str().c_str())) ||
+            fail(checkUarchInvariants(u, opts.ucfg)))
+            return res;
+        // Committed work is architectural: a core must commit exactly
+        // as many blocks beside a neighbor as it does alone.
+        if (u.blocksCommitted != solo[c].blocksCommitted) {
+            std::ostringstream os;
+            os << who.str() << " committed " << u.blocksCommitted
+               << " blocks != solo " << solo[c].blocksCommitted;
+            if (fail(os.str()))
+                return res;
+        }
+    }
+    return res;
+}
+
+DiffResult
 minimizeDivergence(const DiffResult &bad, const DiffOptions &opts)
 {
     if (bad.ok)
         return bad;
     DiffResult best = bad;
     for (unsigned step = 1; step <= ShapeConfig::SHRINK_STEPS; ++step) {
-        DiffResult cand = diffOne(bad.seed, bad.shape.shrunk(step), opts);
+        DiffResult cand = bad.chip
+            ? diffChipPair(bad.seed, bad.seedB, bad.shape.shrunk(step),
+                           opts)
+            : diffOne(bad.seed, bad.shape.shrunk(step), opts);
         if (!cand.ok)
             best = cand;
         else
@@ -226,6 +313,23 @@ sweepDiff(SweepPool &pool, u64 base, u64 count, const ShapeConfig &shape,
     std::vector<DiffResult> all(count);
     pool.parallelFor(count, [&](u64 i) {
         all[i] = diffOne(taskSeed(base, i), shape, opts);
+    });
+    std::vector<DiffResult> bad;
+    for (auto &r : all) {
+        if (!r.ok)
+            bad.push_back(minimizeDivergence(r, opts));
+    }
+    return bad;
+}
+
+std::vector<DiffResult>
+sweepChipDiff(SweepPool &pool, u64 base, u64 count,
+              const ShapeConfig &shape, const DiffOptions &opts)
+{
+    std::vector<DiffResult> all(count);
+    pool.parallelFor(count, [&](u64 i) {
+        all[i] = diffChipPair(taskSeed(base, 2 * i),
+                              taskSeed(base, 2 * i + 1), shape, opts);
     });
     std::vector<DiffResult> bad;
     for (auto &r : all) {

@@ -22,6 +22,11 @@
  * minimizeDivergence() walks the generator's shrink ladder to find
  * the smallest shape that still reproduces it, so the reproducer
  * pinned in a regression test is as readable as possible.
+ *
+ * diffChipPair() adds the chip-mode check: two generated programs run
+ * concurrently on the dual-core chip, and each core must reproduce
+ * its solo single-core run architecturally (retVal + data segment;
+ * timing may differ under shared-L2/OCN contention, results may not).
  */
 
 #ifndef TRIPSIM_HARNESS_DIFF_HH
@@ -65,6 +70,10 @@ struct DiffResult
     bool ok = true;
     std::string divergence;   ///< empty iff ok; first failure found
 
+    // Chip-mode runs pair two generated programs on a dual-core chip.
+    bool chip = false;
+    u64 seedB = 0;
+
     // Aggregate statistics for sweep reporting.
     u64 goldenDynOps = 0;
     u64 cycles = 0;
@@ -76,6 +85,17 @@ struct DiffResult
 /** Generate and cross-check one program. */
 DiffResult diffOne(u64 seed, const ShapeConfig &shape = ShapeConfig{},
                    const DiffOptions &opts = DiffOptions{});
+
+/**
+ * Chip-mode oracle: generate two programs, run each solo on a
+ * single-core CycleSim, then run both concurrently on the dual-core
+ * chip. Each chip core must reproduce its solo run's retVal and final
+ * data segment byte for byte (the shared uncore is timing interference
+ * only); per-core uarch invariants are checked on the chip run too.
+ */
+DiffResult diffChipPair(u64 seed_a, u64 seed_b,
+                        const ShapeConfig &shape = ShapeConfig{},
+                        const DiffOptions &opts = DiffOptions{});
 
 /**
  * Shrink a diverging result down the ShapeConfig ladder: each rung is
@@ -93,6 +113,16 @@ DiffResult minimizeDivergence(const DiffResult &bad,
 std::vector<DiffResult> sweepDiff(SweepPool &pool, u64 base, u64 count,
                                   const ShapeConfig &shape = ShapeConfig{},
                                   const DiffOptions &opts = DiffOptions{});
+
+/**
+ * Chip-mode sweep: `count` dual-core pairs, pair i running seeds
+ * taskSeed(base, 2i) and taskSeed(base, 2i+1). Divergences come back
+ * minimized down the shrink ladder (both programs shrink together).
+ */
+std::vector<DiffResult> sweepChipDiff(
+    SweepPool &pool, u64 base, u64 count,
+    const ShapeConfig &shape = ShapeConfig{},
+    const DiffOptions &opts = DiffOptions{});
 
 } // namespace trips::harness
 

@@ -1,19 +1,23 @@
 #include "mem/cache.hh"
 
+#include <sstream>
+
 namespace trips::mem {
 
-namespace {
-
-unsigned
-ilog2(u64 v)
+std::string
+CacheConfig::validate(const char *name) const
 {
-    unsigned n = 0;
-    while ((1ULL << n) < v)
-        ++n;
-    return n;
+    std::ostringstream os;
+    if (lineBytes == 0 || (lineBytes & (lineBytes - 1))) {
+        os << name << ": lineBytes must be a power of two";
+    } else if (assoc == 0) {
+        os << name << ": associativity must be >= 1";
+    } else if (sizeBytes == 0 ||
+               sizeBytes % (static_cast<u64>(assoc) * lineBytes) != 0) {
+        os << name << ": size must be a multiple of assoc * lineBytes";
+    }
+    return os.str();
 }
-
-} // namespace
 
 Cache::Cache(const CacheConfig &cfg_)
     : cfg(cfg_)
@@ -86,12 +90,53 @@ Cache::probe(Addr addr) const
     return false;
 }
 
+bool
+Cache::markDirty(Addr addr)
+{
+    unsigned set = setOf(addr);
+    Addr tag = tagOf(addr);
+    Line *ways = &lines[static_cast<size_t>(set) * cfg.assoc];
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        if (ways[w].valid && ways[w].tag == tag) {
+            ways[w].dirty = true;
+            return true;
+        }
+    }
+    return false;
+}
+
 void
 Cache::reset()
 {
     for (auto &l : lines)
         l = Line{};
     stamp = 0;
+}
+
+std::vector<Addr>
+Cache::dirtyLines() const
+{
+    std::vector<Addr> out;
+    unsigned shift = ilog2(cfg.lineBytes);
+    for (const auto &l : lines) {
+        if (l.valid && l.dirty)
+            out.push_back(l.tag << shift);
+    }
+    return out;
+}
+
+std::vector<Addr>
+Cache::drainDirty()
+{
+    std::vector<Addr> out;
+    unsigned shift = ilog2(cfg.lineBytes);
+    for (auto &l : lines) {
+        if (l.valid && l.dirty) {
+            out.push_back(l.tag << shift);
+            l.dirty = false;
+        }
+    }
+    return out;
 }
 
 } // namespace trips::mem

@@ -9,6 +9,7 @@
 #ifndef TRIPSIM_MEM_CACHE_HH
 #define TRIPSIM_MEM_CACHE_HH
 
+#include <string>
 #include <vector>
 
 #include "support/common.hh"
@@ -20,6 +21,9 @@ struct CacheConfig
     u64 sizeBytes = 32 * 1024;
     unsigned assoc = 2;
     unsigned lineBytes = 64;
+
+    /** "" when the geometry is usable, else "<name>: <violation>". */
+    std::string validate(const char *name) const;
 };
 
 struct AccessResult
@@ -40,8 +44,28 @@ class Cache
     /** Contents check without LRU update or allocation. */
     bool probe(Addr addr) const;
 
+    /**
+     * Write-update side channel: mark the line dirty if present,
+     * without allocation, LRU update, or hit/miss accounting (used
+     * for victim writebacks absorbed by a lower level -- they must
+     * not perturb the timed access stream). Returns presence.
+     */
+    bool markDirty(Addr addr);
+
     /** Invalidate everything (cold restart). */
     void reset();
+
+    /** Line-aligned addresses of all valid dirty lines (stable order:
+     *  set-major, way-minor). */
+    std::vector<Addr> dirtyLines() const;
+
+    /**
+     * Drain: clear every dirty bit (contents stay valid) and return
+     * the drained lines' addresses. The uncore uses this at end of
+     * run to account the writeback traffic still buffered in the L2;
+     * a second call returns nothing.
+     */
+    std::vector<Addr> drainDirty();
 
     u64 hits() const { return _hits; }
     u64 misses() const { return _misses; }

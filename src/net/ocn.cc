@@ -1,0 +1,106 @@
+#include "net/ocn.hh"
+
+namespace trips::net {
+
+const char *
+ocnClassName(OcnClass c)
+{
+    switch (c) {
+      case OcnClass::ReadReq: return "ReadReq";
+      case OcnClass::WriteReq: return "WriteReq";
+      case OcnClass::IFetch: return "IFetch";
+      case OcnClass::Refill: return "Refill";
+      case OcnClass::Writeback: return "Writeback";
+      case OcnClass::NUM_CLASSES: break;
+    }
+    TRIPS_PANIC("bad OcnClass");
+}
+
+std::string
+OcnConfig::validate() const
+{
+    if (linkBytes == 0 || (linkBytes & (linkBytes - 1)))
+        return "ocn: linkBytes must be a power of two";
+    // hopLatency 0 is legal (a NucaStep-free configuration).
+    return "";
+}
+
+OcnModel::OcnModel(const OcnConfig &cfg_, unsigned num_cores)
+    : cfg(cfg_), numCores(num_cores)
+{
+    TRIPS_ASSERT(cfg.validate().empty(), "invalid OcnConfig");
+    TRIPS_ASSERT(num_cores >= 1, "OCN needs at least one core port");
+}
+
+unsigned
+OcnModel::requestHops(unsigned core, unsigned bank) const
+{
+    // Banks beyond the 4x4 grid (configs with >16 banks) wrap onto it.
+    unsigned row = (bank / BANK_COLS) % BANK_ROWS;
+    unsigned col = bank % BANK_COLS;
+    // Even cores attach at the (0,0) corner -- exactly the NUCA
+    // distance the single-core model always charged -- odd cores at
+    // the mirrored (3,3) corner.
+    if (core % 2 == 0)
+        return row + col;
+    return (BANK_ROWS - 1 - row) + (BANK_COLS - 1 - col);
+}
+
+Cycle
+OcnModel::requestLatency(unsigned core, unsigned src_bank, unsigned bank,
+                         OcnClass cls, unsigned bytes)
+{
+    unsigned hops = requestHops(core, bank);
+    record(cls, hops, bytes);
+    return static_cast<Cycle>(cfg.hopLatency) * hops + src_bank;
+}
+
+void
+OcnModel::recordReply(unsigned core, unsigned bank, OcnClass cls,
+                      unsigned bytes)
+{
+    record(cls, requestHops(core, bank), bytes);
+}
+
+void
+OcnModel::recordWriteback(unsigned bank, unsigned bytes)
+{
+    // Drain to the nearer of the two corner memory controllers.
+    unsigned h0 = requestHops(0, bank);
+    unsigned h1 = requestHops(1, bank);
+    record(OcnClass::Writeback, h0 < h1 ? h0 : h1, bytes);
+}
+
+void
+OcnModel::record(OcnClass cls, unsigned hops, unsigned bytes)
+{
+    size_t c = static_cast<size_t>(cls);
+    ++st.packets[c];
+    st.bytes[c] += bytes;
+    st.hops[c].sample(hops);
+    unsigned flits = (bytes + cfg.linkBytes - 1) / cfg.linkBytes;
+    if (flits == 0)
+        flits = 1;
+    st.flitHops += static_cast<u64>(flits) * hops;
+}
+
+unsigned
+OcnModel::linkCount() const
+{
+    // Bidirectional mesh links over the bank grid, plus one attach
+    // link per core port and per corner memory controller.
+    unsigned mesh = 2 * (BANK_ROWS * (BANK_COLS - 1) +
+                         BANK_COLS * (BANK_ROWS - 1));
+    return mesh + 2 * numCores + 2 * 2;
+}
+
+double
+OcnModel::occupancy(Cycle cycles) const
+{
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(st.flitHops) /
+           (static_cast<double>(cycles) * linkCount());
+}
+
+} // namespace trips::net

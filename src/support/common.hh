@@ -33,6 +33,16 @@ using Cycle = u64;
 /** Initial stack pointer (register R1) for all execution models. */
 constexpr Addr STACK_BASE = 0x8000000;
 
+/** Smallest n with (1 << n) >= v (v's log2 when v is a power of two). */
+constexpr unsigned
+ilog2(u64 v)
+{
+    unsigned n = 0;
+    while ((1ULL << n) < v)
+        ++n;
+    return n;
+}
+
 namespace detail {
 
 [[noreturn]] inline void

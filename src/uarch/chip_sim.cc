@@ -1,0 +1,66 @@
+#include "uarch/chip_sim.hh"
+
+#include <algorithm>
+
+namespace trips::uarch {
+
+namespace {
+
+const ChipConfig &
+checkedChip(const ChipConfig &cfg, size_t num_jobs)
+{
+    std::string err = cfg.validate();
+    if (!err.empty())
+        TRIPS_FATAL("invalid ChipConfig: ", err);
+    if (num_jobs < 1 || num_jobs > cfg.numCores)
+        TRIPS_FATAL("chip with ", cfg.numCores, " cores given ",
+                    num_jobs, " jobs");
+    return cfg;
+}
+
+} // namespace
+
+ChipSim::ChipSim(const std::vector<ChipJob> &jobs, const ChipConfig &cfg_)
+    : cfg(checkedChip(cfg_, jobs.size())), msys(cfg.uncore())
+{
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        TRIPS_ASSERT(jobs[i].prog && jobs[i].mem,
+                     "chip job ", i, " missing program or memory");
+        cores.push_back(std::make_unique<CycleSim>(
+            *jobs[i].prog, *jobs[i].mem, cfg.core, msys,
+            static_cast<unsigned>(i)));
+    }
+}
+
+ChipResult
+ChipSim::run()
+{
+    // Lockstep: every chip cycle steps the still-running cores in
+    // core-id order, so same-cycle bank contention resolves with
+    // deterministic fixed priority.
+    bool any = true;
+    while (any) {
+        any = false;
+        for (auto &c : cores) {
+            if (!c->done()) {
+                c->stepCycle();
+                any = true;
+            }
+        }
+    }
+
+    ChipResult r;
+    r.cores.reserve(cores.size());
+    for (auto &c : cores) {
+        r.cores.push_back(c->finish());
+        r.cycles = std::max(r.cycles, r.cores.back().cycles);
+        r.anyFuelExhausted |= r.cores.back().fuelExhausted;
+    }
+    r.l2DirtyDrained = msys.drainDirtyLines();
+    r.uncore = msys.stats();
+    r.ocn = msys.ocn().stats();
+    r.ocnOccupancy = msys.ocn().occupancy(r.cycles);
+    return r;
+}
+
+} // namespace trips::uarch

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Chip-level simulator: N cycle-level TRIPS cores (the prototype chip
+ * has two) sharing one uncore (NUCA L2 + OCN + DRAM; see
+ * mem/memsys.hh), running a multi-programmed workload mix.
+ *
+ * Clocking and determinism: all cores advance in lockstep on a shared
+ * cycle clock. Each chip cycle steps the still-running cores in core-id
+ * order, so same-cycle uncore contention resolves with fixed priority
+ * (core 0 first) and a given mix always produces the same per-core
+ * results and chip-level statistics. A core that halts (or exhausts
+ * its cycle budget) simply stops being stepped; the chip runs until
+ * every core is done. Architectural state is fully private per core
+ * (register file, memory image): the shared L2 carries timing
+ * interference only, so each core's architectural results must equal
+ * its solo run -- the chip-mode differential oracle asserts exactly
+ * that.
+ */
+
+#ifndef TRIPSIM_UARCH_CHIP_SIM_HH
+#define TRIPSIM_UARCH_CHIP_SIM_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/memsys.hh"
+#include "uarch/cycle_sim.hh"
+
+namespace trips::uarch {
+
+/** One core's program assignment in a multi-programmed mix. */
+struct ChipJob
+{
+    const isa::Program *prog = nullptr;
+    MemImage *mem = nullptr;
+};
+
+/** Results of a chip run: per-core UarchResults plus the shared
+ *  uncore's contention statistics. */
+struct ChipResult
+{
+    std::vector<UarchResult> cores;
+    u64 cycles = 0;             ///< chip cycles until the last core halted
+    bool anyFuelExhausted = false;
+
+    mem::UncoreStats uncore;    ///< bank conflicts, shared-L2 traffic
+    net::OcnStats ocn;          ///< per-class packets/bytes/hops
+    double ocnOccupancy = 0;    ///< mean flit-hops per link-cycle
+    u64 l2DirtyDrained = 0;     ///< dirty L2 lines swept at end of run
+};
+
+class ChipSim
+{
+  public:
+    /** @p jobs assigns one program+memory per core (1..numCores). */
+    ChipSim(const std::vector<ChipJob> &jobs,
+            const ChipConfig &cfg = ChipConfig::prototype());
+
+    ChipResult run();
+
+    const mem::MemorySystem &uncore() const { return msys; }
+
+  private:
+    ChipConfig cfg;
+    mem::MemorySystem msys;
+    std::vector<std::unique_ptr<CycleSim>> cores;
+};
+
+} // namespace trips::uarch
+
+#endif // TRIPSIM_UARCH_CHIP_SIM_HH

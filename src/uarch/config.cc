@@ -9,20 +9,9 @@ namespace {
 bool
 validCache(const mem::CacheConfig &c, const char *name, std::ostream &os)
 {
-    if (c.lineBytes == 0 || (c.lineBytes & (c.lineBytes - 1))) {
-        os << name << ": lineBytes must be a power of two";
-        return false;
-    }
-    if (c.assoc == 0) {
-        os << name << ": associativity must be >= 1";
-        return false;
-    }
-    if (c.sizeBytes == 0 ||
-        c.sizeBytes % (static_cast<u64>(c.assoc) * c.lineBytes) != 0) {
-        os << name << ": size must be a multiple of assoc * lineBytes";
-        return false;
-    }
-    return true;
+    std::string err = c.validate(name);
+    os << err;
+    return err.empty();
 }
 
 } // namespace
@@ -78,6 +67,46 @@ UarchConfig::tinyMemory()
     c.l2Bank = mem::CacheConfig{8 * 1024, 4, 64};
     c.depPredEntries = 16;
     return c;
+}
+
+mem::MemorySystemConfig
+uncoreConfig(const UarchConfig &c, unsigned num_cores)
+{
+    mem::MemorySystemConfig m;
+    m.numCores = num_cores;
+    m.l2Bank = c.l2Bank;
+    m.dram = c.dram;
+    m.l2BaseLatency = c.l2BaseLatency;
+    m.ocn.hopLatency = c.l2NucaStep;
+    return m;
+}
+
+std::string
+ChipConfig::validate() const
+{
+    std::string cerr_ = core.validate();
+    if (!cerr_.empty())
+        return "core: " + cerr_;
+    std::ostringstream os;
+    if (numCores < 1 || numCores > 8) {
+        os << "numCores must be in [1, 8]";
+    } else if (bankServicePeriod < 1) {
+        os << "bankServicePeriod must be >= 1";
+    } else {
+        return uncore().validate();
+    }
+    return os.str();
+}
+
+mem::MemorySystemConfig
+ChipConfig::uncore() const
+{
+    mem::MemorySystemConfig m = uncoreConfig(core, numCores);
+    if (ocnHopLatency != 0)
+        m.ocn.hopLatency = ocnHopLatency;
+    m.bankServicePeriod = bankServicePeriod;
+    m.physStride = physStride;
+    return m;
 }
 
 } // namespace trips::uarch

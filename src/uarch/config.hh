@@ -14,6 +14,7 @@
 
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "mem/memsys.hh"
 #include "pred/predictors.hh"
 
 namespace trips::uarch {
@@ -78,6 +79,43 @@ struct UarchConfig
     /** Starved memory hierarchy: 1KB L1D banks, 8KB L2 banks, a
      *  16-entry dependence predictor. */
     static UarchConfig tinyMemory();
+};
+
+/**
+ * Uncore (shared NUCA L2 + OCN + DRAM) configuration implied by a
+ * per-core config. With num_cores == 1 the resulting MemorySystem is
+ * timing-bit-identical to the classic private hierarchy: the OCN hop
+ * latency is the config's l2NucaStep and contention is cross-core
+ * only.
+ */
+mem::MemorySystemConfig uncoreConfig(const UarchConfig &c,
+                                     unsigned num_cores = 1);
+
+/**
+ * Configuration of a ChipSim: N identical cores sharing one uncore,
+ * clocked in lockstep. The prototype chip is two processors over the
+ * 1MB NUCA L2 (paper Table 1).
+ */
+struct ChipConfig
+{
+    UarchConfig core;             ///< per-core configuration (xN)
+    unsigned numCores = 2;
+
+    // Uncore knobs layered over uncoreConfig(core, numCores).
+    unsigned ocnHopLatency = 0;   ///< 0 = derive from core.l2NucaStep
+    unsigned bankServicePeriod = 1;
+    /** Per-core physical offset; see MemorySystemConfig::physStride. */
+    Addr physStride = Addr{1} << 30;
+
+    /** "" when usable, else the first violated constraint. ChipSim
+     *  fatals on an invalid config. */
+    std::string validate() const;
+
+    /** The MemorySystemConfig this chip instantiates. */
+    mem::MemorySystemConfig uncore() const;
+
+    /** The prototype chip: two prototype cores, shared 1MB L2. */
+    static ChipConfig prototype() { return ChipConfig{}; }
 };
 
 } // namespace trips::uarch

@@ -135,15 +135,40 @@ CycleSim::CycleSim(const isa::Program &prog, MemImage &mem,
     : prog(prog), mem(mem), cfg(checkedConfig(cfg_)),
       frames(cfg.numFrames),
       l1i(cfg.l1i),
-      dram(cfg.dram),
+      ownedUncore(std::make_unique<mem::MemorySystem>(uncoreConfig(cfg))),
+      uncore(ownedUncore.get()),
       predictor(cfg.predictor),
       depPred(cfg.depPredEntries),
       dts(isa::NUM_DTS)
 {
     for (unsigned b = 0; b < isa::NUM_DTS; ++b)
         l1d.emplace_back(cfg.l1dBank);
-    for (unsigned b = 0; b < 16; ++b)
-        l2.emplace_back(cfg.l2Bank);
+    initCommon();
+}
+
+CycleSim::CycleSim(const isa::Program &prog, MemImage &mem,
+                   const UarchConfig &cfg_, mem::MemorySystem &uncore_,
+                   unsigned core_id)
+    : prog(prog), mem(mem), cfg(checkedConfig(cfg_)),
+      frames(cfg.numFrames),
+      l1i(cfg.l1i),
+      uncore(&uncore_),
+      coreId(core_id),
+      predictor(cfg.predictor),
+      depPred(cfg.depPredEntries),
+      dts(isa::NUM_DTS)
+{
+    if (core_id >= uncore_.config().numCores)
+        TRIPS_FATAL("core id ", core_id, " out of range for an uncore "
+                    "with ", uncore_.config().numCores, " core ports");
+    for (unsigned b = 0; b < isa::NUM_DTS; ++b)
+        l1d.emplace_back(cfg.l1dBank);
+    initCommon();
+}
+
+void
+CycleSim::initCommon()
+{
     // Structural fit: every block's memory footprint must fit the
     // configured per-frame LSQ (one entry per LSID in hardware).
     for (u32 b = 0; b < prog.numBlocks(); ++b) {
@@ -348,9 +373,12 @@ CycleSim::startFetch(u32 block_idx)
     for (Addr a = base; a < base + bytes; a += cfg.l1i.lineBytes) {
         auto r = l1i.access(a, false);
         if (!r.hit) {
+            ++res.l1iMisses;
             missed = true;
-            Cycle done = l2Access(a, false, 0);
+            Cycle done = portAccess(a, false, 0, net::OcnClass::IFetch);
             ready = std::max(ready, done + cfg.fetchLatency);
+        } else {
+            ++res.l1iHits;
         }
     }
     if (missed)
@@ -841,23 +869,28 @@ CycleSim::deliverPackets()
 // ---------------------------------------------------------------------
 
 Cycle
-CycleSim::l2Access(Addr addr, bool is_write, unsigned requester_bank)
+CycleSim::portAccess(Addr addr, bool is_write, unsigned requester_bank,
+                     net::OcnClass cls)
 {
-    unsigned bank = static_cast<unsigned>((addr >> 6) & 15);
-    unsigned dist = (bank / 4) + (bank % 4);
-    Cycle lat = cfg.l2BaseLatency + cfg.l2NucaStep * dist +
-                requester_bank;  // small asymmetry per requester
-    auto r = l2[bank].access(addr, is_write);
-    if (r.hit) {
+    mem::MemRequest rq;
+    rq.addr = addr;
+    rq.cls = cls;
+    rq.coreId = static_cast<u8>(coreId);
+    rq.srcBank = static_cast<u8>(requester_bank);
+    rq.isWrite = is_write;
+    auto resp = uncore->access(rq, now);
+
+    const auto &ucfg = uncore->config();
+    res.bytesL2 += ucfg.l2Bank.lineBytes;
+    if (resp.l2Hit) {
         ++res.l2Hits;
-        res.bytesL2 += cfg.l2Bank.lineBytes;
-        return now + lat;
+    } else {
+        ++res.l2Misses;
+        res.bytesMem += ucfg.dram.lineBytes;
     }
-    ++res.l2Misses;
-    res.bytesL2 += cfg.l2Bank.lineBytes;
-    res.bytesMem += cfg.dram.lineBytes;
-    Cycle mem_done = dram.request(addr, now + lat);
-    return mem_done + lat / 2;
+    if (resp.l2Writeback)
+        ++res.l2Writebacks;
+    return resp.done;
 }
 
 void
@@ -925,13 +958,20 @@ CycleSim::tickDts()
         res.bytesL1 += pd.width;
 
         auto r = l1d[bank].access(pd.addr, false);
+        if (r.writeback) {
+            ++res.l1dWritebacks;
+            uncore->noteL1Writeback(coreId, r.victimLine,
+                                    cfg.l1dBank.lineBytes);
+        }
         Cycle done;
         if (r.hit) {
             ++res.l1dHits;
             done = now + cfg.l1dHitLatency;
         } else {
             ++res.l1dMisses;
-            done = l2Access(pd.addr, false, bank) + cfg.l1dHitLatency;
+            done = portAccess(pd.addr, false, bank,
+                              net::OcnClass::ReadReq) +
+                   cfg.l1dHitLatency;
         }
         Event ev;
         ev.when = done;
@@ -1282,6 +1322,11 @@ CycleSim::tickCommit()
         mem.write(e.addr, e.value, e.width);
         unsigned bank = isa::dtForAddr(e.addr);
         auto r = l1d[bank].access(e.addr, true);
+        if (r.writeback) {
+            ++res.l1dWritebacks;
+            uncore->noteL1Writeback(coreId, r.victimLine,
+                                    cfg.l1dBank.lineBytes);
+        }
         if (!r.hit)
             ++res.l1dMisses;
         else
@@ -1330,33 +1375,45 @@ CycleSim::tickCommit()
 // Main loop
 // ---------------------------------------------------------------------
 
-UarchResult
-CycleSim::run()
+void
+CycleSim::stepCycle()
 {
-    while (!halted && now < cfg.maxCycles) {
-        opn.tick(now);
-        deliverPackets();
-        drainEvents();
-        tickDts();
-        tickRts();
-        tickEts();
-        tickDispatch();
-        tickFetch();
-        tickCommit();
-        tryResolveRets();
-        pumpOutbox();
+    opn.tick(now);
+    deliverPackets();
+    drainEvents();
+    tickDts();
+    tickRts();
+    tickEts();
+    tickDispatch();
+    tickFetch();
+    tickCommit();
+    tryResolveRets();
+    pumpOutbox();
 
-        // Window occupancy sampling (counters kept incrementally).
-        sumBlocksInFlight += static_cast<double>(frameQueue.size());
-        sumInstsInFlight += static_cast<double>(liveInsts);
-        res.peakInstsInFlight =
-            std::max(res.peakInstsInFlight, liveInsts);
+    // Window occupancy sampling (counters kept incrementally).
+    sumBlocksInFlight += static_cast<double>(frameQueue.size());
+    sumInstsInFlight += static_cast<double>(liveInsts);
+    res.peakInstsInFlight =
+        std::max(res.peakInstsInFlight, liveInsts);
 
-        ++now;
-    }
+    ++now;
+}
+
+UarchResult
+CycleSim::finish()
+{
     if (!halted)
         res.fuelExhausted = true;
     res.cycles = now;
+    // Drain: dirty L1D lines still resident at halt are writeback
+    // traffic the hardware would eventually push out; account them so
+    // l1dWritebacks covers the program's full write footprint.
+    for (unsigned b = 0; b < l1d.size(); ++b) {
+        for (Addr line : l1d[b].drainDirty()) {
+            ++res.l1dWritebacks;
+            uncore->noteL1Writeback(coreId, line, cfg.l1dBank.lineBytes);
+        }
+    }
     res.avgBlocksInFlight = now ? sumBlocksInFlight / now : 0;
     res.avgInstsInFlight = now ? sumInstsInFlight / now : 0;
     res.predictor = predictor.stats();
@@ -1367,6 +1424,14 @@ CycleSim::run()
         res.opnHops[c].merge(opn.hopDist(static_cast<net::OpnClass>(c)));
     res.opnPackets = opn.packetsSent();
     return res;
+}
+
+UarchResult
+CycleSim::run()
+{
+    while (!done())
+        stepCycle();
+    return finish();
 }
 
 } // namespace trips::uarch

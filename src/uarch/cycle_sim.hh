@@ -14,6 +14,13 @@
  * updated only at commit, so the model commits exactly the same block
  * stream as the functional simulator (asserted by tests).
  *
+ * The secondary memory system (NUCA L2 + OCN + DRAM) is *not* part of
+ * this class: L1 misses, I-fetch misses, and writeback traffic go
+ * through an explicit request/response port to a mem::MemorySystem.
+ * A solo core owns a private single-core instance (bit-identical to
+ * the historical private hierarchy); under ChipSim, N cores attach to
+ * one shared instance and contend for its banks and OCN links.
+ *
  * The per-cycle machinery is allocation-free in steady state: packet
  * payloads live in a SlabPool keyed by dense ids carried as OPN tags,
  * timed events sit in a bucketed timing wheel (bounded latencies) with
@@ -28,13 +35,14 @@
 #define TRIPSIM_UARCH_CYCLE_SIM_HH
 
 #include <array>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "isa/program.hh"
 #include "isa/topology.hh"
 #include "mem/cache.hh"
-#include "mem/dram.hh"
+#include "mem/memsys.hh"
 #include "net/opn.hh"
 #include "pred/predictors.hh"
 #include "support/memimage.hh"
@@ -63,7 +71,10 @@ struct UarchResult
 
     // Memory system.
     u64 l1dHits = 0, l1dMisses = 0;
+    u64 l1iHits = 0, l1iMisses = 0;     ///< per I-cache line access
     u64 l2Hits = 0, l2Misses = 0;
+    u64 l1dWritebacks = 0;      ///< dirty L1D victims drained (stats-only)
+    u64 l2Writebacks = 0;       ///< dirty L2 victims this core's refills evicted
     u64 loadsExecuted = 0, storesCommitted = 0;
     u64 bytesL1 = 0;            ///< bytes moved L1D<->core
     u64 bytesL2 = 0;            ///< bytes moved L2->L1 (refills)
@@ -92,12 +103,30 @@ struct UarchResult
 class CycleSim
 {
   public:
+    /** Solo core: owns a private single-core uncore derived from the
+     *  config (bit-identical to the historical private hierarchy). */
     CycleSim(const isa::Program &prog, MemImage &mem,
              const UarchConfig &cfg = UarchConfig{});
+
+    /** Chip core: attaches to a shared uncore as @p core_id. The
+     *  uncore must outlive the core; ChipSim drives these in
+     *  lockstep via stepCycle()/done()/finish(). */
+    CycleSim(const isa::Program &prog, MemImage &mem,
+             const UarchConfig &cfg, mem::MemorySystem &uncore_,
+             unsigned core_id);
+
     ~CycleSim();
 
     /** Run to halt (RET from the outermost frame). */
     UarchResult run();
+
+    // Lockstep driving (ChipSim): one cycle at a time.
+    void stepCycle();
+    bool done() const { return halted || now >= cfg.maxCycles; }
+    bool isHalted() const { return halted; }
+    Cycle currentCycle() const { return now; }
+    /** Finalize the result after done(); call once. */
+    UarchResult finish();
 
   private:
     struct Frame;
@@ -183,6 +212,7 @@ class CycleSim
     void drainEvents();
 
     // Helpers.
+    void initCommon();
     void startFetch(u32 block_idx);
     void issueInst(unsigned fidx, u16 inst, unsigned et);
     bool olderStoresDone(unsigned fidx, u16 inst) const;
@@ -207,7 +237,8 @@ class CycleSim
     u64 loadValue(unsigned fidx, u8 lsid, Addr addr, u8 width);
     void checkViolations(unsigned fidx, u16 inst, Addr addr, u8 width,
                          u8 lsid);
-    Cycle l2Access(Addr addr, bool is_write, unsigned requester_bank);
+    Cycle portAccess(Addr addr, bool is_write, unsigned requester_bank,
+                     net::OcnClass cls);
     void queuePacket(OutPacket op, const PacketData &pd);
     void pushEvent(Event ev);
     void processEvent(const Event &ev);
@@ -265,9 +296,13 @@ class CycleSim
     u64 eventSeq = 0;
 
     mem::Cache l1i;
-    std::vector<mem::Cache> l1d;      ///< 4 banks
-    std::vector<mem::Cache> l2;       ///< 16 banks
-    mem::Dram dram;
+    std::vector<mem::Cache> l1d;      ///< 4 banks (private)
+    /** Port to the uncore (shared NUCA L2 + OCN + DRAM). Solo cores
+     *  own a private single-core instance; chip cores attach to the
+     *  ChipSim's shared one. */
+    std::unique_ptr<mem::MemorySystem> ownedUncore;
+    mem::MemorySystem *uncore;
+    unsigned coreId = 0;
     pred::NextBlockPredictor predictor;
     pred::DependencePredictor depPred;
 

@@ -365,6 +365,86 @@ TEST(CycleSimAlloc, RunAllocationsPlateauAfterWarmup)
 }
 
 // ---------------------------------------------------------------------
+// Cache-hierarchy golden pins across the uarch presets.
+//
+// A strided walk over a 192KB buffer: streams through the four 8KB
+// L1D banks and pressures the starved-L2 preset, so every level's
+// hit/miss/writeback counters carry signal. The values are pinned
+// from the uncore-extraction baseline (bit-identical to the
+// pre-extraction simulator); any hierarchy regression -- replacement,
+// banking, writeback accounting, NUCA path -- trips them.
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+buildMemStress(Module &mod)
+{
+    Addr buf = mod.addGlobal("buf", 192 * 1024);
+    FunctionBuilder fb(mod, "main", 0);
+    auto base = fb.iconst(static_cast<i64>(buf));
+    auto i = fb.iconst(0);
+    auto acc = fb.iconst(0);
+    fb.label("loop");
+    auto slot = fb.add(
+        base, fb.shli(fb.andi(fb.mul(i, fb.iconst(97)), 24575), 3));
+    fb.store(slot, fb.add(i, acc), 0, MemWidth::B8);
+    fb.assign(acc, fb.bxor(acc, fb.load(slot, 0, MemWidth::B8)));
+    fb.assign(i, fb.addi(i, 1));
+    fb.br(fb.cmpLt(i, fb.iconst(6000)), "loop", "done");
+    fb.label("done");
+    fb.ret(acc);
+    fb.finish();
+}
+
+} // namespace
+
+TEST(UarchGoldenStats, CacheCountersPinnedAcrossPresets)
+{
+    struct Pin
+    {
+        const char *name;
+        uarch::UarchConfig cfg;
+        u64 l1dHits, l1dMisses;
+        u64 l1iHits, l1iMisses;
+        u64 l2Hits, l2Misses;
+        u64 l1dWritebacks, l2Writebacks;
+    };
+    const Pin pins[] = {
+        {"prototype", uarch::UarchConfig::prototype(),
+         6009, 6000, 9188, 7, 2350, 3657, 6000, 2626},
+        {"smallWindow", uarch::UarchConfig::smallWindow(),
+         6003, 6000, 9014, 7, 2350, 3657, 6000, 2626},
+        {"narrowIssue", uarch::UarchConfig::narrowIssue(),
+         6005, 6000, 9165, 7, 2350, 3657, 6000, 2626},
+        {"tinyMemory", uarch::UarchConfig::tinyMemory(),
+         6005, 6004, 9188, 7, 3, 6007, 6000, 5872},
+    };
+    for (const auto &p : pins) {
+        SCOPED_TRACE(p.name);
+        Module mod;
+        buildMemStress(mod);
+        auto r = core::runTrips(mod, compiler::Options::compiled(), true,
+                                p.cfg);
+        EXPECT_FALSE(r.uarch.fuelExhausted);
+        EXPECT_EQ(r.uarch.retVal, r.retVal);
+        EXPECT_EQ(r.uarch.l1dHits, p.l1dHits);
+        EXPECT_EQ(r.uarch.l1dMisses, p.l1dMisses);
+        EXPECT_EQ(r.uarch.l1iHits, p.l1iHits);
+        EXPECT_EQ(r.uarch.l1iMisses, p.l1iMisses);
+        EXPECT_EQ(r.uarch.l2Hits, p.l2Hits);
+        EXPECT_EQ(r.uarch.l2Misses, p.l2Misses);
+        EXPECT_EQ(r.uarch.l1dWritebacks, p.l1dWritebacks);
+        EXPECT_EQ(r.uarch.l2Writebacks, p.l2Writebacks);
+        // The byte counters are derived from the same events; pin the
+        // relationship rather than re-deriving the constants.
+        EXPECT_EQ(r.uarch.bytesL2,
+                  (r.uarch.l2Hits + r.uarch.l2Misses) * 64);
+        EXPECT_EQ(r.uarch.bytesMem, r.uarch.l2Misses * 64);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Non-default configurations: the simulator must stay self-consistent
 // when resources shrink, not just reproduce the default-config pins.
 // ---------------------------------------------------------------------
