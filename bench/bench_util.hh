@@ -11,10 +11,33 @@
 #include <vector>
 
 #include "core/machines.hh"
+#include "sim/campaign.hh"
 #include "support/table.hh"
 #include "workloads/workload.hh"
 
 namespace trips::bench {
+
+/**
+ * Shared campaign runner for the figure/table binaries, configured
+ * from $TRIPSIM_CACHE (unset/empty = plain uncached runs). With a
+ * cache directory set, re-running any figure bench after a campaign
+ * cold run performs zero TRIPS simulation.
+ */
+inline sim::Campaign &
+campaign()
+{
+    static sim::Campaign c = sim::Campaign::fromEnv();
+    return c;
+}
+
+/** Cache-aware drop-in for core::runTrips in the figure drivers. */
+inline core::TripsRun
+runTrips(const workloads::Workload &w, const compiler::Options &opts,
+         bool cycle_level,
+         const uarch::UarchConfig &ucfg = uarch::UarchConfig{})
+{
+    return campaign().runTrips(w, opts, cycle_level, ucfg);
+}
 
 inline void
 header(const std::string &what, const std::string &paper_claim)

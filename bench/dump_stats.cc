@@ -10,11 +10,18 @@
  * preset; hand preset too for the Simple suite) plus the reduced
  * uarch presets on a fixed subset — the coverage the "bit-identical
  * single-core timing" acceptance check diffs across refactors.
+ *
+ * --cache DIR (or $TRIPSIM_CACHE) routes every run through the
+ * campaign cache (sim/campaign.hh): a warm re-run performs zero
+ * simulation and must print byte-identical stats — the CI campaign
+ * stage diffs exactly that. Cache hit/miss counts go to stderr so
+ * stdout stays diffable.
  */
 #include <cstdio>
 #include <cstring>
 
 #include "core/machines.hh"
+#include "sim/campaign.hh"
 
 using namespace trips;
 
@@ -86,7 +93,22 @@ dump(const char *name, const char *preset, const uarch::UarchResult &r)
 int
 main(int argc, char **argv)
 {
-    bool all = argc > 1 && !std::strcmp(argv[1], "--all");
+    bool all = false;
+    std::string cacheDir;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--all")) {
+            all = true;
+        } else if (!std::strcmp(argv[i], "--cache") && i + 1 < argc) {
+            cacheDir = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: dump_stats [--all] [--cache DIR]\n");
+            return 2;
+        }
+    }
+    sim::Campaign campaign = cacheDir.empty()
+        ? sim::Campaign::fromEnv() : sim::Campaign(cacheDir);
+
     if (!all) {
         struct Entry
         {
@@ -103,9 +125,10 @@ main(int argc, char **argv)
             const auto &w = workloads::find(e.name);
             auto opts = e.hand ? compiler::Options::hand()
                                : compiler::Options::compiled();
-            auto r = core::runTrips(w, opts, true);
+            auto r = campaign.runTrips(w, opts, true);
             dump(e.name, e.hand ? "hand" : "compiled", r.uarch);
         }
+        std::fprintf(stderr, "%s\n", campaign.report().c_str());
         return 0;
     }
 
@@ -113,10 +136,10 @@ main(int argc, char **argv)
     // the Simple suite), then the reduced uarch presets on a fixed
     // subset covering every suite.
     for (const auto &w : workloads::all()) {
-        auto r = core::runTrips(w, compiler::Options::compiled(), true);
+        auto r = campaign.runTrips(w, compiler::Options::compiled(), true);
         dump(w.name.c_str(), "compiled", r.uarch);
         if (w.isSimple) {
-            auto h = core::runTrips(w, compiler::Options::hand(), true);
+            auto h = campaign.runTrips(w, compiler::Options::hand(), true);
             dump(w.name.c_str(), "hand", h.uarch);
         }
     }
@@ -135,11 +158,12 @@ main(int argc, char **argv)
     for (const auto &p : presets) {
         for (const char *name : subset) {
             const auto &w = workloads::find(name);
-            auto r = core::runTrips(w, compiler::Options::compiled(),
-                                    true, p.cfg);
+            auto r = campaign.runTrips(w, compiler::Options::compiled(),
+                                       true, p.cfg);
             std::printf("--- preset %s ---\n", p.name);
             dump(name, "compiled", r.uarch);
         }
     }
+    std::fprintf(stderr, "%s\n", campaign.report().c_str());
     return 0;
 }

@@ -18,7 +18,7 @@ int main() {
     std::vector<double> hw_all, base_all;
     auto opts = compiler::Options::compiled();
     auto run_one = [&](const workloads::Workload *w) {
-        auto hw = core::runTrips(*w, opts, true);
+        auto hw = bench::runTrips(*w, opts, true);
         auto i1 = core::runIdeal(*w, opts, base);
         auto i2 = core::runIdeal(*w, opts, nodispatch);
         auto i3 = core::runIdeal(*w, opts, huge);

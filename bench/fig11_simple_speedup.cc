@@ -18,8 +18,8 @@ int main() {
         auto p4 = core::runPlatform(*w, ooo::OooConfig::pentium4(), g);
         auto c2i = core::runPlatform(*w, ooo::OooConfig::core2(),
                                      risc::RiscOptions::icc());
-        auto rc = core::runTrips(*w, compiler::Options::compiled(), true);
-        auto rh = core::runTrips(*w, compiler::Options::hand(), true);
+        auto rc = bench::runTrips(*w, compiler::Options::compiled(), true);
+        auto rh = bench::runTrips(*w, compiler::Options::hand(), true);
         double s3 = b / p3.cycles, s4 = b / p4.cycles,
                si = b / c2i.cycles, sc = b / rc.uarch.cycles,
                sh = b / rh.uarch.cycles;

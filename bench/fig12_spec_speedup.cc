@@ -20,7 +20,7 @@ int main() {
                                         g);
             auto c2i = core::runPlatform(*w, ooo::OooConfig::core2(),
                                          risc::RiscOptions::icc());
-            auto rc = core::runTrips(*w, compiler::Options::compiled(),
+            auto rc = bench::runTrips(*w, compiler::Options::compiled(),
                                      true);
             double s3 = b / p3.cycles, s4 = b / p4.cycles,
                    si = b / c2i.cycles, sc = b / rc.uarch.cycles;
@@ -42,7 +42,7 @@ int main() {
     for (auto *w : workloads::suite("eembc")) {
         auto base = core::runPlatform(*w, ooo::OooConfig::core2(),
                                       risc::RiscOptions::gcc());
-        auto rc = core::runTrips(*w, compiler::Options::compiled(), true);
+        auto rc = bench::runTrips(*w, compiler::Options::compiled(), true);
         tc.push_back(static_cast<double>(base.cycles) /
                      rc.uarch.cycles);
     }

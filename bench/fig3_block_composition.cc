@@ -22,10 +22,10 @@ int main() {
               "fetchNotExec", "execNotUsed"});
     std::vector<double> sizes_c, sizes_h;
     for (auto *w : bench::figureOrderSimple()) {
-        auto c = core::runTrips(*w, compiler::Options::compiled(), false);
+        auto c = bench::runTrips(*w, compiler::Options::compiled(), false);
         row(t, w->name + " C", c);
         sizes_c.push_back(c.isa.meanBlockSize());
-        auto h = core::runTrips(*w, compiler::Options::hand(), false);
+        auto h = bench::runTrips(*w, compiler::Options::hand(), false);
         row(t, w->name + " H", h);
         sizes_h.push_back(h.isa.meanBlockSize());
     }
@@ -34,7 +34,7 @@ int main() {
         std::vector<double> sz;
         sim::IsaStats agg;
         for (auto *w : workloads::suite(s)) {
-            auto c = core::runTrips(*w, compiler::Options::compiled(),
+            auto c = bench::runTrips(*w, compiler::Options::compiled(),
                                     false);
             sz.push_back(c.isa.meanBlockSize());
         }

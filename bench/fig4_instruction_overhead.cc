@@ -22,9 +22,9 @@ int main() {
     std::vector<double> ratios;
     for (auto *w : bench::figureOrderSimple()) {
         auto r = core::runRisc(*w);
-        auto c = core::runTrips(*w, compiler::Options::compiled(), false);
+        auto c = bench::runTrips(*w, compiler::Options::compiled(), false);
         emit(w->name + " C", c.isa, r.counters.insts);
-        auto h = core::runTrips(*w, compiler::Options::hand(), false);
+        auto h = bench::runTrips(*w, compiler::Options::hand(), false);
         emit(w->name + " H", h.isa, r.counters.insts);
         ratios.push_back(c.isa.fetched /
                          static_cast<double>(r.counters.insts));
@@ -34,7 +34,7 @@ int main() {
         std::vector<double> rr;
         for (auto *w : workloads::suite(s)) {
             auto r = core::runRisc(*w);
-            auto c = core::runTrips(*w, compiler::Options::compiled(),
+            auto c = bench::runTrips(*w, compiler::Options::compiled(),
                                     false);
             rr.push_back(c.isa.fetched /
                          static_cast<double>(r.counters.insts));

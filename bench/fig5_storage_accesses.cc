@@ -25,9 +25,9 @@ int main() {
     };
     for (auto *w : bench::figureOrderSimple()) {
         auto r = core::runRisc(*w);
-        auto c = core::runTrips(*w, compiler::Options::compiled(), false);
+        auto c = bench::runTrips(*w, compiler::Options::compiled(), false);
         emit(w->name + " C", c.isa, r.counters);
-        auto h = core::runTrips(*w, compiler::Options::hand(), false);
+        auto h = bench::runTrips(*w, compiler::Options::hand(), false);
         emit(w->name + " H", h.isa, r.counters);
     }
     t.rule();
@@ -35,7 +35,7 @@ int main() {
         std::vector<double> mm, gg;
         for (auto *w : workloads::suite(s)) {
             auto r = core::runRisc(*w);
-            auto c = core::runTrips(*w, compiler::Options::compiled(),
+            auto c = bench::runTrips(*w, compiler::Options::compiled(),
                                     false);
             mm.push_back((c.isa.loadsExecuted + c.isa.storesCommitted) /
                          static_cast<double>(r.counters.loads +

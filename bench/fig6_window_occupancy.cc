@@ -18,10 +18,10 @@ int main() {
     };
     std::vector<double> totals_c, totals_h;
     for (auto *w : bench::figureOrderSimple()) {
-        auto c = core::runTrips(*w, compiler::Options::compiled(), true);
+        auto c = bench::runTrips(*w, compiler::Options::compiled(), true);
         emit(w->name + " C", c);
         totals_c.push_back(c.uarch.avgInstsInFlight);
-        auto h = core::runTrips(*w, compiler::Options::hand(), true);
+        auto h = bench::runTrips(*w, compiler::Options::hand(), true);
         emit(w->name + " H", h);
         totals_h.push_back(h.uarch.avgInstsInFlight);
     }
@@ -29,7 +29,7 @@ int main() {
     for (const char *s : {"specint", "specfp"}) {
         std::vector<double> tt;
         for (auto *w : workloads::suite(s)) {
-            auto c = core::runTrips(*w, compiler::Options::compiled(),
+            auto c = bench::runTrips(*w, compiler::Options::compiled(),
                                     true);
             emit(std::string(w->name), c);
             tt.push_back(c.uarch.avgInstsInFlight);

@@ -56,7 +56,7 @@ int main() {
     // L1-resident: 2 x 8KB arrays fit the 32KB L1D.
     {
         auto w = streamWorkload("l1stream", 1024, 24);
-        auto r = core::runTrips(w, compiler::Options::hand(), true);
+        auto r = bench::runTrips(w, compiler::Options::hand(), true);
         t.row({"L1D <-> core", "2x8KB",
                TextTable::fmtInt(r.uarch.bytesL1),
                TextTable::fmtInt(r.uarch.cycles),
@@ -67,7 +67,7 @@ int main() {
     // L2-resident: 2 x 256KB arrays exceed L1, fit the 1MB L2.
     {
         auto w = streamWorkload("l2stream", 32768, 3);
-        auto r = core::runTrips(w, compiler::Options::hand(), true);
+        auto r = bench::runTrips(w, compiler::Options::hand(), true);
         t.row({"L2 -> L1", "2x256KB",
                TextTable::fmtInt(r.uarch.bytesL2),
                TextTable::fmtInt(r.uarch.cycles),
@@ -78,7 +78,7 @@ int main() {
     // Memory-bound: 2 x 1.5MB arrays exceed the 1MB L2.
     {
         auto w = streamWorkload("memstream", 192 * 1024, 1);
-        auto r = core::runTrips(w, compiler::Options::hand(), true);
+        auto r = bench::runTrips(w, compiler::Options::hand(), true);
         t.row({"DRAM -> L2", "2x1.5MB",
                TextTable::fmtInt(r.uarch.bytesMem),
                TextTable::fmtInt(r.uarch.cycles),

@@ -43,16 +43,16 @@ int main() {
                   "avg ~0.9-1.9 hops (vadd 1.86, matrix 1.12)");
     // EEMBC mean: aggregate a representative member.
     profile("eembc (a2time)",
-            core::runTrips(workloads::find("a2time"),
+            bench::runTrips(workloads::find("a2time"),
                            compiler::Options::compiled(), true));
     profile("spec-gcc proxy",
-            core::runTrips(workloads::find("gcc"),
+            bench::runTrips(workloads::find("gcc"),
                            compiler::Options::compiled(), true));
     profile("vadd-hand",
-            core::runTrips(workloads::find("vadd"),
+            bench::runTrips(workloads::find("vadd"),
                            compiler::Options::hand(), true));
     profile("matrix-hand",
-            core::runTrips(workloads::find("matrix"),
+            bench::runTrips(workloads::find("matrix"),
                            compiler::Options::hand(), true));
     return 0;
 }

@@ -24,16 +24,16 @@ int main() {
     };
     std::vector<double> c_ipc, h_ipc;
     for (auto *w : bench::figureOrderSimple()) {
-        auto c = core::runTrips(*w, compiler::Options::compiled(), true);
+        auto c = bench::runTrips(*w, compiler::Options::compiled(), true);
         c_ipc.push_back(emit(w->name + " C", c));
-        auto h = core::runTrips(*w, compiler::Options::hand(), true);
+        auto h = bench::runTrips(*w, compiler::Options::hand(), true);
         h_ipc.push_back(emit(w->name + " H", h));
     }
     t.rule();
     for (const char *s : {"specint", "specfp"}) {
         std::vector<double> ii;
         for (auto *w : workloads::suite(s)) {
-            auto c = core::runTrips(*w, compiler::Options::compiled(),
+            auto c = bench::runTrips(*w, compiler::Options::compiled(),
                                     true);
             ii.push_back(emit(w->name, c));
         }

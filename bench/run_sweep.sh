@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
 # Measure the parallel sweep engine (bench/sweep_main) and record the
 # results under the "sweep" key of BENCH_simspeed.json:
-#   - the figure-matrix wall clock serial (--jobs 1) vs all cores,
-#   - the differential-fuzz throughput (programs/s, all cores).
+#   - the figure-matrix wall clock serial (--jobs 1) vs --jobs N,
+#   - the differential-fuzz throughput (programs/s, --jobs N).
 #
-# Usage: bench/run_sweep.sh [build-dir] [fuzz-count]
+# Usage: bench/run_sweep.sh [build-dir] [fuzz-count] [jobs]
+#
+# `jobs` defaults to the host's CPU count and is recorded in the JSON,
+# so single-core dev-container numbers are labeled as such and CI
+# multicore numbers are comparable across hosts.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 fuzz_count="${2:-1000}"
+jobs="${3:-$(nproc)}"
 
 sweep_bin="$build_dir/sweep_main"
 if [[ ! -x "$sweep_bin" ]]; then
@@ -19,25 +24,29 @@ if [[ ! -x "$sweep_bin" ]]; then
 fi
 
 serial_json="$("$sweep_bin" --figures --json --jobs 1)"
-parallel_json="$("$sweep_bin" --figures --json --jobs 0)"
-fuzz_json="$("$sweep_bin" --fuzz "$fuzz_count" --seed 1 --json)"
+parallel_json="$("$sweep_bin" --figures --json --jobs "$jobs")"
+fuzz_json="$("$sweep_bin" --fuzz "$fuzz_count" --seed 1 --json \
+             --jobs "$jobs")"
 
-python3 - "$repo_root/BENCH_simspeed.json" \
+python3 - "$repo_root/BENCH_simspeed.json" "$jobs" \
     "$serial_json" "$parallel_json" "$fuzz_json" <<'EOF'
 import json, os, sys
 
 path = sys.argv[1]
-serial = json.loads(sys.argv[2])
-parallel = json.loads(sys.argv[3])
-fuzz = json.loads(sys.argv[4])
+jobs = int(sys.argv[2])
+serial = json.loads(sys.argv[3])
+parallel = json.loads(sys.argv[4])
+fuzz = json.loads(sys.argv[5])
 
 out = json.load(open(path))
 out["sweep"] = {
     "description": "bench/sweep_main parallel sweep engine; regenerate "
-                   "with bench/run_sweep.sh",
+                   "with bench/run_sweep.sh [build-dir] [fuzz-count] "
+                   "[jobs]",
     "host_cpus": os.cpu_count(),
-    "note": "speedup is bounded by host_cpus; a single-core host "
-            "can only show ~1.0x",
+    "jobs": jobs,
+    "note": "speedup is bounded by jobs (<= host_cpus); a single-core "
+            "host can only show ~1.0x",
     "figure_matrix": {
         "tasks": serial["tasks"],
         "serial_wall_ms": serial["wall_ms"],

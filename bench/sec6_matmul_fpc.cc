@@ -9,7 +9,7 @@ int main() {
     const auto &w = workloads::find("matrix");
     // 40x40x40 matmul: 2 flops per inner iteration.
     double flops = 2.0 * 40 * 40 * 40;
-    auto rh = core::runTrips(w, compiler::Options::hand(), true);
+    auto rh = bench::runTrips(w, compiler::Options::hand(), true);
     auto c2 = core::runPlatform(w, ooo::OooConfig::core2(),
                                 risc::RiscOptions::icc());
     auto p4 = core::runPlatform(w, ooo::OooConfig::pentium4(),

@@ -34,12 +34,31 @@
  *                           verify every dual-core mix against the
  *                           solo runs (the CI chip stage).
  *
+ * Fast-simulation modes (src/sim/):
+ *
+ *   --cache DIR       route the --figures matrix through the campaign
+ *                     cache: a warm re-run performs zero TRIPS
+ *                     simulation (hits/misses land in the report and
+ *                     the --json summary).
+ *   --ckpt-every N    with --repro: run the checkpoint-restore
+ *                     differential oracle on the generated program
+ *                     (snapshot every N blocks; restored functional
+ *                     and warm-started cycle runs must equal the
+ *                     straight runs).
+ *   --sampled LIST    sampled-vs-full accuracy gate on the named
+ *                     workloads (comma list); exits 1 if any estimate
+ *                     misses full-detail cycles by more than
+ *                     --sample-tol percent (default 5).
+ *   --sample F:W:M:P  sampling schedule for --sampled (ffwd, warmup,
+ *                     measure, period blocks).
+ *
  * Common flags: --jobs N (0 = all cores), --seed BASE, --no-cycle,
  * --verify-til (TIL structural verification between backend passes),
  * --grow K (the block-splitting stress ladder, see ShapeConfig).
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -50,6 +69,8 @@
 
 #include "core/machines.hh"
 #include "harness/diff.hh"
+#include "sim/campaign.hh"
+#include "sim/sampling.hh"
 #include "harness/fuzzgen.hh"
 #include "harness/sweep.hh"
 #include "uarch/chip_sim.hh"
@@ -87,6 +108,11 @@ struct Args
     bool mixSuite = false;
     std::string mix;
     std::string outFile;
+    std::string cacheDir;
+    u64 ckptEvery = 0;
+    std::string sampledList;
+    std::string sampleSpec;
+    double sampleTol = 5.0;
     /** Shape-field edits, applied on top of the grow/shrink rungs in
      *  shape() — so ladder and shape flags compose in any order. */
     std::vector<std::function<void(harness::ShapeConfig &)>> shapeEdits;
@@ -107,8 +133,12 @@ usage()
     std::cerr
         << "usage: sweep_main [--jobs N] [--seed BASE] [--no-cycle]\n"
         << "                  [--verify-til]\n"
+        << "                  [--cache DIR]\n"
         << "                  (--figures [--json] | --fuzz N [--out F]\n"
         << "                   | --repro SEED [--shrink K]\n"
+        << "                     [--ckpt-every N]\n"
+        << "                   | --sampled W1,W2,... [--sample F:W:M:P]\n"
+        << "                     [--sample-tol PCT]\n"
         << "                     [--dump-til] [--compile-stats]\n"
         << "                   | --chip (--fuzz N [--out F]\n"
         << "                             | --repro A --seed2 B\n"
@@ -171,6 +201,16 @@ parse(int argc, char **argv)
             a.cycleLevel = false;
         } else if (!std::strcmp(argv[i], "--out")) {
             a.outFile = val(i);
+        } else if (!std::strcmp(argv[i], "--cache")) {
+            a.cacheDir = val(i);
+        } else if (!std::strcmp(argv[i], "--ckpt-every")) {
+            a.ckptEvery = std::stoull(val(i));
+        } else if (!std::strcmp(argv[i], "--sampled")) {
+            a.sampledList = val(i);
+        } else if (!std::strcmp(argv[i], "--sample")) {
+            a.sampleSpec = val(i);
+        } else if (!std::strcmp(argv[i], "--sample-tol")) {
+            a.sampleTol = std::stod(val(i));
         } else if (!std::strcmp(argv[i], "--funcs")) {
             unsigned v = static_cast<unsigned>(std::stoul(val(i)));
             a.shapeEdits.push_back(
@@ -203,7 +243,7 @@ parse(int argc, char **argv)
         }
     }
     if (!a.figures && a.fuzzCount == 0 && !a.repro && a.mix.empty() &&
-        !a.mixSuite)
+        !a.mixSuite && a.sampledList.empty())
         usage();
     if (a.chip && a.repro && a.seed2 == 0)
         usage();
@@ -239,6 +279,8 @@ runFigures(const Args &a)
         double ms = 0;
         u64 cycles = 0;
         double ipc = 0;
+        u64 cacheHits = 0;
+        u64 cacheMisses = 0;
     };
     std::vector<Cell> cells(tasks.size());
 
@@ -262,7 +304,13 @@ runFigures(const Args &a)
             auto opts = t.kind == MatrixTask::Kind::Compiled
                             ? compiler::Options::compiled()
                             : compiler::Options::hand();
-            auto r = core::runTrips(*t.w, opts, t.cycle);
+            // One Campaign per task: the runner is not thread-safe,
+            // but per-worker instances over one directory compose
+            // (atomic stores, CRC-validated loads).
+            sim::Campaign camp(a.cacheDir);
+            auto r = camp.runTrips(*t.w, opts, t.cycle);
+            cells[i].cacheHits = camp.cache().hits();
+            cells[i].cacheMisses = camp.cache().misses();
             if (t.cycle) {
                 cells[i].cycles = r.uarch.cycles;
                 cells[i].ipc = r.uarch.ipc();
@@ -276,9 +324,12 @@ runFigures(const Args &a)
 
     double serialMs = 0;
     u64 totalCycles = 0;
+    u64 cacheHits = 0, cacheMisses = 0;
     for (const auto &c : cells) {
         serialMs += c.ms;
         totalCycles += c.cycles;
+        cacheHits += c.cacheHits;
+        cacheMisses += c.cacheMisses;
     }
 
     if (a.json) {
@@ -286,8 +337,14 @@ runFigures(const Args &a)
                   << ", \"jobs\": " << pool.jobs()
                   << ", \"wall_ms\": " << wallMs
                   << ", \"task_ms_sum\": " << serialMs
-                  << ", \"simulated_cycles\": " << totalCycles << "}\n";
+                  << ", \"simulated_cycles\": " << totalCycles
+                  << ", \"cache_hits\": " << cacheHits
+                  << ", \"cache_misses\": " << cacheMisses << "}\n";
     } else {
+        if (!a.cacheDir.empty())
+            std::cout << "campaign-cache: dir=" << a.cacheDir
+                      << " hits=" << cacheHits
+                      << " misses=" << cacheMisses << "\n";
         std::cout << "figure matrix: " << tasks.size() << " tasks over "
                   << workloads::all().size() << " workloads on "
                   << pool.jobs() << " worker(s)\n"
@@ -658,7 +715,93 @@ runRepro(const Args &a)
     auto full = harness::diffOne(a.reproSeed, shape, opts);
     std::cout << (full.ok ? "oracle: ok\n"
                           : "oracle: " + full.divergence + "\n");
-    return full.ok ? 0 : 1;
+
+    bool ckptOk = true;
+    if (a.ckptEvery) {
+        auto cr = harness::diffCheckpointRestore(
+            mod, a.ckptEvery, compiler::Options::compiled());
+        ckptOk = cr.ok;
+        std::cout << "ckpt oracle (every " << a.ckptEvery << " blocks): "
+                  << (cr.ok ? "ok (" + std::to_string(cr.checkpoints)
+                                  + " checkpoints over "
+                                  + std::to_string(cr.totalBlocks)
+                                  + " blocks)"
+                            : cr.divergence)
+                  << "\n";
+    }
+    return full.ok && ckptOk ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------
+// --sampled: the sampled-vs-full accuracy gate.
+// ---------------------------------------------------------------------
+
+int
+runSampledGate(const Args &a)
+{
+    std::vector<const workloads::Workload *> ws;
+    std::string cur;
+    for (char ch : a.sampledList + ",") {
+        if (ch == ',') {
+            if (!cur.empty())
+                ws.push_back(&workloads::find(cur));
+            cur.clear();
+        } else {
+            cur += ch;
+        }
+    }
+    if (ws.empty()) {
+        std::cerr << "--sampled needs at least one workload name\n";
+        return 2;
+    }
+    sim::SampleConfig scfg;
+    scfg.warmupBlocks = 150;
+    scfg.measureBlocks = 350;
+    scfg.period = 1000;
+    if (!a.sampleSpec.empty())
+        scfg = sim::SampleConfig::parse(a.sampleSpec);
+
+    std::printf("sampling schedule: %s, tolerance %.1f%%\n",
+                scfg.describe().c_str(), a.sampleTol);
+    std::printf("%-12s %12s %12s %8s %5s %9s %9s\n", "workload",
+                "full cyc", "sampled cyc", "err%", "ivls", "coverage",
+                "speedup");
+    bool ok = true;
+    for (const auto *w : ws) {
+        wir::Module mod;
+        w->build(mod);
+        auto prog =
+            compiler::compileToTrips(mod, compiler::Options::compiled());
+
+        auto f0 = Clock::now();
+        MemImage fullMem;
+        wir::Interp::loadGlobals(mod, fullMem);
+        uarch::CycleSim cs(prog, fullMem);
+        auto full = cs.run();
+        double fullMs = msSince(f0);
+
+        auto s0 = Clock::now();
+        MemImage sMem;
+        wir::Interp::loadGlobals(mod, sMem);
+        auto s = sim::runSampled(prog, sMem, uarch::UarchConfig{}, scfg);
+        double sampledMs = msSince(s0);
+
+        double err = full.cycles
+            ? (s.estCycles - static_cast<double>(full.cycles)) * 100.0 /
+                  static_cast<double>(full.cycles)
+            : 0.0;
+        bool pass = std::abs(err) <= a.sampleTol &&
+                    s.retVal == full.retVal && !s.fuelExhausted;
+        ok &= pass;
+        std::printf("%-12s %12llu %12.0f %+7.2f%% %5u %8.1f%% %8.2fx%s\n",
+                    w->name.c_str(), (unsigned long long)full.cycles,
+                    s.estCycles, err, s.intervals, s.coverage() * 100.0,
+                    sampledMs > 0 ? fullMs / sampledMs : 0.0,
+                    pass ? "" : "  <-- FAIL");
+    }
+    std::printf("%s\n", ok ? "sampled estimates within tolerance"
+                           : "SAMPLED ESTIMATES OUT OF TOLERANCE");
+    return ok ? 0 : 1;
 }
 
 } // namespace
@@ -677,6 +820,8 @@ main(int argc, char **argv)
         return runChipFuzz(a);
     if (a.repro)
         return runRepro(a);
+    if (!a.sampledList.empty())
+        return runSampledGate(a);
     if (a.fuzzCount)
         return runFuzz(a);
     return runFigures(a);

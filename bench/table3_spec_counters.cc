@@ -12,7 +12,7 @@ int main() {
               "t.icMiss", "t.ldFlush", "blk*8", "instsInFlight"});
     for (const char *s : {"specint", "specfp"}) {
         for (auto *w : workloads::suite(s)) {
-            auto rc = core::runTrips(*w, compiler::Options::compiled(),
+            auto rc = bench::runTrips(*w, compiler::Options::compiled(),
                                      true);
             auto c2 = core::runPlatform(*w, ooo::OooConfig::core2(),
                                         risc::RiscOptions::gcc());

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/machines.hh"
+#include "sim/checkpoint.hh"
 #include "uarch/chip_sim.hh"
 #include "wir/interp.hh"
 
@@ -282,6 +283,121 @@ diffChipPair(u64 seed_a, u64 seed_b, const ShapeConfig &shape,
             if (fail(os.str()))
                 return res;
         }
+    }
+    return res;
+}
+
+CkptOracleResult
+diffCheckpointRestore(const wir::Module &mod, u64 every,
+                      const compiler::Options &copts,
+                      const uarch::UarchConfig &ucfg,
+                      unsigned maxCheckpoints)
+{
+    CkptOracleResult res;
+    if (every == 0) {
+        res.ok = false;
+        res.divergence = "checkpoint interval must be > 0 blocks";
+        return res;
+    }
+    auto prog = compiler::compileToTrips(mod, copts);
+
+    // Straight reference runs.
+    MemImage funcMem;
+    wir::Interp::loadGlobals(mod, funcMem);
+    sim::FuncSim straightFunc(prog, funcMem);
+    auto sf = straightFunc.run();
+    MemImage cycleMem;
+    wir::Interp::loadGlobals(mod, cycleMem);
+    uarch::CycleSim straightCycle(prog, cycleMem, ucfg);
+    auto sc = straightCycle.run();
+    res.totalBlocks = straightFunc.blocksExecuted();
+    if (sf.fuelExhausted || sc.fuelExhausted) {
+        res.ok = false;
+        res.divergence = "straight run exhausted fuel";
+        return res;
+    }
+
+    auto isaBytes = [](const sim::IsaStats &s) {
+        sim::ByteWriter w;
+        sim::putIsaStats(w, s);
+        return w.data();
+    };
+
+    // A walker functional sim pauses at each boundary and snapshots.
+    MemImage walkMem;
+    wir::Interp::loadGlobals(mod, walkMem);
+    sim::FuncSim walker(prog, walkMem);
+    for (unsigned k = 0; k < maxCheckpoints; ++k) {
+        walker.run(every);
+        if (walker.halted())
+            break;
+        sim::Checkpoint ck;
+        walker.snapshot(ck);
+        ++res.checkpoints;
+        auto fail = [&](const std::string &why) {
+            res.ok = false;
+            if (res.divergence.empty())
+                res.divergence = "checkpoint @" +
+                                 std::to_string(ck.blocksExecuted) +
+                                 " blocks: " + why;
+        };
+
+        // Exercise the byte format on every boundary.
+        sim::Checkpoint rck =
+            sim::deserializeCheckpoint(sim::serializeCheckpoint(ck));
+        if (rck.nextBlock != ck.nextBlock ||
+            rck.blocksExecuted != ck.blocksExecuted ||
+            rck.regfile != ck.regfile || rck.callStack != ck.callStack ||
+            isaBytes(rck.stats) != isaBytes(ck.stats))
+            fail("serialize/deserialize round trip altered state");
+        std::string md =
+            sim::diffMemImages(ck.mem, rck.mem, "round-trip mem");
+        if (!md.empty())
+            fail(md);
+
+        // Restored functional run must equal the straight one exactly.
+        MemImage rMem;
+        sim::FuncSim rf(prog, rMem);
+        rf.restore(rck);
+        auto rr = rf.run();
+        if (rr.fuelExhausted)
+            fail("restored functional run exhausted fuel");
+        if (rr.retVal != sf.retVal)
+            fail("restored functional retVal " +
+                 std::to_string(rr.retVal) + " != straight " +
+                 std::to_string(sf.retVal));
+        if (rf.blocksExecuted() != straightFunc.blocksExecuted())
+            fail("restored functional committed " +
+                 std::to_string(rf.blocksExecuted()) +
+                 " blocks != straight " +
+                 std::to_string(straightFunc.blocksExecuted()));
+        if (isaBytes(rr.stats) != isaBytes(sf.stats))
+            fail("restored functional ISA stats differ from straight");
+        md = sim::diffMemImages(funcMem, rMem, "restored functional mem");
+        if (!md.empty())
+            fail(md);
+
+        // Warm-started cycle run must match the straight cycle run
+        // architecturally (timing legitimately differs: cold caches).
+        MemImage wMem = rck.mem;
+        uarch::CycleSim warm(prog, wMem, ucfg);
+        warm.warmStart(rck);
+        auto wr = warm.run();
+        if (wr.fuelExhausted)
+            fail("warm cycle run exhausted fuel");
+        if (wr.retVal != sc.retVal)
+            fail("warm cycle retVal " + std::to_string(wr.retVal) +
+                 " != straight " + std::to_string(sc.retVal));
+        if (rck.blocksExecuted + wr.blocksCommitted != sc.blocksCommitted)
+            fail("warm cycle committed " + std::to_string(ck.blocksExecuted)
+                 + "+" + std::to_string(wr.blocksCommitted) +
+                 " blocks != straight " +
+                 std::to_string(sc.blocksCommitted));
+        md = sim::diffMemImages(cycleMem, wMem, "warm cycle mem");
+        if (!md.empty())
+            fail(md);
+        if (!res.ok)
+            return res;
     }
     return res;
 }

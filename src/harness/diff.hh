@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "compiler/options.hh"
 #include "harness/fuzzgen.hh"
 #include "harness/sweep.hh"
 #include "support/memimage.hh"
@@ -96,6 +97,40 @@ DiffResult diffOne(u64 seed, const ShapeConfig &shape = ShapeConfig{},
 DiffResult diffChipPair(u64 seed_a, u64 seed_b,
                         const ShapeConfig &shape = ShapeConfig{},
                         const DiffOptions &opts = DiffOptions{});
+
+/**
+ * Checkpoint/restore differential oracle (see src/sim/checkpoint.hh).
+ *
+ * Runs the module straight (functional to completion + cycle-level to
+ * completion), then re-runs it through checkpoints: the functional
+ * simulator is paused every `every` blocks, snapshotted, the snapshot
+ * is serialized and re-parsed (so the byte format is exercised on
+ * every boundary), restored into a fresh functional simulator that
+ * runs to completion, AND warm-started into a fresh cycle-level
+ * simulator that runs to completion. The oracle demands
+ *
+ *   - restored functional run == straight functional run: retVal,
+ *     final memory image, ISA stats (bit-identical);
+ *   - warm-started cycle run == straight cycle run architecturally:
+ *     retVal, final memory image, and committed-block count
+ *     (ck.blocksExecuted + warm commits == straight commits);
+ *
+ * for every checkpoint boundary (capped at `maxCheckpoints`, evenly
+ * consumed in program order).
+ */
+struct CkptOracleResult
+{
+    bool ok = true;
+    std::string divergence;   ///< empty iff ok
+    u64 checkpoints = 0;      ///< boundaries exercised
+    u64 totalBlocks = 0;      ///< straight-run committed blocks
+};
+
+CkptOracleResult diffCheckpointRestore(
+    const wir::Module &mod, u64 every,
+    const compiler::Options &copts,
+    const uarch::UarchConfig &ucfg = uarch::UarchConfig{},
+    unsigned maxCheckpoints = 4);
 
 /**
  * Shrink a diverging result down the ShapeConfig ladder: each rung is

@@ -1,0 +1,482 @@
+#include "sim/campaign.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "sim/checkpoint.hh"
+
+namespace trips::sim {
+
+// ---------------------------------------------------------------------
+// Key material serialization. Every field that can change a simulation
+// result is written fixed-width into the hash stream; pure debug knobs
+// (TIL verification/dumping) are excluded so they never split the key
+// space.
+// ---------------------------------------------------------------------
+
+void
+putModule(ByteWriter &w, const wir::Module &mod)
+{
+    w.str(mod.mainFunction);
+    w.u64v(mod.globals.size());
+    for (const auto &g : mod.globals) {
+        w.str(g.name);
+        w.u64v(g.addr);
+        w.u64v(g.size);
+        w.u64v(g.init.size());
+        w.bytes(g.init.data(), g.init.size());
+    }
+    w.u64v(mod.functions.size());
+    for (const auto &[name, f] : mod.functions) {  // map order: sorted
+        w.str(name);
+        w.u32v(f.numParams);
+        w.u32v(f.nextVreg);
+        w.u64v(f.blocks.size());
+        for (const auto &bb : f.blocks) {
+            w.str(bb.name);
+            w.u64v(bb.instrs.size());
+            for (const auto &in : bb.instrs) {
+                w.u8v(static_cast<u8>(in.op));
+                w.u32v(in.dst);
+                w.u64v(in.srcs.size());
+                for (wir::Vreg s : in.srcs)
+                    w.u32v(s);
+                w.i64v(in.imm);
+                w.f64v(in.fimm);
+                w.u8v(in.isFloat);
+                w.u8v(static_cast<u8>(in.width));
+                w.u8v(in.loadSigned);
+                w.str(in.callee);
+            }
+            w.u8v(static_cast<u8>(bb.term.kind));
+            w.u32v(bb.term.cond);
+            w.u32v(bb.term.thenBlock);
+            w.u32v(bb.term.elseBlock);
+            w.u32v(bb.term.retVal);
+        }
+    }
+}
+
+namespace {
+
+void
+putOptions(ByteWriter &w, const compiler::Options &o)
+{
+    w.u8v(o.enablePredication);
+    w.u8v(o.speculateArith);
+    w.u32v(o.maxUnroll);
+    w.u32v(o.unrollBudgetOps);
+    w.u32v(o.regionBudgetOps);
+    w.u32v(o.maxPredDepth);
+    w.u32v(o.regionBudgetMem);
+    w.u8v(o.foldImmediates);
+}
+
+void
+putCacheConfig(ByteWriter &w, const mem::CacheConfig &c)
+{
+    w.u64v(c.sizeBytes);
+    w.u32v(c.assoc);
+    w.u32v(c.lineBytes);
+}
+
+void
+putUarchConfig(ByteWriter &w, const uarch::UarchConfig &c)
+{
+    w.u32v(c.numFrames);
+    w.u32v(c.dispatchPerCycle);
+    w.u32v(c.fetchLatency);
+    w.u32v(c.l1iHitLatency);
+    w.u32v(c.l1dHitLatency);
+    w.u32v(c.l2BaseLatency);
+    w.u32v(c.l2NucaStep);
+    w.u32v(c.commitLatency);
+    w.u32v(c.redirectPenalty);
+    w.u32v(c.statusLatency);
+    putCacheConfig(w, c.l1dBank);
+    putCacheConfig(w, c.l1i);
+    putCacheConfig(w, c.l2Bank);
+    w.u32v(c.dram.channels);
+    w.u32v(c.dram.banksPerChannel);
+    w.u32v(c.dram.cyclesPerTransfer);
+    w.u32v(c.dram.rowHitLatency);
+    w.u32v(c.dram.rowMissPenalty);
+    w.u32v(c.dram.lineBytes);
+    const auto &p = c.predictor;
+    w.u32v(p.localEntries);
+    w.u32v(p.localHistBits);
+    w.u32v(p.localPatternEntries);
+    w.u32v(p.globalHistBits);
+    w.u32v(p.globalEntries);
+    w.u32v(p.choiceEntries);
+    w.u32v(p.btbEntries);
+    w.u32v(p.ctbEntries);
+    w.u32v(p.rasEntries);
+    w.u32v(p.btypeEntries);
+    w.u32v(c.depPredEntries);
+    w.u32v(c.dtServicePeriod);
+    w.u32v(c.lsqEntriesPerFrame);
+    w.u64v(c.maxCycles);
+}
+
+// ---------------------------------------------------------------------
+// TripsRun record serialization.
+// ---------------------------------------------------------------------
+
+void
+putCompileStats(ByteWriter &w, const compiler::CompileStats &s)
+{
+    w.u32v(s.functions);
+    w.u32v(s.regions);
+    w.u32v(s.blocks);
+    w.u64v(s.totalInsts);
+    w.u64v(s.movInsts);
+    w.u64v(s.nullInsts);
+    w.u64v(s.testInsts);
+    w.u32v(s.splitBlocks);
+    w.u64v(s.spillWrites);
+    w.u64v(s.spillReads);
+    w.u32v(s.overflowRetries);
+    w.u32v(compiler::NUM_PASSES);
+    for (const auto &pc : s.pass) {
+        w.u64v(pc.tilBlocks);
+        w.u64v(pc.tilNodes);
+        w.u64v(pc.movNodes);
+        w.u64v(pc.nullNodes);
+        w.u64v(pc.testNodes);
+        w.u64v(pc.addedNodes);
+    }
+}
+
+compiler::CompileStats
+getCompileStats(ByteReader &r)
+{
+    compiler::CompileStats s;
+    s.functions = r.u32v();
+    s.regions = r.u32v();
+    s.blocks = r.u32v();
+    s.totalInsts = r.u64v();
+    s.movInsts = r.u64v();
+    s.nullInsts = r.u64v();
+    s.testInsts = r.u64v();
+    s.splitBlocks = r.u32v();
+    s.spillWrites = r.u64v();
+    s.spillReads = r.u64v();
+    s.overflowRetries = r.u32v();
+    u32 passes = r.u32v();
+    if (passes != compiler::NUM_PASSES)
+        r.failParse(std::to_string(passes) + " compiler passes, this "
+                    "build has " + std::to_string(compiler::NUM_PASSES));
+    for (auto &pc : s.pass) {
+        pc.tilBlocks = r.u64v();
+        pc.tilNodes = r.u64v();
+        pc.movNodes = r.u64v();
+        pc.nullNodes = r.u64v();
+        pc.testNodes = r.u64v();
+        pc.addedNodes = r.u64v();
+    }
+    return s;
+}
+
+void
+putDistribution(ByteWriter &w, const Distribution &d)
+{
+    w.u32v(d.numBuckets());
+    for (unsigned b = 0; b < d.numBuckets(); ++b)
+        w.u64v(d.count(b));
+    w.u64v(d.weightedSum());
+}
+
+Distribution
+getDistribution(ByteReader &r)
+{
+    u32 n = r.u32v();
+    std::vector<u64> counts(n);
+    for (auto &c : counts)
+        c = r.u64v();
+    u64 weighted = r.u64v();
+    Distribution d(n);
+    d.restoreRaw(std::move(counts), weighted);
+    return d;
+}
+
+void
+putUarchResult(ByteWriter &w, const uarch::UarchResult &u)
+{
+    w.i64v(u.retVal);
+    w.u8v(u.fuelExhausted);
+    w.u64v(u.cycles);
+    w.u64v(u.blocksCommitted);
+    w.u64v(u.blocksFlushed);
+    w.u64v(u.instsFetched);
+    w.u64v(u.instsFired);
+    w.u64v(u.branchMispredicts);
+    w.u64v(u.callRetMispredicts);
+    w.u64v(u.loadViolationFlushes);
+    w.u64v(u.icacheMissStalls);
+    w.u64v(u.l1dHits);
+    w.u64v(u.l1dMisses);
+    w.u64v(u.l1iHits);
+    w.u64v(u.l1iMisses);
+    w.u64v(u.l2Hits);
+    w.u64v(u.l2Misses);
+    w.u64v(u.l1dWritebacks);
+    w.u64v(u.l2Writebacks);
+    w.u64v(u.loadsExecuted);
+    w.u64v(u.storesCommitted);
+    w.u64v(u.bytesL1);
+    w.u64v(u.bytesL2);
+    w.u64v(u.bytesMem);
+    w.f64v(u.avgBlocksInFlight);
+    w.f64v(u.avgInstsInFlight);
+    w.u64v(u.peakInstsInFlight);
+    w.u64v(u.predictor.predictions);
+    w.u64v(u.predictor.mispredictions);
+    w.u64v(u.predictor.exitMispredicts);
+    w.u64v(u.predictor.targetMispredicts);
+    w.u64v(u.predictor.callRetMispredicts);
+    w.u32v(static_cast<u32>(u.opnHops.size()));
+    for (const auto &d : u.opnHops)
+        putDistribution(w, d);
+    w.u64v(u.opnPackets);
+    w.u64v(u.localBypasses);
+}
+
+uarch::UarchResult
+getUarchResult(ByteReader &r)
+{
+    uarch::UarchResult u;
+    u.retVal = r.i64v();
+    u.fuelExhausted = r.u8v();
+    u.cycles = r.u64v();
+    u.blocksCommitted = r.u64v();
+    u.blocksFlushed = r.u64v();
+    u.instsFetched = r.u64v();
+    u.instsFired = r.u64v();
+    u.branchMispredicts = r.u64v();
+    u.callRetMispredicts = r.u64v();
+    u.loadViolationFlushes = r.u64v();
+    u.icacheMissStalls = r.u64v();
+    u.l1dHits = r.u64v();
+    u.l1dMisses = r.u64v();
+    u.l1iHits = r.u64v();
+    u.l1iMisses = r.u64v();
+    u.l2Hits = r.u64v();
+    u.l2Misses = r.u64v();
+    u.l1dWritebacks = r.u64v();
+    u.l2Writebacks = r.u64v();
+    u.loadsExecuted = r.u64v();
+    u.storesCommitted = r.u64v();
+    u.bytesL1 = r.u64v();
+    u.bytesL2 = r.u64v();
+    u.bytesMem = r.u64v();
+    u.avgBlocksInFlight = r.f64v();
+    u.avgInstsInFlight = r.f64v();
+    u.peakInstsInFlight = r.u64v();
+    u.predictor.predictions = r.u64v();
+    u.predictor.mispredictions = r.u64v();
+    u.predictor.exitMispredicts = r.u64v();
+    u.predictor.targetMispredicts = r.u64v();
+    u.predictor.callRetMispredicts = r.u64v();
+    u32 dists = r.u32v();
+    if (dists != u.opnHops.size())
+        r.failParse(std::to_string(dists) + " OPN classes, this build "
+                    "has " + std::to_string(u.opnHops.size()));
+    for (auto &d : u.opnHops)
+        d = getDistribution(r);
+    u.opnPackets = r.u64v();
+    u.localBypasses = r.u64v();
+    return u;
+}
+
+std::vector<u8>
+serializeRun(const CacheKey &key, const core::TripsRun &run)
+{
+    ByteWriter w;
+    w.u32v(CAMPAIGN_MAGIC);
+    w.u32v(CAMPAIGN_FORMAT);
+    w.u64v(key.hi);
+    w.u64v(key.lo);
+    w.i64v(run.retVal);
+    w.u8v(run.funcFuelExhausted);
+    w.u8v(run.cycleLevel);
+    w.u64v(run.codeBytes);
+    putIsaStats(w, run.isa);
+    putCompileStats(w, run.compile);
+    if (run.cycleLevel)
+        putUarchResult(w, run.uarch);
+    w.sealCrc();
+    return w.data();
+}
+
+} // namespace
+
+std::string
+CacheKey::hex() const
+{
+    return hex128(hi, lo);
+}
+
+CacheKey
+campaignKey(const wir::Module &mod, const compiler::Options &opts,
+            const uarch::UarchConfig &ucfg, bool cycle_level)
+{
+    ByteWriter w;
+    w.str(SIM_VERSION);
+    w.u32v(CAMPAIGN_FORMAT);
+    putModule(w, mod);
+    putOptions(w, opts);
+    putUarchConfig(w, ucfg);
+    w.u8v(cycle_level);
+    Fnv128 h;
+    h.update(w);
+    return CacheKey{h.hi(), h.lo()};
+}
+
+// ---------------------------------------------------------------------
+// CampaignCache
+// ---------------------------------------------------------------------
+
+CampaignCache::CampaignCache(const std::string &dir) : dir_(dir)
+{
+    if (dir_.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        TRIPS_FATAL("campaign cache: cannot create directory ", dir_,
+                    ": ", ec.message());
+}
+
+std::string
+CampaignCache::path(const CacheKey &key) const
+{
+    return dir_ + "/" + key.hex() + ".trun";
+}
+
+bool
+CampaignCache::lookup(const CacheKey &key, core::TripsRun &out)
+{
+    if (!enabled())
+        return false;
+    std::vector<u8> bytes;
+    if (!readFile(path(key), bytes)) {
+        ++misses_;
+        return false;
+    }
+    // Validation failures are misses, never fatals: a campaign must
+    // survive a corrupt or stale cache by re-simulating.
+    auto stale = [&](const char *why) {
+        std::fprintf(stderr,
+                     "campaign-cache: ignoring %s (%s); re-running\n",
+                     path(key).c_str(), why);
+        ++misses_;
+        return false;
+    };
+    if (bytes.size() < 24)
+        return stale("truncated");
+    if (!sealIntact(bytes.data(), bytes.size()))
+        return stale("CRC mismatch");
+    // Recoverable reader: a CRC-valid record from a build with other
+    // structural constants (pass/class counts, field layout) must
+    // degrade to a miss, never take the campaign down.
+    ByteReader r(bytes.data(), bytes.size() - 4, "campaign record",
+                 /*recoverable=*/true);
+    try {
+        if (r.u32v() != CAMPAIGN_MAGIC)
+            return stale("bad magic");
+        if (r.u32v() != CAMPAIGN_FORMAT)
+            return stale("other format version");
+        if (r.u64v() != key.hi || r.u64v() != key.lo)
+            return stale("key mismatch");
+
+        core::TripsRun run;
+        run.retVal = r.i64v();
+        run.funcFuelExhausted = r.u8v();
+        run.cycleLevel = r.u8v();
+        run.codeBytes = r.u64v();
+        run.isa = getIsaStats(r);
+        run.compile = getCompileStats(r);
+        if (run.cycleLevel)
+            run.uarch = getUarchResult(r);
+        r.expectEnd();
+        out = std::move(run);
+    } catch (const SerialError &e) {
+        return stale(e.message.c_str());
+    }
+    ++hits_;
+    return true;
+}
+
+void
+CampaignCache::store(const CacheKey &key, const core::TripsRun &run)
+{
+    if (!enabled())
+        return;
+    writeFileAtomic(path(key), serializeRun(key, run));
+}
+
+// ---------------------------------------------------------------------
+// Campaign
+// ---------------------------------------------------------------------
+
+Campaign
+Campaign::fromEnv()
+{
+    const char *dir = std::getenv("TRIPSIM_CACHE");
+    return Campaign(dir ? dir : "");
+}
+
+core::TripsRun
+Campaign::runTrips(const wir::Module &mod, const compiler::Options &opts,
+                   bool cycle_level, const uarch::UarchConfig &ucfg)
+{
+    CacheKey key;
+    if (cache_.enabled()) {
+        key = campaignKey(mod, opts, ucfg, cycle_level);
+        core::TripsRun cached;
+        if (cache_.lookup(key, cached))
+            return cached;
+    }
+    core::TripsRun run = core::runTrips(mod, opts, cycle_level, ucfg);
+    cache_.store(key, run);
+    return run;
+}
+
+core::TripsRun
+Campaign::runTrips(const workloads::Workload &w,
+                   const compiler::Options &opts, bool cycle_level,
+                   const uarch::UarchConfig &ucfg)
+{
+    wir::Module mod;
+    w.build(mod);
+    core::TripsRun run = runTrips(mod, opts, cycle_level, ucfg);
+    // Same guarantees as the uncached workload-level entry point: a
+    // registered benchmark must finish and the models must agree —
+    // re-checked even on hits, so a poisoned cache cannot smuggle a
+    // bad run past the drivers.
+    TRIPS_ASSERT(!run.funcFuelExhausted, "functional fuel exhausted on ",
+                 w.name);
+    if (cycle_level) {
+        TRIPS_ASSERT(!run.uarch.fuelExhausted, "cycle fuel exhausted on ",
+                     w.name);
+        TRIPS_ASSERT(run.uarch.retVal == run.retVal,
+                     "cycle/functional mismatch on ", w.name);
+    }
+    return run;
+}
+
+std::string
+Campaign::report() const
+{
+    std::string s = "campaign-cache: ";
+    if (!cache_.enabled())
+        return s + "disabled";
+    s += "dir=" + cache_.dir();
+    s += " hits=" + std::to_string(cache_.hits());
+    s += " misses=" + std::to_string(cache_.misses());
+    return s;
+}
+
+} // namespace trips::sim

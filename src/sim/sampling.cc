@@ -1,0 +1,148 @@
+#include "sim/sampling.hh"
+
+#include <sstream>
+
+#include "sim/checkpoint.hh"
+#include "uarch/cycle_sim.hh"
+
+namespace trips::sim {
+
+namespace {
+
+/** Global functional fuel: matches FuncSim::run's default budget. */
+constexpr u64 MAX_TOTAL_BLOCKS = 50'000'000;
+
+} // namespace
+
+std::string
+SampleConfig::validate() const
+{
+    if (measureBlocks == 0)
+        return "measureBlocks must be > 0";
+    if (period == 0)
+        return "period must be > 0";
+    if (period < warmupBlocks + measureBlocks)
+        return "period must cover warmupBlocks + measureBlocks "
+               "(intervals may not overlap)";
+    return "";
+}
+
+std::string
+SampleConfig::describe() const
+{
+    std::ostringstream os;
+    os << "ffwd=" << ffwdBlocks << ",warm=" << warmupBlocks
+       << ",meas=" << measureBlocks << ",period=" << period;
+    return os.str();
+}
+
+SampleConfig
+SampleConfig::parse(const std::string &spec)
+{
+    SampleConfig c;
+    u64 *fields[4] = {&c.ffwdBlocks, &c.warmupBlocks, &c.measureBlocks,
+                      &c.period};
+    std::istringstream is(spec);
+    std::string part;
+    unsigned i = 0;
+    while (std::getline(is, part, ':')) {
+        if (i >= 4 || part.empty() ||
+            part.find_first_not_of("0123456789") != std::string::npos)
+            TRIPS_FATAL("--sample expects FFWD:WARMUP:MEASURE:PERIOD, "
+                        "got \"", spec, "\"");
+        *fields[i++] = std::stoull(part);
+    }
+    if (i != 4)
+        TRIPS_FATAL("--sample expects FFWD:WARMUP:MEASURE:PERIOD, got \"",
+                    spec, "\"");
+    std::string err = c.validate();
+    if (!err.empty())
+        TRIPS_FATAL("invalid --sample config: ", err);
+    return c;
+}
+
+SampledResult
+runSampled(const isa::Program &prog, MemImage &mem,
+           const uarch::UarchConfig &ucfg, const SampleConfig &scfg)
+{
+    std::string err = scfg.validate();
+    if (!err.empty())
+        TRIPS_FATAL("invalid SampleConfig: ", err);
+
+    // Kept only for the short-program full-detail fallback.
+    MemImage initial = mem;
+
+    SampledResult r;
+    FuncSim fsim(prog, mem);
+    Checkpoint ck;
+
+    fsim.run(scfg.ffwdBlocks);   // 0 = first interval at block 0
+    while (!fsim.halted() && fsim.blocksExecuted() < MAX_TOTAL_BLOCKS) {
+        fsim.snapshot(ck);
+
+        // Detailed interval over a private copy of the image: the
+        // functional run stays the single source of architectural
+        // truth and is never perturbed by the cycle model.
+        MemImage scratch = ck.mem;
+        uarch::CycleSim csim(prog, scratch, ucfg);
+        csim.warmStart(ck);
+        csim.stopAfterBlocks(scfg.warmupBlocks + scfg.measureBlocks);
+        while (!csim.done() && csim.committedSoFar() < scfg.warmupBlocks)
+            csim.stepCycle();
+        u64 warm_cycles = csim.currentCycle();
+        u64 warm_insts = csim.firedSoFar();
+        u64 warm_blocks = csim.committedSoFar();
+        while (!csim.done())
+            csim.stepCycle();
+        auto ur = csim.finish();
+        if (ur.fuelExhausted) {
+            // The detailed window hit maxCycles before its block
+            // bound: report exhaustion rather than extrapolate from a
+            // wedged interval.
+            r.fuelExhausted = true;
+            break;
+        }
+        ++r.intervals;
+        r.measuredBlocks += ur.blocksCommitted - warm_blocks;
+        r.measuredCycles += ur.cycles - warm_cycles;
+        r.measuredInsts += ur.instsFired - warm_insts;
+
+        fsim.run(scfg.period);
+    }
+
+    if (!fsim.halted() && !r.fuelExhausted)
+        r.fuelExhausted = true;          // functional fuel ran out
+
+    auto fin = fsim.run(0);              // final (or partial) result
+    r.retVal = fin.retVal;
+    r.isa = fin.stats;
+    r.totalBlocks = fsim.blocksExecuted();
+
+    if (r.measuredBlocks == 0 && !r.fuelExhausted) {
+        // Program ended before one interval completed: sampling has
+        // nothing to extrapolate from, so run it in full detail.
+        r.fullDetail = true;
+        uarch::CycleSim csim(prog, initial, ucfg);
+        auto ur = csim.run();
+        r.intervals = 0;
+        r.measuredBlocks = ur.blocksCommitted;
+        r.measuredCycles = ur.cycles;
+        r.measuredInsts = ur.instsFired;
+        r.estCycles = static_cast<double>(ur.cycles);
+        r.estIpc = ur.ipc();
+        r.fuelExhausted = ur.fuelExhausted;
+        return r;
+    }
+
+    if (r.measuredBlocks) {
+        double cpb = static_cast<double>(r.measuredCycles) /
+                     static_cast<double>(r.measuredBlocks);
+        r.estCycles = cpb * static_cast<double>(r.totalBlocks);
+        r.estIpc = r.measuredCycles
+            ? static_cast<double>(r.measuredInsts) / r.measuredCycles
+            : 0.0;
+    }
+    return r;
+}
+
+} // namespace trips::sim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Sampled simulation: functional fast-forward with periodic detailed
+ * intervals (SimPoint/SMARTS-style systematic sampling).
+ *
+ * The functional simulator carries architectural state through the
+ * whole program at functional speed. Every `period` blocks it takes
+ * an in-memory checkpoint and launches a cycle-level simulation from
+ * it over a private copy of the memory image: the first
+ * `warmupBlocks` detailed blocks re-warm the cold caches and
+ * predictors and are discarded, the next `measureBlocks` are
+ * measured. Total cycles are extrapolated from the measured
+ * cycles-per-block, and the result reports exactly how much of the
+ * program was measured vs extrapolated, so accuracy claims are
+ * auditable. A program that halts before the first interval completes
+ * falls back to full-detail simulation (`fullDetail` set).
+ */
+
+#ifndef TRIPSIM_SIM_SAMPLING_HH
+#define TRIPSIM_SIM_SAMPLING_HH
+
+#include <string>
+
+#include "isa/program.hh"
+#include "trips/func_sim.hh"
+#include "uarch/config.hh"
+
+namespace trips::sim {
+
+struct SampleConfig
+{
+    u64 ffwdBlocks = 0;       ///< functional-only blocks before interval 1
+    u64 warmupBlocks = 100;   ///< detailed blocks discarded per interval
+    u64 measureBlocks = 400;  ///< detailed blocks measured per interval
+    u64 period = 2000;        ///< blocks between interval starts
+
+    /** "" when usable, else the first violated constraint. */
+    std::string validate() const;
+
+    /** Compact "ffwd=..,warm=..,meas=..,period=.." description. */
+    std::string describe() const;
+
+    /** Parse "F:W:M:P" (as taken by sweep_main --sample). */
+    static SampleConfig parse(const std::string &spec);
+};
+
+struct SampledResult
+{
+    i64 retVal = 0;           ///< from the functional run (exact)
+    bool fuelExhausted = false;
+    bool fullDetail = false;  ///< program too short; ran full detail
+
+    u64 totalBlocks = 0;      ///< committed blocks, whole program
+    unsigned intervals = 0;   ///< detailed intervals launched
+    u64 measuredBlocks = 0;   ///< blocks inside measured windows
+    u64 measuredCycles = 0;
+    u64 measuredInsts = 0;    ///< fired instructions in measured windows
+
+    double estCycles = 0;     ///< extrapolated whole-program cycles
+    double estIpc = 0;        ///< measured-window IPC
+    IsaStats isa;             ///< functional ISA stats, whole program
+
+    /** Fraction of committed blocks that were cycle-simulated inside
+     *  a measured window (the rest is extrapolated). */
+    double
+    coverage() const
+    {
+        return totalBlocks
+            ? static_cast<double>(measuredBlocks) / totalBlocks : 0.0;
+    }
+};
+
+/**
+ * Run @p prog under systematic sampling. @p mem must hold the initial
+ * memory image (globals loaded); it is consumed as the functional
+ * image and holds the final architectural memory on return.
+ */
+SampledResult runSampled(const isa::Program &prog, MemImage &mem,
+                         const uarch::UarchConfig &ucfg,
+                         const SampleConfig &scfg);
+
+} // namespace trips::sim
+
+#endif // TRIPSIM_SIM_SAMPLING_HH

@@ -1,0 +1,105 @@
+#include "sim/serial.hh"
+
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+
+namespace trips::sim {
+
+namespace {
+
+std::array<u32, 256>
+makeCrcTable()
+{
+    std::array<u32, 256> t{};
+    for (u32 i = 0; i < 256; ++i) {
+        u32 c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}
+
+} // namespace
+
+u32
+crc32(const u8 *data, size_t n)
+{
+    static const std::array<u32, 256> table = makeCrcTable();
+    u32 c = 0xffffffffu;
+    for (size_t i = 0; i < n; ++i)
+        c = table[(c ^ data[i]) & 0xff] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+bool
+sealIntact(const u8 *data, size_t n)
+{
+    if (n < 4)
+        return false;
+    u32 stored = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        stored |= static_cast<u32>(data[n - 4 + i]) << (8 * i);
+    return crc32(data, n - 4) == stored;
+}
+
+std::string
+hex128(u64 hi, u64 lo)
+{
+    char buf[33];
+    std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return buf;
+}
+
+std::string
+Fnv128::hex() const
+{
+    return hex128(hi_, lo_);
+}
+
+bool
+readFile(const std::string &path, std::vector<u8> &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    out.clear();
+    u8 buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.insert(out.end(), buf, buf + n);
+    bool ok = !std::ferror(f);
+    std::fclose(f);
+    return ok;
+}
+
+void
+writeFileAtomic(const std::string &path, const std::vector<u8> &data)
+{
+    // Unique temp name per call: concurrent writers (sweep workers
+    // racing on the same cache entry) each rename a private file, and
+    // rename() makes the last one win atomically.
+    static std::atomic<u64> serial{0};
+    std::string tmp = path + ".tmp" +
+                      std::to_string(serial.fetch_add(1)) + "." +
+                      std::to_string(static_cast<u64>(getpid()));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        TRIPS_FATAL("cannot open ", tmp, " for writing");
+    if (data.size() &&
+        std::fwrite(data.data(), 1, data.size(), f) != data.size()) {
+        std::fclose(f);
+        TRIPS_FATAL("short write to ", tmp);
+    }
+    if (std::fclose(f))
+        TRIPS_FATAL("cannot finish writing ", tmp);
+    if (std::rename(tmp.c_str(), path.c_str()))
+        TRIPS_FATAL("cannot rename ", tmp, " to ", path);
+}
+
+} // namespace trips::sim

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Byte-level serialization primitives for the fast-simulation
+ * subsystem: a little-endian ByteWriter/ByteReader pair, a CRC-32
+ * (used to seal checkpoint and campaign-cache files against
+ * corruption), and a 128-bit FNV-1a hasher (used to content-address
+ * campaign-cache entries).
+ *
+ * Every multi-byte field is written little-endian at fixed width, so
+ * the resulting byte streams are stable across hosts and builds — a
+ * checkpoint or cache entry written by one binary is readable by any
+ * other binary of the same format version.
+ */
+
+#ifndef TRIPSIM_SIM_SERIAL_HH
+#define TRIPSIM_SIM_SERIAL_HH
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/common.hh"
+
+namespace trips::sim {
+
+/** CRC-32 (IEEE 802.3 polynomial, reflected) over a byte range. */
+u32 crc32(const u8 *data, size_t n);
+
+/** True iff @p n >= 4 and the last 4 bytes are the little-endian
+ *  crc32 of everything before them (the sealCrc() tail). */
+bool sealIntact(const u8 *data, size_t n);
+
+/** 32 lowercase hex digits (hi then lo). */
+std::string hex128(u64 hi, u64 lo);
+
+/** Thrown by a recoverable ByteReader instead of fatal-ing, so cache
+ *  readers can treat malformed records as misses. */
+struct SerialError
+{
+    std::string message;
+};
+
+/** Little-endian byte-stream writer with fixed-width fields. */
+class ByteWriter
+{
+  public:
+    void
+    u8v(u8 v)
+    {
+        buf.push_back(v);
+    }
+
+    void
+    u16v(u16 v)
+    {
+        for (unsigned i = 0; i < 2; ++i)
+            buf.push_back(static_cast<u8>(v >> (8 * i)));
+    }
+
+    void
+    u32v(u32 v)
+    {
+        for (unsigned i = 0; i < 4; ++i)
+            buf.push_back(static_cast<u8>(v >> (8 * i)));
+    }
+
+    void
+    u64v(u64 v)
+    {
+        for (unsigned i = 0; i < 8; ++i)
+            buf.push_back(static_cast<u8>(v >> (8 * i)));
+    }
+
+    void i64v(i64 v) { u64v(static_cast<u64>(v)); }
+
+    void
+    f64v(double d)
+    {
+        u64 bits;
+        std::memcpy(&bits, &d, 8);
+        u64v(bits);
+    }
+
+    void
+    bytes(const void *p, size_t n)
+    {
+        const u8 *b = static_cast<const u8 *>(p);
+        buf.insert(buf.end(), b, b + n);
+    }
+
+    /** Length-prefixed string. */
+    void
+    str(const std::string &s)
+    {
+        u64v(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    const std::vector<u8> &data() const { return buf; }
+    size_t size() const { return buf.size(); }
+
+    /** Append crc32 of everything written so far (self-sealing tail). */
+    void
+    sealCrc()
+    {
+        u32v(crc32(buf.data(), buf.size()));
+    }
+
+  private:
+    std::vector<u8> buf;
+};
+
+/**
+ * Bounds-checked little-endian reader. Reads past the end are a
+ * TRIPS_FATAL (truncated file), never UB; the error carries @p what so
+ * the message names the file kind being parsed. A @p recoverable
+ * reader throws SerialError instead of fatal-ing — for readers (the
+ * campaign cache) that must degrade a malformed file to a miss.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const u8 *data, size_t n, const char *what,
+               bool recoverable = false)
+        : p(data), end(data + n), what(what), recoverable(recoverable)
+    {}
+
+    /** Report a semantic parse error (wrong count/kind) through the
+     *  same fatal-or-throw channel as structural ones. */
+    [[noreturn]] void
+    failParse(const std::string &why) const
+    {
+        if (recoverable)
+            throw SerialError{std::string(what) + ": " + why};
+        TRIPS_FATAL(what, ": ", why);
+    }
+
+    u8
+    u8v()
+    {
+        need(1);
+        return *p++;
+    }
+
+    u16
+    u16v()
+    {
+        need(2);
+        u16 v = 0;
+        for (unsigned i = 0; i < 2; ++i)
+            v |= static_cast<u16>(*p++) << (8 * i);
+        return v;
+    }
+
+    u32
+    u32v()
+    {
+        need(4);
+        u32 v = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            v |= static_cast<u32>(*p++) << (8 * i);
+        return v;
+    }
+
+    u64
+    u64v()
+    {
+        need(8);
+        u64 v = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            v |= static_cast<u64>(*p++) << (8 * i);
+        return v;
+    }
+
+    i64 i64v() { return static_cast<i64>(u64v()); }
+
+    double
+    f64v()
+    {
+        u64 bits = u64v();
+        double d;
+        std::memcpy(&d, &bits, 8);
+        return d;
+    }
+
+    void
+    bytes(void *dst, size_t n)
+    {
+        need(n);
+        std::memcpy(dst, p, n);
+        p += n;
+    }
+
+    std::string
+    str()
+    {
+        u64 n = u64v();
+        need(n);
+        std::string s(reinterpret_cast<const char *>(p), n);
+        p += n;
+        return s;
+    }
+
+    size_t remaining() const { return static_cast<size_t>(end - p); }
+
+    void
+    expectEnd() const
+    {
+        if (p != end)
+            failParse(std::to_string(remaining()) +
+                      " trailing bytes after the payload");
+    }
+
+  private:
+    void
+    need(size_t n) const
+    {
+        if (static_cast<size_t>(end - p) < n)
+            failParse("truncated (need " + std::to_string(n) +
+                      " bytes, have " + std::to_string(end - p) + ")");
+    }
+
+    const u8 *p;
+    const u8 *end;
+    const char *what;
+    bool recoverable;
+};
+
+/** 128-bit FNV-1a content hash, fed through the ByteWriter field
+ *  helpers so key material serializes exactly like file payloads. */
+class Fnv128
+{
+  public:
+    void
+    update(const u8 *data, size_t n)
+    {
+        // Two independent 64-bit FNV-1a streams with distinct offset
+        // bases; collisions would need to align in both.
+        for (size_t i = 0; i < n; ++i) {
+            lo_ = (lo_ ^ data[i]) * PRIME;
+            hi_ = (hi_ ^ data[i]) * PRIME;
+            hi_ ^= hi_ >> 29;   // extra mixing decorrelates the streams
+        }
+    }
+
+    void update(const ByteWriter &w) { update(w.data().data(), w.size()); }
+
+    u64 lo() const { return lo_; }
+    u64 hi() const { return hi_; }
+
+    /** 32 lowercase hex digits; the campaign-cache file stem. */
+    std::string hex() const;
+
+  private:
+    static constexpr u64 PRIME = 0x100000001b3ULL;
+    u64 lo_ = 0xcbf29ce484222325ULL;
+    u64 hi_ = 0x84222325cbf29ce4ULL;
+};
+
+/** Read a whole file; returns false if it cannot be opened/read. */
+bool readFile(const std::string &path, std::vector<u8> &out);
+
+/** Write a whole file atomically (temp + rename); fatal on IO error. */
+void writeFileAtomic(const std::string &path, const std::vector<u8> &data);
+
+} // namespace trips::sim
+
+#endif // TRIPSIM_SIM_SERIAL_HH

@@ -85,6 +85,34 @@ class MemImage
     /** Number of resident pages (for tests). */
     size_t residentPages() const { return pages.size(); }
 
+    /** Resident pages, keyed by page index (addr >> PAGE_BITS).
+     *  Iteration order is unspecified; serializers must sort. */
+    const std::unordered_map<Addr, std::vector<u8>> &
+    rawPages() const
+    {
+        return pages;
+    }
+
+    /** Install one full page (PAGE_SIZE bytes) at page index
+     *  @p page_idx — the bulk path checkpoint restore uses (one map
+     *  lookup per page, not per byte). */
+    void
+    writePage(Addr page_idx, const u8 *src)
+    {
+        auto &p = pages[page_idx];
+        if (p.empty())
+            p.resize(PAGE_SIZE);
+        std::memcpy(p.data(), src, PAGE_SIZE);
+    }
+
+    /** Raw bytes of a resident page, or nullptr (reads as zeros). */
+    const u8 *
+    pageData(Addr page_idx) const
+    {
+        auto it = pages.find(page_idx);
+        return it == pages.end() ? nullptr : it->second.data();
+    }
+
   private:
     std::vector<u8> &
     page(Addr a)

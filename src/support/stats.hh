@@ -94,6 +94,22 @@ class Distribution
         weighted_sum = 0;
     }
 
+    // Raw state access for exact serialization (campaign cache):
+    // clamped samples make the weighted sum unrecoverable from the
+    // buckets alone, so it round-trips explicitly.
+    u64 weightedSum() const { return weighted_sum; }
+
+    /** Rebuild from serialized raw state (inverse of the accessors). */
+    void
+    restoreRaw(std::vector<u64> counts, u64 weighted)
+    {
+        buckets = std::move(counts);
+        total = 0;
+        for (u64 c : buckets)
+            total += c;
+        weighted_sum = weighted;
+    }
+
   private:
     std::vector<u64> buckets;
     u64 total = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/checkpoint.hh"
 #include "support/pool.hh"
 #include "trips/exec_core.hh"
 
@@ -96,7 +97,7 @@ struct FuncSim::Scratch
 
 FuncSim::FuncSim(const isa::Program &prog, MemImage &mem)
     : prog(prog), mem(mem), metas(prog.numBlocks()),
-      scratch(std::make_unique<Scratch>())
+      scratch(std::make_unique<Scratch>()), cur(prog.entry)
 {
     // Stack pointer convention: R1 starts at the module stack base.
     regfile[1] = STACK_BASE;
@@ -493,9 +494,14 @@ FuncResult
 FuncSim::run(u64 max_blocks)
 {
     FuncResult result;
-    u32 cur = prog.entry;
+    if (haltedFlag) {
+        result.retVal = finalRet;
+        result.stats = stats;
+        return result;
+    }
     for (u64 count = 0; count < max_blocks; ++count) {
         BlockRecord &rec = executeBlock(cur);
+        ++blocksDone;
         const auto &br = prog.block(cur).insts[rec.branchInst];
         if (rec.isCall) {
             TRIPS_ASSERT(br.returnBlock >= 0);
@@ -511,7 +517,9 @@ FuncSim::run(u64 max_blocks)
         for (auto *obs : observers)
             obs->onBlockCommit(prog.block(cur), rec);
         if (rec.halts) {
-            result.retVal = static_cast<i64>(regfile[RETVAL_REG]);
+            haltedFlag = true;
+            finalRet = static_cast<i64>(regfile[RETVAL_REG]);
+            result.retVal = finalRet;
             result.stats = stats;
             return result;
         }
@@ -520,6 +528,31 @@ FuncSim::run(u64 max_blocks)
     result.fuelExhausted = true;
     result.stats = stats;
     return result;
+}
+
+void
+FuncSim::snapshot(Checkpoint &ck) const
+{
+    TRIPS_ASSERT(!haltedFlag, "cannot checkpoint a halted program");
+    ck.regfile = regfile;
+    ck.callStack = callStack;
+    ck.nextBlock = cur;
+    ck.blocksExecuted = blocksDone;
+    ck.stats = stats;
+    ck.mem = mem;
+}
+
+void
+FuncSim::restore(const Checkpoint &ck)
+{
+    regfile = ck.regfile;
+    callStack = ck.callStack;
+    cur = ck.nextBlock;
+    blocksDone = ck.blocksExecuted;
+    stats = ck.stats;
+    haltedFlag = false;
+    finalRet = 0;
+    mem = ck.mem;
 }
 
 } // namespace trips::sim

@@ -115,6 +115,8 @@ struct FuncResult
     IsaStats stats;
 };
 
+struct Checkpoint;
+
 class FuncSim
 {
   public:
@@ -127,8 +129,39 @@ class FuncSim
     /** Attach an observer of committed blocks (not owned). */
     void addObserver(BlockObserver *obs) { observers.push_back(obs); }
 
-    /** Run from the program entry until RET on an empty call stack. */
+    /**
+     * Execute up to @p max_blocks further blocks from the current
+     * position (the entry block initially). Returns with
+     * fuelExhausted set when the budget ran out before the program
+     * halted; calling run() again simply continues, so a caller can
+     * fast-forward in slices and checkpoint at block boundaries.
+     * After the program has halted, further calls return the final
+     * result immediately.
+     */
     FuncResult run(u64 max_blocks = 50'000'000);
+
+    /** Has the program returned from its outermost frame? */
+    bool halted() const { return haltedFlag; }
+
+    /** Committed blocks so far (the checkpoint boundary counter). */
+    u64 blocksExecuted() const { return blocksDone; }
+
+    /** Block the next run() slice would execute first. */
+    u32 nextBlock() const { return cur; }
+
+    /**
+     * Capture the complete architectural state (registers, call
+     * stack, next block, fuel/ISA counters, memory image) at the
+     * current block boundary into @p ck.
+     */
+    void snapshot(Checkpoint &ck) const;
+
+    /**
+     * Restore state captured by snapshot(): execution resumes at the
+     * checkpoint's next block, and the bound memory image is
+     * overwritten with the checkpoint's image.
+     */
+    void restore(const Checkpoint &ck);
 
     /** Architectural register file (readable after run). */
     const std::array<u64, isa::NUM_REGS> &regs() const { return regfile; }
@@ -154,6 +187,12 @@ class FuncSim
     std::unique_ptr<Scratch> scratch;
     BlockRecord workRec;
     IsaStats stats;
+
+    // Resumable-execution cursor (see run()/snapshot()/restore()).
+    u32 cur;
+    u64 blocksDone = 0;
+    bool haltedFlag = false;
+    i64 finalRet = 0;
 };
 
 } // namespace trips::sim

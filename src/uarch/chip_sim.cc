@@ -29,6 +29,8 @@ ChipSim::ChipSim(const std::vector<ChipJob> &jobs, const ChipConfig &cfg_)
         cores.push_back(std::make_unique<CycleSim>(
             *jobs[i].prog, *jobs[i].mem, cfg.core, msys,
             static_cast<unsigned>(i)));
+        if (jobs[i].warmStart)
+            cores.back()->warmStart(*jobs[i].warmStart);
     }
 }
 

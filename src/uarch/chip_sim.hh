@@ -33,6 +33,10 @@ struct ChipJob
 {
     const isa::Program *prog = nullptr;
     MemImage *mem = nullptr;
+    /** Optional warm start: begin this core mid-program from an
+     *  architectural checkpoint (not owned; *mem must already hold
+     *  the checkpoint's memory image). See CycleSim::warmStart. */
+    const sim::Checkpoint *warmStart = nullptr;
 };
 
 /** Results of a chip run: per-core UarchResults plus the shared

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/checkpoint.hh"
 #include "trips/exec_core.hh"
 
 namespace trips::uarch {
@@ -1399,10 +1400,22 @@ CycleSim::stepCycle()
     ++now;
 }
 
+void
+CycleSim::warmStart(const sim::Checkpoint &ck)
+{
+    TRIPS_ASSERT(now == 0 && frameQueue.empty(),
+                 "warmStart must precede the first simulated cycle");
+    regfile = ck.regfile;
+    archStack.assign(ck.callStack.begin(), ck.callStack.end());
+    nextFetchBlock = ck.nextBlock;
+}
+
 UarchResult
 CycleSim::finish()
 {
-    if (!halted)
+    // A run stopped at a sampling block bound is complete, not out of
+    // fuel; only a maxCycles stop without a halt reports exhaustion.
+    if (!halted && !(stopAtBlocks && res.blocksCommitted >= stopAtBlocks))
         res.fuelExhausted = true;
     res.cycles = now;
     // Drain: dirty L1D lines still resident at halt are writeback

@@ -49,6 +49,10 @@
 #include "support/pool.hh"
 #include "uarch/config.hh"
 
+namespace trips::sim {
+struct Checkpoint;
+}
+
 namespace trips::uarch {
 
 /** Aggregate results of a cycle-level run. */
@@ -120,11 +124,39 @@ class CycleSim
     /** Run to halt (RET from the outermost frame). */
     UarchResult run();
 
+    /**
+     * Warm-start: begin detailed simulation from an architectural
+     * checkpoint instead of block 0. Must be called before the first
+     * cycle, and the bound MemImage must already hold the
+     * checkpoint's memory image (FuncSim::restore or a plain copy of
+     * Checkpoint::mem). Registers, call stack, and the first fetch
+     * block come from the checkpoint; caches and predictors start
+     * cold (the sampling layer re-warms them with discarded detailed
+     * blocks — see DESIGN.md §7). blocksCommitted counts only blocks
+     * committed after the restore point.
+     */
+    void warmStart(const sim::Checkpoint &ck);
+
+    /**
+     * Make done() fire once @p n blocks have committed (0 = off,
+     * the default). A run stopped at the block bound does not report
+     * fuelExhausted; used for bounded detailed sampling intervals.
+     */
+    void stopAfterBlocks(u64 n) { stopAtBlocks = n; }
+
     // Lockstep driving (ChipSim): one cycle at a time.
     void stepCycle();
-    bool done() const { return halted || now >= cfg.maxCycles; }
+    bool
+    done() const
+    {
+        return halted || now >= cfg.maxCycles ||
+               (stopAtBlocks && res.blocksCommitted >= stopAtBlocks);
+    }
     bool isHalted() const { return halted; }
     Cycle currentCycle() const { return now; }
+    /** Live progress counters (for block-bounded sampling loops). */
+    u64 committedSoFar() const { return res.blocksCommitted; }
+    u64 firedSoFar() const { return res.instsFired; }
     /** Finalize the result after done(); call once. */
     UarchResult finish();
 
@@ -326,6 +358,7 @@ class CycleSim
     Cycle now = 0;
     UarchResult res;
     bool halted = false;
+    u64 stopAtBlocks = 0;      ///< done() once this many blocks commit
 
     // Commit engine.
     Cycle commitDoneAt = 0;

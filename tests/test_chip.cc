@@ -21,6 +21,7 @@
 #include "compiler/codegen.hh"
 #include "core/machines.hh"
 #include "harness/diff.hh"
+#include "testutil.hh"
 #include "uarch/chip_sim.hh"
 #include "wir/builder.hh"
 #include "wir/interp.hh"
@@ -418,7 +419,9 @@ TEST(ChipConfigValidation, ChipSimFatalsOnBadConfigOrJobs)
 
 TEST(ChipDiff, GeneratedPairsMatchTheirSoloRuns)
 {
-    for (u64 i = 0; i < 6; ++i) {
+    // 6 pairs under TRIPSIM_SLOW_TESTS (the `slow` ctest label), a
+    // bounded prefix of the same pairs by default.
+    for (u64 i = 0; i < testutil::slowScale(3, 6); ++i) {
         auto r = harness::diffChipPair(harness::taskSeed(77, 2 * i),
                                        harness::taskSeed(77, 2 * i + 1));
         EXPECT_TRUE(r.ok) << r.divergence << "\n  " << r.reproCmd();

@@ -35,6 +35,7 @@
 #include "harness/diff.hh"
 #include "harness/fuzzgen.hh"
 #include "harness/sweep.hh"
+#include "testutil.hh"
 #include "wir/builder.hh"
 
 using namespace trips;
@@ -210,15 +211,18 @@ TEST(FuzzGen, GrowLadderIsMonotoneAndStabilizes)
 // The differential sweeps
 // ---------------------------------------------------------------------
 
-TEST(FuzzDiff, FiveHundredProgramsAcrossAllModels)
+TEST(FuzzDiff, SweepAcrossAllModels)
 {
+    // 500 programs under TRIPSIM_SLOW_TESTS (the `slow` ctest label),
+    // a bounded prefix of the same seeds by default.
     SweepPool pool;
     DiffOptions opts;
     // The TIL structural verifier re-checks every compiled block
     // between backend passes for the whole sweep.
     opts.verifyTil = true;
-    auto bad = harness::sweepDiff(pool, SWEEP_BASE, 500, ShapeConfig{},
-                                  opts);
+    auto bad = harness::sweepDiff(pool, SWEEP_BASE,
+                                  testutil::slowScale(150, 500),
+                                  ShapeConfig{}, opts);
     expectAllOk(bad);
 }
 
@@ -232,7 +236,8 @@ TEST(FuzzDiff, DeepShapesTargetBlockComposition)
     shape.maxLoopTrip = 16;
     shape.memSlots = 64;
     SweepPool pool;
-    auto bad = harness::sweepDiff(pool, SWEEP_BASE + 4, 120, shape);
+    auto bad = harness::sweepDiff(pool, SWEEP_BASE + 4,
+                                  testutil::slowScale(40, 120), shape);
     expectAllOk(bad);
 }
 
@@ -246,20 +251,21 @@ TEST(FuzzDiff, GrownShapesForceBlockSplittingAndStayEquivalent)
     SweepPool pool;
     DiffOptions opts;
     opts.verifyTil = true;
-    auto bad = harness::sweepDiff(pool, SWEEP_BASE + 6, 25,
+    const u64 count = testutil::slowScale(10, 25);
+    auto bad = harness::sweepDiff(pool, SWEEP_BASE + 6, count,
                                   ShapeConfig{}.grown(2), opts);
     expectAllOk(bad);
 
     // And the splitter genuinely engages across the sweep.
     unsigned splitPrograms = 0;
-    for (u64 i = 0; i < 25; ++i) {
+    for (u64 i = 0; i < count; ++i) {
         auto mod = harness::generate(harness::taskSeed(SWEEP_BASE + 6, i),
                                      ShapeConfig{}.grown(2));
         compiler::CompileStats cs;
         compiler::compileToTrips(mod, compiler::Options::compiled(), &cs);
         splitPrograms += cs.splitBlocks > 0;
     }
-    EXPECT_GT(splitPrograms, 5u);
+    EXPECT_GT(splitPrograms, count / 5);
 }
 
 TEST(FuzzDiff, ReducedUarchConfigsStayEquivalent)
@@ -275,7 +281,8 @@ TEST(FuzzDiff, ReducedUarchConfigsStayEquivalent)
         opts.ucfg = cfg;
         opts.handPreset = false;  // uarch focus; hand covered above
         opts.iccPreset = false;
-        auto bad = harness::sweepDiff(pool, SWEEP_BASE + 5, 40,
+        auto bad = harness::sweepDiff(pool, SWEEP_BASE + 5,
+                                      testutil::slowScale(16, 40),
                                       ShapeConfig{}, opts);
         expectAllOk(bad);
     }

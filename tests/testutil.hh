@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared test helpers.
+ *
+ * slowScale() implements the two-tier suite split: expensive sweeps
+ * run with a bounded iteration count by default (the tier-1 `ctest`
+ * budget stays roughly flat as suites grow) and at full scale when
+ * TRIPSIM_SLOW_TESTS is set — which the `slow`-labeled ctest entries
+ * do (configure with -DTRIPSIM_SLOW_TESTS=ON, run `ctest -L slow`).
+ */
+
+#ifndef TRIPSIM_TESTS_TESTUTIL_HH
+#define TRIPSIM_TESTS_TESTUTIL_HH
+
+#include <cstdlib>
+
+#include "support/common.hh"
+
+namespace trips::testutil {
+
+inline bool
+slowTestsEnabled()
+{
+    const char *e = std::getenv("TRIPSIM_SLOW_TESTS");
+    return e && *e && *e != '0';
+}
+
+/** @return @p full under TRIPSIM_SLOW_TESTS, else @p bounded. */
+inline u64
+slowScale(u64 bounded, u64 full)
+{
+    return slowTestsEnabled() ? full : bounded;
+}
+
+} // namespace trips::testutil
+
+#endif // TRIPSIM_TESTS_TESTUTIL_HH
