@@ -52,6 +52,19 @@
  *   --sample F:W:M:P  sampling schedule for --sampled (ffwd, warmup,
  *                     measure, period blocks).
  *
+ * Robustness modes (src/harness/guard.hh, src/sim/faultio.hh):
+ *
+ *   --timeout-ms N    per-task watchdog deadline on a --fuzz sweep
+ *   --retries N       retry transient I/O failures with backoff
+ *   --quarantine F    append failing (seed, shape, code, repro) JSONL
+ *                     records to F; quarantined seeds don't fail the
+ *                     sweep (only real divergences set exit 1)
+ *   --fault-seed S    install the deterministic fault-injection plan
+ *                     over checkpoint/cache file I/O
+ *   --fault-period N  inject on ~1/N of I/O operations (default 4)
+ *   --cache-fsck      with --cache DIR: delete CRC-broken entries and
+ *                     orphaned temp files, then exit
+ *
  * Common flags: --jobs N (0 = all cores), --seed BASE, --no-cycle,
  * --verify-til (TIL structural verification between backend passes),
  * --grow K (the block-splitting stress ladder, see ShapeConfig).
@@ -69,7 +82,9 @@
 
 #include "core/machines.hh"
 #include "harness/diff.hh"
+#include "harness/guard.hh"
 #include "sim/campaign.hh"
+#include "sim/faultio.hh"
 #include "sim/sampling.hh"
 #include "harness/fuzzgen.hh"
 #include "harness/sweep.hh"
@@ -113,6 +128,15 @@ struct Args
     std::string sampledList;
     std::string sampleSpec;
     double sampleTol = 5.0;
+    double sampleSpread = 0.0;
+    // Robustness knobs (harness/guard.hh, sim/faultio.hh).
+    u64 timeoutMs = 0;
+    unsigned retries = 0;
+    std::string quarantineFile;
+    bool faultInject = false;
+    u64 faultSeed = 1;
+    unsigned faultPeriod = 4;
+    bool cacheFsck = false;
     /** Shape-field edits, applied on top of the grow/shrink rungs in
      *  shape() — so ladder and shape flags compose in any order. */
     std::vector<std::function<void(harness::ShapeConfig &)>> shapeEdits;
@@ -133,12 +157,16 @@ usage()
     std::cerr
         << "usage: sweep_main [--jobs N] [--seed BASE] [--no-cycle]\n"
         << "                  [--verify-til]\n"
-        << "                  [--cache DIR]\n"
+        << "                  [--cache DIR] [--cache-fsck]\n"
+        << "                  [--timeout-ms N] [--retries N]\n"
+        << "                  [--quarantine FILE]\n"
+        << "                  [--fault-seed S] [--fault-period N]\n"
         << "                  (--figures [--json] | --fuzz N [--out F]\n"
         << "                   | --repro SEED [--shrink K]\n"
         << "                     [--ckpt-every N]\n"
         << "                   | --sampled W1,W2,... [--sample F:W:M:P]\n"
         << "                     [--sample-tol PCT]\n"
+        << "                     [--sample-spread S]\n"
         << "                     [--dump-til] [--compile-stats]\n"
         << "                   | --chip (--fuzz N [--out F]\n"
         << "                             | --repro A --seed2 B\n"
@@ -150,7 +178,13 @@ usage()
         << "backend passes of every TRIPS compile (fatal on violation);\n"
         << "--grow walks the block-splitting stress ladder.\n"
         << "--chip runs dual-core mixes on the shared L2/OCN uncore;\n"
-        << "each core must match its solo run architecturally.\n";
+        << "each core must match its solo run architecturally.\n"
+        << "robustness: --timeout-ms/--retries/--quarantine harden a\n"
+        << "--fuzz sweep (watchdog, transient-I/O backoff, JSONL\n"
+        << "ledger of quarantined seeds); --fault-seed S installs the\n"
+        << "deterministic I/O fault plan (--fault-period N: ~1/N ops\n"
+        << "faulted) under checkpoint/cache file I/O; --cache-fsck\n"
+        << "repairs a --cache DIR left by a mid-sweep kill.\n";
     std::exit(2);
 }
 
@@ -211,6 +245,22 @@ parse(int argc, char **argv)
             a.sampleSpec = val(i);
         } else if (!std::strcmp(argv[i], "--sample-tol")) {
             a.sampleTol = std::stod(val(i));
+        } else if (!std::strcmp(argv[i], "--sample-spread")) {
+            a.sampleSpread = std::stod(val(i));
+        } else if (!std::strcmp(argv[i], "--timeout-ms")) {
+            a.timeoutMs = std::stoull(val(i));
+        } else if (!std::strcmp(argv[i], "--retries")) {
+            a.retries = static_cast<unsigned>(std::stoul(val(i)));
+        } else if (!std::strcmp(argv[i], "--quarantine")) {
+            a.quarantineFile = val(i);
+        } else if (!std::strcmp(argv[i], "--fault-seed")) {
+            a.faultInject = true;
+            a.faultSeed = std::stoull(val(i));
+        } else if (!std::strcmp(argv[i], "--fault-period")) {
+            a.faultInject = true;
+            a.faultPeriod = static_cast<unsigned>(std::stoul(val(i)));
+        } else if (!std::strcmp(argv[i], "--cache-fsck")) {
+            a.cacheFsck = true;
         } else if (!std::strcmp(argv[i], "--funcs")) {
             unsigned v = static_cast<unsigned>(std::stoul(val(i)));
             a.shapeEdits.push_back(
@@ -243,9 +293,11 @@ parse(int argc, char **argv)
         }
     }
     if (!a.figures && a.fuzzCount == 0 && !a.repro && a.mix.empty() &&
-        !a.mixSuite && a.sampledList.empty())
+        !a.mixSuite && a.sampledList.empty() && !a.cacheFsck)
         usage();
     if (a.chip && a.repro && a.seed2 == 0)
+        usage();
+    if (a.cacheFsck && a.cacheDir.empty())
         usage();
     return a;
 }
@@ -281,6 +333,9 @@ runFigures(const Args &a)
         double ipc = 0;
         u64 cacheHits = 0;
         u64 cacheMisses = 0;
+        u64 cacheCorrupt = 0;
+        u64 cacheStale = 0;
+        u64 cacheDegradedWrites = 0;
     };
     std::vector<Cell> cells(tasks.size());
 
@@ -311,6 +366,9 @@ runFigures(const Args &a)
             auto r = camp.runTrips(*t.w, opts, t.cycle);
             cells[i].cacheHits = camp.cache().hits();
             cells[i].cacheMisses = camp.cache().misses();
+            cells[i].cacheCorrupt = camp.cache().corrupt();
+            cells[i].cacheStale = camp.cache().stale();
+            cells[i].cacheDegradedWrites = camp.cache().degradedWrites();
             if (t.cycle) {
                 cells[i].cycles = r.uarch.cycles;
                 cells[i].ipc = r.uarch.ipc();
@@ -325,11 +383,15 @@ runFigures(const Args &a)
     double serialMs = 0;
     u64 totalCycles = 0;
     u64 cacheHits = 0, cacheMisses = 0;
+    u64 cacheCorrupt = 0, cacheStale = 0, cacheDegraded = 0;
     for (const auto &c : cells) {
         serialMs += c.ms;
         totalCycles += c.cycles;
         cacheHits += c.cacheHits;
         cacheMisses += c.cacheMisses;
+        cacheCorrupt += c.cacheCorrupt;
+        cacheStale += c.cacheStale;
+        cacheDegraded += c.cacheDegradedWrites;
     }
 
     if (a.json) {
@@ -339,12 +401,19 @@ runFigures(const Args &a)
                   << ", \"task_ms_sum\": " << serialMs
                   << ", \"simulated_cycles\": " << totalCycles
                   << ", \"cache_hits\": " << cacheHits
-                  << ", \"cache_misses\": " << cacheMisses << "}\n";
+                  << ", \"cache_misses\": " << cacheMisses
+                  << ", \"cache_corrupt\": " << cacheCorrupt
+                  << ", \"cache_stale\": " << cacheStale
+                  << ", \"cache_degraded_writes\": " << cacheDegraded
+                  << "}\n";
     } else {
         if (!a.cacheDir.empty())
             std::cout << "campaign-cache: dir=" << a.cacheDir
                       << " hits=" << cacheHits
-                      << " misses=" << cacheMisses << "\n";
+                      << " misses=" << cacheMisses
+                      << " corrupt=" << cacheCorrupt
+                      << " stale=" << cacheStale
+                      << " degraded-writes=" << cacheDegraded << "\n";
         std::cout << "figure matrix: " << tasks.size() << " tasks over "
                   << workloads::all().size() << " workloads on "
                   << pool.jobs() << " worker(s)\n"
@@ -370,8 +439,27 @@ runFuzz(const Args &a)
     opts.verifyTil = a.verifyTil;
     harness::SweepPool pool(a.jobs);
 
+    // Any robustness knob switches to the guarded sweep: structured
+    // failures (CompileError on a grown shape, corrupt files, invalid
+    // derived configs) and watchdog timeouts are quarantined with a
+    // repro line and the sweep finishes. A quarantined seed is not a
+    // divergence: the exit code stays 0 unless models disagree.
+    bool guarded = a.timeoutMs || a.retries || !a.quarantineFile.empty();
+    harness::GuardConfig gcfg;
+    gcfg.timeoutMs = a.timeoutMs;
+    gcfg.retries = a.retries;
+    harness::QuarantineLedger ledger(a.quarantineFile);
+
     auto t0 = Clock::now();
-    auto bad = harness::sweepDiff(pool, a.seed, a.fuzzCount, shape, opts);
+    std::vector<harness::DiffResult> bad;
+    harness::GuardedSweepResult g;
+    if (guarded) {
+        g = harness::sweepDiffGuarded(pool, a.seed, a.fuzzCount, shape,
+                                      opts, gcfg, ledger);
+        bad = std::move(g.divergences);
+    } else {
+        bad = harness::sweepDiff(pool, a.seed, a.fuzzCount, shape, opts);
+    }
     double wallMs = msSince(t0);
 
     // With --json the summary goes to stdout as one machine-readable
@@ -382,6 +470,13 @@ runFuzz(const Args &a)
           << shape.describe() << "] on " << pool.jobs()
           << " worker(s) in " << wallMs << " ms ("
           << a.fuzzCount / (wallMs / 1000.0) << " programs/s)\n";
+    if (guarded) {
+        human << "guarded: quarantined=" << g.quarantined
+              << " timeouts=" << g.timeouts;
+        if (ledger.enabled())
+            human << " ledger=" << ledger.path();
+        human << "\n";
+    }
     for (const auto &r : bad) {
         human << "DIVERGENCE seed=" << r.seed << " ["
               << r.shape.describe() << "]\n  " << r.divergence
@@ -399,7 +494,9 @@ runFuzz(const Args &a)
                   << ", \"wall_ms\": " << wallMs
                   << ", \"programs_per_second\": "
                   << a.fuzzCount / (wallMs / 1000.0)
-                  << ", \"divergences\": " << bad.size() << "}\n";
+                  << ", \"divergences\": " << bad.size()
+                  << ", \"quarantined\": " << g.quarantined
+                  << ", \"timeouts\": " << g.timeouts << "}\n";
     }
     return bad.empty() ? 0 : 1;
 }
@@ -760,6 +857,7 @@ runSampledGate(const Args &a)
     scfg.period = 1000;
     if (!a.sampleSpec.empty())
         scfg = sim::SampleConfig::parse(a.sampleSpec);
+    scfg.maxCpbSpread = a.sampleSpread;
 
     std::printf("sampling schedule: %s, tolerance %.1f%%\n",
                 scfg.describe().c_str(), a.sampleTol);
@@ -793,15 +891,30 @@ runSampledGate(const Args &a)
         bool pass = std::abs(err) <= a.sampleTol &&
                     s.retVal == full.retVal && !s.fuelExhausted;
         ok &= pass;
-        std::printf("%-12s %12llu %12.0f %+7.2f%% %5u %8.1f%% %8.2fx%s\n",
-                    w->name.c_str(), (unsigned long long)full.cycles,
-                    s.estCycles, err, s.intervals, s.coverage() * 100.0,
-                    sampledMs > 0 ? fullMs / sampledMs : 0.0,
-                    pass ? "" : "  <-- FAIL");
+        std::printf(
+            "%-12s %12llu %12.0f %+7.2f%% %5u %8.1f%% %8.2fx%s%s\n",
+            w->name.c_str(), (unsigned long long)full.cycles,
+            s.estCycles, err, s.intervals, s.coverage() * 100.0,
+            sampledMs > 0 ? fullMs / sampledMs : 0.0,
+            s.toleranceFallback ? "  [spread>tol: full detail]" : "",
+            pass ? "" : "  <-- FAIL");
     }
     std::printf("%s\n", ok ? "sampled estimates within tolerance"
                            : "SAMPLED ESTIMATES OUT OF TOLERANCE");
     return ok ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------
+// --cache-fsck: repair a campaign cache after a mid-sweep kill.
+// ---------------------------------------------------------------------
+
+int
+runCacheFsck(const Args &a)
+{
+    sim::CampaignCache cache(a.cacheDir);
+    sim::FsckReport rep = cache.fsck();
+    std::cout << rep.str() << " dir=" << a.cacheDir << "\n";
+    return 0;
 }
 
 } // namespace
@@ -810,19 +923,35 @@ int
 main(int argc, char **argv)
 {
     Args a = parse(argc, argv);
-    if (a.mixSuite)
-        return runMixSuite(a);
-    if (!a.mix.empty())
-        return runMix(a);
-    if (a.chip && a.repro)
-        return runChipRepro(a);
-    if (a.chip && a.fuzzCount)
-        return runChipFuzz(a);
-    if (a.repro)
-        return runRepro(a);
-    if (!a.sampledList.empty())
-        return runSampledGate(a);
-    if (a.fuzzCount)
-        return runFuzz(a);
-    return runFigures(a);
+    if (a.faultInject) {
+        // Deterministic I/O fault plan over every checkpoint/cache
+        // file operation this process performs. The stats line lands
+        // on stderr at exit so gates can assert injection really ran.
+        sim::faultio::FaultPlan plan;
+        plan.seed = a.faultSeed;
+        plan.period = a.faultPeriod;
+        sim::faultio::install(plan);
+    }
+    int rc;
+    if (a.cacheFsck)
+        rc = runCacheFsck(a);
+    else if (a.mixSuite)
+        rc = runMixSuite(a);
+    else if (!a.mix.empty())
+        rc = runMix(a);
+    else if (a.chip && a.repro)
+        rc = runChipRepro(a);
+    else if (a.chip && a.fuzzCount)
+        rc = runChipFuzz(a);
+    else if (a.repro)
+        rc = runRepro(a);
+    else if (!a.sampledList.empty())
+        rc = runSampledGate(a);
+    else if (a.fuzzCount)
+        rc = runFuzz(a);
+    else
+        rc = runFigures(a);
+    if (a.faultInject)
+        std::cerr << sim::faultio::stats().describe() << "\n";
+    return rc;
 }

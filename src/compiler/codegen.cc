@@ -17,6 +17,7 @@
 
 #include "compiler/analysis.hh"
 #include "compiler/transform.hh"
+#include "support/error.hh"
 
 namespace trips::compiler {
 
@@ -384,10 +385,14 @@ class FuncCompiler
             regions[curRegion].members.size() > 1)
             throw BlockOverflow{regions[curRegion].members, "LSIDs"};
         if (g.memSeq >= PRESPLIT_LSID_CAP)
-            TRIPS_FATAL("function ", fname, " region ", curRegion, " (",
-                        labelOf(curRegion), "): ", g.memSeq,
-                        " memory ops exceed the pre-split cap of ",
-                        PRESPLIT_LSID_CAP);
+            throw CompileError(
+                ErrCode::ResourceExhausted,
+                detail::formatMsg("function ", fname, " region ",
+                                  curRegion, " (", labelOf(curRegion),
+                                  "): ", g.memSeq,
+                                  " memory ops exceed the pre-split "
+                                  "cap of ", PRESPLIT_LSID_CAP),
+                fname);
         g.hb.nodes[n].lsid = static_cast<u16>(g.memSeq++);
         return n;
     }

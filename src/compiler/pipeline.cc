@@ -17,6 +17,7 @@
 
 #include "compiler/placement.hh"
 #include "isa/disasm.hh"
+#include "support/error.hh"
 
 namespace trips::compiler {
 
@@ -683,9 +684,16 @@ allocateRegisters(std::vector<HBlock> &hbs, const std::string &fname,
                 ++i;
             }
         }
+        // A structured failure, not a fatal: register pressure is a
+        // property of the *input* program (grown fuzz shapes hit it),
+        // and campaign sweeps quarantine it with a repro line.
+        // Spilling cross-region values to memory is still future work.
         if (free_regs.empty())
-            TRIPS_FATAL("out of registers in ", fname,
-                        " (cross-region values exceed 116)");
+            throw CompileError(
+                ErrCode::ResourceExhausted,
+                detail::formatMsg("out of registers in ", fname,
+                                  " (cross-region values exceed 116)"),
+                fname);
         int reg = free_regs.back();
         free_regs.pop_back();
         assign[v] = reg;
@@ -709,10 +717,11 @@ emitBlock(const HBlock &hb, const std::string &fname,
           std::vector<std::pair<u32, std::string>> &ret_fixups)
 {
     // The splitting pass guarantees the format limits; a breach here is
-    // a pipeline bug, reported with full context.
+    // a pipeline bug, reported with full context. PANIC, not a
+    // structured error: no input should be able to reach this.
     auto limit = [&](bool ok, const char *what, size_t got, size_t max) {
         if (!ok)
-            TRIPS_FATAL("function ", fname, " block ", hb.label, ": ",
+            TRIPS_PANIC("function ", fname, " block ", hb.label, ": ",
                         got, " ", what, " exceed the limit of ", max,
                         " (block splitting failed to engage)");
     };
@@ -848,9 +857,12 @@ passDebug(const Options &opts, const std::string &fname, PassId id,
         for (const HBlock &hb : hbs) {
             std::string verr = til::verify(hb, vo);
             if (!verr.empty())
-                TRIPS_FATAL("TIL verification failed after ",
-                            passName(id), " pass in ", fname, ": ",
-                            verr);
+                throw CompileError(
+                    ErrCode::Internal,
+                    detail::formatMsg("TIL verification failed after ",
+                                      passName(id), " pass in ", fname,
+                                      ": ", verr),
+                    fname);
         }
     }
 }
@@ -977,9 +989,13 @@ compileFunction(const Module &mod, const std::string &fname,
                 std::string members;
                 for (u32 b : o.wirBlocks)
                     members += " " + std::to_string(b);
-                TRIPS_FATAL("function ", fname, ": WIR block(s)",
-                            members, " exceed limit '", o.reason,
-                            "' and cannot be split");
+                throw CompileError(
+                    ErrCode::ResourceExhausted,
+                    detail::formatMsg("function ", fname,
+                                      ": WIR block(s)", members,
+                                      " exceed limit '", o.reason,
+                                      "' and cannot be split"),
+                    fname);
             }
             Options &op = fe.options();
             if (attempt < 3 && op.regionBudgetOps > 20) {
@@ -995,7 +1011,9 @@ compileFunction(const Module &mod, const std::string &fname,
             }
         }
     }
-    TRIPS_FATAL("region splitting did not converge in ", fname);
+    throw CompileError(
+        ErrCode::ResourceExhausted,
+        "region splitting did not converge in " + fname, fname);
 }
 
 } // namespace
@@ -1006,7 +1024,8 @@ compileToTrips(const Module &mod, const Options &opts,
 {
     auto err = wir::verifyModule(mod);
     if (!err.empty())
-        TRIPS_FATAL("WIR verification failed: ", err);
+        throw CompileError(ErrCode::InvalidArgument,
+                           "WIR verification failed: " + err);
 
     isa::Program prog;
     CompileStats cs;
@@ -1069,7 +1088,8 @@ compileToTrips(const Module &mod, const Options &opts,
                 std::fputs(isa::disasmBlock(prog.block(b)).c_str(),
                            stderr);
         }
-        TRIPS_FATAL("compiled program failed validation: ", ferr);
+        throw CompileError(ErrCode::Internal,
+                           "compiled program failed validation: " + ferr);
     }
     return prog;
 }

@@ -409,10 +409,18 @@ minimizeDivergence(const DiffResult &bad, const DiffOptions &opts)
         return bad;
     DiffResult best = bad;
     for (unsigned step = 1; step <= ShapeConfig::SHRINK_STEPS; ++step) {
-        DiffResult cand = bad.chip
-            ? diffChipPair(bad.seed, bad.seedB, bad.shape.shrunk(step),
-                           opts)
-            : diffOne(bad.seed, bad.shape.shrunk(step), opts);
+        DiffResult cand;
+        try {
+            cand = bad.chip
+                ? diffChipPair(bad.seed, bad.seedB,
+                               bad.shape.shrunk(step), opts)
+                : diffOne(bad.seed, bad.shape.shrunk(step), opts);
+        } catch (const TripsError &) {
+            // A rung that cannot even run (e.g. the shrunk shape
+            // still exceeds a compiler capacity) does not reproduce
+            // the divergence; keep the last one that did.
+            break;
+        }
         if (!cand.ok)
             best = cand;
         else
@@ -453,6 +461,50 @@ sweepChipDiff(SweepPool &pool, u64 base, u64 count,
             bad.push_back(minimizeDivergence(r, opts));
     }
     return bad;
+}
+
+GuardedSweepResult
+sweepDiffGuarded(SweepPool &pool, u64 base, u64 count,
+                 const ShapeConfig &shape, const DiffOptions &opts,
+                 const GuardConfig &gcfg, QuarantineLedger &ledger)
+{
+    std::vector<DiffResult> all(count);
+    std::vector<TaskOutcome> outcomes(count);
+    pool.parallelFor(count, [&](u64 i) {
+        u64 seed = taskSeed(base, i);
+        // The task captures by value and writes heap state: on a
+        // watchdog timeout its thread is detached and may outlive
+        // this sweep, so it must not touch our stack or `all`.
+        auto slot = std::make_shared<DiffResult>();
+        outcomes[i] = runGuarded(gcfg, [slot, seed, shape, opts]() {
+            *slot = diffOne(seed, shape, opts);
+        });
+        if (outcomes[i].ok)
+            all[i] = *slot;
+    });
+
+    GuardedSweepResult res;
+    for (u64 i = 0; i < count; ++i) {
+        const TaskOutcome &o = outcomes[i];
+        if (o.ok) {
+            ++res.completed;
+            if (!all[i].ok)
+                res.divergences.push_back(
+                    minimizeDivergence(all[i], opts));
+            continue;
+        }
+        // Structured failure or timeout: durably record (seed, shape,
+        // code, repro) and keep sweeping — triage beats an abort.
+        ++res.quarantined;
+        if (o.timedOut)
+            ++res.timeouts;
+        DiffResult stub;
+        stub.seed = taskSeed(base, i);
+        stub.shape = shape;
+        ledger.record(stub.seed, shape.describe(), o.error,
+                      stub.reproCmd());
+    }
+    return res;
 }
 
 } // namespace trips::harness

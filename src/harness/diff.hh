@@ -37,6 +37,7 @@
 
 #include "compiler/options.hh"
 #include "harness/fuzzgen.hh"
+#include "harness/guard.hh"
 #include "harness/sweep.hh"
 #include "support/memimage.hh"
 #include "uarch/config.hh"
@@ -158,6 +159,29 @@ std::vector<DiffResult> sweepChipDiff(
     SweepPool &pool, u64 base, u64 count,
     const ShapeConfig &shape = ShapeConfig{},
     const DiffOptions &opts = DiffOptions{});
+
+/** What a guarded sweep did besides diverge. */
+struct GuardedSweepResult
+{
+    std::vector<DiffResult> divergences;  ///< minimized, index order
+    u64 completed = 0;    ///< tasks that ran to a verdict (ok or not)
+    u64 quarantined = 0;  ///< structured failures recorded, not fatal
+    u64 timeouts = 0;     ///< watchdog kills (subset of quarantined)
+};
+
+/**
+ * sweepDiff hardened with runGuarded (guard.hh): a task that throws a
+ * structured TripsError — a grown shape the register allocator cannot
+ * color, a corrupt file, an invalid derived config — is recorded in
+ * @p ledger with its seed, shape and repro command, and the sweep
+ * *continues*. Watchdog timeouts are quarantined the same way.
+ * Divergences still come back minimized; a shrink rung that itself
+ * throws is treated as not reproducing (the ladder stops there).
+ */
+GuardedSweepResult sweepDiffGuarded(
+    SweepPool &pool, u64 base, u64 count, const ShapeConfig &shape,
+    const DiffOptions &opts, const GuardConfig &gcfg,
+    QuarantineLedger &ledger);
 
 } // namespace trips::harness
 

@@ -1,0 +1,157 @@
+#include "harness/guard.hh"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+namespace trips::harness {
+
+namespace {
+
+/** One attempt's rendezvous between the caller and the task thread.
+ *  Heap-allocated and shared so a detached (timed-out) thread can
+ *  still complete safely after the caller has moved on. */
+struct Attempt
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::exception_ptr error;
+};
+
+/** Run the task once; returns true iff it finished before deadline. */
+bool
+runOnce(const GuardConfig &cfg, const std::function<void()> &task,
+        std::exception_ptr &error)
+{
+    if (!cfg.timeoutMs) {
+        try {
+            task();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        return true;
+    }
+
+    auto at = std::make_shared<Attempt>();
+    std::thread runner([at, task]() {
+        std::exception_ptr err;
+        try {
+            task();
+        } catch (...) {
+            err = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lk(at->mu);
+        at->error = err;
+        at->done = true;
+        at->cv.notify_all();
+    });
+
+    std::unique_lock<std::mutex> lk(at->mu);
+    bool finished = at->cv.wait_for(
+        lk, std::chrono::milliseconds(cfg.timeoutMs),
+        [&] { return at->done; });
+    if (finished) {
+        runner.join();
+        error = at->error;
+        return true;
+    }
+    // Can't kill the thread; detach it and let the simulator's fuel
+    // bound end it. `at` keeps the rendezvous alive for it.
+    lk.unlock();
+    runner.detach();
+    return false;
+}
+
+} // namespace
+
+TaskOutcome
+runGuarded(const GuardConfig &cfg, const std::function<void()> &task)
+{
+    TaskOutcome out;
+    for (unsigned attempt = 0; ; ++attempt) {
+        ++out.attempts;
+        std::exception_ptr error;
+        if (!runOnce(cfg, task, error)) {
+            out.timedOut = true;
+            out.error = makeStatus(
+                ErrCode::Timeout, Subsys::Harness,
+                "task exceeded the " + std::to_string(cfg.timeoutMs) +
+                    "ms watchdog deadline");
+            return out;
+        }
+        if (!error) {
+            out.ok = true;
+            return out;
+        }
+        try {
+            std::rethrow_exception(error);
+        } catch (const TripsError &e) {
+            out.error = e.status();
+        } catch (const std::exception &e) {
+            out.error = makeStatus(ErrCode::Internal, Subsys::Harness,
+                                   e.what());
+        }
+        if (!out.error.transient() || attempt >= cfg.retries)
+            return out;
+        // Transient I/O: back off (base << attempt) and try again.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(cfg.backoffBaseMs << attempt));
+    }
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+QuarantineLedger::record(u64 seed, const std::string &shape,
+                         const Status &err, const std::string &repro)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ++entries_;
+    if (path_.empty())
+        return;
+    std::FILE *f = std::fopen(path_.c_str(), "a");
+    if (!f) {
+        // The ledger is itself best-effort: losing a record must not
+        // take down the sweep it exists to protect.
+        std::fprintf(stderr, "quarantine: cannot append to %s\n",
+                     path_.c_str());
+        return;
+    }
+    std::fprintf(
+        f,
+        "{\"seed\":%llu,\"shape\":\"%s\",\"subsys\":\"%s\","
+        "\"code\":\"%s\",\"message\":\"%s\",\"repro\":\"%s\"}\n",
+        static_cast<unsigned long long>(seed),
+        jsonEscape(shape).c_str(), subsysName(err.subsys),
+        errCodeName(err.code), jsonEscape(err.message).c_str(),
+        jsonEscape(repro).c_str());
+    std::fclose(f);
+}
+
+} // namespace trips::harness

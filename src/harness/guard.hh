@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Hardened execution guard for batch campaigns.
+ *
+ * Three pieces, composable with SweepPool (sweep.hh):
+ *
+ *   runGuarded()      runs one task under a wall-clock watchdog and a
+ *                     retry-with-exponential-backoff loop. Structured
+ *                     failures (TripsError) come back as a classified
+ *                     TaskOutcome instead of unwinding the sweep;
+ *                     transient() statuses (IoError/NoSpace) are
+ *                     retried with doubling backoff before giving up.
+ *
+ *   QuarantineLedger  an append-only JSONL file of failing tasks:
+ *                     (seed, shape, error code, repro command). A
+ *                     crashing fuzz seed is durably recorded and the
+ *                     sweep finishes — the triage artifact survives
+ *                     even if the process is later killed, because
+ *                     each record is appended and flushed on its own.
+ *
+ * The watchdog cannot kill a C++ thread safely, so a timed-out task's
+ * thread is detached and left to finish against its fuel bound; its
+ * shared state stays alive until it does. The outcome is reported as
+ * Timeout immediately, which is what the campaign needs — progress,
+ * not the stuck result.
+ */
+
+#ifndef TRIPSIM_HARNESS_GUARD_HH
+#define TRIPSIM_HARNESS_GUARD_HH
+
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "support/common.hh"
+#include "support/error.hh"
+
+namespace trips::harness {
+
+struct GuardConfig
+{
+    u64 timeoutMs = 0;       ///< watchdog deadline per attempt; 0 = off
+    unsigned retries = 0;    ///< extra attempts for transient() errors
+    u64 backoffBaseMs = 10;  ///< sleep base << (attempt-1) between tries
+};
+
+struct TaskOutcome
+{
+    bool ok = false;
+    bool timedOut = false;
+    unsigned attempts = 0;   ///< attempts actually made (>= 1)
+    Status error;            ///< meaningful iff !ok
+};
+
+/**
+ * Run @p task under @p cfg. Every failure mode is captured:
+ * TripsError becomes its Status, any other std::exception becomes
+ * ErrCode::Internal, a blown deadline becomes ErrCode::Timeout
+ * (never retried — a second attempt would just hang again).
+ */
+TaskOutcome runGuarded(const GuardConfig &cfg,
+                       const std::function<void()> &task);
+
+/**
+ * Append-only JSONL quarantine ledger. Thread-safe: sweep workers
+ * record concurrently. Each line is one self-contained JSON object:
+ *
+ *   {"seed":123,"shape":"...","subsys":"compiler",
+ *    "code":"resource-exhausted","message":"...","repro":"..."}
+ *
+ * Opened lazily per record (append + close), so every entry is
+ * durable the moment record() returns.
+ */
+class QuarantineLedger
+{
+  public:
+    /** Disabled ledger: record() only counts. */
+    QuarantineLedger() = default;
+
+    explicit QuarantineLedger(const std::string &path) : path_(path) {}
+
+    bool enabled() const { return !path_.empty(); }
+    const std::string &path() const { return path_; }
+
+    /** Durably append one failure record. */
+    void record(u64 seed, const std::string &shape, const Status &err,
+                const std::string &repro);
+
+    u64 entries() const { return entries_; }
+
+  private:
+    std::string path_;
+    std::mutex mu_;
+    u64 entries_ = 0;
+};
+
+/** Minimal JSON string escaping (quotes, backslash, control chars). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace trips::harness
+
+#endif // TRIPSIM_HARNESS_GUARD_HH

@@ -345,7 +345,8 @@ CampaignCache::CampaignCache(const std::string &dir) : dir_(dir)
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
     if (ec)
-        TRIPS_FATAL("campaign cache: cannot create directory ", dir_,
+        TRIPS_THROW(ErrCode::IoError, Subsys::Sim,
+                    "campaign cache: cannot create directory ", dir_,
                     ": ", ec.message());
 }
 
@@ -353,6 +354,17 @@ std::string
 CampaignCache::path(const CacheKey &key) const
 {
     return dir_ + "/" + key.hex() + ".trun";
+}
+
+bool
+CampaignCache::miss(const CacheKey &key, const char *why, u64 &category)
+{
+    std::fprintf(stderr,
+                 "campaign-cache: ignoring %s (%s); re-running\n",
+                 path(key).c_str(), why);
+    ++misses_;
+    ++category;
+    return false;
 }
 
 bool
@@ -366,30 +378,24 @@ CampaignCache::lookup(const CacheKey &key, core::TripsRun &out)
         return false;
     }
     // Validation failures are misses, never fatals: a campaign must
-    // survive a corrupt or stale cache by re-simulating.
-    auto stale = [&](const char *why) {
-        std::fprintf(stderr,
-                     "campaign-cache: ignoring %s (%s); re-running\n",
-                     path(key).c_str(), why);
-        ++misses_;
-        return false;
-    };
+    // survive a corrupt or stale cache by re-simulating. corrupt_
+    // counts broken bytes (torn/flipped/truncated writes), stale_
+    // counts intact records from another build or a hash collision.
     if (bytes.size() < 24)
-        return stale("truncated");
+        return miss(key, "truncated", corrupt_);
     if (!sealIntact(bytes.data(), bytes.size()))
-        return stale("CRC mismatch");
-    // Recoverable reader: a CRC-valid record from a build with other
-    // structural constants (pass/class counts, field layout) must
-    // degrade to a miss, never take the campaign down.
-    ByteReader r(bytes.data(), bytes.size() - 4, "campaign record",
-                 /*recoverable=*/true);
+        return miss(key, "CRC mismatch", corrupt_);
+    // A CRC-valid record from a build with other structural constants
+    // (pass/class counts, field layout) must degrade to a miss, never
+    // take the campaign down — SerialError is caught below.
+    ByteReader r(bytes.data(), bytes.size() - 4, "campaign record");
     try {
         if (r.u32v() != CAMPAIGN_MAGIC)
-            return stale("bad magic");
+            return miss(key, "bad magic", stale_);
         if (r.u32v() != CAMPAIGN_FORMAT)
-            return stale("other format version");
+            return miss(key, "other format version", stale_);
         if (r.u64v() != key.hi || r.u64v() != key.lo)
-            return stale("key mismatch");
+            return miss(key, "key mismatch", stale_);
 
         core::TripsRun run;
         run.retVal = r.i64v();
@@ -403,7 +409,7 @@ CampaignCache::lookup(const CacheKey &key, core::TripsRun &out)
         r.expectEnd();
         out = std::move(run);
     } catch (const SerialError &e) {
-        return stale(e.message.c_str());
+        return miss(key, e.message().c_str(), stale_);
     }
     ++hits_;
     return true;
@@ -414,7 +420,61 @@ CampaignCache::store(const CacheKey &key, const core::TripsRun &run)
 {
     if (!enabled())
         return;
-    writeFileAtomic(path(key), serializeRun(key, run));
+    Status st = writeFileAtomic(path(key), serializeRun(key, run));
+    if (!st.ok()) {
+        // Graceful degradation: the run already happened and its
+        // result is correct — losing the memo only costs a future
+        // re-simulation. Count + warn, never throw.
+        ++degradedWrites_;
+        std::fprintf(stderr,
+                     "campaign-cache: write failed (%s); "
+                     "continuing uncached\n", st.str().c_str());
+    }
+}
+
+FsckReport
+CampaignCache::fsck()
+{
+    FsckReport rep;
+    if (!enabled())
+        return rep;
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    for (const auto &ent : fs::directory_iterator(dir_, ec)) {
+        if (!ent.is_regular_file())
+            continue;
+        std::string name = ent.path().filename().string();
+        if (name.find(".tmp") != std::string::npos) {
+            // Orphaned private temp of a killed or faulted writer.
+            fs::remove(ent.path(), ec);
+            ++rep.removedTmp;
+            continue;
+        }
+        if (name.size() < 5 ||
+            name.compare(name.size() - 5, 5, ".trun") != 0)
+            continue;
+        ++rep.scanned;
+        std::vector<u8> bytes;
+        if (readFile(ent.path().string(), bytes) &&
+            bytes.size() >= 24 &&
+            sealIntact(bytes.data(), bytes.size())) {
+            ++rep.okEntries;
+            continue;
+        }
+        fs::remove(ent.path(), ec);
+        ++rep.removedCorrupt;
+    }
+    return rep;
+}
+
+std::string
+FsckReport::str() const
+{
+    std::string s = "cache-fsck: scanned=" + std::to_string(scanned);
+    s += " ok=" + std::to_string(okEntries);
+    s += " removed-corrupt=" + std::to_string(removedCorrupt);
+    s += " removed-tmp=" + std::to_string(removedTmp);
+    return s;
 }
 
 // ---------------------------------------------------------------------
@@ -473,9 +533,14 @@ Campaign::report() const
     std::string s = "campaign-cache: ";
     if (!cache_.enabled())
         return s + "disabled";
+    // hits/misses stay first and contiguous — CI's warm-cache stage
+    // parses "hits=N misses=N" out of this line.
     s += "dir=" + cache_.dir();
     s += " hits=" + std::to_string(cache_.hits());
     s += " misses=" + std::to_string(cache_.misses());
+    s += " corrupt=" + std::to_string(cache_.corrupt());
+    s += " stale=" + std::to_string(cache_.stale());
+    s += " degraded-writes=" + std::to_string(cache_.degradedWrites());
     return s;
 }
 

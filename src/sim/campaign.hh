@@ -65,6 +65,18 @@ CacheKey campaignKey(const wir::Module &mod,
                      const compiler::Options &opts,
                      const uarch::UarchConfig &ucfg, bool cycle_level);
 
+/** Result of a CampaignCache::fsck() scan. */
+struct FsckReport
+{
+    u64 scanned = 0;        ///< .trun entries examined
+    u64 okEntries = 0;      ///< entries with an intact CRC seal
+    u64 removedCorrupt = 0; ///< truncated/corrupt entries deleted
+    u64 removedTmp = 0;     ///< orphaned temp files garbage-collected
+
+    /** "cache-fsck: scanned=.. ok=.. ..." summary line. */
+    std::string str() const;
+};
+
 /** On-disk content-addressed store of TripsRun records. */
 class CampaignCache
 {
@@ -72,7 +84,8 @@ class CampaignCache
     /** Disabled cache: lookup always misses, store is a no-op. */
     CampaignCache() = default;
 
-    /** Backed by @p dir (created if missing; "" = disabled). */
+    /** Backed by @p dir (created if missing; "" = disabled).
+     *  Throws TripsError{IoError} if the directory cannot be made. */
     explicit CampaignCache(const std::string &dir);
 
     bool enabled() const { return !dir_.empty(); }
@@ -82,18 +95,39 @@ class CampaignCache
      *  version — corrupt entries are never trusted). */
     bool lookup(const CacheKey &key, core::TripsRun &out);
 
-    /** Persist a record (atomic write; overwrites stale entries). */
+    /** Persist a record (atomic write; overwrites stale entries).
+     *  A failed write degrades to uncached execution: it is counted
+     *  in degradedWrites() and warned about, never thrown. */
     void store(const CacheKey &key, const core::TripsRun &run);
+
+    /**
+     * Repair a cache left behind by a mid-sweep kill or disk fault:
+     * deletes .trun entries whose CRC seal is broken (truncated, torn
+     * or flipped writes) and garbage-collects orphaned .tmp files.
+     * Stale-but-intact entries (other format version) are kept — they
+     * are overwritten naturally on the next store.
+     */
+    FsckReport fsck();
 
     u64 hits() const { return hits_; }
     u64 misses() const { return misses_; }
+    /** Misses caused by a broken CRC seal / truncated record. */
+    u64 corrupt() const { return corrupt_; }
+    /** Misses caused by an intact record from another build/format. */
+    u64 stale() const { return stale_; }
+    /** Store attempts that failed and degraded to uncached. */
+    u64 degradedWrites() const { return degradedWrites_; }
 
   private:
     std::string path(const CacheKey &key) const;
+    bool miss(const CacheKey &key, const char *why, u64 &category);
 
     std::string dir_;
     u64 hits_ = 0;
     u64 misses_ = 0;
+    u64 corrupt_ = 0;
+    u64 stale_ = 0;
+    u64 degradedWrites_ = 0;
 };
 
 /**
@@ -137,7 +171,8 @@ class Campaign
     const CampaignCache &cache() const { return cache_; }
 
     /** One-line machine-readable summary, e.g.
-     *  "campaign-cache: dir=/x hits=70 misses=0". */
+     *  "campaign-cache: dir=/x hits=70 misses=0 corrupt=0 stale=0
+     *  degraded-writes=0" (hits/misses first — CI parses them). */
     std::string report() const;
 
   private:

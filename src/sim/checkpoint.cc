@@ -106,19 +106,23 @@ deserializeCheckpoint(const u8 *data, size_t n)
 {
     static const char *what = "checkpoint";
     if (n < 12)
-        TRIPS_FATAL(what, ": file too small (", n,
+        TRIPS_THROW(ErrCode::Truncated, Subsys::Sim, what,
+                    ": file too small (", n,
                     " bytes) to be a tripsim checkpoint");
     if (!sealIntact(data, n))
-        TRIPS_FATAL(what, ": CRC mismatch — the file is corrupt");
+        TRIPS_THROW(ErrCode::CorruptData, Subsys::Sim, what,
+                    ": CRC mismatch — the file is corrupt");
 
     ByteReader r(data, n - 4, what);
     u32 magic = r.u32v();
     if (magic != CKPT_MAGIC)
-        TRIPS_FATAL(what, ": bad magic 0x", std::hex, magic,
+        TRIPS_THROW(ErrCode::CorruptData, Subsys::Sim, what,
+                    ": bad magic 0x", std::hex, magic,
                     " (not a tripsim checkpoint)");
     u32 version = r.u32v();
     if (version != CKPT_VERSION)
-        TRIPS_FATAL(what, ": format version ", version,
+        TRIPS_THROW(ErrCode::VersionMismatch, Subsys::Sim, what,
+                    ": format version ", version,
                     " is not supported (this build reads version ",
                     CKPT_VERSION, "); re-capture the checkpoint");
 
@@ -127,7 +131,8 @@ deserializeCheckpoint(const u8 *data, size_t n)
     ck.blocksExecuted = r.u64v();
     u32 nregs = r.u32v();
     if (nregs != isa::NUM_REGS)
-        TRIPS_FATAL(what, ": register file has ", nregs,
+        TRIPS_THROW(ErrCode::CorruptData, Subsys::Sim, what,
+                    ": register file has ", nregs,
                     " entries, expected ", isa::NUM_REGS);
     for (auto &reg : ck.regfile)
         reg = r.u64v();
@@ -144,7 +149,9 @@ deserializeCheckpoint(const u8 *data, size_t n)
 void
 saveCheckpoint(const std::string &path, const Checkpoint &ck)
 {
-    writeFileAtomic(path, serializeCheckpoint(ck));
+    Status st = writeFileAtomic(path, serializeCheckpoint(ck));
+    if (!st.ok())
+        throw TripsError(st);
 }
 
 Checkpoint
@@ -152,7 +159,8 @@ loadCheckpoint(const std::string &path)
 {
     std::vector<u8> bytes;
     if (!readFile(path, bytes))
-        TRIPS_FATAL("checkpoint: cannot read ", path);
+        TRIPS_THROW(ErrCode::IoError, Subsys::Sim,
+                    "checkpoint: cannot read ", path);
     return deserializeCheckpoint(bytes);
 }
 

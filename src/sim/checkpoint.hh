@@ -19,7 +19,9 @@
  * with every field little-endian at fixed width and memory pages
  * sorted by page index, so the same state always produces the same
  * bytes. Loading rejects wrong magic, unknown versions, truncation
- * and CRC mismatches with a clear fatal (never UB).
+ * and CRC mismatches with a structured TripsError (never UB, never a
+ * process kill): campaign drivers catch and quarantine, CLI mains let
+ * it surface as an error exit.
  */
 
 #ifndef TRIPSIM_SIM_CHECKPOINT_HH
@@ -52,7 +54,8 @@ struct Checkpoint
 /** Stable byte serialization (magic + version + payload + CRC). */
 std::vector<u8> serializeCheckpoint(const Checkpoint &ck);
 
-/** Parse serialized bytes; fatal on magic/version/CRC/size errors. */
+/** Parse serialized bytes; throws TripsError (Truncated /
+ *  CorruptData / VersionMismatch) on magic/version/CRC/size errors. */
 Checkpoint deserializeCheckpoint(const u8 *data, size_t n);
 
 inline Checkpoint
@@ -61,10 +64,12 @@ deserializeCheckpoint(const std::vector<u8> &bytes)
     return deserializeCheckpoint(bytes.data(), bytes.size());
 }
 
-/** Write a checkpoint file (atomic rename); fatal on IO error. */
+/** Write a checkpoint file (atomic rename); throws TripsError
+ *  (IoError/NoSpace, transient) if the write cannot complete. */
 void saveCheckpoint(const std::string &path, const Checkpoint &ck);
 
-/** Read + validate a checkpoint file; fatal if missing or invalid. */
+/** Read + validate a checkpoint file; throws TripsError if missing
+ *  or invalid. */
 Checkpoint loadCheckpoint(const std::string &path);
 
 // Field-level helpers shared with the campaign cache's record format.

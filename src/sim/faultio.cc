@@ -1,0 +1,142 @@
+#include "sim/faultio.hh"
+
+#include <atomic>
+#include <sstream>
+
+namespace trips::sim::faultio {
+
+namespace {
+
+struct State
+{
+    FaultPlan plan;
+    bool installed = false;
+    std::atomic<u64> opCounter{0};
+    std::atomic<u64> ops{0};
+    std::atomic<u64> injected{0};
+    std::array<std::atomic<u64>, NUM_KINDS> byKind{};
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+u64
+splitmix64(u64 x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+constexpr Kind READ_KINDS[] = {
+    Kind::ReadFail, Kind::ReadTruncate, Kind::ReadBitFlip,
+};
+constexpr Kind WRITE_KINDS[] = {
+    Kind::WriteNoSpace, Kind::WriteTorn, Kind::WriteBitFlip,
+    Kind::RenameFail,
+};
+
+} // namespace
+
+const char *
+kindName(Kind k)
+{
+    switch (k) {
+      case Kind::None: return "none";
+      case Kind::ReadFail: return "read-fail";
+      case Kind::ReadTruncate: return "read-truncate";
+      case Kind::ReadBitFlip: return "read-bit-flip";
+      case Kind::WriteNoSpace: return "write-no-space";
+      case Kind::WriteTorn: return "write-torn";
+      case Kind::WriteBitFlip: return "write-bit-flip";
+      case Kind::RenameFail: return "rename-fail";
+    }
+    return "unknown";
+}
+
+void
+install(const FaultPlan &plan)
+{
+    State &s = state();
+    s.plan = plan;
+    if (s.plan.period == 0)
+        s.plan.period = 1;
+    s.opCounter.store(0);
+    s.ops.store(0);
+    s.injected.store(0);
+    for (auto &k : s.byKind)
+        k.store(0);
+    s.installed = true;
+}
+
+void
+uninstall()
+{
+    state().installed = false;
+}
+
+bool
+active()
+{
+    return state().installed;
+}
+
+Stats
+stats()
+{
+    State &s = state();
+    Stats st;
+    st.ops = s.ops.load();
+    st.injected = s.injected.load();
+    for (unsigned i = 0; i < NUM_KINDS; ++i)
+        st.byKind[i] = s.byKind[i].load();
+    return st;
+}
+
+std::string
+Stats::describe() const
+{
+    std::ostringstream os;
+    os << "faultio: ops=" << ops << " injected=" << injected;
+    for (unsigned i = 1; i < NUM_KINDS; ++i)
+        if (byKind[i])
+            os << " " << kindName(static_cast<Kind>(i)) << "="
+               << byKind[i];
+    return os.str();
+}
+
+Kind
+decide(Op op, u64 &entropy)
+{
+    State &s = state();
+    if (!s.installed)
+        return Kind::None;
+    u64 i = s.opCounter.fetch_add(1, std::memory_order_relaxed);
+    s.ops.fetch_add(1, std::memory_order_relaxed);
+    u64 z = splitmix64(s.plan.seed ^ splitmix64(i));
+    if (z % s.plan.period != 0)
+        return Kind::None;
+    Kind k;
+    u64 pick = splitmix64(z);
+    if (op == Op::Read) {
+        if (!s.plan.readFaults)
+            return Kind::None;
+        k = READ_KINDS[pick % (sizeof READ_KINDS / sizeof *READ_KINDS)];
+    } else {
+        if (!s.plan.writeFaults)
+            return Kind::None;
+        k = WRITE_KINDS[pick % (sizeof WRITE_KINDS / sizeof *WRITE_KINDS)];
+    }
+    entropy = splitmix64(pick);
+    s.injected.fetch_add(1, std::memory_order_relaxed);
+    s.byKind[static_cast<unsigned>(k)].fetch_add(
+        1, std::memory_order_relaxed);
+    return k;
+}
+
+} // namespace trips::sim::faultio

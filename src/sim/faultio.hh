@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic fault injection for the fast-simulation file I/O.
+ *
+ * A FaultPlan, once installed, makes serial.cc's readFile() and
+ * writeFileAtomic() — the only file I/O under the checkpoint and
+ * campaign-cache paths — fail or corrupt deterministically: the i-th
+ * I/O operation of the process decides its fate from splitmix64(seed,
+ * i) alone, so a fault campaign replays exactly from its seed, on any
+ * thread schedule that preserves per-path operation order (single
+ * sweeps vary; the *set* of injected faults per op index does not).
+ *
+ * The injected menagerie models what real campaigns meet:
+ *
+ *   ReadFail       open/read error — upstream sees a missing file
+ *   ReadTruncate   the tail of the file never comes back
+ *   ReadBitFlip    one bit of the payload flipped in flight
+ *   WriteNoSpace   ENOSPC mid-write: partial temp file left behind
+ *   WriteTorn      a torn write reaches the *final* path (truncated
+ *                  bytes behind a successful return — the silent case
+ *                  only CRC sealing can catch later)
+ *   WriteBitFlip   one bit flipped on the way to the final path
+ *                  (silent until a reader checks the seal)
+ *   RenameFail     temp written fully, rename fails, temp orphaned
+ *                  (what --cache-fsck garbage-collects)
+ *
+ * The robustness contract (tests/test_robustness.cc, CI fault stage):
+ * every injected fault must surface as a clean cache miss, a
+ * structured TripsError, or a counted degradation — never a crash and
+ * never a silently wrong result.
+ */
+
+#ifndef TRIPSIM_SIM_FAULTIO_HH
+#define TRIPSIM_SIM_FAULTIO_HH
+
+#include <array>
+#include <string>
+
+#include "support/common.hh"
+
+namespace trips::sim::faultio {
+
+enum class Op : u8 { Read, Write };
+
+enum class Kind : u8 {
+    None = 0,
+    ReadFail,
+    ReadTruncate,
+    ReadBitFlip,
+    WriteNoSpace,
+    WriteTorn,
+    WriteBitFlip,
+    RenameFail,
+};
+constexpr unsigned NUM_KINDS = 8;
+
+const char *kindName(Kind k);
+
+struct FaultPlan
+{
+    u64 seed = 1;        ///< the whole campaign replays from this
+    unsigned period = 4; ///< inject on ~1/period of I/O operations
+    bool readFaults = true;
+    bool writeFaults = true;
+};
+
+/** Install @p plan process-wide (not thread-safe against in-flight
+ *  I/O; install before the sweep starts). Resets counters. */
+void install(const FaultPlan &plan);
+
+/** Remove the active plan; subsequent I/O runs clean. */
+void uninstall();
+
+bool active();
+
+struct Stats
+{
+    u64 ops = 0;       ///< I/O operations that consulted the plan
+    u64 injected = 0;  ///< operations that received a fault
+    std::array<u64, NUM_KINDS> byKind{};
+
+    /** "faultio: ops=.. injected=.. read-fail=.. ..." summary line. */
+    std::string describe() const;
+};
+
+Stats stats();
+
+/**
+ * Decide the i-th operation's fate (internal; called by serial.cc).
+ * Returns Kind::None when no plan is active or this op is spared.
+ * @p entropy receives deterministic bits for the fault's parameters
+ * (flip position, truncation amount).
+ */
+Kind decide(Op op, u64 &entropy);
+
+} // namespace trips::sim::faultio
+
+#endif // TRIPSIM_SIM_FAULTIO_HH

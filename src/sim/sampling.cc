@@ -33,6 +33,8 @@ SampleConfig::describe() const
     std::ostringstream os;
     os << "ffwd=" << ffwdBlocks << ",warm=" << warmupBlocks
        << ",meas=" << measureBlocks << ",period=" << period;
+    if (maxCpbSpread > 0)
+        os << ",spread=" << maxCpbSpread;
     return os.str();
 }
 
@@ -76,6 +78,10 @@ runSampled(const isa::Program &prog, MemImage &mem,
     FuncSim fsim(prog, mem);
     Checkpoint ck;
 
+    // Per-interval cycles-per-block extremes, for the maxCpbSpread
+    // accuracy check.
+    double minCpb = 0.0, maxCpb = 0.0;
+
     fsim.run(scfg.ffwdBlocks);   // 0 = first interval at block 0
     while (!fsim.halted() && fsim.blocksExecuted() < MAX_TOTAL_BLOCKS) {
         fsim.snapshot(ck);
@@ -103,9 +109,19 @@ runSampled(const isa::Program &prog, MemImage &mem,
             break;
         }
         ++r.intervals;
-        r.measuredBlocks += ur.blocksCommitted - warm_blocks;
-        r.measuredCycles += ur.cycles - warm_cycles;
+        u64 iblocks = ur.blocksCommitted - warm_blocks;
+        u64 icycles = ur.cycles - warm_cycles;
+        r.measuredBlocks += iblocks;
+        r.measuredCycles += icycles;
         r.measuredInsts += ur.instsFired - warm_insts;
+        if (iblocks) {
+            double cpb = static_cast<double>(icycles) /
+                         static_cast<double>(iblocks);
+            if (r.intervals == 1 || cpb < minCpb)
+                minCpb = cpb;
+            if (r.intervals == 1 || cpb > maxCpb)
+                maxCpb = cpb;
+        }
 
         fsim.run(scfg.period);
     }
@@ -118,10 +134,19 @@ runSampled(const isa::Program &prog, MemImage &mem,
     r.isa = fin.stats;
     r.totalBlocks = fsim.blocksExecuted();
 
-    if (r.measuredBlocks == 0 && !r.fuelExhausted) {
+    // Graceful degradation on accuracy: a CPB spread beyond the
+    // configured tolerance means the program's phases are too
+    // irregular to extrapolate from — fall back to full detail
+    // rather than report a number sampling cannot stand behind.
+    bool spreadExceeded =
+        scfg.maxCpbSpread > 0 && r.intervals >= 2 && minCpb > 0 &&
+        maxCpb / minCpb - 1.0 > scfg.maxCpbSpread;
+
+    if ((r.measuredBlocks == 0 || spreadExceeded) && !r.fuelExhausted) {
         // Program ended before one interval completed: sampling has
         // nothing to extrapolate from, so run it in full detail.
         r.fullDetail = true;
+        r.toleranceFallback = spreadExceeded;
         uarch::CycleSim csim(prog, initial, ucfg);
         auto ur = csim.run();
         r.intervals = 0;

@@ -34,6 +34,17 @@ struct SampleConfig
     u64 measureBlocks = 400;  ///< detailed blocks measured per interval
     u64 period = 2000;        ///< blocks between interval starts
 
+    /**
+     * Accuracy tolerance: if > 0 and the per-interval cycles-per-block
+     * spread exceeds it (max/min - 1 > maxCpbSpread over >= 2
+     * intervals), the program's phases are too irregular for the
+     * sample to be trusted and the run gracefully degrades to
+     * full-detail simulation (result flagged `toleranceFallback`).
+     * 0 (default) disables the check — sampling output is then
+     * bit-identical to builds without this knob.
+     */
+    double maxCpbSpread = 0.0;
+
     /** "" when usable, else the first violated constraint. */
     std::string validate() const;
 
@@ -49,6 +60,9 @@ struct SampledResult
     i64 retVal = 0;           ///< from the functional run (exact)
     bool fuelExhausted = false;
     bool fullDetail = false;  ///< program too short; ran full detail
+    /** fullDetail was forced because the interval CPB spread exceeded
+     *  SampleConfig::maxCpbSpread (sampling not trustworthy here). */
+    bool toleranceFallback = false;
 
     u64 totalBlocks = 0;      ///< committed blocks, whole program
     unsigned intervals = 0;   ///< detailed intervals launched

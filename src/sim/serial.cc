@@ -4,7 +4,10 @@
 
 #include <array>
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
+
+#include "sim/faultio.hh"
 
 namespace trips::sim {
 
@@ -75,10 +78,59 @@ readFile(const std::string &path, std::vector<u8> &out)
         out.insert(out.end(), buf, buf + n);
     bool ok = !std::ferror(f);
     std::fclose(f);
+    if (ok && faultio::active()) {
+        u64 z = 0;
+        switch (faultio::decide(faultio::Op::Read, z)) {
+          case faultio::Kind::ReadFail:
+            out.clear();
+            return false;
+          case faultio::Kind::ReadTruncate:
+            if (!out.empty())
+                out.resize(z % out.size());
+            break;
+          case faultio::Kind::ReadBitFlip:
+            if (!out.empty())
+                out[z % out.size()] ^= static_cast<u8>(
+                    1u << ((z >> 32) % 8));
+            break;
+          default:
+            break;
+        }
+    }
     return ok;
 }
 
-void
+namespace {
+
+/** Write @p data (or a fault-mandated corruption of it) to a private
+ *  temp file. Returns the temp path via @p tmp; an empty return Status
+ *  means the temp file is complete on disk. */
+Status
+writeTemp(const std::string &tmp, const u8 *data, size_t n)
+{
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return makeStatus(ErrCode::IoError, Subsys::Sim,
+                          "cannot open " + tmp + " for writing",
+                          std::strerror(errno));
+    if (n && std::fwrite(data, 1, n, f) != n) {
+        Status st = makeStatus(
+            errno == ENOSPC ? ErrCode::NoSpace : ErrCode::IoError,
+            Subsys::Sim, "short write to " + tmp,
+            std::strerror(errno));
+        std::fclose(f);
+        return st;
+    }
+    if (std::fclose(f))
+        return makeStatus(ErrCode::IoError, Subsys::Sim,
+                          "cannot finish writing " + tmp,
+                          std::strerror(errno));
+    return okStatus();
+}
+
+} // namespace
+
+Status
 writeFileAtomic(const std::string &path, const std::vector<u8> &data)
 {
     // Unique temp name per call: concurrent writers (sweep workers
@@ -88,18 +140,56 @@ writeFileAtomic(const std::string &path, const std::vector<u8> &data)
     std::string tmp = path + ".tmp" +
                       std::to_string(serial.fetch_add(1)) + "." +
                       std::to_string(static_cast<u64>(getpid()));
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f)
-        TRIPS_FATAL("cannot open ", tmp, " for writing");
-    if (data.size() &&
-        std::fwrite(data.data(), 1, data.size(), f) != data.size()) {
-        std::fclose(f);
-        TRIPS_FATAL("short write to ", tmp);
+
+    faultio::Kind fault = faultio::Kind::None;
+    u64 z = 0;
+    if (faultio::active())
+        fault = faultio::decide(faultio::Op::Write, z);
+
+    // The silent kinds corrupt the payload but report success: only a
+    // later reader's CRC seal can catch them.
+    std::vector<u8> corrupted;
+    const u8 *payload = data.data();
+    size_t n = data.size();
+    switch (fault) {
+      case faultio::Kind::WriteTorn:
+        if (n)
+            n = z % n;
+        break;
+      case faultio::Kind::WriteBitFlip:
+        if (n) {
+            corrupted = data;
+            corrupted[z % n] ^= static_cast<u8>(1u << ((z >> 32) % 8));
+            payload = corrupted.data();
+        }
+        break;
+      case faultio::Kind::WriteNoSpace:
+        // ENOSPC mid-write: a partial temp file stays behind for
+        // fsck to garbage-collect.
+        writeTemp(tmp, data.data(), n / 2);
+        return makeStatus(ErrCode::NoSpace, Subsys::Sim,
+                          "injected ENOSPC writing " + tmp, "faultio");
+      default:
+        break;
     }
-    if (std::fclose(f))
-        TRIPS_FATAL("cannot finish writing ", tmp);
-    if (std::rename(tmp.c_str(), path.c_str()))
-        TRIPS_FATAL("cannot rename ", tmp, " to ", path);
+
+    Status st = writeTemp(tmp, payload, n);
+    if (!st.ok()) {
+        std::remove(tmp.c_str());
+        return st;
+    }
+    if (fault == faultio::Kind::RenameFail)
+        return makeStatus(ErrCode::IoError, Subsys::Sim,
+                          "injected rename failure for " + tmp,
+                          "faultio");
+    if (std::rename(tmp.c_str(), path.c_str())) {
+        Status rst = makeStatus(ErrCode::IoError, Subsys::Sim,
+                                "cannot rename " + tmp + " to " + path,
+                                std::strerror(errno));
+        std::remove(tmp.c_str());
+        return rst;
+    }
+    return okStatus();
 }
 
 } // namespace trips::sim

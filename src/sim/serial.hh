@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "support/common.hh"
+#include "support/error.hh"
 
 namespace trips::sim {
 
@@ -33,11 +34,17 @@ bool sealIntact(const u8 *data, size_t n);
 /** 32 lowercase hex digits (hi then lo). */
 std::string hex128(u64 hi, u64 lo);
 
-/** Thrown by a recoverable ByteReader instead of fatal-ing, so cache
- *  readers can treat malformed records as misses. */
-struct SerialError
+/** Thrown by ByteReader on truncation or a semantic parse error.
+ *  Derived from TripsError, so cache readers can treat malformed
+ *  records as misses while campaign drivers classify by code. */
+class SerialError : public TripsError
 {
-    std::string message;
+  public:
+    SerialError(ErrCode code, std::string message)
+        : TripsError(makeStatus(code, Subsys::Sim, std::move(message)))
+    {}
+
+    const std::string &message() const { return status().message; }
 };
 
 /** Little-endian byte-stream writer with fixed-width fields. */
@@ -111,28 +118,27 @@ class ByteWriter
 };
 
 /**
- * Bounds-checked little-endian reader. Reads past the end are a
- * TRIPS_FATAL (truncated file), never UB; the error carries @p what so
- * the message names the file kind being parsed. A @p recoverable
- * reader throws SerialError instead of fatal-ing — for readers (the
- * campaign cache) that must degrade a malformed file to a miss.
+ * Bounds-checked little-endian reader. Reads past the end throw a
+ * structured SerialError (ErrCode::Truncated), never UB; the error
+ * carries @p what so the message names the file kind being parsed.
+ * Readers that must degrade a malformed file to a miss (the campaign
+ * cache) catch SerialError; loaders that cannot (checkpoint restore)
+ * let it propagate as a TripsError.
  */
 class ByteReader
 {
   public:
-    ByteReader(const u8 *data, size_t n, const char *what,
-               bool recoverable = false)
-        : p(data), end(data + n), what(what), recoverable(recoverable)
+    ByteReader(const u8 *data, size_t n, const char *what)
+        : p(data), end(data + n), what(what)
     {}
 
     /** Report a semantic parse error (wrong count/kind) through the
-     *  same fatal-or-throw channel as structural ones. */
+     *  same structured channel as truncation. */
     [[noreturn]] void
-    failParse(const std::string &why) const
+    failParse(const std::string &why,
+              ErrCode code = ErrCode::CorruptData) const
     {
-        if (recoverable)
-            throw SerialError{std::string(what) + ": " + why};
-        TRIPS_FATAL(what, ": ", why);
+        throw SerialError(code, std::string(what) + ": " + why);
     }
 
     u8
@@ -217,13 +223,13 @@ class ByteReader
     {
         if (static_cast<size_t>(end - p) < n)
             failParse("truncated (need " + std::to_string(n) +
-                      " bytes, have " + std::to_string(end - p) + ")");
+                      " bytes, have " + std::to_string(end - p) + ")",
+                      ErrCode::Truncated);
     }
 
     const u8 *p;
     const u8 *end;
     const char *what;
-    bool recoverable;
 };
 
 /** 128-bit FNV-1a content hash, fed through the ByteWriter field
@@ -257,11 +263,21 @@ class Fnv128
     u64 hi_ = 0x84222325cbf29ce4ULL;
 };
 
-/** Read a whole file; returns false if it cannot be opened/read. */
+/** Read a whole file; returns false if it cannot be opened/read.
+ *  Subject to fault injection (sim/faultio.hh) when a plan is
+ *  installed: injected read faults surface as a false return or as
+ *  corrupted bytes the caller's CRC/framing checks must catch. */
 bool readFile(const std::string &path, std::vector<u8> &out);
 
-/** Write a whole file atomically (temp + rename); fatal on IO error. */
-void writeFileAtomic(const std::string &path, const std::vector<u8> &data);
+/**
+ * Write a whole file atomically (private temp + rename). Returns a
+ * Status instead of fatal-ing: campaign-facing callers degrade a
+ * failed write (uncached execution, counted), checkpoint savers
+ * propagate it as a structured error. IoError/NoSpace statuses are
+ * transient() and safe to retry. Subject to fault injection.
+ */
+Status writeFileAtomic(const std::string &path,
+                       const std::vector<u8> &data);
 
 } // namespace trips::sim
 

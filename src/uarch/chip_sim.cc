@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/error.hh"
+
 namespace trips::uarch {
 
 namespace {
@@ -11,9 +13,11 @@ checkedChip(const ChipConfig &cfg, size_t num_jobs)
 {
     std::string err = cfg.validate();
     if (!err.empty())
-        TRIPS_FATAL("invalid ChipConfig: ", err);
+        TRIPS_THROW(ErrCode::InvalidConfig, Subsys::Uarch,
+                    "invalid ChipConfig: ", err);
     if (num_jobs < 1 || num_jobs > cfg.numCores)
-        TRIPS_FATAL("chip with ", cfg.numCores, " cores given ",
+        TRIPS_THROW(ErrCode::InvalidConfig, Subsys::Uarch,
+                    "chip with ", cfg.numCores, " cores given ",
                     num_jobs, " jobs");
     return cfg;
 }

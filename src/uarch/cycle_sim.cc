@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/checkpoint.hh"
+#include "support/error.hh"
 #include "trips/exec_core.hh"
 
 namespace trips::uarch {
@@ -125,7 +126,8 @@ checkedConfig(const UarchConfig &cfg)
 {
     std::string err = cfg.validate();
     if (!err.empty())
-        TRIPS_FATAL("invalid UarchConfig: ", err);
+        TRIPS_THROW(ErrCode::InvalidConfig, Subsys::Uarch,
+                    "invalid UarchConfig: ", err);
     return cfg;
 }
 
@@ -160,7 +162,8 @@ CycleSim::CycleSim(const isa::Program &prog, MemImage &mem,
       dts(isa::NUM_DTS)
 {
     if (core_id >= uncore_.config().numCores)
-        TRIPS_FATAL("core id ", core_id, " out of range for an uncore "
+        TRIPS_THROW(ErrCode::InvalidConfig, Subsys::Uarch,
+                    "core id ", core_id, " out of range for an uncore "
                     "with ", uncore_.config().numCores, " core ports");
     for (unsigned b = 0; b < isa::NUM_DTS; ++b)
         l1d.emplace_back(cfg.l1dBank);
@@ -179,7 +182,8 @@ CycleSim::initCommon()
                 ++mem_insts;
         }
         if (mem_insts > cfg.lsqEntriesPerFrame)
-            TRIPS_FATAL("block ", prog.block(b).label, " needs ",
+            TRIPS_THROW(ErrCode::ResourceExhausted, Subsys::Uarch,
+                        "block ", prog.block(b).label, " needs ",
                         mem_insts, " LSQ entries but the config provides ",
                         cfg.lsqEntriesPerFrame, " per frame");
     }

@@ -106,7 +106,22 @@ TEST(Checkpoint, SaveLoadFileRoundTrip)
     std::remove(path.c_str());
 }
 
-TEST(CheckpointDeathTest, CorruptedBytesAreRejectedWithClearFatal)
+/** Deserialize expecting a TripsError; returns its error code. */
+static ErrCode
+loadErrCode(const std::vector<u8> &bytes, size_t n = SIZE_MAX)
+{
+    try {
+        sim::deserializeCheckpoint(
+            bytes.data(), n == SIZE_MAX ? bytes.size() : n);
+    } catch (const TripsError &e) {
+        EXPECT_EQ(e.status().subsys, Subsys::Sim);
+        return e.code();
+    }
+    ADD_FAILURE() << "deserializeCheckpoint did not throw";
+    return ErrCode::Ok;
+}
+
+TEST(Checkpoint, CorruptedBytesAreRejectedWithStructuredErrors)
 {
     sim::Checkpoint ck = checkpointAfter("vadd", 50);
     auto bytes = sim::serializeCheckpoint(ck);
@@ -114,34 +129,40 @@ TEST(CheckpointDeathTest, CorruptedBytesAreRejectedWithClearFatal)
     // Flip one payload byte: the CRC must catch it.
     auto corrupt = bytes;
     corrupt[bytes.size() / 2] ^= 0x40;
-    EXPECT_EXIT(sim::deserializeCheckpoint(corrupt),
-                testing::ExitedWithCode(1), "CRC mismatch");
+    EXPECT_EQ(loadErrCode(corrupt), ErrCode::CorruptData);
 
-    // Truncation is a clear fatal too, not UB.
+    // Truncation is a structured error too, not UB — and, since PR 6,
+    // catchable: a campaign survives a bad checkpoint file.
     auto truncated = bytes;
     truncated.resize(bytes.size() / 2);
-    EXPECT_EXIT(sim::deserializeCheckpoint(truncated),
-                testing::ExitedWithCode(1), "checkpoint");
-    EXPECT_EXIT(sim::deserializeCheckpoint(truncated.data(), 3),
-                testing::ExitedWithCode(1), "too small");
+    EXPECT_EQ(loadErrCode(truncated), ErrCode::CorruptData);
+    EXPECT_EQ(loadErrCode(truncated, 3), ErrCode::Truncated);
+    EXPECT_THROW(sim::deserializeCheckpoint(truncated), TripsError);
 }
 
-TEST(CheckpointDeathTest, WrongMagicAndVersionAreRejected)
+TEST(Checkpoint, WrongMagicAndVersionAreRejected)
 {
     sim::Checkpoint ck = checkpointAfter("vadd", 50);
     auto bytes = sim::serializeCheckpoint(ck);
 
     auto wrong_magic = bytes;
     wrong_magic[0] ^= 0xff;
-    EXPECT_EXIT(sim::deserializeCheckpoint(resealed(wrong_magic)),
-                testing::ExitedWithCode(1), "not a tripsim checkpoint");
+    EXPECT_EQ(loadErrCode(resealed(wrong_magic)), ErrCode::CorruptData);
 
     // A future/older format version is rejected by name, so stale
     // checkpoint files fail loudly instead of parsing garbage.
     auto wrong_version = bytes;
     wrong_version[4] = static_cast<u8>(sim::CKPT_VERSION + 7);
-    EXPECT_EXIT(sim::deserializeCheckpoint(resealed(wrong_version)),
-                testing::ExitedWithCode(1), "version");
+    EXPECT_EQ(loadErrCode(resealed(wrong_version)),
+              ErrCode::VersionMismatch);
+
+    // Loading a missing file is a structured IoError, not a fatal.
+    try {
+        sim::loadCheckpoint(testing::TempDir() + "/no-such.ckpt");
+        ADD_FAILURE() << "loadCheckpoint did not throw";
+    } catch (const TripsError &e) {
+        EXPECT_EQ(e.code(), ErrCode::IoError);
+    }
 }
 
 TEST(Checkpoint, MemImageDiffTreatsAbsentPagesAsZero)

@@ -21,6 +21,7 @@
 #include "compiler/codegen.hh"
 #include "core/machines.hh"
 #include "harness/diff.hh"
+#include "support/error.hh"
 #include "testutil.hh"
 #include "uarch/chip_sim.hh"
 #include "wir/builder.hh"
@@ -392,7 +393,7 @@ TEST(ChipConfigValidation, RejectsImpossibleChips)
     EXPECT_NE(mc.validate(), "");
 }
 
-TEST(ChipConfigValidation, ChipSimFatalsOnBadConfigOrJobs)
+TEST(ChipConfigValidation, ChipSimThrowsOnBadConfigOrJobs)
 {
     Module mod;
     buildMemStress(mod, 97, 8);
@@ -401,16 +402,28 @@ TEST(ChipConfigValidation, ChipSimFatalsOnBadConfigOrJobs)
     MemImage mem;
     wir::Interp::loadGlobals(mod, mem);
 
+    // Since PR 6 an impossible chip is a catchable TripsError so a
+    // config sweep survives a bad point instead of dying mid-run.
     uarch::ChipConfig bad;
     bad.numCores = 0;
-    EXPECT_EXIT(uarch::ChipSim({{&prog, &mem}}, bad),
-                ::testing::ExitedWithCode(1), "invalid ChipConfig");
+    try {
+        uarch::ChipSim sim({{&prog, &mem}}, bad);
+        ADD_FAILURE() << "ChipSim accepted numCores=0";
+    } catch (const TripsError &e) {
+        EXPECT_EQ(e.code(), ErrCode::InvalidConfig);
+        EXPECT_EQ(e.status().subsys, Subsys::Uarch);
+    }
 
     uarch::ChipConfig two;
     two.numCores = 2;
-    EXPECT_EXIT(uarch::ChipSim({{&prog, &mem}, {&prog, &mem},
-                                {&prog, &mem}}, two),
-                ::testing::ExitedWithCode(1), "given 3 jobs");
+    try {
+        uarch::ChipSim sim({{&prog, &mem}, {&prog, &mem},
+                            {&prog, &mem}}, two);
+        ADD_FAILURE() << "ChipSim accepted 3 jobs on 2 cores";
+    } catch (const TripsError &e) {
+        EXPECT_EQ(e.code(), ErrCode::InvalidConfig);
+        EXPECT_NE(e.status().message.find("3 jobs"), std::string::npos);
+    }
 }
 
 // ---------------------------------------------------------------------

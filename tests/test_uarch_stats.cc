@@ -27,6 +27,7 @@
 
 #include "compiler/codegen.hh"
 #include "core/machines.hh"
+#include "support/error.hh"
 #include "trips/func_sim.hh"
 #include "uarch/cycle_sim.hh"
 #include "wir/builder.hh"
@@ -550,7 +551,7 @@ TEST(UarchConfigs, ValidationRejectsStructurallyImpossibleConfigs)
     EXPECT_NE(bad([](auto &c) { c.l2Bank.sizeBytes = 1000; }), "");
 }
 
-TEST(UarchConfigs, InvalidConfigAndLsqOverflowAreFatal)
+TEST(UarchConfigs, InvalidConfigAndLsqOverflowThrowStructuredErrors)
 {
     Module mod;
     buildGolden1(mod);
@@ -558,26 +559,37 @@ TEST(UarchConfigs, InvalidConfigAndLsqOverflowAreFatal)
     MemImage mem;
     wir::Interp::loadGlobals(mod, mem);
 
+    // Since PR 6 an invalid derived config is a catchable TripsError
+    // (a sweep over generated configs must survive a bad point), with
+    // a classified code a harness can dispatch on.
+    auto errCode = [&](const uarch::UarchConfig &cfg) {
+        try {
+            uarch::CycleSim sim(prog, mem, cfg);
+        } catch (const TripsError &e) {
+            EXPECT_EQ(e.status().subsys, Subsys::Uarch);
+            return e.code();
+        }
+        ADD_FAILURE() << "CycleSim construction did not throw";
+        return ErrCode::Ok;
+    };
+
     uarch::UarchConfig invalid;
     invalid.numFrames = 0;
-    EXPECT_EXIT(uarch::CycleSim(prog, mem, invalid),
-                ::testing::ExitedWithCode(1), "invalid UarchConfig");
+    EXPECT_EQ(errCode(invalid), ErrCode::InvalidConfig);
 
     // Validation must fire before member construction: with a bad
     // depPred geometry the predictor's own assert would otherwise
     // win (or a zero-assoc cache would divide by zero).
     uarch::UarchConfig badPred;
     badPred.depPredEntries = 48;
-    EXPECT_EXIT(uarch::CycleSim(prog, mem, badPred),
-                ::testing::ExitedWithCode(1), "invalid UarchConfig");
+    EXPECT_EQ(errCode(badPred), ErrCode::InvalidConfig);
     uarch::UarchConfig badCache;
     badCache.l1dBank.assoc = 0;
-    EXPECT_EXIT(uarch::CycleSim(prog, mem, badCache),
-                ::testing::ExitedWithCode(1), "invalid UarchConfig");
+    EXPECT_EQ(errCode(badCache), ErrCode::InvalidConfig);
 
-    // A 1-entry LSQ cannot hold this program's memory blocks.
+    // A 1-entry LSQ cannot hold this program's memory blocks: the
+    // *program* exceeds a capacity, classified ResourceExhausted.
     uarch::UarchConfig tinyLsq;
     tinyLsq.lsqEntriesPerFrame = 1;
-    EXPECT_EXIT(uarch::CycleSim(prog, mem, tinyLsq),
-                ::testing::ExitedWithCode(1), "LSQ entries");
+    EXPECT_EQ(errCode(tinyLsq), ErrCode::ResourceExhausted);
 }
