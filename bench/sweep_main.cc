@@ -172,8 +172,8 @@ usage()
         << "                             | --repro A --seed2 B\n"
         << "                             | --mix A,B | --mix-suite))\n"
         << "shape flags (fuzz/repro): --grow K --funcs N --top N\n"
-        << "  --body N --depth N --trip N --slots N --no-float\n"
-        << "  --no-call --no-mem --no-subword\n"
+        << "  --body N --depth N --trip N --slots N --live N\n"
+        << "  --no-float --no-call --no-mem --no-subword\n"
         << "--verify-til runs the TIL structural verifier between\n"
         << "backend passes of every TRIPS compile (fatal on violation);\n"
         << "--grow walks the block-splitting stress ladder.\n"
@@ -280,6 +280,9 @@ parse(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--slots")) {
             unsigned v = static_cast<unsigned>(std::stoul(val(i)));
             a.shapeEdits.push_back([v](auto &s) { s.memSlots = v; });
+        } else if (!std::strcmp(argv[i], "--live")) {
+            unsigned v = static_cast<unsigned>(std::stoul(val(i)));
+            a.shapeEdits.push_back([v](auto &s) { s.liveValues = v; });
         } else if (!std::strcmp(argv[i], "--no-float")) {
             a.shapeEdits.push_back([](auto &s) { s.floats = false; });
         } else if (!std::strcmp(argv[i], "--no-call")) {

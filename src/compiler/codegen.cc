@@ -233,8 +233,140 @@ class FuncCompiler
         vregSPV = f.nextVreg++;
         vregRETV = f.nextVreg++;
         vregSPREST = f.nextVreg++;
+        spillBound = f.nextVreg;
         live.emplace(f);
         planSpills();
+    }
+
+    std::vector<unsigned>
+    regionLoopDepths() const
+    {
+        std::vector<unsigned> blockDepth(f.blocks.size(), 0);
+        for (const NaturalLoop &lp : findLoops(f)) {
+            for (u32 b : lp.body)
+                ++blockDepth[b];
+        }
+        std::vector<unsigned> out(regions.size(), 0);
+        for (u32 ri = 0; ri < regions.size(); ++ri) {
+            for (u32 m : regions[ri].members)
+                out[ri] = std::max(out[ri], blockDepth[m]);
+        }
+        return out;
+    }
+
+    bool
+    spillableVreg(Vreg v) const
+    {
+        return v >= f.numParams && v < spillBound && v != vregSPV &&
+               v != vregRETV && v != vregSPREST;
+    }
+
+    /**
+     * The spill pass's rewrite half (chooser: compiler/spill.cc). Each
+     * victim gets a dedicated frame slot above the caller-save area;
+     * every def is followed by an 8-byte store to the slot, and every
+     * use reloads into a fresh block-local vreg (cached per block, so
+     * repeated uses share one reload). A victim defined by a call
+     * materializes in the continuation block (via the RETVAL read), so
+     * its store is prepended there instead. Loads and stores address
+     * the frame through vregSPV, whose lowering pins R1 and reuses the
+     * wide-displacement machinery (`frameSlotAddr` path in
+     * `lowerInstr`); LSIDs follow WIR program order, and a store after
+     * a conditionally executed def is predicated on the same chain, so
+     * the slot keeps its old value on the untaken paths — exactly the
+     * register's semantics. Afterwards no victim is live across a
+     * block boundary, so its regalloc range is gone; liveness and the
+     * caller-save plan are recomputed (victims drop out of call
+     * live-out sets, so stale caller-save slots would otherwise
+     * resurrect the cross-region reads the rewrite just removed).
+     */
+    Frontend::SpillRewrite
+    spillToFrame(const std::vector<Vreg> &victims)
+    {
+        Frontend::SpillRewrite rw;
+        const unsigned base = frameSlots;
+        std::map<Vreg, unsigned> slotOf;
+        for (Vreg v : victims) {
+            TRIPS_ASSERT(spillableVreg(v), "unspillable victim in ",
+                         fname);
+            unsigned s = base + static_cast<unsigned>(slotOf.size());
+            slotOf.emplace(v, s);
+        }
+        rw.slots = static_cast<unsigned>(slotOf.size());
+
+        // Victims defined by a call get their store at the head of the
+        // continuation block (ids of continuations are always greater
+        // than their call block's, so ascending order sees the call
+        // first).
+        std::map<u32, Vreg> contStore;
+
+        auto slotDisp = [&](Vreg v) {
+            return static_cast<i64>(slotOf.at(v)) * 8;
+        };
+        auto makeStore = [&](Vreg v) {
+            Instr st;
+            st.op = WOp::Store;
+            st.srcs = {vregSPV, v};
+            st.imm = slotDisp(v);
+            st.width = MemWidth::B8;
+            ++rw.stores;
+            return st;
+        };
+
+        for (u32 b = 0; b < f.blocks.size(); ++b) {
+            std::vector<Instr> out;
+            std::map<Vreg, Vreg> local;  // victim -> in-block copy
+            auto it = contStore.find(b);
+            if (it != contStore.end()) {
+                out.push_back(makeStore(it->second));
+                local[it->second] = it->second;
+            }
+            auto reload = [&](Vreg v) {
+                auto lit = local.find(v);
+                if (lit != local.end())
+                    return lit->second;
+                Instr ld;
+                ld.op = WOp::Load;
+                ld.dst = f.nextVreg++;
+                ld.srcs = {vregSPV};
+                ld.imm = slotDisp(v);
+                ld.width = MemWidth::B8;
+                out.push_back(ld);
+                ++rw.loads;
+                local.emplace(v, ld.dst);
+                return ld.dst;
+            };
+            for (Instr in : f.blocks[b].instrs) {
+                for (Vreg &s : in.srcs) {
+                    if (slotOf.count(s))
+                        s = reload(s);
+                }
+                const bool isCall = in.op == WOp::Call;
+                const Vreg d = in.dst;
+                out.push_back(std::move(in));
+                if (d != wir::NO_VREG && slotOf.count(d)) {
+                    if (isCall) {
+                        contStore[callCont.at(b)] = d;
+                    } else {
+                        out.push_back(makeStore(d));
+                        local[d] = d;
+                    }
+                }
+            }
+            auto &term = f.blocks[b].term;
+            if (term.kind == TermKind::Br && slotOf.count(term.cond))
+                term.cond = reload(term.cond);
+            if (term.kind == TermKind::Ret &&
+                term.retVal != wir::NO_VREG && slotOf.count(term.retVal))
+                term.retVal = reload(term.retVal);
+            f.blocks[b].instrs = std::move(out);
+        }
+
+        frameSlots = base + rw.slots;
+        live.emplace(f);
+        spillMap.clear();
+        planSpills();
+        return rw;
     }
 
     unsigned
@@ -293,6 +425,8 @@ class FuncCompiler
     std::vector<Region> regions;
     std::vector<i32> blockRegion;
     Vreg vregSPV = 0, vregRETV = 0, vregSPREST = 0;
+    Vreg spillBound = 0;   ///< vregs >= this are backend-invented
+                           ///< (split-pass TIL values, spill reloads)
 
     // Per call block: spill assignments and continuation block.
     std::map<u32, std::map<Vreg, unsigned>> spillMap;
@@ -1444,6 +1578,24 @@ void
 Frontend::allowOversized(bool yes)
 {
     impl->fc.oversizedOk = yes;
+}
+
+std::vector<unsigned>
+Frontend::regionLoopDepths() const
+{
+    return impl->fc.regionLoopDepths();
+}
+
+bool
+Frontend::spillableVreg(Vreg v) const
+{
+    return impl->fc.spillableVreg(v);
+}
+
+Frontend::SpillRewrite
+Frontend::spillToFrame(const std::vector<Vreg> &victims)
+{
+    return impl->fc.spillToFrame(victims);
 }
 
 } // namespace trips::compiler

@@ -6,8 +6,8 @@
  * dataflow intermediate language (compiler/til.hh):
  *
  *   region formation -> if-conversion/predication (with speculation)
- *   -> block splitting -> mov fanout -> register allocation
- *   -> emission -> placement
+ *   -> block splitting -> mov fanout -> spill-to-memory
+ *   -> register allocation -> emission -> placement
  *
  * The pass manager lives in compiler/pipeline.hh; this header carries
  * the public facade (`compileToTrips`) plus the per-pass statistics it
@@ -55,10 +55,11 @@ enum class PassId : u8 {
     IfConvert,    ///< region -> predicated TIL dataflow (w/ speculation)
     Split,        ///< spill oversized TIL blocks through registers
     Fanout,       ///< MOV trees for over-capacity producers
+    Spill,        ///< spill-to-memory when regalloc pressure overflows
     RegAlloc,     ///< linear-scan over region-crossing values
     Emit,         ///< TIL -> isa::Block encoding
 };
-constexpr unsigned NUM_PASSES = 6;
+constexpr unsigned NUM_PASSES = 7;
 
 /** Human-readable pass name. */
 const char *passName(PassId id);
@@ -91,6 +92,13 @@ struct CompileStats
     u64 spillReads = 0;          ///< cut-crossing register reads
     unsigned overflowRetries = 0;  ///< region re-formation attempts
 
+    // Spill-to-memory pass activity (zero when pressure fits).
+    unsigned spilledValues = 0;  ///< cross-region values sent to memory
+    unsigned spillSlots = 0;     ///< dedicated stack frame slots used
+    u64 spillLoads = 0;          ///< reload instructions inserted
+    u64 spillStores = 0;         ///< spill store instructions inserted
+    unsigned spillRounds = 0;    ///< fixed-point iterations that spilled
+
     /** Per-pass snapshots from each function's successful attempt,
      *  indexed by PassId and summed across functions. */
     PassCounters pass[NUM_PASSES];
@@ -98,9 +106,11 @@ struct CompileStats
 
 /**
  * Compile a WIR module to a TRIPS program. Programs that exceed
- * prototype block limits are compiled via the block-splitting pass;
- * the one remaining hard limit is the register file (more than ~116
- * simultaneously live region-crossing values is fatal).
+ * prototype block limits are compiled via the block-splitting pass,
+ * and programs whose simultaneously live region-crossing values exceed
+ * the 116 allocatable registers are compiled via the spill-to-memory
+ * pass (victims chosen by a range/use/loop-depth cost model and routed
+ * through dedicated stack frame slots).
  */
 isa::Program compileToTrips(const wir::Module &mod, const Options &opts,
                             CompileStats *stats = nullptr);

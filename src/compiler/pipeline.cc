@@ -16,6 +16,7 @@
 #include <queue>
 
 #include "compiler/placement.hh"
+#include "compiler/spill.hh"
 #include "isa/disasm.hh"
 #include "support/error.hh"
 
@@ -38,6 +39,7 @@ passName(PassId id)
       case PassId::IfConvert: return "if-convert";
       case PassId::Split: return "split";
       case PassId::Fanout: return "fanout";
+      case PassId::Spill: return "spill";
       case PassId::RegAlloc: return "regalloc";
       case PassId::Emit: return "emit";
     }
@@ -684,15 +686,18 @@ allocateRegisters(std::vector<HBlock> &hbs, const std::string &fname,
                 ++i;
             }
         }
-        // A structured failure, not a fatal: register pressure is a
-        // property of the *input* program (grown fuzz shapes hit it),
-        // and campaign sweeps quarantine it with a repro line.
-        // Spilling cross-region values to memory is still future work.
+        // The spill pass (chooseSpills + Frontend::spillToFrame) has
+        // already brought peak pressure within the budget by the time
+        // the allocator runs, so this is a backstop: reaching it means
+        // the chooser's range computation diverged from this one — a
+        // pipeline bug, reported structurally so sweeps quarantine it.
         if (free_regs.empty())
             throw CompileError(
                 ErrCode::ResourceExhausted,
                 detail::formatMsg("out of registers in ", fname,
-                                  " (cross-region values exceed 116)"),
+                                  " (cross-region values exceed 116 "
+                                  "after spilling — chooser/allocator "
+                                  "mismatch)"),
                 fname);
         int reg = free_regs.back();
         free_regs.pop_back();
@@ -880,6 +885,27 @@ struct FuncOutput
  *  oversized region outright. */
 constexpr int MAX_ATTEMPTS = 7;
 
+/** Fixed-point bound on spill-to-memory rounds. Every round either
+ *  succeeds outright or removes its victims' register ranges (a
+ *  rewritten victim is block-local, and reload vregs never cross a
+ *  block), so pressure strictly falls and one round almost always
+ *  suffices; the bound guards the re-formed-region corner cases. */
+constexpr int MAX_SPILL_ROUNDS = 8;
+
+/** Victim list for the exhaustion diagnostics: "v37[r2-r9]" is vreg 37
+ *  live over TIL blocks 2..9 of this function. */
+std::string
+describeVictims(const std::vector<SpillVictim> &victims)
+{
+    std::string out;
+    for (const SpillVictim &sv : victims) {
+        out += out.empty() ? "" : " ";
+        out += "v" + std::to_string(sv.v) + "[r" + std::to_string(sv.lo) +
+               "-r" + std::to_string(sv.hi) + "]";
+    }
+    return out.empty() ? "(none)" : out;
+}
+
 FuncOutput
 compileFunction(const Module &mod, const std::string &fname,
                 const Options &opts, CompileStats &cs)
@@ -888,132 +914,202 @@ compileFunction(const Module &mod, const std::string &fname,
     fe.normalize();
 
     std::set<u32> force_singleton;
-    for (int attempt = 0; attempt < MAX_ATTEMPTS; ++attempt) {
-        PassCounters local[NUM_PASSES];
-        CompileStats splitStats;
-        fe.allowOversized(attempt == MAX_ATTEMPTS - 1);
-        try {
-            // Pass 1 — region formation.
-            unsigned nregions = fe.formRegions(force_singleton);
-            local[static_cast<unsigned>(PassId::RegionForm)].tilBlocks =
-                nregions;
+    unsigned spilledSoFar = 0;
+    for (int round = 0; round < MAX_SPILL_ROUNDS; ++round) {
+        bool spilled = false;
+        for (int attempt = 0; attempt < MAX_ATTEMPTS && !spilled;
+             ++attempt) {
+            PassCounters local[NUM_PASSES];
+            CompileStats splitStats;
+            fe.allowOversized(attempt == MAX_ATTEMPTS - 1);
+            try {
+                // Pass 1 — region formation.
+                unsigned nregions = fe.formRegions(force_singleton);
+                local[static_cast<unsigned>(PassId::RegionForm)]
+                    .tilBlocks = nregions;
 
-            // Pass 2 — if-conversion to TIL.
-            std::vector<HBlock> hbs = fe.ifConvert();
-            recordPass(local, PassId::IfConvert, hbs, 0);
-            passDebug(opts, fname, PassId::IfConvert, hbs, false);
-            auto regionLive = fe.regionLiveSets();
+                // Pass 2 — if-conversion to TIL.
+                std::vector<HBlock> hbs = fe.ifConvert();
+                recordPass(local, PassId::IfConvert, hbs, 0);
+                passDebug(opts, fname, PassId::IfConvert, hbs, false);
+                auto regionLive = fe.regionLiveSets();
+                auto regionDepth = fe.regionLoopDepths();
 
-            // Pass 3 — block splitting. Regions the retry ladder can
-            // still shrink are sent back to region formation instead
-            // (keeps the historical ladder bit-identical); only
-            // irreducible regions — single WIR blocks, call spill and
-            // reload regions — are split, plus everything oversized on
-            // the final attempt.
-            const bool splitAll = attempt == MAX_ATTEMPTS - 1;
-            std::vector<HBlock> blocks;
-            std::vector<std::vector<Vreg>> liveSets;
-            u64 preSplitNodes =
-                local[static_cast<unsigned>(PassId::IfConvert)].tilNodes;
-            for (u32 ri = 0; ri < hbs.size(); ++ri) {
-                std::string reason = checkBlockLimits(hbs[ri]);
-                if (!reason.empty() && hbs[ri].wirMembers.size() > 1 &&
-                    !splitAll)
-                    throw BlockOverflow{hbs[ri].wirMembers, reason};
-                std::vector<HBlock> chunks;
-                if (reason.empty()) {
-                    chunks.push_back(std::move(hbs[ri]));
+                // Pass 3 — block splitting. Regions the retry ladder
+                // can still shrink are sent back to region formation
+                // instead (keeps the historical ladder bit-identical);
+                // only irreducible regions — single WIR blocks, call
+                // spill and reload regions — are split, plus
+                // everything oversized on the final attempt.
+                const bool splitAll = attempt == MAX_ATTEMPTS - 1;
+                std::vector<HBlock> blocks;
+                std::vector<std::vector<Vreg>> liveSets;
+                std::vector<unsigned> blockDepth;
+                u64 preSplitNodes =
+                    local[static_cast<unsigned>(PassId::IfConvert)]
+                        .tilNodes;
+                for (u32 ri = 0; ri < hbs.size(); ++ri) {
+                    std::string reason = checkBlockLimits(hbs[ri]);
+                    if (!reason.empty() &&
+                        hbs[ri].wirMembers.size() > 1 && !splitAll)
+                        throw BlockOverflow{hbs[ri].wirMembers, reason};
+                    std::vector<HBlock> chunks;
+                    if (reason.empty()) {
+                        chunks.push_back(std::move(hbs[ri]));
+                    } else {
+                        chunks = splitPass(std::move(hbs[ri]), fname,
+                                           [&] { return fe.freshVreg(); },
+                                           &splitStats);
+                    }
+                    for (auto &c : chunks) {
+                        blocks.push_back(std::move(c));
+                        liveSets.push_back(regionLive[ri]);
+                        blockDepth.push_back(regionDepth[ri]);
+                    }
+                }
+                recordPass(local, PassId::Split, blocks, preSplitNodes);
+                passDebug(opts, fname, PassId::Split, blocks, true);
+
+                // Pass 4 — fanout.
+                u64 preFanoutNodes =
+                    local[static_cast<unsigned>(PassId::Split)].tilNodes;
+                for (HBlock &hb : blocks)
+                    fanoutPass(hb);
+                recordPass(local, PassId::Fanout, blocks, preFanoutNodes);
+                passDebug(opts, fname, PassId::Fanout, blocks, true);
+
+                // Pass 5 — spill-to-memory. Pure analysis here: the
+                // chooser reads the post-fanout blocks, and a
+                // non-empty plan sends the whole front end around for
+                // another round with the victims rewritten through
+                // frame slots. The TIL is untouched either way (no
+                // passDebug: dumps and verification would only repeat
+                // the fanout state), so when pressure fits — every
+                // pre-existing workload — this pass is bit-exact
+                // invisible.
+                u64 fanoutNodes =
+                    local[static_cast<unsigned>(PassId::Fanout)].tilNodes;
+                SpillPlan plan = chooseSpills(
+                    blocks, liveSets, blockDepth,
+                    [&fe](Vreg v) { return fe.spillableVreg(v); });
+                recordPass(local, PassId::Spill, blocks, fanoutNodes);
+                if (!plan.feasible)
+                    throw CompileError(
+                        ErrCode::ResourceExhausted,
+                        detail::formatMsg(
+                            "out of registers in ", fname, ": ",
+                            plan.detail, "; chosen-but-insufficient "
+                            "spill set: ",
+                            describeVictims(plan.victims), "; ",
+                            spilledSoFar,
+                            " value(s) spilled in earlier rounds"),
+                        fname);
+                if (!plan.victims.empty()) {
+                    if (round == MAX_SPILL_ROUNDS - 1)
+                        throw CompileError(
+                            ErrCode::ResourceExhausted,
+                            detail::formatMsg(
+                                "out of registers in ", fname,
+                                ": spill fixed point did not converge "
+                                "after ", round, " round(s): ",
+                                plan.maxLive, " live values at ",
+                                blocks[plan.pressureBlock].label,
+                                " still exceed the budget; spill set: ",
+                                describeVictims(plan.victims), "; ",
+                                spilledSoFar,
+                                " value(s) spilled in earlier rounds"),
+                            fname);
+                    std::vector<Vreg> vs;
+                    for (const SpillVictim &sv : plan.victims)
+                        vs.push_back(sv.v);
+                    Frontend::SpillRewrite rw = fe.spillToFrame(vs);
+                    cs.spilledValues += static_cast<unsigned>(vs.size());
+                    cs.spillSlots += rw.slots;
+                    cs.spillLoads += rw.loads;
+                    cs.spillStores += rw.stores;
+                    ++cs.spillRounds;
+                    spilledSoFar += static_cast<unsigned>(vs.size());
+                    spilled = true;
+                    continue;  // next round re-runs the front end
+                }
+
+                // Pass 6 — register allocation (no TIL shape change).
+                allocateRegisters(blocks, fname, liveSets);
+                recordPass(local, PassId::RegAlloc, blocks,
+                           local[static_cast<unsigned>(PassId::Spill)]
+                               .tilNodes);
+
+                // Pass 7 — emission.
+                FuncOutput outp;
+                outp.regions = nregions;
+                for (u32 hi = 0; hi < blocks.size(); ++hi) {
+                    std::vector<std::pair<u32, std::string>> fix, rfix;
+                    outp.emitted.push_back(
+                        emitBlock(blocks[hi], fname, fix, rfix));
+                    for (auto &[inst, label] : fix)
+                        outp.fixups.emplace_back(hi, inst, label, false);
+                    for (auto &[inst, label] : rfix)
+                        outp.fixups.emplace_back(hi, inst, label, true);
+                }
+                recordPass(local, PassId::Emit, blocks,
+                           local[static_cast<unsigned>(PassId::RegAlloc)]
+                               .tilNodes);
+
+                // Success: merge this attempt's counters.
+                for (unsigned p = 0; p < NUM_PASSES; ++p) {
+                    PassCounters &dst = cs.pass[p];
+                    const PassCounters &src = local[p];
+                    dst.tilBlocks += src.tilBlocks;
+                    dst.tilNodes += src.tilNodes;
+                    dst.movNodes += src.movNodes;
+                    dst.nullNodes += src.nullNodes;
+                    dst.testNodes += src.testNodes;
+                    dst.addedNodes += src.addedNodes;
+                }
+                cs.splitBlocks += splitStats.splitBlocks;
+                cs.spillWrites += splitStats.spillWrites;
+                cs.spillReads += splitStats.spillReads;
+                return outp;
+            } catch (const BlockOverflow &o) {
+                ++cs.overflowRetries;
+                if (o.wirBlocks.size() <= 1 ||
+                    attempt == MAX_ATTEMPTS - 1) {
+                    // The splitting pass is the backstop; if even it
+                    // gave up, report precisely what cannot be
+                    // compiled.
+                    std::string members;
+                    for (u32 b : o.wirBlocks)
+                        members += " " + std::to_string(b);
+                    throw CompileError(
+                        ErrCode::ResourceExhausted,
+                        detail::formatMsg("function ", fname,
+                                          ": WIR block(s)", members,
+                                          " exceed limit '", o.reason,
+                                          "' and cannot be split"),
+                        fname);
+                }
+                Options &op = fe.options();
+                if (attempt < 3 && op.regionBudgetOps > 20) {
+                    // First response: form smaller regions everywhere
+                    // rather than degrading one region to singletons.
+                    op.regionBudgetOps =
+                        std::max(18u, op.regionBudgetOps * 3 / 5);
+                    op.regionBudgetMem =
+                        std::max(8u, op.regionBudgetMem * 3 / 4);
                 } else {
-                    chunks = splitPass(std::move(hbs[ri]), fname,
-                                       [&] { return fe.freshVreg(); },
-                                       &splitStats);
+                    for (u32 b : o.wirBlocks)
+                        force_singleton.insert(b);
                 }
-                for (auto &c : chunks) {
-                    blocks.push_back(std::move(c));
-                    liveSets.push_back(regionLive[ri]);
-                }
-            }
-            recordPass(local, PassId::Split, blocks, preSplitNodes);
-            passDebug(opts, fname, PassId::Split, blocks, true);
-
-            // Pass 4 — fanout.
-            u64 preFanoutNodes =
-                local[static_cast<unsigned>(PassId::Split)].tilNodes;
-            for (HBlock &hb : blocks)
-                fanoutPass(hb);
-            recordPass(local, PassId::Fanout, blocks, preFanoutNodes);
-            passDebug(opts, fname, PassId::Fanout, blocks, true);
-
-            // Pass 5 — register allocation (no TIL shape change).
-            allocateRegisters(blocks, fname, liveSets);
-            recordPass(local, PassId::RegAlloc, blocks,
-                       local[static_cast<unsigned>(PassId::Fanout)]
-                           .tilNodes);
-
-            // Pass 6 — emission.
-            FuncOutput outp;
-            outp.regions = nregions;
-            for (u32 hi = 0; hi < blocks.size(); ++hi) {
-                std::vector<std::pair<u32, std::string>> fix, rfix;
-                outp.emitted.push_back(
-                    emitBlock(blocks[hi], fname, fix, rfix));
-                for (auto &[inst, label] : fix)
-                    outp.fixups.emplace_back(hi, inst, label, false);
-                for (auto &[inst, label] : rfix)
-                    outp.fixups.emplace_back(hi, inst, label, true);
-            }
-            recordPass(local, PassId::Emit, blocks,
-                       local[static_cast<unsigned>(PassId::RegAlloc)]
-                           .tilNodes);
-
-            // Success: merge this attempt's counters.
-            for (unsigned p = 0; p < NUM_PASSES; ++p) {
-                PassCounters &dst = cs.pass[p];
-                const PassCounters &src = local[p];
-                dst.tilBlocks += src.tilBlocks;
-                dst.tilNodes += src.tilNodes;
-                dst.movNodes += src.movNodes;
-                dst.nullNodes += src.nullNodes;
-                dst.testNodes += src.testNodes;
-                dst.addedNodes += src.addedNodes;
-            }
-            cs.splitBlocks += splitStats.splitBlocks;
-            cs.spillWrites += splitStats.spillWrites;
-            cs.spillReads += splitStats.spillReads;
-            return outp;
-        } catch (const BlockOverflow &o) {
-            ++cs.overflowRetries;
-            if (o.wirBlocks.size() <= 1 || attempt == MAX_ATTEMPTS - 1) {
-                // The splitting pass is the backstop; if even it gave
-                // up, report precisely what cannot be compiled.
-                std::string members;
-                for (u32 b : o.wirBlocks)
-                    members += " " + std::to_string(b);
-                throw CompileError(
-                    ErrCode::ResourceExhausted,
-                    detail::formatMsg("function ", fname,
-                                      ": WIR block(s)", members,
-                                      " exceed limit '", o.reason,
-                                      "' and cannot be split"),
-                    fname);
-            }
-            Options &op = fe.options();
-            if (attempt < 3 && op.regionBudgetOps > 20) {
-                // First response: form smaller regions everywhere
-                // rather than degrading one region to singletons.
-                op.regionBudgetOps =
-                    std::max(18u, op.regionBudgetOps * 3 / 5);
-                op.regionBudgetMem =
-                    std::max(8u, op.regionBudgetMem * 3 / 4);
-            } else {
-                for (u32 b : o.wirBlocks)
-                    force_singleton.insert(b);
             }
         }
+        if (!spilled)
+            throw CompileError(
+                ErrCode::ResourceExhausted,
+                "region splitting did not converge in " + fname, fname);
     }
     throw CompileError(
         ErrCode::ResourceExhausted,
-        "region splitting did not converge in " + fname, fname);
+        "spill fixed point did not converge in " + fname, fname);
 }
 
 } // namespace

@@ -15,8 +15,14 @@
  *      (this file);
  *   4. Fanout     — MOV trees for producers whose consumer count
  *      exceeds their target capacity;
- *   5. RegAlloc   — linear scan over region-crossing values;
- *   6. Emit       — TIL to isa::Block encoding.
+ *   5. Spill      — when more region-crossing values are live than
+ *      the 116 allocatable registers, choose victims by cost model
+ *      (spill.hh) and rewrite them through stack frame slots
+ *      (codegen.cc, `Frontend::spillToFrame`), then re-run the front
+ *      end; iterates to a fixed point and is a no-op when pressure
+ *      fits;
+ *   6. RegAlloc   — linear scan over region-crossing values;
+ *   7. Emit       — TIL to isa::Block encoding.
  *
  * Overflow policy: a region whose TIL graph exceeds a block limit
  * first triggers re-formation with smaller budgets, then singleton
@@ -95,6 +101,28 @@ class Frontend
     /** Final-attempt mode: lower oversized regions instead of throwing
      *  BlockOverflow; everything lands in the splitting pass. */
     void allowOversized(bool yes);
+
+    /** Natural-loop depth per region (parallel to formRegions output;
+     *  a region's depth is the max over its member WIR blocks). */
+    std::vector<unsigned> regionLoopDepths() const;
+
+    /** May the spill pass send this value to a frame slot? False for
+     *  parameters, the SP/RETVAL shadow vregs, and TIL-only vregs the
+     *  splitting pass invents (they do not exist in the WIR). */
+    bool spillableVreg(wir::Vreg v) const;
+
+    /** Instruction counts from one spill-to-memory rewrite. */
+    struct SpillRewrite
+    {
+        unsigned loads = 0, stores = 0, slots = 0;
+    };
+
+    /** Spill pass rewrite: route each victim through a dedicated stack
+     *  frame slot (store after every def, block-local reload before
+     *  every use), recompute liveness and caller-save plans, and leave
+     *  the front end ready for a fresh formRegions/ifConvert round.
+     *  Victims become block-local, so their register ranges vanish. */
+    SpillRewrite spillToFrame(const std::vector<wir::Vreg> &victims);
 
   private:
     struct Impl;

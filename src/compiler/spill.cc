@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Spill victim selection — see spill.hh. Mirrors the range computation
+ * of `allocateRegisters` (pipeline.cc) exactly; any divergence between
+ * the two shows up as the allocator's backstop throw.
+ */
+
+#include "compiler/spill.hh"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace trips::compiler {
+
+using til::HBlock;
+using wir::Vreg;
+
+namespace {
+
+struct Range
+{
+    u32 lo = 0xffffffff, hi = 0;
+    unsigned uses = 0;
+};
+
+} // namespace
+
+SpillPlan
+chooseSpills(const std::vector<HBlock> &hbs,
+             const std::vector<std::vector<Vreg>> &liveSets,
+             const std::vector<unsigned> &blockLoopDepth,
+             const std::function<bool(Vreg)> &spillable,
+             unsigned budget)
+{
+    SpillPlan plan;
+    if (hbs.empty())
+        return plan;
+
+    // Interval ranges, exactly as the linear-scan allocator builds
+    // them: allocatable (fixedReg < 0) read/write touch points,
+    // extended over WIR liveness for vregs that need a register at all.
+    std::map<Vreg, Range> ranges;
+    auto touch = [&](Vreg v, u32 block, bool isUse) {
+        if (v == wir::NO_VREG)
+            return;
+        auto &r = ranges[v];
+        r.lo = std::min(r.lo, block);
+        r.hi = std::max(r.hi, block);
+        if (isUse)
+            ++r.uses;
+    };
+    for (u32 i = 0; i < hbs.size(); ++i) {
+        for (const auto &r : hbs[i].reads) {
+            if (r.fixedReg < 0)
+                touch(r.v, i, true);
+        }
+        for (const auto &w : hbs[i].writes) {
+            if (w.fixedReg < 0)
+                touch(w.v, i, true);
+        }
+    }
+    for (u32 i = 0; i < liveSets.size() && i < hbs.size(); ++i) {
+        for (Vreg v : liveSets[i]) {
+            if (ranges.count(v))
+                touch(v, i, false);
+        }
+    }
+
+    // Point pressure per block via a difference array.
+    const u32 nb = static_cast<u32>(hbs.size());
+    std::vector<int> pressure(nb, 0);
+    {
+        std::vector<int> diff(nb + 1, 0);
+        for (const auto &[v, r] : ranges) {
+            ++diff[r.lo];
+            --diff[r.hi + 1];
+        }
+        int run = 0;
+        for (u32 i = 0; i < nb; ++i) {
+            run += diff[i];
+            pressure[i] = run;
+        }
+    }
+
+    auto depthOver = [&](u32 lo, u32 hi) {
+        unsigned d = 0;
+        for (u32 i = lo; i <= hi && i < blockLoopDepth.size(); ++i)
+            d = std::max(d, blockLoopDepth[i]);
+        return d;
+    };
+
+    // Record the initial peak for diagnostics before any relief.
+    for (u32 i = 0; i < nb; ++i) {
+        if (static_cast<unsigned>(pressure[i]) > plan.maxLive &&
+            pressure[i] > 0) {
+            plan.maxLive = static_cast<unsigned>(pressure[i]);
+            plan.pressureBlock = i;
+        }
+    }
+
+    std::map<Vreg, bool> chosen;
+    for (;;) {
+        // Current peak.
+        u32 peak = 0;
+        int peakP = 0;
+        for (u32 i = 0; i < nb; ++i) {
+            if (pressure[i] > peakP) {
+                peakP = pressure[i];
+                peak = i;
+            }
+        }
+        if (peakP <= static_cast<int>(budget))
+            break;
+
+        // Candidates: unspilled spillable ranges covering the peak.
+        // Cost order: shallow loop depth first (reloads in a loop body
+        // repeat per iteration), then few uses (each use inserts a
+        // load), then the widest range (most relief per spill), then
+        // vreg id for determinism.
+        bool have = false;
+        Vreg bestV = 0;
+        Range bestR;
+        std::tuple<unsigned, unsigned, i64, Vreg> bestKey{};
+        for (const auto &[v, r] : ranges) {
+            if (chosen.count(v) || !spillable(v))
+                continue;
+            if (r.lo > peak || r.hi < peak)
+                continue;
+            std::tuple<unsigned, unsigned, i64, Vreg> key{
+                depthOver(r.lo, r.hi), r.uses,
+                -static_cast<i64>(r.hi - r.lo), v};
+            if (!have || key < bestKey) {
+                have = true;
+                bestKey = key;
+                bestV = v;
+                bestR = r;
+            }
+        }
+        if (!have) {
+            plan.feasible = false;
+            plan.detail =
+                std::to_string(peakP) + " live values at " +
+                hbs[peak].label + " but no spillable candidate covers " +
+                "the peak (" + std::to_string(plan.victims.size()) +
+                " victim(s) already chosen this round)";
+            return plan;
+        }
+
+        chosen[bestV] = true;
+        plan.victims.push_back({bestV, bestR.lo, bestR.hi, bestR.uses,
+                                std::get<0>(bestKey)});
+        for (u32 i = bestR.lo; i <= bestR.hi && i < nb; ++i)
+            --pressure[i];
+    }
+    return plan;
+}
+
+} // namespace trips::compiler

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The spill-to-memory pass's victim chooser (pipeline pass 5).
+ *
+ * Register pressure over a function's TIL blocks is the number of
+ * simultaneously live region-crossing values: exactly the interval
+ * ranges the linear-scan allocator (pipeline.cc) builds from
+ * allocatable reads/writes extended by WIR liveness. Because region
+ * indices order the blocks linearly, those ranges form an interval
+ * graph and linear scan succeeds iff the peak point pressure fits the
+ * allocatable register budget (116 = NUM_REGS - FIRST_ALLOC_REG).
+ *
+ * `chooseSpills` replicates the allocator's range computation, finds
+ * the peak, and picks victims covering it by a simple cost model —
+ * prefer values outside loops, with few read/write touches, and with
+ * the widest ranges (one spill relieves the most regions) — until the
+ * peak fits. The pipeline driver then rewrites the victims through
+ * dedicated stack frame slots (Frontend::spillToFrame) and re-runs the
+ * front end; a rewritten victim is block-local afterwards, so its
+ * range vanishes and the iteration reaches a fixed point.
+ */
+
+#ifndef TRIPSIM_COMPILER_SPILL_HH
+#define TRIPSIM_COMPILER_SPILL_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "compiler/codegen.hh"
+#include "compiler/til.hh"
+
+namespace trips::compiler {
+
+/** One value chosen for spilling, with the cost-model inputs. */
+struct SpillVictim
+{
+    wir::Vreg v = 0;
+    u32 lo = 0, hi = 0;      ///< live range in TIL block indices
+    unsigned uses = 0;       ///< allocatable read/write touch points
+    unsigned loopDepth = 0;  ///< max natural-loop depth over [lo,hi]
+};
+
+/** The chooser's verdict for one regalloc attempt. */
+struct SpillPlan
+{
+    std::vector<SpillVictim> victims;  ///< spill set (may be empty)
+    unsigned maxLive = 0;   ///< peak simultaneous live values found
+    u32 pressureBlock = 0;  ///< TIL block index of the peak
+    bool feasible = true;   ///< false: peak cannot be relieved
+    std::string detail;     ///< diagnostic when infeasible
+};
+
+/** Allocatable registers available to region-crossing values. */
+constexpr unsigned SPILL_BUDGET =
+    isa::NUM_REGS - static_cast<unsigned>(abi::FIRST_ALLOC_REG);
+
+/**
+ * Choose a spill set that brings peak register pressure within
+ * `budget`. `liveSets` and `blockLoopDepth` are parallel to `hbs`;
+ * `spillable` vetoes values the rewrite cannot send to memory
+ * (parameters, the SP/RETVAL shadows, split-pass TIL-only vregs).
+ * Pure analysis: `hbs` is never modified, and a plan with no victims
+ * means the allocator will succeed as-is.
+ */
+SpillPlan chooseSpills(const std::vector<til::HBlock> &hbs,
+                       const std::vector<std::vector<wir::Vreg>> &liveSets,
+                       const std::vector<unsigned> &blockLoopDepth,
+                       const std::function<bool(wir::Vreg)> &spillable,
+                       unsigned budget = SPILL_BUDGET);
+
+} // namespace trips::compiler
+
+#endif // TRIPSIM_COMPILER_SPILL_HH

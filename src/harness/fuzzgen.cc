@@ -54,10 +54,13 @@ ShapeConfig::grown(unsigned step) const
         s.memSlots = 64;
     }
     if (step >= 3) {
+        // Past the 116 allocatable registers: every seed at this rung
+        // needs the spill-to-memory pass to compile at all.
         s.topStmts = 48;
         s.bodyStmts = 14;
         s.helperFuncs = 4;
         s.maxLoopTrip = 16;
+        s.liveValues = 140;
     }
     return s;
 }
@@ -69,6 +72,8 @@ ShapeConfig::cliFlags() const
     os << "--funcs " << helperFuncs << " --top " << topStmts
        << " --body " << bodyStmts << " --depth " << maxDepth
        << " --trip " << maxLoopTrip << " --slots " << memSlots;
+    if (liveValues)
+        os << " --live " << liveValues;
     if (!floats)
         os << " --no-float";
     if (!calls)
@@ -86,8 +91,10 @@ ShapeConfig::describe() const
     std::ostringstream os;
     os << "funcs=" << helperFuncs << " top=" << topStmts
        << " body=" << bodyStmts << " depth=" << maxDepth
-       << " trip=" << maxLoopTrip << " slots=" << memSlots
-       << (floats ? " +f" : " -f") << (calls ? " +c" : " -c")
+       << " trip=" << maxLoopTrip << " slots=" << memSlots;
+    if (liveValues)
+        os << " live=" << liveValues;
+    os << (floats ? " +f" : " -f") << (calls ? " +c" : " -c")
        << (memory ? " +m" : " -m") << (subWord ? " +w" : " -w");
     return os.str();
 }
@@ -522,9 +529,36 @@ class Gen
     {
         FunctionBuilder fb(mod, mod.mainFunction, 0);
         beginFunction(fb, 0);
+        // Register-pressure ballast: constants defined before the body
+        // and folded into acc after it are live across every region in
+        // between (deliberately NOT in the pool, so the body cannot
+        // shorten their ranges by rematerializing them). With
+        // liveValues > 116 the spill pass is mandatory, not incidental.
+        // Defs and folds are chunked across explicit block boundaries:
+        // a single straight-line WIR block is the one thing the
+        // splitting pass cannot carve up, so one giant ballast block
+        // would overflow the 128-instruction hyperblock format.
+        constexpr unsigned BALLAST_CHUNK = 16;
+        std::vector<Vreg> pinned;
+        for (unsigned k = 0; k < shape.liveValues; ++k) {
+            if (k && k % BALLAST_CHUNK == 0) {
+                std::string l = lbl("ballast");
+                fb.jmp(l);
+                fb.label(l);
+            }
+            pinned.push_back(fb.iconst(static_cast<i64>(rng.next())));
+        }
         stmts(shape.topStmts, 0);
         if (shape.memory)
             emitChecksumLoop(fb);
+        for (size_t k = 0; k < pinned.size(); ++k) {
+            if (k % BALLAST_CHUNK == 0) {
+                std::string l = lbl("fold");
+                fb.jmp(l);
+                fb.label(l);
+            }
+            fb.assign(fs.acc, fb.bxor(fs.acc, pinned[k]));
+        }
         fb.ret(fs.acc);
         fb.finish();
     }

@@ -44,6 +44,15 @@ struct ShapeConfig
     bool subWord = true;        ///< emit 1/2/4-byte memory widths
 
     /**
+     * Extra values pinned live across main's whole body (0 = none).
+     * Each is defined before the first statement and folded into the
+     * checksum after the last, so every one is a cross-region register
+     * value. Setting this above 116 (the allocatable register count)
+     * forces the compiler's spill-to-memory pass on every seed.
+     */
+    unsigned liveValues = 0;
+
+    /**
      * One step down the minimization ladder (0 = unchanged). Steps
      * progressively strip features and scale, ending at straight-line
      * integer arithmetic; past the last rung the shape stops changing.

@@ -138,6 +138,11 @@ putCompileStats(ByteWriter &w, const compiler::CompileStats &s)
     w.u64v(s.spillWrites);
     w.u64v(s.spillReads);
     w.u32v(s.overflowRetries);
+    w.u32v(s.spilledValues);
+    w.u32v(s.spillSlots);
+    w.u64v(s.spillLoads);
+    w.u64v(s.spillStores);
+    w.u32v(s.spillRounds);
     w.u32v(compiler::NUM_PASSES);
     for (const auto &pc : s.pass) {
         w.u64v(pc.tilBlocks);
@@ -164,6 +169,11 @@ getCompileStats(ByteReader &r)
     s.spillWrites = r.u64v();
     s.spillReads = r.u64v();
     s.overflowRetries = r.u32v();
+    s.spilledValues = r.u32v();
+    s.spillSlots = r.u32v();
+    s.spillLoads = r.u64v();
+    s.spillStores = r.u64v();
+    s.spillRounds = r.u32v();
     u32 passes = r.u32v();
     if (passes != compiler::NUM_PASSES)
         r.failParse(std::to_string(passes) + " compiler passes, this "

@@ -38,10 +38,10 @@ namespace trips::sim {
 
 /** Semantic version of the simulators + compiler. Part of every cache
  *  key: bump on any change that alters simulation results. */
-constexpr const char *SIM_VERSION = "tripsim-sim-1";
+constexpr const char *SIM_VERSION = "tripsim-sim-2";
 
 /** Byte-format version of the cached TripsRun record. */
-constexpr u32 CAMPAIGN_FORMAT = 1;
+constexpr u32 CAMPAIGN_FORMAT = 2;
 constexpr u32 CAMPAIGN_MAGIC = 0x4e525254;  // "TRRN" little-endian
 
 struct CacheKey

@@ -18,6 +18,7 @@ all()
         add(eembcWorkloads());
         add(specIntWorkloads());
         add(specFpWorkloads());
+        add(blasWorkloads());
         return v;
     }();
     return registry;

@@ -5,7 +5,10 @@
  * miniature proxies for the SPEC CPU2000 integer and floating-point
  * benchmarks (the proxy-to-original mapping is documented in
  * DESIGN.md §4). The fifteen "Simple" benchmarks additionally run
- * under the hand-optimized compiler preset.
+ * under the hand-optimized compiler preset. Beyond Table 2, a
+ * streaming BLAS ladder (workloads/blas.cc) spans the register-
+ * pressure spectrum from naive loops to a spill-forcing 12x12
+ * register-tiled matmul.
  *
  * Every workload is a WIR module builder; all execution models
  * (interpreter, RISC, TRIPS functional, TRIPS cycle-level) consume the
@@ -27,7 +30,7 @@ namespace trips::workloads {
 struct Workload
 {
     std::string name;
-    std::string suite;      ///< kernel | versa | eembc | specint | specfp
+    std::string suite;      ///< kernel | versa | eembc | specint | specfp | blas
     bool isSimple = false;  ///< member of the 15-benchmark Simple suite
     std::function<void(wir::Module &)> build;
 };
@@ -50,6 +53,7 @@ std::vector<Workload> versabenchWorkloads();
 std::vector<Workload> eembcWorkloads();
 std::vector<Workload> specIntWorkloads();
 std::vector<Workload> specFpWorkloads();
+std::vector<Workload> blasWorkloads();
 
 } // namespace trips::workloads
 

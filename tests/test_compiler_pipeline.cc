@@ -13,8 +13,10 @@
 #include <sstream>
 
 #include "compiler/pipeline.hh"
+#include "compiler/spill.hh"
 #include "compiler/til.hh"
 #include "core/machines.hh"
+#include "isa/disasm.hh"
 #include "wir/builder.hh"
 
 using namespace trips;
@@ -109,6 +111,15 @@ TEST(PassStats, VaddPinnedPerPassBreakdown)
     EXPECT_EQ(pass(cs, PassId::Split).addedNodes, 0u);
     EXPECT_EQ(pass(cs, PassId::Fanout).tilNodes, 94u);
     EXPECT_EQ(pass(cs, PassId::Fanout).addedNodes, 34u);
+    // The spill pass observes but does not touch vadd: its counters
+    // mirror fanout's and no spill activity is recorded.
+    EXPECT_EQ(pass(cs, PassId::Spill).tilNodes, 94u);
+    EXPECT_EQ(pass(cs, PassId::Spill).addedNodes, 0u);
+    EXPECT_EQ(cs.spilledValues, 0u);
+    EXPECT_EQ(cs.spillSlots, 0u);
+    EXPECT_EQ(cs.spillLoads, 0u);
+    EXPECT_EQ(cs.spillStores, 0u);
+    EXPECT_EQ(cs.spillRounds, 0u);
     EXPECT_EQ(cs.splitBlocks, 0u);
     EXPECT_EQ(cs.overflowRetries, 0u);
 }
@@ -127,6 +138,10 @@ TEST(PassStats, MesaPinnedPerPassBreakdown)
     EXPECT_EQ(pass(cs, PassId::IfConvert).movNodes, 14u);
     EXPECT_EQ(pass(cs, PassId::IfConvert).nullNodes, 7u);
     EXPECT_EQ(pass(cs, PassId::Fanout).addedNodes, 38u);
+    EXPECT_EQ(pass(cs, PassId::Spill).tilNodes, 111u);
+    EXPECT_EQ(pass(cs, PassId::Spill).addedNodes, 0u);
+    EXPECT_EQ(cs.spilledValues, 0u);
+    EXPECT_EQ(cs.spillRounds, 0u);
 }
 
 TEST(PassStats, StructuralInvariantsAcrossAllWorkloads)
@@ -178,6 +193,148 @@ TEST(PassStats, AllPresetsCompileUnderTilVerification)
         compileWorkload(w.name.c_str(), compiler::Options::basicBlock());
     }
     SUCCEED();
+}
+
+// ---------------------------------------------------------------------
+// Spill pass: no-op transparency, victim selection, forced spilling
+// ---------------------------------------------------------------------
+
+TEST(SpillPass, DisasmByteIdenticalWhenSpillingNeverTriggers)
+{
+    // Every pre-existing (non-BLAS) workload under all three presets:
+    // the spill pass must record zero activity, and two independent
+    // compiles must produce byte-identical disassembly — the pass is
+    // invisible whenever pressure fits the register file.
+    auto compileDisasm = [](const workloads::Workload &w,
+                            compiler::Options opts,
+                            compiler::CompileStats &cs) {
+        wir::Module mod;
+        w.build(mod);
+        auto prog = compiler::compileToTrips(mod, opts, &cs);
+        return isa::disasmProgram(prog);
+    };
+    for (const auto &w : workloads::all()) {
+        if (w.suite == "blas")
+            continue;  // the ladder's top rung spills by design
+        for (auto opts : {compiler::Options::compiled(),
+                          compiler::Options::hand(),
+                          compiler::Options::basicBlock()}) {
+            SCOPED_TRACE(w.name);
+            compiler::CompileStats a, b;
+            std::string d1 = compileDisasm(w, opts, a);
+            std::string d2 = compileDisasm(w, opts, b);
+            EXPECT_EQ(a.spilledValues, 0u);
+            EXPECT_EQ(a.spillRounds, 0u);
+            EXPECT_EQ(d1, d2);
+        }
+    }
+}
+
+TEST(SpillPass, RegisterTileMatmulSpillsAndStaysCorrect)
+{
+    // The BLAS ladder's 12x12 register-tiled matmul: 144 accumulators
+    // live across the k-loop guarantee real spill activity, and the
+    // spilled binary must still match the interpreter on both TRIPS
+    // models.
+    wir::Module mod;
+    workloads::find("matmul_tiled_unroll").build(mod);
+    i64 golden = core::runGolden(mod).retVal;
+
+    auto opts = compiler::Options::compiled();
+    opts.verifyTil = true;
+    compiler::CompileStats cs;
+    compiler::compileToTrips(mod, opts, &cs);
+    EXPECT_GT(cs.spilledValues, 0u);
+    EXPECT_GT(cs.spillSlots, 0u);
+    EXPECT_GT(cs.spillLoads, 0u);
+    EXPECT_GT(cs.spillStores, 0u);
+    EXPECT_GE(cs.spillRounds, 1u);
+    // Reloads are cached per block: never more loads than uses, and
+    // one store per spilled definition site at minimum.
+    EXPECT_GE(cs.spillStores, cs.spilledValues);
+
+    auto run = core::runTrips(mod, opts, true);
+    EXPECT_EQ(run.retVal, golden);
+    EXPECT_EQ(run.uarch.retVal, golden);
+}
+
+namespace {
+
+/** Two-block pressure graph: block 0 writes n values, block 1 reads
+ *  them all — every value is live across the boundary. */
+std::vector<HBlock>
+pressureGraph(unsigned n)
+{
+    HBlock b0, b1;
+    b0.label = "p.r0";
+    b1.label = "p.r1";
+    for (unsigned i = 0; i < n; ++i) {
+        HWrite w;
+        w.v = 100 + i;
+        b0.writes.push_back(w);
+        HRead r;
+        r.v = 100 + i;
+        b1.reads.push_back(r);
+    }
+    return {b0, b1};
+}
+
+} // namespace
+
+TEST(SpillChooser, PicksJustEnoughVictimsToMeetBudget)
+{
+    auto hbs = pressureGraph(8);
+    std::vector<std::vector<wir::Vreg>> live(2);
+    std::vector<unsigned> depth(2, 0);
+    auto plan = compiler::chooseSpills(
+        hbs, live, depth, [](wir::Vreg) { return true; }, 5);
+    EXPECT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.maxLive, 8u);
+    EXPECT_EQ(plan.victims.size(), 3u);
+    for (const auto &v : plan.victims) {
+        EXPECT_EQ(v.lo, 0u);
+        EXPECT_EQ(v.hi, 1u);
+    }
+}
+
+TEST(SpillChooser, RespectsTheSpillablePredicate)
+{
+    // Only a subset of the live values may be sent to memory (the
+    // pipeline excludes params and backend-invented vregs): victims
+    // must come exclusively from the spillable set even when cheaper
+    // candidates exist outside it.
+    auto hbs = pressureGraph(6);
+    std::vector<std::vector<wir::Vreg>> live(2);
+    std::vector<unsigned> depth = {0, 0};
+    auto plan = compiler::chooseSpills(
+        hbs, live, depth,
+        [](wir::Vreg v) { return v >= 103; },  // only the top 3 spillable
+        4);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.victims.size(), 2u);
+    for (const auto &v : plan.victims)
+        EXPECT_GE(v.v, 103u);
+}
+
+TEST(SpillChooser, ReportsInfeasibleWhenNothingIsSpillable)
+{
+    // The true hard-cap path that remains after the spill pass: peak
+    // pressure with no spillable candidate (e.g. all ABI-fixed or
+    // backend-invented values). The plan must come back infeasible
+    // with a diagnosable detail string, which the pipeline turns into
+    // the structured resource-exhausted CompileError.
+    auto hbs = pressureGraph(8);
+    std::vector<std::vector<wir::Vreg>> live(2);
+    std::vector<unsigned> depth(2, 0);
+    auto plan = compiler::chooseSpills(
+        hbs, live, depth, [](wir::Vreg) { return false; }, 5);
+    EXPECT_FALSE(plan.feasible);
+    EXPECT_EQ(plan.maxLive, 8u);
+    EXPECT_NE(plan.detail.find("no spillable candidate"),
+              std::string::npos)
+        << plan.detail;
+    EXPECT_NE(plan.detail.find("8 live values"), std::string::npos)
+        << plan.detail;
 }
 
 // ---------------------------------------------------------------------

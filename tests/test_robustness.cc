@@ -4,9 +4,12 @@
  *
  *  - Error taxonomy: Status formatting, transience classification,
  *    structured throw/catch plumbing.
- *  - Register-allocator exhaustion is a structured CompileError, with
- *    the known-fatal fuzz seed pinned and the guarded sweep proven to
- *    quarantine it into a JSONL ledger instead of dying.
+ *  - Register pressure beyond the 116 allocatable registers is
+ *    handled, not fatal: the historically allocator-exhausting fuzz
+ *    seed (quarantined as a CompileError from PR 6 until the spill
+ *    pass landed) now compiles through spill-to-memory, stays
+ *    golden-equivalent across models, and no longer appears in a
+ *    guarded sweep's quarantine ledger.
  *  - runGuarded: watchdog timeouts, transient-error retry with
  *    backoff, structured-failure capture.
  *  - Deterministic fault injection (sim/faultio): a matrix of >= 200
@@ -48,11 +51,13 @@ namespace fs = std::filesystem;
 namespace {
 
 /**
- * The pinned known-fatal fuzz shape: at this scale the generator
+ * The pinned high-pressure fuzz shape: at this scale the generator
  * reliably produces functions whose cross-region live values exceed
  * the 116 general registers the allocator can assign, and seed
- * FATAL_SEED is a specific reproducer (found by sweeping; spilling is
- * future work, until then this must stay a *catchable* CompileError).
+ * FATAL_SEED is a specific reproducer (found by sweeping). Before the
+ * spill pass this was the repo's canonical fatal CompileError; now it
+ * is the canonical proof that spilling turns that pressure into a
+ * correct, golden-equivalent program.
  */
 harness::ShapeConfig
 fatalShape()
@@ -69,7 +74,7 @@ constexpr u64 FATAL_SEED = 16;
 
 /** Sweep base chosen (by inverting taskSeed's splitmix64) so that
  *  taskSeed(FATAL_BASE, 0) == FATAL_SEED: a guarded sweep from this
- *  base meets the fatal program at index 0. */
+ *  base meets the high-pressure program at index 0. */
 constexpr u64 FATAL_BASE = 17707284481778151765ULL;
 
 /** Fresh scratch directory under the system temp dir. */
@@ -176,24 +181,36 @@ TEST(ErrorTaxonomy, CompileErrorIsACatchableTripsError)
 }
 
 // ---------------------------------------------------------------------
-// Register-allocator exhaustion: pinned fatal seed + quarantine
+// Register pressure beyond 116: the historically fatal seed now spills
 // ---------------------------------------------------------------------
 
-TEST(RegallocExhaustion, PinnedFuzzSeedThrowsStructuredCompileError)
+TEST(RegallocExhaustion, PinnedFuzzSeedCompilesViaSpilling)
 {
     auto mod = harness::generate(FATAL_SEED, fatalShape());
-    try {
-        compiler::compileToTrips(mod, compiler::Options::compiled());
-        FAIL() << "pinned seed no longer exhausts the allocator; "
-                  "find a new one (or celebrate: spilling works now)";
-    } catch (const CompileError &e) {
-        EXPECT_EQ(e.code(), ErrCode::ResourceExhausted);
-        EXPECT_NE(e.status().message.find("out of registers"),
-                  std::string::npos);
-    }
+    compiler::CompileStats cs;
+    // Must not throw: pressure beyond 116 is the spill pass's job now.
+    compiler::compileToTrips(mod, compiler::Options::compiled(), &cs);
+
+    // And it must have been the spill pass that saved it, not luck.
+    EXPECT_GT(cs.spilledValues, 0u);
+    EXPECT_GT(cs.spillSlots, 0u);
+    EXPECT_GT(cs.spillLoads, 0u);
+    EXPECT_GT(cs.spillStores, 0u);
+    EXPECT_GE(cs.spillRounds, 1u);
 }
 
-TEST(RegallocExhaustion, GuardedSweepQuarantinesTheFatalSeed)
+TEST(RegallocExhaustion, PinnedFuzzSeedIsGoldenEquivalentAcrossModels)
+{
+    // The full 6-model differential oracle, with the TIL verifier on:
+    // spilled code must not just run, it must agree with the WIR
+    // interpreter and every simulator tier bit-for-bit.
+    harness::DiffOptions opts;
+    opts.verifyTil = true;
+    auto r = harness::diffOne(FATAL_SEED, fatalShape(), opts);
+    EXPECT_TRUE(r.ok) << r.divergence << "\nrepro: " << r.reproCmd();
+}
+
+TEST(RegallocExhaustion, GuardedSweepNoLongerQuarantinesTheSeed)
 {
     ASSERT_EQ(harness::taskSeed(FATAL_BASE, 0), FATAL_SEED)
         << "taskSeed mapping changed; recompute FATAL_BASE";
@@ -206,21 +223,18 @@ TEST(RegallocExhaustion, GuardedSweepQuarantinesTheFatalSeed)
     auto res = harness::sweepDiffGuarded(pool, FATAL_BASE, 2,
                                          fatalShape(), {}, gcfg, ledger);
 
-    EXPECT_EQ(res.quarantined, 1u);
-    EXPECT_EQ(res.completed, 1u);
+    // Both tasks complete; nothing is quarantined, nothing diverges,
+    // and the ledger stays empty — seed 16 is an ordinary seed now.
+    EXPECT_EQ(res.quarantined, 0u);
+    EXPECT_EQ(res.completed, 2u);
     EXPECT_EQ(res.timeouts, 0u);
     EXPECT_TRUE(res.divergences.empty());
-    EXPECT_EQ(ledger.entries(), 1u);
+    EXPECT_EQ(ledger.entries(), 0u);
 
-    // The ledger line must carry everything triage needs.
     std::ifstream in(ledgerPath);
     std::string line;
-    ASSERT_TRUE(std::getline(in, line));
-    EXPECT_NE(line.find("\"seed\":16"), std::string::npos) << line;
-    EXPECT_NE(line.find("\"code\":\"resource-exhausted\""),
-              std::string::npos) << line;
-    EXPECT_NE(line.find("\"subsys\":\"compiler\""), std::string::npos);
-    EXPECT_NE(line.find("--repro 16"), std::string::npos) << line;
+    while (std::getline(in, line))
+        EXPECT_EQ(line.find("\"seed\":16"), std::string::npos) << line;
     fs::remove(ledgerPath);
 }
 

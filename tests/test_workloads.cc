@@ -149,6 +149,10 @@ TEST(Table2, EverySuiteMemberIsRegistered)
         {"specfp",
          {"applu", "apsi", "art", "equake", "mesa", "mgrid", "swim",
           "wupwise"}},
+        {"blas",
+         {"axpy", "axpy_unroll", "dot", "dot_unroll", "gemv",
+          "gemv_tiled", "matmul", "matmul_tiled",
+          "matmul_tiled_unroll"}},
     };
     size_t total = 0;
     for (const auto &[suite, members] : expected) {
