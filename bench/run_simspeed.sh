@@ -7,11 +7,14 @@
 # refuses to record anything else: the recorded context's
 # `library_build_type` is the build type of the *tripsim library* (the
 # code being measured) taken from CMakeCache.txt, and the run aborts
-# if it is debug. (google-benchmark's own context field of that name
-# describes the distro's libbenchmark harness package -- Debian ships
-# it without NDEBUG, so it reads "debug" even under -O3 -DNDEBUG
-# here; it is preserved as `benchmark_harness_build_type` since only
-# the measured library's flags move the recorded loop times.)
+# if it is debug. The harness's own build type (the JSON context's
+# original `library_build_type`, preserved under
+# `benchmark_harness_build_type`) must also be release: a debug
+# harness inflates the measured loop overhead around the library
+# calls. The default bundled minibench harness (bench/minibench/,
+# TRIPSIM_BUNDLED_BENCH_HARNESS=ON) compiles with the library's flags
+# so this holds automatically; distro libbenchmark packages ship
+# without NDEBUG and are rejected here.
 #
 # Usage: bench/run_simspeed.sh [build-dir] [extra google-benchmark args]
 # Example: bench/run_simspeed.sh build --benchmark_repetitions=3
@@ -65,6 +68,11 @@ context = raw.get("context", {})
 context["benchmark_harness_build_type"] = \
     context.get("library_build_type", "unknown")
 context["library_build_type"] = build_type
+if context["benchmark_harness_build_type"] != "release":
+    sys.exit("refusing to record: benchmark harness built as '%s', not"
+             " release; rebuild with TRIPSIM_BUNDLED_BENCH_HARNESS=ON"
+             " (default) or a release google-benchmark"
+             % context["benchmark_harness_build_type"])
 out = {
     "description": "tripsim simulator-speed microbenchmarks "
                    "(bench/bench_simspeed.cc); regenerate with "

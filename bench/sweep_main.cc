@@ -67,7 +67,9 @@
  *
  * Common flags: --jobs N (0 = all cores), --seed BASE, --no-cycle,
  * --verify-til (TIL structural verification between backend passes),
- * --grow K (the block-splitting stress ladder, see ShapeConfig).
+ * --grow K (the block-splitting stress ladder, see ShapeConfig),
+ * --engine legacy|predecoded (functional-simulator engine; default
+ * predecoded, with legacy kept as the bit-identity reference).
  */
 
 #include <chrono>
@@ -117,6 +119,7 @@ struct Args
     bool cycleLevel = true;
     bool repro = false;
     bool verifyTil = false;
+    sim::FuncEngine engine = sim::FuncEngine::Predecoded;
     bool dumpTil = false;
     bool compileStats = false;
     bool chip = false;
@@ -156,7 +159,7 @@ usage()
 {
     std::cerr
         << "usage: sweep_main [--jobs N] [--seed BASE] [--no-cycle]\n"
-        << "                  [--verify-til]\n"
+        << "                  [--verify-til] [--engine legacy|predecoded]\n"
         << "                  [--cache DIR] [--cache-fsck]\n"
         << "                  [--timeout-ms N] [--retries N]\n"
         << "                  [--quarantine FILE]\n"
@@ -174,6 +177,9 @@ usage()
         << "shape flags (fuzz/repro): --grow K --funcs N --top N\n"
         << "  --body N --depth N --trip N --slots N --live N\n"
         << "  --no-float --no-call --no-mem --no-subword\n"
+        << "--engine selects the functional-simulator engine (default\n"
+        << "predecoded; legacy is the reference interpreter the fast\n"
+        << "engine must match bit for bit);\n"
         << "--verify-til runs the TIL structural verifier between\n"
         << "backend passes of every TRIPS compile (fatal on violation);\n"
         << "--grow walks the block-splitting stress ladder.\n"
@@ -221,6 +227,14 @@ parse(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--mix-suite")) {
             a.chip = true;
             a.mixSuite = true;
+        } else if (!std::strcmp(argv[i], "--engine")) {
+            std::string e = val(i);
+            if (e == "legacy")
+                a.engine = sim::FuncEngine::Legacy;
+            else if (e == "predecoded")
+                a.engine = sim::FuncEngine::Predecoded;
+            else
+                usage();
         } else if (!std::strcmp(argv[i], "--verify-til")) {
             a.verifyTil = true;
         } else if (!std::strcmp(argv[i], "--dump-til")) {
@@ -440,6 +454,7 @@ runFuzz(const Args &a)
     harness::DiffOptions opts;
     opts.cycleLevel = a.cycleLevel;
     opts.verifyTil = a.verifyTil;
+    opts.engine = a.engine;
     harness::SweepPool pool(a.jobs);
 
     // Any robustness knob switches to the guarded sweep: structured
@@ -683,6 +698,7 @@ runChipFuzz(const Args &a)
     harness::ShapeConfig shape = a.shape();
     harness::DiffOptions opts;
     opts.verifyTil = a.verifyTil;
+    opts.engine = a.engine;
     harness::SweepPool pool(a.jobs);
 
     auto t0 = Clock::now();
@@ -717,6 +733,7 @@ runChipRepro(const Args &a)
               << ") [" << shape.describe() << "]\n";
     harness::DiffOptions opts;
     opts.verifyTil = a.verifyTil;
+    opts.engine = a.engine;
     auto r = harness::diffChipPair(a.reproSeed, a.seed2, shape, opts);
     std::cout << (r.ok ? "oracle: ok ("
                              + std::to_string(r.cycles)
@@ -762,7 +779,7 @@ runRepro(const Args &a)
             o.tilDump = &std::cout;
         MemImage fm, cm;
         auto r = core::runTrips(mod, o, cycle, uarch::UarchConfig{}, &fm,
-                                &cm);
+                                &cm, a.engine);
         std::cout << name << " retVal=" << r.retVal
                   << " blocks=" << r.isa.blocks << " fired=" << r.isa.fired
                   << (r.retVal == golden.retVal ? "" : "  <-- DIVERGES")
@@ -812,6 +829,7 @@ runRepro(const Args &a)
     harness::DiffOptions opts;
     opts.cycleLevel = a.cycleLevel;
     opts.verifyTil = a.verifyTil;
+    opts.engine = a.engine;
     auto full = harness::diffOne(a.reproSeed, shape, opts);
     std::cout << (full.ok ? "oracle: ok\n"
                           : "oracle: " + full.divergence + "\n");

@@ -174,7 +174,7 @@ diffOne(u64 seed, const ShapeConfig &shape, const DiffOptions &opts)
         auto copts = compiler::Options::compiled();
         copts.verifyTil = opts.verifyTil;
         auto r = core::runTrips(mod, copts, opts.cycleLevel, opts.ucfg,
-                                &fm, &cm);
+                                &fm, &cm, opts.engine);
         if (r.funcFuelExhausted && fail("trips functional exhausted fuel"))
             return res;
         if (fail(checkRetVal(golden.retVal, r.retVal, "trips/func")) ||
@@ -197,7 +197,7 @@ diffOne(u64 seed, const ShapeConfig &shape, const DiffOptions &opts)
         auto hopts = compiler::Options::hand();
         hopts.verifyTil = opts.verifyTil;
         auto r = core::runTrips(mod, hopts, false, opts.ucfg, &fm,
-                                nullptr);
+                                nullptr, opts.engine);
         if (r.funcFuelExhausted && fail("trips/hand exhausted fuel"))
             return res;
         if (fail(checkRetVal(golden.retVal, r.retVal, "trips/hand")) ||

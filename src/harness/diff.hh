@@ -40,6 +40,7 @@
 #include "harness/guard.hh"
 #include "harness/sweep.hh"
 #include "support/memimage.hh"
+#include "trips/func_sim.hh"
 #include "uarch/config.hh"
 
 namespace trips::harness {
@@ -62,6 +63,10 @@ struct DiffOptions
     /** Run the TIL structural verifier between backend passes of every
      *  TRIPS compile (fatal on violation); see compiler/til.hh. */
     bool verifyTil = false;
+    /** Functional engine for every FuncSim this oracle constructs.
+     *  Legacy is kept selectable as the bit-identity reference for the
+     *  pre-decoded engine (see trips/predecode.hh). */
+    sim::FuncEngine engine = sim::FuncEngine::Predecoded;
     uarch::UarchConfig ucfg{};
 };
 

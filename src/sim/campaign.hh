@@ -37,8 +37,11 @@
 namespace trips::sim {
 
 /** Semantic version of the simulators + compiler. Part of every cache
- *  key: bump on any change that alters simulation results. */
-constexpr const char *SIM_VERSION = "tripsim-sim-2";
+ *  key: bump on any change that alters simulation results — or could.
+ *  sim-3: functional runs moved to the pre-decoded engine; it is
+ *  verified bit-identical to legacy, but entries recorded by an older
+ *  engine must not outlive the verification that says so. */
+constexpr const char *SIM_VERSION = "tripsim-sim-3";
 
 /** Byte-format version of the cached TripsRun record. */
 constexpr u32 CAMPAIGN_FORMAT = 2;

@@ -41,7 +41,18 @@ class MemImage
     u64
     read(Addr a, unsigned bytes) const
     {
+        const Addr off = a & (PAGE_SIZE - 1);
         u64 v = 0;
+        if (off + bytes <= PAGE_SIZE) {
+            // Fast path: one page lookup for the whole access.
+            auto it = pages.find(a >> PAGE_BITS);
+            if (it == pages.end())
+                return 0;
+            const u8 *p = it->second.data() + off;
+            for (unsigned i = 0; i < bytes; ++i)
+                v |= static_cast<u64>(p[i]) << (8 * i);
+            return v;
+        }
         for (unsigned i = 0; i < bytes; ++i)
             v |= static_cast<u64>(read8(a + i)) << (8 * i);
         return v;
@@ -50,6 +61,13 @@ class MemImage
     void
     write(Addr a, u64 v, unsigned bytes)
     {
+        const Addr off = a & (PAGE_SIZE - 1);
+        if (off + bytes <= PAGE_SIZE) {
+            u8 *p = page(a).data() + off;
+            for (unsigned i = 0; i < bytes; ++i)
+                p[i] = static_cast<u8>(v >> (8 * i));
+            return;
+        }
         for (unsigned i = 0; i < bytes; ++i)
             write8(a + i, static_cast<u8>(v >> (8 * i)));
     }
@@ -111,6 +129,18 @@ class MemImage
     {
         auto it = pages.find(page_idx);
         return it == pages.end() ? nullptr : it->second.data();
+    }
+
+    /**
+     * Mutable raw bytes of the page containing @p a, creating the page
+     * if absent. The pointer stays valid until the image is assigned
+     * or moved over (page buffers are never moved or erased), which is
+     * what lets the functional fast path keep a one-entry page cache.
+     */
+    u8 *
+    pageMutable(Addr a)
+    {
+        return page(a).data();
     }
 
   private:

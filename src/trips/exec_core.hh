@@ -3,31 +3,162 @@
  * Shared scalar execution semantics for TRIPS compute opcodes, used by
  * both the functional block-dataflow simulator and the cycle-level tiled
  * simulator so the two models cannot diverge architecturally.
+ *
+ * Everything here is header-inline: evalOp is the single hottest call in
+ * the pre-decoded functional engine's fire loop, and inlining lets the
+ * compiler fold the dispatch switch into each call site.
  */
 
 #ifndef TRIPSIM_TRIPS_EXEC_CORE_HH
 #define TRIPSIM_TRIPS_EXEC_CORE_HH
+
+#include <cstring>
 
 #include "isa/opcode.hh"
 #include "support/common.hh"
 
 namespace trips::sim {
 
+namespace detail {
+
+inline double
+asF(u64 bits)
+{
+    double d;
+    std::memcpy(&d, &bits, 8);
+    return d;
+}
+
+inline u64
+asU(double d)
+{
+    u64 bits;
+    std::memcpy(&bits, &d, 8);
+    return bits;
+}
+
+} // namespace detail
+
 /**
  * Evaluate a non-memory, non-branch opcode over raw 64-bit operands.
  * Immediate-form opcodes take the immediate via @p imm. Floating point
  * interprets bit patterns as IEEE doubles.
+ *
+ * Force-inlined: the fast engine's per-opcode handlers call this with
+ * a compile-time-constant opcode so the switch folds to one operation,
+ * and that function is big enough that GCC's growth limits would
+ * otherwise outline the call (reintroducing the runtime dispatch).
  */
-u64 evalOp(isa::Opcode op, u64 a, u64 b, i64 imm);
+__attribute__((always_inline)) inline u64
+evalOp(isa::Opcode op, u64 a, u64 b, i64 imm)
+{
+    using isa::Opcode;
+    using detail::asF;
+    using detail::asU;
+    switch (op) {
+      case Opcode::ADD: return a + b;
+      case Opcode::SUB: return a - b;
+      case Opcode::MUL: return a * b;
+      case Opcode::DIV:
+        return static_cast<i64>(b)
+            ? static_cast<u64>(static_cast<i64>(a) / static_cast<i64>(b))
+            : 0;
+      case Opcode::DIVU: return b ? a / b : 0;
+      case Opcode::MOD:
+        return static_cast<i64>(b)
+            ? static_cast<u64>(static_cast<i64>(a) % static_cast<i64>(b))
+            : 0;
+      case Opcode::MODU: return b ? a % b : 0;
+      case Opcode::AND: return a & b;
+      case Opcode::OR: return a | b;
+      case Opcode::XOR: return a ^ b;
+      case Opcode::NOT: return ~a;
+      case Opcode::SLL: return a << (b & 63);
+      case Opcode::SRL: return a >> (b & 63);
+      case Opcode::SRA:
+        return static_cast<u64>(static_cast<i64>(a) >> (b & 63));
+      case Opcode::ADDI: return a + static_cast<u64>(imm);
+      case Opcode::MULI: return a * static_cast<u64>(imm);
+      case Opcode::ANDI: return a & static_cast<u64>(imm);
+      case Opcode::ORI: return a | static_cast<u64>(imm);
+      case Opcode::XORI: return a ^ static_cast<u64>(imm);
+      case Opcode::SLLI: return a << (imm & 63);
+      case Opcode::SRLI: return a >> (imm & 63);
+      case Opcode::SRAI:
+        return static_cast<u64>(static_cast<i64>(a) >> (imm & 63));
+      case Opcode::EXTSB:
+        return static_cast<u64>(static_cast<i64>(static_cast<i8>(a)));
+      case Opcode::EXTSH:
+        return static_cast<u64>(static_cast<i64>(static_cast<i16>(a)));
+      case Opcode::EXTSW:
+        return static_cast<u64>(static_cast<i64>(static_cast<i32>(a)));
+      case Opcode::EXTUB: return a & 0xff;
+      case Opcode::EXTUH: return a & 0xffff;
+      case Opcode::EXTUW: return a & 0xffffffffULL;
+      case Opcode::GENS: return static_cast<u64>(imm);
+      case Opcode::APP: return (a << 16) | (static_cast<u64>(imm) & 0xffff);
+      case Opcode::FADD: return asU(asF(a) + asF(b));
+      case Opcode::FSUB: return asU(asF(a) - asF(b));
+      case Opcode::FMUL: return asU(asF(a) * asF(b));
+      case Opcode::FDIV: return asU(asF(a) / asF(b));
+      case Opcode::ITOF: return asU(static_cast<double>(static_cast<i64>(a)));
+      case Opcode::FTOI: return static_cast<u64>(static_cast<i64>(asF(a)));
+      case Opcode::FNEG: return asU(-asF(a));
+      case Opcode::TEQ: return a == b;
+      case Opcode::TNE: return a != b;
+      case Opcode::TLT: return static_cast<i64>(a) < static_cast<i64>(b);
+      case Opcode::TLE: return static_cast<i64>(a) <= static_cast<i64>(b);
+      case Opcode::TGT: return static_cast<i64>(a) > static_cast<i64>(b);
+      case Opcode::TGE: return static_cast<i64>(a) >= static_cast<i64>(b);
+      case Opcode::TLTU: return a < b;
+      case Opcode::TGEU: return a >= b;
+      case Opcode::TEQI: return a == static_cast<u64>(imm);
+      case Opcode::TNEI: return a != static_cast<u64>(imm);
+      case Opcode::TLTI: return static_cast<i64>(a) < imm;
+      case Opcode::TGTI: return static_cast<i64>(a) > imm;
+      case Opcode::TFEQ: return asF(a) == asF(b);
+      case Opcode::TFNE: return asF(a) != asF(b);
+      case Opcode::TFLT: return asF(a) < asF(b);
+      case Opcode::TFLE: return asF(a) <= asF(b);
+      case Opcode::MOV: return a;
+      default:
+        TRIPS_PANIC("evalOp on non-ALU opcode ", isa::opName(op));
+    }
+}
 
 /** Memory access width in bytes for a load/store opcode. */
-unsigned memWidth(isa::Opcode op);
+inline unsigned
+memWidth(isa::Opcode op)
+{
+    using isa::Opcode;
+    switch (op) {
+      case Opcode::LB: case Opcode::LBU: case Opcode::SB: return 1;
+      case Opcode::LH: case Opcode::LHU: case Opcode::SH: return 2;
+      case Opcode::LW: case Opcode::LWU: case Opcode::SW: return 4;
+      case Opcode::LD: case Opcode::SD: return 8;
+      default:
+        TRIPS_PANIC("memWidth on non-memory opcode");
+    }
+}
 
 /** True if a sub-word load opcode sign-extends. */
-bool loadSigned(isa::Opcode op);
+inline bool
+loadSigned(isa::Opcode op)
+{
+    using isa::Opcode;
+    return op == Opcode::LB || op == Opcode::LH || op == Opcode::LW;
+}
 
 /** Sign-extend a loaded value per opcode semantics. */
-u64 extendLoad(isa::Opcode op, u64 raw);
+inline u64
+extendLoad(isa::Opcode op, u64 raw)
+{
+    unsigned bytes = memWidth(op);
+    if (bytes == 8 || !loadSigned(op))
+        return raw;
+    u64 sign = 1ULL << (8 * bytes - 1);
+    return (raw ^ sign) - sign;
+}
 
 } // namespace trips::sim
 

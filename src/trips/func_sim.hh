@@ -116,6 +116,19 @@ struct FuncResult
 };
 
 struct Checkpoint;
+struct DecodedBlock;
+class DecodedProgram;
+
+/**
+ * Execution-engine selection. Both engines are architecturally
+ * bit-identical (retVal, memory, ISA stats, committed blocks); the
+ * legacy interpreter stays compiled and reachable as the bit-identity
+ * reference for the pre-decoded fast path (see predecode.hh).
+ */
+enum class FuncEngine : u8 {
+    Legacy,      ///< per-instance token-scatter interpreter
+    Predecoded,  ///< pre-decoded threaded-code fast path (default)
+};
 
 class FuncSim
 {
@@ -123,8 +136,11 @@ class FuncSim
     /** Register holding the architectural return value by convention. */
     static constexpr unsigned RETVAL_REG = 3;
 
-    FuncSim(const isa::Program &prog, MemImage &mem);
+    FuncSim(const isa::Program &prog, MemImage &mem,
+            FuncEngine engine = FuncEngine::Predecoded);
     ~FuncSim();
+
+    FuncEngine engine() const { return engineSel; }
 
     /** Attach an observer of committed blocks (not owned). */
     void addObserver(BlockObserver *obs) { observers.push_back(obs); }
@@ -166,9 +182,29 @@ class FuncSim
     /** Architectural register file (readable after run). */
     const std::array<u64, isa::NUM_REGS> &regs() const { return regfile; }
 
+    /**
+     * Decoded-block cache accounting (predecoded engine; all zero
+     * under the legacy engine). Deliberately *not* part of IsaStats:
+     * the two engines must produce byte-identical stats, and cache
+     * footprint is a property of the engine, not the program.
+     */
+    u64 decodedBlocks() const;
+    u64 decodedBytes() const;
+    /** Blocks with no static schedule (legacy-interpreter fallback). */
+    u64 decodedFallbacks() const;
+
   private:
     struct BlockMeta;
     struct Scratch;
+
+    /** Post-commit control transfer of a fast-path block instance. */
+    struct FastExit
+    {
+        u32 nextBlock = 0;
+        i32 returnBlock = -1;
+        bool isCall = false;
+        bool isRet = false;
+    };
 
     /**
      * Execute one block instance; returns the record (owned by the
@@ -176,6 +212,14 @@ class FuncSim
      * buffers are allocated once, not per block).
      */
     BlockRecord &executeBlock(u32 bidx);
+
+    /**
+     * Pre-decoded fast path: one indexed walk over the block's static
+     * fire schedule. Used only when no observer is attached and the
+     * block is decodable (see predecode.hh); architecturally and
+     * statistically bit-identical to executeBlock().
+     */
+    FastExit executeBlockFast(u32 bidx, DecodedBlock &d);
     const BlockMeta &meta(u32 bidx);
 
     const isa::Program &prog;
@@ -185,6 +229,8 @@ class FuncSim
     std::vector<BlockObserver *> observers;
     std::vector<std::optional<BlockMeta>> metas;
     std::unique_ptr<Scratch> scratch;
+    FuncEngine engineSel;
+    std::unique_ptr<DecodedProgram> decoded;
     BlockRecord workRec;
     IsaStats stats;
 

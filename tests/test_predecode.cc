@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Engine-equivalence suite for the pre-decoded threaded-code
+ * functional engine (src/trips/predecode.hh): the fast engine must be
+ * architecturally *bit-identical* to the legacy token-scatter
+ * interpreter — retVal, final memory image, serialized ISA stats,
+ * committed-block count, and the full BlockObserver record stream —
+ * on every registered workload under both compiler presets, across a
+ * differential fuzz slice, and through checkpoints that cross engines
+ * in both directions. Plus unit tests of decodeBlock itself (cyclic
+ * blocks must fall back) and the decoded-block cache accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/codegen.hh"
+#include "harness/fuzzgen.hh"
+#include "harness/sweep.hh"
+#include "sim/checkpoint.hh"
+#include "trips/func_sim.hh"
+#include "trips/predecode.hh"
+#include "wir/interp.hh"
+#include "workloads/workload.hh"
+
+#include "testutil.hh"
+
+using namespace trips;
+
+namespace {
+
+std::vector<u8>
+isaBytes(const sim::IsaStats &s)
+{
+    sim::ByteWriter w;
+    sim::putIsaStats(w, s);
+    return w.data();
+}
+
+/** One engine's complete architectural outcome for a program. */
+struct EngineRun
+{
+    i64 retVal = 0;
+    u64 blocks = 0;
+    bool fuelExhausted = false;
+    std::vector<u8> stats;
+    MemImage mem;
+};
+
+EngineRun
+runEngine(const isa::Program &prog, const wir::Module &mod,
+          sim::FuncEngine engine, u64 fuel = 50'000'000)
+{
+    EngineRun r;
+    wir::Interp::loadGlobals(mod, r.mem);
+    sim::FuncSim fsim(prog, r.mem, engine);
+    auto res = fsim.run(fuel);
+    r.retVal = res.retVal;
+    r.blocks = fsim.blocksExecuted();
+    r.fuelExhausted = res.fuelExhausted;
+    r.stats = isaBytes(res.stats);
+    return r;
+}
+
+/** Assert the two engines produced byte-identical outcomes. */
+void
+expectIdentical(const EngineRun &legacy, const EngineRun &fast,
+                const std::string &what)
+{
+    EXPECT_EQ(legacy.retVal, fast.retVal) << what;
+    EXPECT_EQ(legacy.blocks, fast.blocks) << what;
+    EXPECT_EQ(legacy.fuelExhausted, fast.fuelExhausted) << what;
+    EXPECT_EQ(legacy.stats, fast.stats) << what << ": ISA stats differ";
+    EXPECT_EQ("", sim::diffMemImages(legacy.mem, fast.mem, what.c_str()));
+}
+
+// ---------------------------------------------------------------------
+// Every workload, both presets: full architectural byte-identity.
+// ---------------------------------------------------------------------
+
+TEST(PredecodeEquiv, AllWorkloadsBothPresets)
+{
+    unsigned checked = 0;
+    for (const auto &w : workloads::all()) {
+        wir::Module mod;
+        w.build(mod);
+        struct
+        {
+            const char *name;
+            compiler::Options opts;
+            bool enabled;
+        } presets[] = {
+            {"compiled", compiler::Options::compiled(), true},
+            {"hand", compiler::Options::hand(), w.isSimple},
+        };
+        for (const auto &p : presets) {
+            if (!p.enabled)
+                continue;
+            auto prog = compiler::compileToTrips(mod, p.opts);
+            auto legacy =
+                runEngine(prog, mod, sim::FuncEngine::Legacy);
+            auto fast =
+                runEngine(prog, mod, sim::FuncEngine::Predecoded);
+            expectIdentical(legacy, fast,
+                            w.name + "/" + p.name);
+            ++checked;
+        }
+    }
+    // The registry must not silently shrink under this suite.
+    EXPECT_GE(checked, workloads::all().size());
+}
+
+// ---------------------------------------------------------------------
+// Observer stream: with an observer attached the fast engine must
+// deliver exactly the legacy record stream (it is the input to the
+// Fig. 7/10 studies, so "roughly equal" is not enough).
+// ---------------------------------------------------------------------
+
+/** Serializes every committed-block record into one byte stream. */
+class RecordingObserver : public sim::BlockObserver
+{
+  public:
+    void onBlockCommit(const isa::Block &, const sim::BlockRecord &rec)
+        override
+    {
+        put32(rec.blockIdx);
+        put32(rec.nextBlock);
+        bytes.push_back(rec.exitTaken);
+        bytes.push_back(rec.isCall);
+        bytes.push_back(rec.isRet);
+        bytes.push_back(rec.halts);
+        put32(rec.branchInst);
+        put32(static_cast<u32>(rec.fired.size()));
+        for (const auto &f : rec.fired) {
+            put32(f.inst);
+            put32(static_cast<u32>(f.prodOp0));
+            put32(static_cast<u32>(f.prodOp1));
+            put32(static_cast<u32>(f.prodPred));
+            put32(static_cast<u32>(f.addr));
+            bytes.push_back(f.width);
+            bytes.push_back(f.nullToken);
+        }
+        put32(static_cast<u32>(rec.writeProducer.size()));
+        for (size_t i = 0; i < rec.writeProducer.size(); ++i) {
+            put32(static_cast<u32>(rec.writeProducer[i]));
+            bytes.push_back(rec.writeIsNull[i]);
+        }
+    }
+
+    std::vector<u8> bytes;
+
+  private:
+    void put32(u32 v)
+    {
+        for (int i = 0; i < 4; ++i)
+            bytes.push_back(static_cast<u8>(v >> (8 * i)));
+    }
+};
+
+TEST(PredecodeEquiv, ObserverStreamIdentical)
+{
+    for (const char *name : {"autocor", "a2time", "matmul"}) {
+        wir::Module mod;
+        workloads::find(name).build(mod);
+        auto prog =
+            compiler::compileToTrips(mod, compiler::Options::compiled());
+        std::vector<u8> streams[2];
+        i64 ret[2] = {0, 0};
+        sim::FuncEngine engines[2] = {sim::FuncEngine::Legacy,
+                                      sim::FuncEngine::Predecoded};
+        for (int e = 0; e < 2; ++e) {
+            MemImage mem;
+            wir::Interp::loadGlobals(mod, mem);
+            sim::FuncSim fsim(prog, mem, engines[e]);
+            RecordingObserver rec;
+            fsim.addObserver(&rec);
+            ret[e] = fsim.run().retVal;
+            streams[e] = std::move(rec.bytes);
+        }
+        EXPECT_EQ(ret[0], ret[1]) << name;
+        EXPECT_FALSE(streams[0].empty()) << name;
+        EXPECT_EQ(streams[0], streams[1])
+            << name << ": observer record streams differ";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Differential fuzz slice: generated programs, legacy vs predecoded.
+// ---------------------------------------------------------------------
+
+TEST(PredecodeEquiv, FuzzSlice)
+{
+    const u64 count = testutil::slowScale(500, 2000);
+    harness::ShapeConfig shape;
+    for (u64 i = 0; i < count; ++i) {
+        u64 seed = harness::taskSeed(0xdec0ded, i);
+        wir::Module mod = harness::generate(seed, shape);
+        auto prog =
+            compiler::compileToTrips(mod, compiler::Options::compiled());
+        auto legacy = runEngine(prog, mod, sim::FuncEngine::Legacy);
+        auto fast = runEngine(prog, mod, sim::FuncEngine::Predecoded);
+        expectIdentical(legacy, fast, "seed " + std::to_string(seed));
+        if (HasFailure()) {
+            ADD_FAILURE() << "repro: sweep_main --repro " << seed;
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoints crossing engines, both directions: a snapshot taken by
+// one engine restored into the other must finish bit-identically to
+// the uninterrupted run (resumability is engine-independent state).
+// ---------------------------------------------------------------------
+
+TEST(PredecodeEquiv, CheckpointCrossesEngines)
+{
+    wir::Module mod;
+    workloads::find("autocor").build(mod);
+    auto prog =
+        compiler::compileToTrips(mod, compiler::Options::compiled());
+    auto straight = runEngine(prog, mod, sim::FuncEngine::Legacy);
+    ASSERT_FALSE(straight.fuelExhausted);
+
+    sim::FuncEngine dirs[2][2] = {
+        {sim::FuncEngine::Legacy, sim::FuncEngine::Predecoded},
+        {sim::FuncEngine::Predecoded, sim::FuncEngine::Legacy},
+    };
+    for (const auto &d : dirs) {
+        // Walk in slices on d[0], snapshot each boundary, resume the
+        // snapshot on d[1] and demand the straight run's outcome.
+        MemImage wMem;
+        wir::Interp::loadGlobals(mod, wMem);
+        sim::FuncSim walker(prog, wMem, d[0]);
+        const u64 every = 500;
+        unsigned boundaries = 0;
+        for (unsigned k = 0; k < 5; ++k) {
+            walker.run(every);
+            if (walker.halted())
+                break;
+            sim::Checkpoint ck;
+            walker.snapshot(ck);
+            // Byte format exercised on the crossing too.
+            sim::Checkpoint rck = sim::deserializeCheckpoint(
+                sim::serializeCheckpoint(ck));
+            ++boundaries;
+
+            MemImage rMem;
+            sim::FuncSim resumed(prog, rMem, d[1]);
+            resumed.restore(rck);
+            auto rr = resumed.run();
+            ASSERT_FALSE(rr.fuelExhausted);
+            EXPECT_EQ(straight.retVal, rr.retVal);
+            EXPECT_EQ(straight.blocks, resumed.blocksExecuted());
+            EXPECT_EQ(straight.stats, isaBytes(rr.stats));
+            EXPECT_EQ("", sim::diffMemImages(straight.mem, rMem,
+                                             "crossed-engine mem"));
+        }
+        EXPECT_GE(boundaries, 2u)
+            << "workload too short to exercise engine crossing";
+    }
+}
+
+// ---------------------------------------------------------------------
+// decodeBlock unit tests.
+// ---------------------------------------------------------------------
+
+/** Smallest complete block: GENS feeding the lone write, plus RET. */
+isa::Block
+trivialBlock()
+{
+    isa::Block b;
+    b.label = "triv";
+    isa::Instruction gens;
+    gens.op = isa::Opcode::GENS;
+    gens.imm = 7;
+    gens.targets[0] = {isa::Target::Kind::Write, 0};
+    b.insts.push_back(gens);
+    isa::Instruction ret;
+    ret.op = isa::Opcode::RET;
+    b.insts.push_back(ret);
+    b.writes.push_back(isa::WriteInst{3});
+    return b;
+}
+
+TEST(PredecodeUnit, TrivialBlockDecodes)
+{
+    auto d = sim::decodeBlock(trivialBlock());
+    EXPECT_TRUE(d.usable);
+    ASSERT_EQ(d.n, 2);
+    // Sentinel terminates the schedule.
+    ASSERT_EQ(d.insts.size(), 3u);
+    EXPECT_EQ(d.insts[2].handler, sim::H_DONE);
+    EXPECT_GT(d.bytes(), 0u);
+}
+
+TEST(PredecodeUnit, DataflowCycleFallsBack)
+{
+    // Two MOVs feeding each other: no topological fire schedule
+    // exists, so the decoder must refuse and leave the legacy
+    // interpreter to raise its own diagnosis.
+    isa::Block b = trivialBlock();
+    isa::Instruction m0, m1;
+    m0.op = isa::Opcode::MOV;
+    m1.op = isa::Opcode::MOV;
+    m0.targets[0] = {isa::Target::Kind::Op0, 3}; // m1's slot
+    m1.targets[0] = {isa::Target::Kind::Op0, 2}; // m0's slot
+    b.insts.push_back(m0);
+    b.insts.push_back(m1);
+    auto d = sim::decodeBlock(b);
+    EXPECT_FALSE(d.usable);
+}
+
+TEST(PredecodeUnit, LsidOrderCycleFallsBack)
+{
+    // A later-LSID load feeding the address of an earlier-LSID store:
+    // the LSID chain orders store before load, the dataflow edge
+    // orders load before store — combined graph is cyclic.
+    isa::Block b;
+    b.label = "lsidcycle";
+    isa::Instruction addr;
+    addr.op = isa::Opcode::GENS;
+    addr.imm = 64;
+    addr.targets[0] = {isa::Target::Kind::Op0, 1}; // load address
+    b.insts.push_back(addr);
+    isa::Instruction ld;
+    ld.op = isa::Opcode::LD;
+    ld.lsid = 1;
+    ld.targets[0] = {isa::Target::Kind::Op0, 2}; // store address
+    b.insts.push_back(ld);
+    isa::Instruction st;
+    st.op = isa::Opcode::SD;
+    st.lsid = 0;
+    b.insts.push_back(st);
+    // Store value operand.
+    isa::Instruction val;
+    val.op = isa::Opcode::GENS;
+    val.imm = 1;
+    val.targets[0] = {isa::Target::Kind::Op1, 2};
+    b.insts.push_back(val);
+    isa::Instruction ret;
+    ret.op = isa::Opcode::RET;
+    b.insts.push_back(ret);
+    b.storeMask = 1u << 0;
+    auto d = sim::decodeBlock(b);
+    EXPECT_FALSE(d.usable);
+}
+
+// ---------------------------------------------------------------------
+// Decoded-block cache accounting.
+// ---------------------------------------------------------------------
+
+TEST(PredecodeUnit, CacheAccounting)
+{
+    wir::Module mod;
+    workloads::find("autocor").build(mod);
+    auto prog =
+        compiler::compileToTrips(mod, compiler::Options::compiled());
+
+    MemImage mem;
+    wir::Interp::loadGlobals(mod, mem);
+    sim::FuncSim fast(prog, mem, sim::FuncEngine::Predecoded);
+    fast.run();
+    // Lazy decode: only executed blocks are decoded, each at most once.
+    EXPECT_GT(fast.decodedBlocks(), 0u);
+    EXPECT_LE(fast.decodedBlocks(), prog.numBlocks());
+    EXPECT_GT(fast.decodedBytes(), 0u);
+    EXPECT_LE(fast.decodedFallbacks(), fast.decodedBlocks());
+    // Compiler-produced blocks all have static schedules today; a
+    // regression that starts rejecting them would silently fall back
+    // to legacy speed, so pin it.
+    EXPECT_EQ(fast.decodedFallbacks(), 0u);
+
+    MemImage lmem;
+    wir::Interp::loadGlobals(mod, lmem);
+    sim::FuncSim legacy(prog, lmem, sim::FuncEngine::Legacy);
+    legacy.run();
+    EXPECT_EQ(legacy.engine(), sim::FuncEngine::Legacy);
+    EXPECT_EQ(legacy.decodedBlocks(), 0u);
+    EXPECT_EQ(legacy.decodedBytes(), 0u);
+    EXPECT_EQ(legacy.decodedFallbacks(), 0u);
+}
+
+} // namespace
