@@ -706,6 +706,10 @@ FuncSim::executeBlockFast(u32 bidx, DecodedBlock &d)
                 s.pageW[off + k] = static_cast<u8>(v >> (8 * k));
         } else {
             mem.write(ea, v, width);
+            // A page-crossing write can create a page this cache
+            // recorded as absent (pageR == nullptr); drop the entry so
+            // the next fast-path access re-resolves it.
+            s.invalidatePageCache();
         }
     };
 

@@ -199,9 +199,15 @@ decodeBlock(const Block &b)
         di.src0 = encodeSlot(slotProd[3 * k + 0]);
         di.src1 = encodeSlot(slotProd[3 * k + 1]);
         di.srcP = encodeSlot(slotProd[3 * k + 2]);
+        // Stores and branches deliver nothing in the legacy engine
+        // (their fire paths skip the target loop), so encoded targets
+        // on them must not count as operand messages either —
+        // mirroring the producer-note exclusion above.
         u16 msgs = 0;
-        for (const auto &t : in.targets)
-            msgs += slotOf(t) < 3;
+        if (info.cls != OpClass::Store && info.cls != OpClass::Branch) {
+            for (const auto &t : in.targets)
+                msgs += slotOf(t) < 3;
+        }
         di.opMsgs = msgs;
         d.targetBlock[k] = in.targetBlock;
         d.returnBlock[k] = in.returnBlock;

@@ -346,6 +346,128 @@ TEST(PredecodeUnit, LsidOrderCycleFallsBack)
 }
 
 // ---------------------------------------------------------------------
+// Page-cache invalidation: the fast path keeps a one-entry page cache,
+// and a page-crossing store falls back to MemImage::write, which can
+// create the very page the cache recorded as absent. Sequence inside a
+// single block: load from a not-yet-resident page (caches pageR ==
+// nullptr), an unaligned store straddling into that page, then a load
+// that must observe the stored bytes, not stale zeros.
+// ---------------------------------------------------------------------
+
+TEST(PredecodeUnit, PageCrossingStoreInvalidatesPageCache)
+{
+    constexpr i32 kPage = 0x5000;         // page 5: never touched before
+    constexpr i32 kStraddle = kPage - 4;  // 8-byte store spans pages 4/5
+
+    isa::Block b;
+    b.label = "pagex";
+    b.insts.resize(8);
+    b.insts[0].op = isa::Opcode::GENS;    // probe-load address
+    b.insts[0].imm = kPage;
+    b.insts[0].targets[0] = {isa::Target::Kind::Op0, 1};
+    b.insts[1].op = isa::Opcode::LW;      // misses: page not resident
+    b.insts[1].lsid = 0;
+    b.insts[2].op = isa::Opcode::GENS;    // straddling store address
+    b.insts[2].imm = kStraddle;
+    b.insts[2].targets[0] = {isa::Target::Kind::Op0, 4};
+    b.insts[3].op = isa::Opcode::GENS;    // all-ones store value
+    b.insts[3].imm = -1;
+    b.insts[3].targets[0] = {isa::Target::Kind::Op1, 4};
+    b.insts[4].op = isa::Opcode::SD;
+    b.insts[4].lsid = 1;
+    b.insts[5].op = isa::Opcode::GENS;    // re-load address
+    b.insts[5].imm = kPage;
+    b.insts[5].targets[0] = {isa::Target::Kind::Op0, 6};
+    b.insts[6].op = isa::Opcode::LW;      // must see the stored bytes
+    b.insts[6].lsid = 2;
+    b.insts[6].targets[0] = {isa::Target::Kind::Write, 0};
+    b.insts[7].op = isa::Opcode::RET;
+    b.writes.push_back(isa::WriteInst{sim::FuncSim::RETVAL_REG});
+    b.storeMask = 1u << 1;
+
+    isa::Program prog;
+    prog.addBlock(std::move(b));
+    ASSERT_EQ("", prog.finalize());
+
+    for (auto eng :
+         {sim::FuncEngine::Legacy, sim::FuncEngine::Predecoded}) {
+        MemImage mem;
+        sim::FuncSim fsim(prog, mem, eng);
+        auto res = fsim.run();
+        EXPECT_EQ(res.retVal, -1)
+            << (eng == sim::FuncEngine::Legacy ? "legacy" : "predecoded")
+            << ": load after straddling store saw stale page cache";
+        if (eng == sim::FuncEngine::Predecoded) {
+            // The block must take the fast path for this to test it.
+            EXPECT_EQ(fsim.decodedFallbacks(), 0u);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stores and branches never deliver tokens in the legacy engine, so
+// encoded targets on them (representable in the block format, though
+// validateBlock rejects them) must not count as operand messages.
+// ---------------------------------------------------------------------
+
+TEST(PredecodeUnit, StoreAndBranchTargetsCountNoOperandMessages)
+{
+    isa::Block b;
+    b.label = "stmsg";
+    b.insts.resize(6);
+    b.insts[0].op = isa::Opcode::GENS;    // store address
+    b.insts[0].imm = 0x100;
+    b.insts[0].targets[0] = {isa::Target::Kind::Op0, 2};
+    b.insts[1].op = isa::Opcode::GENS;    // store value
+    b.insts[1].imm = 5;
+    b.insts[1].targets[0] = {isa::Target::Kind::Op1, 2};
+    b.insts[2].op = isa::Opcode::SB;
+    b.insts[2].lsid = 0;
+    b.insts[3].op = isa::Opcode::GENS;    // legit producer for the MOV
+    b.insts[3].imm = 9;
+    b.insts[3].targets[0] = {isa::Target::Kind::Op0, 4};
+    b.insts[4].op = isa::Opcode::MOV;
+    b.insts[5].op = isa::Opcode::RET;
+    b.storeMask = 1u << 0;
+
+    isa::Program prog;
+    prog.addBlock(std::move(b));
+    ASSERT_EQ("", prog.finalize());
+
+    // Inject encoded targets on the store and the branch after
+    // validation (their formats carry no target fields, so finalize
+    // would reject them): both point at the MOV's unused Op1 slot.
+    auto &mb = prog.mutableBlock(0);
+    mb.insts[2].targets[0] = {isa::Target::Kind::Op1, 4};
+    mb.insts[5].targets[0] = {isa::Target::Kind::Op1, 4};
+
+    // Decoder view: the anomalous targets contribute zero messages.
+    auto d = sim::decodeBlock(prog.block(0));
+    ASSERT_TRUE(d.usable);
+    u64 msgs = 0;
+    for (u16 i = 0; i < d.n; ++i) {
+        const auto cls = static_cast<isa::OpClass>(d.insts[i].cls);
+        if (cls == isa::OpClass::Store || cls == isa::OpClass::Branch) {
+            EXPECT_EQ(d.insts[i].opMsgs, 0u);
+        }
+        msgs += d.insts[i].opMsgs;
+    }
+    EXPECT_EQ(msgs, 3u);  // the three GENS deliveries only
+
+    // End to end: ISA stats (operandMessages included) stay
+    // byte-identical across engines.
+    std::vector<u8> stats[2];
+    int e = 0;
+    for (auto eng :
+         {sim::FuncEngine::Legacy, sim::FuncEngine::Predecoded}) {
+        MemImage mem;
+        sim::FuncSim fsim(prog, mem, eng);
+        stats[e++] = isaBytes(fsim.run().stats);
+    }
+    EXPECT_EQ(stats[0], stats[1]) << "ISA stats diverge across engines";
+}
+
+// ---------------------------------------------------------------------
 // Decoded-block cache accounting.
 // ---------------------------------------------------------------------
 
