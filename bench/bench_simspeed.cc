@@ -3,7 +3,12 @@
  *  bench/minibench/benchmark/benchmark.h). */
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "core/machines.hh"
+#include "uarch/chip_sim.hh"
+#include "wir/interp.hh"
 using namespace trips;
 
 // BM_FuncSim is the historical name tracked in BENCH_simspeed.json
@@ -49,6 +54,64 @@ static void BM_CycleSim(benchmark::State &state) {
     }
 }
 BENCHMARK(BM_CycleSim)->Unit(benchmark::kMillisecond);
+
+// The serial/parallel ChipSim pair drives the multicore CI perf gate:
+// same 4-core mix, lockstep reference vs the relaxed-quantum engine.
+// Programs are compiled once; each iteration gets fresh memory images
+// and a fresh chip. On a 1-core host the parallel engine only pays
+// its barrier overhead — the recorded speedup is meaningful on 8+
+// hardware threads (where CI runs the >=1.5x gate).
+namespace {
+
+struct ChipMixFixture {
+    std::vector<wir::Module> mods;
+    std::vector<isa::Program> progs;
+
+    ChipMixFixture() {
+        const char *names[] = {"vadd", "ct", "autocor", "8b10b"};
+        for (const char *n : names) {
+            mods.emplace_back();
+            workloads::find(n).build(mods.back());
+            progs.push_back(compiler::compileToTrips(
+                mods.back(), compiler::Options::compiled()));
+        }
+    }
+
+    u64 run(uarch::ChipEngine engine) {
+        uarch::ChipConfig ccfg;
+        ccfg.numCores = static_cast<unsigned>(progs.size());
+        ccfg.engine = engine;
+        std::vector<MemImage> mems(progs.size());
+        std::vector<uarch::ChipJob> jobs(progs.size());
+        for (size_t i = 0; i < progs.size(); ++i) {
+            wir::Interp::loadGlobals(mods[i], mems[i]);
+            jobs[i] = {&progs[i], &mems[i]};
+        }
+        uarch::ChipSim chip(jobs, ccfg);
+        return chip.run().cycles;
+    }
+};
+
+ChipMixFixture &chipMix() {
+    static ChipMixFixture f;
+    return f;
+}
+
+} // namespace
+
+static void BM_ChipSim_serial(benchmark::State &state) {
+    auto &f = chipMix();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(f.run(uarch::ChipEngine::Serial));
+}
+BENCHMARK(BM_ChipSim_serial)->Unit(benchmark::kMillisecond);
+
+static void BM_ChipSim_parallel(benchmark::State &state) {
+    auto &f = chipMix();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(f.run(uarch::ChipEngine::Parallel));
+}
+BENCHMARK(BM_ChipSim_parallel)->Unit(benchmark::kMillisecond);
 
 static void BM_OooModel(benchmark::State &state) {
     const auto &w = workloads::find("rspeed");

@@ -21,18 +21,29 @@
  *                   pass; --compile-stats prints the per-pass
  *                   CompileStats table].
  *
- * Chip mode (dual-core ChipSim over the shared L2/OCN uncore):
+ * Chip mode (N-core ChipSim over the shared L2/OCN uncore; --cores N
+ * selects the core count, default 2; --parallel switches from the
+ * serial lockstep reference to the relaxed-quantum parallel engine,
+ * with --quantum Q barrier cycles and --threads T worker cap):
  *
- *   --chip --fuzz N         N generated program *pairs*, each pair run
- *                           solo and side by side; chip cores must
- *                           match their solo runs architecturally.
- *   --chip --repro A --seed2 B   one pair, verbosely.
- *   --chip --mix A,B        run named workloads concurrently; prints
+ *   --chip --fuzz N         N generated program *mixes* (--cores
+ *                           programs each), every mix run solo and
+ *                           side by side; chip cores must match their
+ *                           solo runs architecturally. Under
+ *                           --parallel each mix is also replayed and
+ *                           must be byte-identical (determinism pin).
+ *   --chip --repro A --seed2 B      one pair, verbosely.
+ *   --chip --repro A --seeds A,B,C  one N-core mix, verbosely.
+ *   --chip --mix A,B,C,...  run named workloads concurrently (up to
+ *                           16; round-robin filled to --cores); prints
  *                           per-core slowdown, shared-L2 miss
  *                           inflation, bank conflicts, OCN occupancy.
- *   --chip --mix-suite      pair up the whole workload registry and
- *                           verify every dual-core mix against the
- *                           solo runs (the CI chip stage).
+ *   --chip --mix-suite      group the whole workload registry into
+ *                           --cores-sized mixes (round-robin tail
+ *                           fill) and verify every mix against the
+ *                           solo runs (the CI chip stage). With
+ *                           --json, emit a machine-readable summary
+ *                           carrying cores/engine/quantum/threads.
  *
  * Fast-simulation modes (src/sim/):
  *
@@ -74,6 +85,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -90,6 +102,7 @@
 #include "sim/sampling.hh"
 #include "harness/fuzzgen.hh"
 #include "harness/sweep.hh"
+#include "net/ocn.hh"
 #include "uarch/chip_sim.hh"
 #include "wir/interp.hh"
 
@@ -125,6 +138,12 @@ struct Args
     bool chip = false;
     bool mixSuite = false;
     std::string mix;
+    /** Chip-mode core count (0 = infer: mix size, or 2). */
+    unsigned cores = 0;
+    bool parallel = false;    ///< relaxed-quantum engine, not lockstep
+    unsigned quantum = 1024;  ///< parallel-engine barrier period
+    unsigned threads = 0;     ///< parallel-engine worker cap (0 = N)
+    std::vector<u64> seeds;   ///< --seeds: one per chip core
     std::string outFile;
     std::string cacheDir;
     u64 ckptEvery = 0;
@@ -171,9 +190,11 @@ usage()
         << "                     [--sample-tol PCT]\n"
         << "                     [--sample-spread S]\n"
         << "                     [--dump-til] [--compile-stats]\n"
-        << "                   | --chip (--fuzz N [--out F]\n"
-        << "                             | --repro A --seed2 B\n"
-        << "                             | --mix A,B | --mix-suite))\n"
+        << "                   | --chip [--cores N] [--parallel]\n"
+        << "                     [--quantum Q] [--threads T]\n"
+        << "                     (--fuzz N [--out F]\n"
+        << "                      | --repro A (--seed2 B | --seeds A,B,...)\n"
+        << "                      | --mix A,B,... | --mix-suite))\n"
         << "shape flags (fuzz/repro): --grow K --funcs N --top N\n"
         << "  --body N --depth N --trip N --slots N --live N\n"
         << "  --no-float --no-call --no-mem --no-subword\n"
@@ -183,8 +204,12 @@ usage()
         << "--verify-til runs the TIL structural verifier between\n"
         << "backend passes of every TRIPS compile (fatal on violation);\n"
         << "--grow walks the block-splitting stress ladder.\n"
-        << "--chip runs dual-core mixes on the shared L2/OCN uncore;\n"
-        << "each core must match its solo run architecturally.\n"
+        << "--chip runs N-core mixes on the shared L2/OCN uncore\n"
+        << "(--cores N, 1..16, default 2); each core must match its\n"
+        << "solo run architecturally. --parallel selects the\n"
+        << "relaxed-quantum engine (--quantum Q barrier cycles,\n"
+        << "--threads T worker cap); a given (mix, config, Q) is\n"
+        << "exactly replayable regardless of T.\n"
         << "robustness: --timeout-ms/--retries/--quarantine harden a\n"
         << "--fuzz sweep (watchdog, transient-I/O backoff, JSONL\n"
         << "ledger of quarantined seeds); --fault-seed S installs the\n"
@@ -219,8 +244,29 @@ parse(int argc, char **argv)
             a.grow = static_cast<unsigned>(std::stoul(val(i)));
         } else if (!std::strcmp(argv[i], "--seed2")) {
             a.seed2 = std::stoull(val(i));
+        } else if (!std::strcmp(argv[i], "--seeds")) {
+            a.chip = true;
+            std::string list = val(i), cur;
+            for (char ch : list + ",") {
+                if (ch == ',') {
+                    if (!cur.empty())
+                        a.seeds.push_back(std::stoull(cur));
+                    cur.clear();
+                } else {
+                    cur += ch;
+                }
+            }
         } else if (!std::strcmp(argv[i], "--chip")) {
             a.chip = true;
+        } else if (!std::strcmp(argv[i], "--cores")) {
+            a.chip = true;
+            a.cores = static_cast<unsigned>(std::stoul(val(i)));
+        } else if (!std::strcmp(argv[i], "--parallel")) {
+            a.parallel = true;
+        } else if (!std::strcmp(argv[i], "--quantum")) {
+            a.quantum = static_cast<unsigned>(std::stoul(val(i)));
+        } else if (!std::strcmp(argv[i], "--threads")) {
+            a.threads = static_cast<unsigned>(std::stoul(val(i)));
         } else if (!std::strcmp(argv[i], "--mix")) {
             a.chip = true;
             a.mix = val(i);
@@ -312,7 +358,7 @@ parse(int argc, char **argv)
     if (!a.figures && a.fuzzCount == 0 && !a.repro && a.mix.empty() &&
         !a.mixSuite && a.sampledList.empty() && !a.cacheFsck)
         usage();
-    if (a.chip && a.repro && a.seed2 == 0)
+    if (a.chip && a.repro && a.seed2 == 0 && a.seeds.empty())
         usage();
     if (a.cacheFsck && a.cacheDir.empty())
         usage();
@@ -520,7 +566,7 @@ runFuzz(const Args &a)
 }
 
 // ---------------------------------------------------------------------
-// --chip: dual-core (or N-core) mixes over the shared uncore.
+// --chip: N-core mixes over the shared uncore.
 // ---------------------------------------------------------------------
 
 double
@@ -528,6 +574,19 @@ l2MissPct(const uarch::UarchResult &r)
 {
     u64 total = r.l2Hits + r.l2Misses;
     return total ? 100.0 * static_cast<double>(r.l2Misses) / total : 0.0;
+}
+
+/** ChipConfig for an n-core mix under the flags' stepping engine. */
+uarch::ChipConfig
+chipConfig(const Args &a, unsigned n)
+{
+    uarch::ChipConfig ccfg;
+    ccfg.numCores = n;
+    ccfg.engine = a.parallel ? uarch::ChipEngine::Parallel
+                             : uarch::ChipEngine::Serial;
+    ccfg.quantum = a.quantum;
+    ccfg.threads = a.threads;
+    return ccfg;
 }
 
 struct MixReport
@@ -544,12 +603,12 @@ struct MixReport
  *  core reproduces its solo run architecturally (retVal + data
  *  segment). */
 MixReport
-runOneMix(const std::vector<const workloads::Workload *> &ws, bool print)
+runOneMix(const std::vector<const workloads::Workload *> &ws,
+          const Args &a, bool print)
 {
     MixReport rep;
     const size_t n = ws.size();
-    uarch::ChipConfig ccfg;
-    ccfg.numCores = static_cast<unsigned>(n);
+    uarch::ChipConfig ccfg = chipConfig(a, static_cast<unsigned>(n));
 
     std::vector<wir::Module> mods(n);
     std::vector<isa::Program> progs;
@@ -621,6 +680,23 @@ runOneMix(const std::vector<const workloads::Workload *> &ws, bool print)
     return rep;
 }
 
+/** One machine-readable summary line for --json chip runs, carrying
+ *  the full stepping configuration so sweep records are replayable. */
+void
+printChipJson(const Args &a, unsigned cores, size_t mixes, bool ok,
+              u64 cycles, u64 conflicts, double wallMs)
+{
+    std::cout << "{\"mixes\": " << mixes << ", \"cores\": " << cores
+              << ", \"engine\": \""
+              << uarch::chipEngineName(chipConfig(a, cores).engine)
+              << "\", \"quantum\": " << a.quantum
+              << ", \"threads\": " << a.threads
+              << ", \"chip_cycles\": " << cycles
+              << ", \"bank_conflicts\": " << conflicts
+              << ", \"wall_ms\": " << wallMs
+              << ", \"ok\": " << (ok ? "true" : "false") << "}\n";
+}
+
 int
 runMix(const Args &a)
 {
@@ -635,60 +711,109 @@ runMix(const Args &a)
             cur += ch;
         }
     }
-    if (ws.size() < 2 || ws.size() > 8) {
-        std::cerr << "--mix needs 2..8 workload names\n";
+    if (ws.empty() || ws.size() > net::OcnModel::MAX_CORES) {
+        std::cerr << "--mix needs 1..16 workload names\n";
         return 2;
     }
-    MixReport rep = runOneMix(ws, /*print=*/true);
+    if (a.cores > net::OcnModel::MAX_CORES) {
+        std::cerr << "--cores is capped at 16 (the OCN attach table)\n";
+        return 2;
+    }
+    // Fewer names than --cores: fill the remaining cores round-robin
+    // from the start of the list (so `--cores 4 --mix a,b` runs
+    // a,b,a,b).
+    if (a.cores > ws.size()) {
+        size_t given = ws.size();
+        while (ws.size() < a.cores)
+            ws.push_back(ws[ws.size() % given]);
+    }
+    if (ws.size() < 2) {
+        std::cerr << "--mix needs at least 2 cores (names or --cores)\n";
+        return 2;
+    }
+    auto t0 = Clock::now();
+    MixReport rep = runOneMix(ws, a, /*print=*/!a.json);
+    double wallMs = msSince(t0);
+    std::ostream &human = a.json ? std::cerr : std::cout;
     if (!rep.ok)
-        std::cout << "ARCHITECTURAL DIVERGENCE: " << rep.detail << "\n";
+        human << "ARCHITECTURAL DIVERGENCE: " << rep.detail << "\n";
     else
-        std::cout << "chip cores match their solo runs\n";
+        human << "chip cores match their solo runs\n";
+    if (a.json)
+        printChipJson(a, static_cast<unsigned>(ws.size()), 1, rep.ok,
+                      rep.chipCycles, rep.bankConflicts, wallMs);
     return rep.ok ? 0 : 1;
 }
 
 int
 runMixSuite(const Args &a)
 {
-    // Pair up the registry in order: (0,1), (2,3), ...; an odd tail
-    // pairs with the first workload.
+    // Group the registry in order into --cores-sized mixes: (0..n-1),
+    // (n..2n-1), ...; a short tail is filled round-robin from the
+    // start of the registry (generalizing the historical odd-tail
+    // pairing with the first workload).
+    const unsigned n = a.cores ? a.cores : 2;
+    if (n < 2 || n > net::OcnModel::MAX_CORES) {
+        std::cerr << "--mix-suite needs --cores 2..16\n";
+        return 2;
+    }
     const auto &all = workloads::all();
     std::vector<std::vector<const workloads::Workload *>> mixes;
-    for (size_t i = 0; i + 1 < all.size(); i += 2)
-        mixes.push_back({&all[i], &all[i + 1]});
-    if (all.size() % 2)
-        mixes.push_back({&all.back(), &all.front()});
+    for (size_t i = 0; i < all.size(); i += n) {
+        std::vector<const workloads::Workload *> mix;
+        for (size_t k = 0; k < n; ++k)
+            mix.push_back(&all[(i + k) % all.size()]);
+        mixes.push_back(std::move(mix));
+    }
 
     std::vector<MixReport> reps(mixes.size());
     harness::SweepPool pool(a.jobs);
     auto t0 = Clock::now();
     pool.parallelFor(mixes.size(), [&](u64 i) {
-        reps[i] = runOneMix(mixes[i], /*print=*/false);
+        reps[i] = runOneMix(mixes[i], a, /*print=*/false);
     });
     double wallMs = msSince(t0);
 
+    std::ostream &human = a.json ? std::cerr : std::cout;
     bool ok = true;
     unsigned contended = 0;
+    u64 cycles = 0, conflicts = 0;
     for (size_t i = 0; i < mixes.size(); ++i) {
         const auto &rep = reps[i];
         ok &= rep.ok;
+        cycles += rep.chipCycles;
+        conflicts += rep.bankConflicts;
         if (rep.bankConflicts > 0 || rep.maxMissInflation > 0)
             ++contended;
-        std::printf("%-10s + %-10s %10llu cyc  slowdown %6.3fx  "
-                    "conflicts %6llu  missInfl %+6.2fpp%s\n",
-                    mixes[i][0]->name.c_str(), mixes[i][1]->name.c_str(),
-                    (unsigned long long)rep.chipCycles, rep.maxSlowdown,
-                    (unsigned long long)rep.bankConflicts,
-                    rep.maxMissInflation,
-                    rep.ok ? "" : "  <-- DIVERGES");
+        std::string names = mixes[i][0]->name;
+        for (size_t k = 1; k < mixes[i].size(); ++k)
+            names += "+" + mixes[i][k]->name;
+        char line[256];
+        std::snprintf(line, sizeof line,
+                      "%-44s %10llu cyc  slowdown %6.3fx  "
+                      "conflicts %6llu  missInfl %+6.2fpp%s",
+                      names.c_str(),
+                      (unsigned long long)rep.chipCycles, rep.maxSlowdown,
+                      (unsigned long long)rep.bankConflicts,
+                      rep.maxMissInflation,
+                      rep.ok ? "" : "  <-- DIVERGES");
+        human << line << "\n";
         if (!rep.ok)
-            std::printf("    %s\n", rep.detail.c_str());
+            human << "    " << rep.detail << "\n";
     }
-    std::printf("%zu dual-core mixes over %zu workloads in %.0f ms; "
-                "%u mixes show shared-L2/OCN contention\n",
-                mixes.size(), all.size(), wallMs, contended);
-    std::printf("%s\n", ok ? "all chip cores match their solo runs"
-                           : "ARCHITECTURAL DIVERGENCES FOUND");
+    char tail[256];
+    std::snprintf(tail, sizeof tail,
+                  "%zu %u-core [%s] mixes over %zu workloads in %.0f ms; "
+                  "%u mixes show shared-L2/OCN contention",
+                  mixes.size(), n,
+                  uarch::chipEngineName(chipConfig(a, n).engine),
+                  all.size(), wallMs, contended);
+    human << tail << "\n"
+          << (ok ? "all chip cores match their solo runs"
+                 : "ARCHITECTURAL DIVERGENCES FOUND")
+          << "\n";
+    if (a.json)
+        printChipJson(a, n, mixes.size(), ok, cycles, conflicts, wallMs);
     return ok ? 0 : 1;
 }
 
@@ -699,6 +824,10 @@ runChipFuzz(const Args &a)
     harness::DiffOptions opts;
     opts.verifyTil = a.verifyTil;
     opts.engine = a.engine;
+    opts.chipCores = a.cores ? a.cores : 2;
+    opts.chipEngine = chipConfig(a, opts.chipCores).engine;
+    opts.chipQuantum = a.quantum;
+    opts.chipThreads = a.threads;
     harness::SweepPool pool(a.jobs);
 
     auto t0 = Clock::now();
@@ -706,12 +835,20 @@ runChipFuzz(const Args &a)
                                       opts);
     double wallMs = msSince(t0);
 
-    std::cout << "chip-fuzzed " << a.fuzzCount << " program pairs ["
+    std::cout << "chip-fuzzed " << a.fuzzCount << " mixes of "
+              << opts.chipCores << " programs ["
+              << uarch::chipEngineName(opts.chipEngine) << ", "
               << shape.describe() << "] on " << pool.jobs()
               << " worker(s) in " << wallMs << " ms\n";
     for (const auto &r : bad) {
-        std::cout << "DIVERGENCE seeds=(" << r.seed << "," << r.seedB
-                  << ") [" << r.shape.describe() << "]\n  "
+        std::cout << "DIVERGENCE seeds=(";
+        if (r.chipSeeds.empty()) {
+            std::cout << r.seed << "," << r.seedB;
+        } else {
+            for (size_t i = 0; i < r.chipSeeds.size(); ++i)
+                std::cout << (i ? "," : "") << r.chipSeeds[i];
+        }
+        std::cout << ") [" << r.shape.describe() << "]\n  "
                   << r.divergence << "\n  repro: " << r.reproCmd()
                   << "\n";
     }
@@ -729,12 +866,21 @@ int
 runChipRepro(const Args &a)
 {
     harness::ShapeConfig shape = a.shape();
-    std::cout << "chip pair seeds=(" << a.reproSeed << "," << a.seed2
-              << ") [" << shape.describe() << "]\n";
+    std::vector<u64> seeds =
+        a.seeds.empty() ? std::vector<u64>{a.reproSeed, a.seed2}
+                        : a.seeds;
     harness::DiffOptions opts;
     opts.verifyTil = a.verifyTil;
     opts.engine = a.engine;
-    auto r = harness::diffChipPair(a.reproSeed, a.seed2, shape, opts);
+    opts.chipEngine = chipConfig(a, 0).engine;
+    opts.chipQuantum = a.quantum;
+    opts.chipThreads = a.threads;
+    std::cout << "chip mix seeds=(";
+    for (size_t i = 0; i < seeds.size(); ++i)
+        std::cout << (i ? "," : "") << seeds[i];
+    std::cout << ") [" << uarch::chipEngineName(opts.chipEngine) << ", "
+              << shape.describe() << "]\n";
+    auto r = harness::diffChipMix(seeds, shape, opts);
     std::cout << (r.ok ? "oracle: ok ("
                              + std::to_string(r.cycles)
                              + " chip cycles)\n"

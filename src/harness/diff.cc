@@ -104,8 +104,17 @@ DiffResult::reproCmd() const
     std::ostringstream os;
     os << "build/sweep_main " << (chip ? "--chip " : "") << "--repro "
        << seed;
-    if (chip)
-        os << " --seed2 " << seedB;
+    if (chip) {
+        if (chipSeeds.size() > 2) {
+            os << " --seeds ";
+            for (size_t i = 0; i < chipSeeds.size(); ++i)
+                os << (i ? "," : "") << chipSeeds[i];
+        } else {
+            os << " --seed2 " << seedB;
+        }
+        if (chipEngine == uarch::ChipEngine::Parallel)
+            os << " --parallel --quantum " << chipQuantum;
+    }
     ShapeConfig dflt;
     for (unsigned s = 0; s <= ShapeConfig::SHRINK_STEPS; ++s) {
         if (dflt.shrunk(s).describe() == shape.describe()) {
@@ -212,10 +221,21 @@ DiffResult
 diffChipPair(u64 seed_a, u64 seed_b, const ShapeConfig &shape,
              const DiffOptions &opts)
 {
+    return diffChipMix({seed_a, seed_b}, shape, opts);
+}
+
+DiffResult
+diffChipMix(const std::vector<u64> &seeds, const ShapeConfig &shape,
+            const DiffOptions &opts)
+{
+    const size_t n = seeds.size();
     DiffResult res;
-    res.seed = seed_a;
-    res.seedB = seed_b;
     res.chip = true;
+    res.chipSeeds = seeds;
+    res.seed = n > 0 ? seeds[0] : 0;
+    res.seedB = n > 1 ? seeds[1] : 0;
+    res.chipEngine = opts.chipEngine;
+    res.chipQuantum = opts.chipQuantum;
     res.shape = shape;
 
     auto fail = [&res](std::string why) {
@@ -226,20 +246,29 @@ diffChipPair(u64 seed_a, u64 seed_b, const ShapeConfig &shape,
         return !res.ok;
     };
 
-    const wir::Module mods[2] = {generate(seed_a, shape),
-                                 generate(seed_b, shape)};
+    if (n < 1 || n > 16) {
+        fail("chip mix needs 1..16 seeds");
+        return res;
+    }
+
+    std::vector<wir::Module> mods;
+    mods.reserve(n);
+    for (u64 s : seeds)
+        mods.push_back(generate(s, shape));
 
     // Solo references: each program alone on a single core with the
     // same per-core config the chip will use. The compiled Programs
     // are reused for the chip run, so solo vs chip really isolates
-    // the shared uncore.
+    // the shared uncore (and, under Parallel, the stepping engine).
     auto copts = compiler::Options::compiled();
     copts.verifyTil = opts.verifyTil;
-    isa::Program progs[2] = {compiler::compileToTrips(mods[0], copts),
-                             compiler::compileToTrips(mods[1], copts)};
-    MemImage soloMem[2];
-    uarch::UarchResult solo[2];
-    for (unsigned c = 0; c < 2; ++c) {
+    std::vector<isa::Program> progs;
+    progs.reserve(n);
+    for (const auto &m : mods)
+        progs.push_back(compiler::compileToTrips(m, copts));
+    std::vector<MemImage> soloMem(n);
+    std::vector<uarch::UarchResult> solo(n);
+    for (size_t c = 0; c < n; ++c) {
         wir::Interp::loadGlobals(mods[c], soloMem[c]);
         uarch::CycleSim sim(progs[c], soloMem[c], opts.ucfg);
         solo[c] = sim.run();
@@ -253,16 +282,26 @@ diffChipPair(u64 seed_a, u64 seed_b, const ShapeConfig &shape,
 
     uarch::ChipConfig ccfg;
     ccfg.core = opts.ucfg;
-    ccfg.numCores = 2;
-    MemImage chipMem[2];
-    wir::Interp::loadGlobals(mods[0], chipMem[0]);
-    wir::Interp::loadGlobals(mods[1], chipMem[1]);
-    uarch::ChipSim chip({{&progs[0], &chipMem[0]},
-                         {&progs[1], &chipMem[1]}}, ccfg);
-    auto cr = chip.run();
+    ccfg.numCores = static_cast<unsigned>(n);
+    ccfg.engine = opts.chipEngine;
+    ccfg.quantum = opts.chipQuantum;
+    ccfg.threads = opts.chipThreads;
+
+    auto runChip = [&](std::vector<MemImage> &mems) {
+        std::vector<uarch::ChipJob> jobs(n);
+        for (size_t c = 0; c < n; ++c) {
+            wir::Interp::loadGlobals(mods[c], mems[c]);
+            jobs[c] = {&progs[c], &mems[c]};
+        }
+        uarch::ChipSim chip(jobs, ccfg);
+        return chip.run();
+    };
+
+    std::vector<MemImage> chipMem(n);
+    auto cr = runChip(chipMem);
     res.cycles = cr.cycles;
 
-    for (unsigned c = 0; c < 2; ++c) {
+    for (size_t c = 0; c < n; ++c) {
         std::ostringstream who;
         who << "chip/core" << c;
         const auto &u = cr.cores[c];
@@ -275,7 +314,7 @@ diffChipPair(u64 seed_a, u64 seed_b, const ShapeConfig &shape,
             fail(checkUarchInvariants(u, opts.ucfg)))
             return res;
         // Committed work is architectural: a core must commit exactly
-        // as many blocks beside a neighbor as it does alone.
+        // as many blocks beside its neighbors as it does alone.
         if (u.blocksCommitted != solo[c].blocksCommitted) {
             std::ostringstream os;
             os << who.str() << " committed " << u.blocksCommitted
@@ -283,6 +322,37 @@ diffChipPair(u64 seed_a, u64 seed_b, const ShapeConfig &shape,
             if (fail(os.str()))
                 return res;
         }
+    }
+
+    // The relaxed-quantum engine's determinism pin: an identical
+    // (mix, config, quantum) must replay to the cycle and counter.
+    if (opts.chipEngine == uarch::ChipEngine::Parallel) {
+        std::vector<MemImage> replayMem(n);
+        auto cr2 = runChip(replayMem);
+        std::ostringstream os;
+        if (cr2.cycles != cr.cycles) {
+            os << "parallel replay cycles " << cr2.cycles << " != "
+               << cr.cycles;
+        } else if (cr2.uncore.requests != cr.uncore.requests ||
+                   cr2.uncore.l2Hits != cr.uncore.l2Hits ||
+                   cr2.uncore.bankConflicts != cr.uncore.bankConflicts ||
+                   cr2.uncore.bankConflictCycles !=
+                       cr.uncore.bankConflictCycles ||
+                   cr2.ocn.totalPackets() != cr.ocn.totalPackets() ||
+                   cr2.ocn.flitHops != cr.ocn.flitHops) {
+            os << "parallel replay diverged on uncore statistics";
+        } else {
+            for (size_t c = 0; c < n; ++c) {
+                if (cr2.cores[c].cycles != cr.cores[c].cycles) {
+                    os << "parallel replay core " << c << " cycles "
+                       << cr2.cores[c].cycles << " != "
+                       << cr.cores[c].cycles;
+                    break;
+                }
+            }
+        }
+        if (fail(os.str()))
+            return res;
     }
     return res;
 }
@@ -412,8 +482,10 @@ minimizeDivergence(const DiffResult &bad, const DiffOptions &opts)
         DiffResult cand;
         try {
             cand = bad.chip
-                ? diffChipPair(bad.seed, bad.seedB,
-                               bad.shape.shrunk(step), opts)
+                ? diffChipMix(bad.chipSeeds.empty()
+                                  ? std::vector<u64>{bad.seed, bad.seedB}
+                                  : bad.chipSeeds,
+                              bad.shape.shrunk(step), opts)
                 : diffOne(bad.seed, bad.shape.shrunk(step), opts);
         } catch (const TripsError &) {
             // A rung that cannot even run (e.g. the shrunk shape
@@ -450,10 +522,13 @@ std::vector<DiffResult>
 sweepChipDiff(SweepPool &pool, u64 base, u64 count,
               const ShapeConfig &shape, const DiffOptions &opts)
 {
+    const unsigned n = opts.chipCores ? opts.chipCores : 2;
     std::vector<DiffResult> all(count);
     pool.parallelFor(count, [&](u64 i) {
-        all[i] = diffChipPair(taskSeed(base, 2 * i),
-                              taskSeed(base, 2 * i + 1), shape, opts);
+        std::vector<u64> seeds(n);
+        for (unsigned k = 0; k < n; ++k)
+            seeds[k] = taskSeed(base, n * i + k);
+        all[i] = diffChipMix(seeds, shape, opts);
     });
     std::vector<DiffResult> bad;
     for (auto &r : all) {

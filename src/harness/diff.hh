@@ -68,6 +68,14 @@ struct DiffOptions
      *  pre-decoded engine (see trips/predecode.hh). */
     sim::FuncEngine engine = sim::FuncEngine::Predecoded;
     uarch::UarchConfig ucfg{};
+
+    // Chip-mode knobs (diffChipMix / sweepChipDiff).
+    unsigned chipCores = 2;   ///< generated programs per chip mix
+    /** Chip stepping engine under test; Parallel additionally checks
+     *  run-to-run replay determinism of the whole chip result. */
+    uarch::ChipEngine chipEngine = uarch::ChipEngine::Serial;
+    unsigned chipQuantum = 1024;  ///< parallel-engine quantum (cycles)
+    unsigned chipThreads = 0;     ///< parallel-engine thread cap (0=N)
 };
 
 struct DiffResult
@@ -77,9 +85,12 @@ struct DiffResult
     bool ok = true;
     std::string divergence;   ///< empty iff ok; first failure found
 
-    // Chip-mode runs pair two generated programs on a dual-core chip.
+    // Chip-mode runs place N generated programs on an N-core chip.
     bool chip = false;
-    u64 seedB = 0;
+    u64 seedB = 0;            ///< seeds[1] (kept for 2-core repros)
+    std::vector<u64> chipSeeds;   ///< one per core, core-id order
+    uarch::ChipEngine chipEngine = uarch::ChipEngine::Serial;
+    unsigned chipQuantum = 1024;
 
     // Aggregate statistics for sweep reporting.
     u64 goldenDynOps = 0;
@@ -103,6 +114,19 @@ DiffResult diffOne(u64 seed, const ShapeConfig &shape = ShapeConfig{},
 DiffResult diffChipPair(u64 seed_a, u64 seed_b,
                         const ShapeConfig &shape = ShapeConfig{},
                         const DiffOptions &opts = DiffOptions{});
+
+/**
+ * N-core generalization of diffChipPair: one generated program per
+ * seed on a seeds.size()-core chip (1..16), stepped by
+ * opts.chipEngine. Every core must reproduce its solo run's retVal,
+ * final data segment, and committed-block count. Under the parallel
+ * engine the whole chip run is additionally executed twice and the
+ * two ChipResults must agree on cycles and every uncore counter (the
+ * relaxed-quantum replay determinism pin).
+ */
+DiffResult diffChipMix(const std::vector<u64> &seeds,
+                       const ShapeConfig &shape = ShapeConfig{},
+                       const DiffOptions &opts = DiffOptions{});
 
 /**
  * Checkpoint/restore differential oracle (see src/sim/checkpoint.hh).
@@ -156,9 +180,11 @@ std::vector<DiffResult> sweepDiff(SweepPool &pool, u64 base, u64 count,
                                   const DiffOptions &opts = DiffOptions{});
 
 /**
- * Chip-mode sweep: `count` dual-core pairs, pair i running seeds
- * taskSeed(base, 2i) and taskSeed(base, 2i+1). Divergences come back
- * minimized down the shrink ladder (both programs shrink together).
+ * Chip-mode sweep: `count` mixes of opts.chipCores generated programs
+ * each, mix i running seeds taskSeed(base, chipCores*i + k) on core k
+ * (the historical dual-core pairing for chipCores == 2). Divergences
+ * come back minimized down the shrink ladder (all programs of a mix
+ * shrink together).
  */
 std::vector<DiffResult> sweepChipDiff(
     SweepPool &pool, u64 base, u64 count,

@@ -27,6 +27,14 @@ MemorySystemConfig::validate() const
                physStride < (Addr{1} << 20)) {
         os << "physStride must be a power of two >= 1MB (per-core "
               "physical ranges must not alias)";
+    } else if (physAddrBits < 24 || physAddrBits > 48) {
+        os << "physAddrBits must be in [24, 48]";
+    } else if (physStride > (Addr{1} << physAddrBits) / numCores) {
+        os << "physical map overflow: " << numCores << " cores x "
+           << (physStride >> 20) << "MB physStride exceeds the "
+           << physAddrBits << "-bit physical address map ("
+           << ((Addr{1} << physAddrBits) >> 20) << "MB limit); the "
+              "upper cores' ranges would alias the lower cores'";
     } else {
         std::string err = l2Bank.validate("l2Bank");
         if (err.empty())

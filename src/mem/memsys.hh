@@ -78,6 +78,12 @@ struct MemorySystemConfig
     /** Per-core physical address offset (multi-programmed mixes own
      *  disjoint physical ranges); core 0 is unshifted. */
     Addr physStride = Addr{1} << 30;
+    /** Width of the physical address map. Every core's strided range
+     *  must fit: numCores x physStride <= 2^physAddrBits, or the
+     *  upper cores' traffic would wrap around and alias the lower
+     *  cores' lines. 34 bits (16GB) fits 16 cores at the default
+     *  1GB stride exactly. */
+    unsigned physAddrBits = 34;
 
     std::string validate() const;
 };
@@ -96,7 +102,32 @@ struct UncoreStats
     std::vector<u64> conflictsByCore;
 };
 
-class MemorySystem
+/**
+ * The request/response port surface a core sees of the uncore. The
+ * concrete MemorySystem implements it directly (solo cores and the
+ * serial lockstep ChipSim bind cores straight to the shared
+ * instance); the relaxed-quantum parallel engine interposes a
+ * per-core buffering proxy (uarch/chip_parallel.hh) behind the same
+ * interface, so CycleSim is agnostic to the stepping discipline.
+ */
+class UncorePort
+{
+  public:
+    virtual ~UncorePort() = default;
+
+    /** Port access: completion cycle + what happened (see access()
+     *  on MemorySystem for the latency model contract). */
+    virtual MemResponse access(const MemRequest &req, Cycle now) = 0;
+
+    /** Account a dirty L1 victim drained over the OCN (stats-only). */
+    virtual void noteL1Writeback(unsigned core, Addr victim_line,
+                                 unsigned bytes) = 0;
+
+    /** The shared uncore's configuration (bank geometry, latencies). */
+    virtual const MemorySystemConfig &config() const = 0;
+};
+
+class MemorySystem final : public UncorePort
 {
   public:
     explicit MemorySystem(const MemorySystemConfig &cfg);
@@ -104,10 +135,11 @@ class MemorySystem
     /** Port access: returns the completion cycle of the refill/fetch
      *  honoring NUCA distance, cross-core bank contention, and DRAM
      *  state. Deterministic given the request sequence. */
-    MemResponse access(const MemRequest &req, Cycle now);
+    MemResponse access(const MemRequest &req, Cycle now) override;
 
     /** Account a dirty L1 victim drained over the OCN (stats-only). */
-    void noteL1Writeback(unsigned core, Addr victim_line, unsigned bytes);
+    void noteL1Writeback(unsigned core, Addr victim_line,
+                         unsigned bytes) override;
 
     /** Sweep remaining dirty L2 lines into writeback accounting
      *  (idempotent); returns the number of lines drained. */
@@ -115,7 +147,7 @@ class MemorySystem
 
     const UncoreStats &stats() const;
     const net::OcnModel &ocn() const { return ocn_; }
-    const MemorySystemConfig &config() const { return cfg; }
+    const MemorySystemConfig &config() const override { return cfg; }
     const Cache &bank(unsigned b) const { return banks[b]; }
 
   private:

@@ -25,25 +25,59 @@ OcnConfig::validate() const
     return "";
 }
 
+namespace {
+
+/** (row, col) of an L2 bank on the 4x4 grid; banks beyond it (configs
+ *  with >16 banks) wrap onto it. */
+std::pair<unsigned, unsigned>
+bankCoord(unsigned bank)
+{
+    return {(bank / OcnModel::BANK_COLS) % OcnModel::BANK_ROWS,
+            bank % OcnModel::BANK_COLS};
+}
+
+unsigned
+gridDistance(std::pair<unsigned, unsigned> a, std::pair<unsigned, unsigned> b)
+{
+    unsigned dr = a.first > b.first ? a.first - b.first : b.first - a.first;
+    unsigned dc =
+        a.second > b.second ? a.second - b.second : b.second - a.second;
+    return dr + dc;
+}
+
+} // namespace
+
 OcnModel::OcnModel(const OcnConfig &cfg_, unsigned num_cores)
     : cfg(cfg_), numCores(num_cores)
 {
     TRIPS_ASSERT(cfg.validate().empty(), "invalid OcnConfig");
     TRIPS_ASSERT(num_cores >= 1, "OCN needs at least one core port");
+    TRIPS_ASSERT(num_cores <= MAX_CORES, "OCN attach table holds ",
+                 MAX_CORES, " core ports, asked for ", num_cores);
+}
+
+std::pair<unsigned, unsigned>
+OcnModel::attachPoint(unsigned core)
+{
+    // One distinct grid cell per core. Entries 0 and 1 reproduce the
+    // historical even/odd corner mirroring of the 2-core prototype
+    // bit-identically; 2..15 fill the remaining corners, then edge
+    // cells paired across the chip diagonal, then the interior.
+    static constexpr std::pair<unsigned, unsigned> TABLE[MAX_CORES] = {
+        {0, 0}, {3, 3},                  // the prototype's two corners
+        {0, 3}, {3, 0},                  // remaining corners
+        {0, 1}, {3, 2}, {1, 0}, {2, 3},  // edges near each corner...
+        {0, 2}, {3, 1}, {2, 0}, {1, 3},  // ...and their mirrors
+        {1, 1}, {2, 2}, {1, 2}, {2, 1},  // interior
+    };
+    TRIPS_ASSERT(core < MAX_CORES, "no attach point for core ", core);
+    return TABLE[core];
 }
 
 unsigned
 OcnModel::requestHops(unsigned core, unsigned bank) const
 {
-    // Banks beyond the 4x4 grid (configs with >16 banks) wrap onto it.
-    unsigned row = (bank / BANK_COLS) % BANK_ROWS;
-    unsigned col = bank % BANK_COLS;
-    // Even cores attach at the (0,0) corner -- exactly the NUCA
-    // distance the single-core model always charged -- odd cores at
-    // the mirrored (3,3) corner.
-    if (core % 2 == 0)
-        return row + col;
-    return (BANK_ROWS - 1 - row) + (BANK_COLS - 1 - col);
+    return gridDistance(attachPoint(core), bankCoord(bank));
 }
 
 Cycle
@@ -65,9 +99,13 @@ OcnModel::recordReply(unsigned core, unsigned bank, OcnClass cls,
 void
 OcnModel::recordWriteback(unsigned bank, unsigned bytes)
 {
-    // Drain to the nearer of the two corner memory controllers.
-    unsigned h0 = requestHops(0, bank);
-    unsigned h1 = requestHops(1, bank);
+    // Drain to the nearer of the two corner memory controllers, which
+    // sit at the (0,0)/(3,3) corners independent of core placement
+    // (under 2 cores this coincides with the old "nearer core attach
+    // point" computation, so the accounting is unchanged).
+    auto at = bankCoord(bank);
+    unsigned h0 = gridDistance(at, {0, 0});
+    unsigned h1 = gridDistance(at, {BANK_ROWS - 1, BANK_COLS - 1});
     record(OcnClass::Writeback, h0 < h1 ? h0 : h1, bytes);
 }
 

@@ -13,10 +13,14 @@
  *
  * Topology: the L2 banks form a 4x4 grid (matching the NUCA distance
  * model the single-core simulator always used: bank b sits at
- * (b/4, b%4)). Even-numbered cores attach at the (0,0) corner, odd
- * cores at the (3,3) corner, so the two processors of the prototype
- * chip see mirrored NUCA distance profiles. Memory controllers sit at
- * both corner attach points; writebacks drain to the nearer one.
+ * (b/4, b%4)). Up to 16 core ports attach at distinct grid positions
+ * from a fixed placement table: core 0 at the (0,0) corner -- exactly
+ * the NUCA distance profile the single-core model always charged --
+ * core 1 at the mirrored (3,3) corner (so the prototype's two
+ * processors keep their historical mirrored profiles bit-identically),
+ * and further cores fill the remaining corners, edges, then interior
+ * cells. Memory controllers sit at the two (0,0)/(3,3) corners;
+ * writebacks drain to the nearer one regardless of core placement.
  */
 
 #ifndef TRIPSIM_NET_OCN_HH
@@ -24,6 +28,7 @@
 
 #include <array>
 #include <string>
+#include <utility>
 
 #include "support/common.hh"
 #include "support/stats.hh"
@@ -75,8 +80,16 @@ class OcnModel
   public:
     static constexpr unsigned BANK_ROWS = 4;
     static constexpr unsigned BANK_COLS = 4;
+    /** Attach-point table capacity: one distinct grid cell per core. */
+    static constexpr unsigned MAX_CORES = BANK_ROWS * BANK_COLS;
 
     OcnModel(const OcnConfig &cfg, unsigned num_cores);
+
+    /** Grid position (row, col) a core port attaches at. Core 0 is
+     *  pinned to (0,0) and core 1 to (3,3) -- the historical
+     *  even/odd corner mirroring of the 2-core prototype -- with
+     *  further cores on distinct corner/edge/interior cells. */
+    static std::pair<unsigned, unsigned> attachPoint(unsigned core);
 
     /** Router hops from a core's attach point to an L2 bank. */
     unsigned requestHops(unsigned core, unsigned bank) const;

@@ -1,0 +1,229 @@
+#include "uarch/chip_parallel.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "uarch/cycle_sim.hh"
+
+namespace trips::uarch {
+
+// ---------------------------------------------------------------------
+// QuantumPort
+// ---------------------------------------------------------------------
+
+mem::MemResponse
+QuantumPort::access(const mem::MemRequest &req, Cycle now)
+{
+    PortOp op;
+    op.cycle = now;
+    op.req = req;
+    log.push_back(op);
+    if (now > lastCycle)
+        lastCycle = now;
+    return shadow->access(req, now);
+}
+
+void
+QuantumPort::noteL1Writeback(unsigned core_, Addr victim_line,
+                             unsigned bytes)
+{
+    PortOp op;
+    op.cycle = lastCycle;
+    op.req.addr = victim_line;
+    op.req.coreId = static_cast<u8>(core_);
+    op.bytes = bytes;
+    op.isNote = true;
+    log.push_back(op);
+    shadow->noteL1Writeback(core_, victim_line, bytes);
+}
+
+const mem::MemorySystemConfig &
+QuantumPort::config() const
+{
+    return shadow->config();
+}
+
+// ---------------------------------------------------------------------
+// QuantumEngine
+// ---------------------------------------------------------------------
+
+QuantumEngine::QuantumEngine(mem::MemorySystem &real_,
+                             const ChipConfig &cfg, unsigned num_ports)
+    : real(real_), quantum(cfg.quantum)
+{
+    TRIPS_ASSERT(quantum >= 1, "quantum must be >= 1");
+    TRIPS_ASSERT(num_ports >= 1 && num_ports <= cfg.numCores,
+                 "bad port count ", num_ports);
+    for (unsigned i = 0; i < num_ports; ++i) {
+        auto p = std::make_unique<QuantumPort>();
+        p->eng = this;
+        p->core = i;
+        p->shadow = std::make_unique<mem::MemorySystem>(real);
+        ports.push_back(std::move(p));
+    }
+    unsigned cap = cfg.threads ? cfg.threads : num_ports;
+    slotsFree = std::min(cap, num_ports);
+}
+
+QuantumEngine::~QuantumEngine() = default;
+
+mem::UncorePort &
+QuantumEngine::port(unsigned i)
+{
+    TRIPS_ASSERT(i < ports.size(), "no port for core ", i);
+    return *ports[i];
+}
+
+void
+QuantumEngine::run(std::vector<std::unique_ptr<CycleSim>> &cores)
+{
+    TRIPS_ASSERT(cores.size() == ports.size(),
+                 "engine built for ", ports.size(), " cores, driving ",
+                 cores.size());
+    // Warm-started cores may begin mid-stream; open the first window
+    // just above the youngest clock so every core gets to step.
+    Cycle start = cores[0]->currentCycle();
+    for (auto &c : cores)
+        start = std::min(start, c->currentCycle());
+    windowEnd = start + quantum;
+    participants = static_cast<unsigned>(cores.size());
+    arrived = 0;
+
+    std::vector<std::thread> workers;
+    workers.reserve(cores.size());
+    for (unsigned i = 0; i < cores.size(); ++i)
+        workers.emplace_back(&QuantumEngine::workerLoop, this, i,
+                             std::ref(*cores[i]));
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+QuantumEngine::workerLoop(unsigned i, CycleSim &core)
+{
+    // windowEnd was published before the threads launched; after that
+    // it only changes while this worker waits inside sync().
+    Cycle wend = windowEnd;
+    acquireSlot();
+    while (!core.done()) {
+        if (core.currentCycle() >= wend) {
+            releaseSlot();
+            SyncOut s = sync(i);
+            wend = s.windowEnd;
+            if (s.reclone)
+                reclone(i);
+            acquireSlot();
+            continue;
+        }
+        core.stepCycle();
+    }
+    releaseSlot();
+    drop(i);
+}
+
+QuantumEngine::SyncOut
+QuantumEngine::sync(unsigned i)
+{
+    std::unique_lock<std::mutex> lk(mu);
+    if (++arrived == participants) {
+        completeLocked();
+    } else {
+        u64 g = gen;
+        cv.wait(lk, [&] { return gen != g; });
+    }
+    return {windowEnd, ports[i]->mustReclone};
+}
+
+void
+QuantumEngine::drop(unsigned i)
+{
+    (void)i;
+    std::unique_lock<std::mutex> lk(mu);
+    --participants;
+    // The dropped core's tail ops ride the next completion; if it was
+    // the last arrival the barrier is complete right now (including
+    // participants == 0: everyone is done, flush the final window).
+    if (arrived == participants)
+        completeLocked();
+}
+
+void
+QuantumEngine::completeLocked()
+{
+    applyLogsLocked();
+    windowEnd += quantum;
+    arrived = 0;
+    ++gen;
+    cv.notify_all();
+}
+
+void
+QuantumEngine::applyLogsLocked()
+{
+    scratch.clear();
+    for (auto &p : ports)
+        scratch.insert(scratch.end(), p->log.begin(), p->log.end());
+    if (scratch.empty())
+        return;
+    // The ordering pin: (cycle, core id); each core's log is already
+    // in issue order and stable_sort preserves it within equal keys
+    // (ports are concatenated in core-id order).
+    std::stable_sort(scratch.begin(), scratch.end(),
+                     [](const QuantumPort::PortOp &a,
+                        const QuantumPort::PortOp &b) {
+                         if (a.cycle != b.cycle)
+                             return a.cycle < b.cycle;
+                         return a.req.coreId < b.req.coreId;
+                     });
+    for (const auto &op : scratch) {
+        if (op.isNote)
+            real.noteL1Writeback(op.req.coreId, op.req.addr, op.bytes);
+        else
+            (void)real.access(op.req, op.cycle);
+    }
+    // A shadow only diverged from the real uncore if *another* core's
+    // traffic was replayed (its own ops hit shadow and real in the
+    // same order, and MemorySystem is a deterministic state machine).
+    for (auto &p : ports) {
+        if (scratch.size() > p->log.size())
+            p->mustReclone = true;
+        p->log.clear();
+    }
+}
+
+void
+QuantumEngine::reclone(unsigned i)
+{
+    // Safe outside the barrier lock: the real MemorySystem is only
+    // written inside completeLocked(), which cannot run again until
+    // this worker re-arrives (it is still a participant).
+    *ports[i]->shadow = real;
+    ports[i]->mustReclone = false;
+}
+
+void
+QuantumEngine::applyPending()
+{
+    std::lock_guard<std::mutex> lk(mu);
+    applyLogsLocked();
+}
+
+void
+QuantumEngine::acquireSlot()
+{
+    std::unique_lock<std::mutex> lk(slotMu);
+    slotCv.wait(lk, [&] { return slotsFree > 0; });
+    --slotsFree;
+}
+
+void
+QuantumEngine::releaseSlot()
+{
+    {
+        std::lock_guard<std::mutex> lk(slotMu);
+        ++slotsFree;
+    }
+    slotCv.notify_one();
+}
+
+} // namespace trips::uarch

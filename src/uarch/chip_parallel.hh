@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The relaxed-quantum parallel chip engine (DESIGN.md §11).
+ *
+ * One worker thread per core advances its CycleSim up to a Q-cycle
+ * quantum, then blocks on a barrier. Between barriers a core never
+ * touches the shared MemorySystem: its uncore port is a QuantumPort
+ * proxy that answers synchronously from a private *shadow clone* of
+ * the memory system (taken at the last barrier) and logs every
+ * operation. The barrier's completing thread replays all logged
+ * operations into the real MemorySystem in a pinned order --
+ * (cycle, core id, per-core issue sequence) -- then re-clones the
+ * shadows that observed cross-core traffic and opens the next window.
+ *
+ * Determinism: a core's behavior inside a quantum is a pure function
+ * of its own state and its shadow, and every shadow is a pure
+ * function of the pinned replay stream, so a given (mix, config,
+ * quantum) is exactly replayable run-to-run and independent of the
+ * worker thread count and OS scheduling. Architectural results are
+ * engine-invariant (the uncore is timing-only); cross-core contention
+ * *timing* is relaxed -- a core sees the other cores' bank and DRAM
+ * pressure one quantum late -- so cycle counts are quantum-sensitive
+ * (quantum == 1 is not lockstep-identical either: responses still
+ * come from the shadow). The serial ChipEngine remains the bit-pinned
+ * reference.
+ */
+
+#ifndef TRIPSIM_UARCH_CHIP_PARALLEL_HH
+#define TRIPSIM_UARCH_CHIP_PARALLEL_HH
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mem/memsys.hh"
+#include "uarch/config.hh"
+
+namespace trips::uarch {
+
+class CycleSim;
+class QuantumEngine;
+
+/** Per-core uncore proxy: synchronous answers from the core's shadow
+ *  clone, with every operation logged for pinned replay. Only its
+ *  owning worker thread touches it between barriers. */
+class QuantumPort final : public mem::UncorePort
+{
+  public:
+    mem::MemResponse access(const mem::MemRequest &req,
+                            Cycle now) override;
+    void noteL1Writeback(unsigned core, Addr victim_line,
+                         unsigned bytes) override;
+    const mem::MemorySystemConfig &config() const override;
+
+  private:
+    friend class QuantumEngine;
+
+    /** One logged port operation, replayed at the barrier. Notes
+     *  reuse req.coreId/req.addr and carry no intrinsic cycle, so
+     *  they are stamped with the port's latest seen cycle. */
+    struct PortOp
+    {
+        Cycle cycle = 0;
+        mem::MemRequest req;
+        u32 bytes = 0;          ///< writeback note payload size
+        bool isNote = false;
+    };
+
+    QuantumEngine *eng = nullptr;
+    unsigned core = 0;
+    std::unique_ptr<mem::MemorySystem> shadow;
+    std::vector<PortOp> log;
+    Cycle lastCycle = 0;        ///< newest access cycle (stamps notes)
+    /** Set at barrier completion when another core's traffic was
+     *  replayed (the shadow diverged from the real uncore); cleared
+     *  by the owning worker after re-cloning. */
+    bool mustReclone = false;
+};
+
+/** Coordinator: owns the ports, the quantum barrier, and the worker
+ *  threads that drive a ChipSim's cores to completion. */
+class QuantumEngine
+{
+  public:
+    /** @p num_ports cores (= the chip's job count) will attach; the
+     *  real MemorySystem must outlive the engine. */
+    QuantumEngine(mem::MemorySystem &real, const ChipConfig &cfg,
+                  unsigned num_ports);
+    ~QuantumEngine();
+
+    QuantumEngine(const QuantumEngine &) = delete;
+    QuantumEngine &operator=(const QuantumEngine &) = delete;
+
+    /** The uncore port core @p i must be constructed against. */
+    mem::UncorePort &port(unsigned i);
+
+    /** Drive every core to done() on one worker thread per core
+     *  (concurrency capped at the config's `threads`); returns after
+     *  all workers joined and all in-window traffic is replayed. */
+    void run(std::vector<std::unique_ptr<CycleSim>> &cores);
+
+    /** Replay operations logged after run() returned (the cores'
+     *  finish() writeback drains); call before reading the real
+     *  MemorySystem's final state. */
+    void applyPending();
+
+  private:
+    struct SyncOut
+    {
+        Cycle windowEnd;
+        bool reclone;
+    };
+
+    void workerLoop(unsigned i, CycleSim &core);
+    SyncOut sync(unsigned i);
+    void drop(unsigned i);
+    void completeLocked();
+    void applyLogsLocked();
+    void reclone(unsigned i);
+    void acquireSlot();
+    void releaseSlot();
+
+    mem::MemorySystem &real;
+    unsigned quantum;
+    std::vector<std::unique_ptr<QuantumPort>> ports;
+
+    // Quantum barrier (workers not in sync()/drop() never touch the
+    // real MemorySystem, so completeLocked() replays race-free).
+    std::mutex mu;
+    std::condition_variable cv;
+    unsigned participants = 0;
+    unsigned arrived = 0;
+    u64 gen = 0;
+    Cycle windowEnd = 0;
+    std::vector<QuantumPort::PortOp> scratch;   ///< replay merge buffer
+
+    // Concurrency cap: a counting semaphore over stepping workers
+    // (slots are released around barrier waits, so any cap >= 1 is
+    // deadlock-free and, by design, result-invariant).
+    std::mutex slotMu;
+    std::condition_variable slotCv;
+    unsigned slotsFree = 0;
+};
+
+} // namespace trips::uarch
+
+#endif // TRIPSIM_UARCH_CHIP_PARALLEL_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.hh"
+#include "uarch/chip_parallel.hh"
 
 namespace trips::uarch {
 
@@ -27,30 +28,44 @@ checkedChip(const ChipConfig &cfg, size_t num_jobs)
 ChipSim::ChipSim(const std::vector<ChipJob> &jobs, const ChipConfig &cfg_)
     : cfg(checkedChip(cfg_, jobs.size())), msys(cfg.uncore())
 {
+    if (cfg.engine == ChipEngine::Parallel)
+        par = std::make_unique<QuantumEngine>(
+            msys, cfg, static_cast<unsigned>(jobs.size()));
     for (size_t i = 0; i < jobs.size(); ++i) {
         TRIPS_ASSERT(jobs[i].prog && jobs[i].mem,
                      "chip job ", i, " missing program or memory");
+        mem::UncorePort &port =
+            par ? par->port(static_cast<unsigned>(i))
+                : static_cast<mem::UncorePort &>(msys);
         cores.push_back(std::make_unique<CycleSim>(
-            *jobs[i].prog, *jobs[i].mem, cfg.core, msys,
+            *jobs[i].prog, *jobs[i].mem, cfg.core, port,
             static_cast<unsigned>(i)));
         if (jobs[i].warmStart)
             cores.back()->warmStart(*jobs[i].warmStart);
     }
 }
 
+ChipSim::~ChipSim() = default;
+
 ChipResult
 ChipSim::run()
 {
-    // Lockstep: every chip cycle steps the still-running cores in
-    // core-id order, so same-cycle bank contention resolves with
-    // deterministic fixed priority.
-    bool any = true;
-    while (any) {
-        any = false;
-        for (auto &c : cores) {
-            if (!c->done()) {
-                c->stepCycle();
-                any = true;
+    if (par) {
+        // Relaxed-quantum parallel engine: per-core worker threads,
+        // pinned-order replay at quantum barriers.
+        par->run(cores);
+    } else {
+        // Lockstep: every chip cycle steps the still-running cores in
+        // core-id order, so same-cycle bank contention resolves with
+        // deterministic fixed priority.
+        bool any = true;
+        while (any) {
+            any = false;
+            for (auto &c : cores) {
+                if (!c->done()) {
+                    c->stepCycle();
+                    any = true;
+                }
             }
         }
     }
@@ -62,6 +77,11 @@ ChipSim::run()
         r.cycles = std::max(r.cycles, r.cores.back().cycles);
         r.anyFuelExhausted |= r.cores.back().fuelExhausted;
     }
+    // finish() drained each core's dirty L1D through its port; under
+    // the parallel engine those notes sit in the per-core logs until
+    // replayed here -- before the L2's own drain reads final state.
+    if (par)
+        par->applyPending();
     r.l2DirtyDrained = msys.drainDirtyLines();
     r.uncore = msys.stats();
     r.ocn = msys.ocn().stats();

@@ -4,17 +4,23 @@
  * has two) sharing one uncore (NUCA L2 + OCN + DRAM; see
  * mem/memsys.hh), running a multi-programmed workload mix.
  *
- * Clocking and determinism: all cores advance in lockstep on a shared
- * cycle clock. Each chip cycle steps the still-running cores in core-id
- * order, so same-cycle uncore contention resolves with fixed priority
- * (core 0 first) and a given mix always produces the same per-core
- * results and chip-level statistics. A core that halts (or exhausts
- * its cycle budget) simply stops being stepped; the chip runs until
- * every core is done. Architectural state is fully private per core
- * (register file, memory image): the shared L2 carries timing
+ * Clocking and determinism: under the serial engine (the reference
+ * mode) all cores advance in lockstep on a shared cycle clock. Each
+ * chip cycle steps the still-running cores in core-id order, so
+ * same-cycle uncore contention resolves with fixed priority (core 0
+ * first) and a given mix always produces the same per-core results
+ * and chip-level statistics. A core that halts (or exhausts its cycle
+ * budget) simply stops being stepped; the chip runs until every core
+ * is done. Under ChipEngine::Parallel the cores advance on worker
+ * threads in relaxed Q-cycle quanta with uncore traffic replayed in
+ * pinned order at barrier syncs (uarch/chip_parallel.hh): still fully
+ * deterministic for a fixed (mix, config, quantum) and independent of
+ * thread count, but contention *timing* is quantum-relaxed, so cycle
+ * counts differ from serial. Architectural state is fully private per
+ * core (register file, memory image): the shared L2 carries timing
  * interference only, so each core's architectural results must equal
- * its solo run -- the chip-mode differential oracle asserts exactly
- * that.
+ * its solo run under either engine -- the chip-mode differential
+ * oracle asserts exactly that.
  */
 
 #ifndef TRIPSIM_UARCH_CHIP_SIM_HH
@@ -53,12 +59,15 @@ struct ChipResult
     u64 l2DirtyDrained = 0;     ///< dirty L2 lines swept at end of run
 };
 
+class QuantumEngine;
+
 class ChipSim
 {
   public:
     /** @p jobs assigns one program+memory per core (1..numCores). */
     ChipSim(const std::vector<ChipJob> &jobs,
             const ChipConfig &cfg = ChipConfig::prototype());
+    ~ChipSim();
 
     ChipResult run();
 
@@ -67,6 +76,9 @@ class ChipSim
   private:
     ChipConfig cfg;
     mem::MemorySystem msys;
+    /** Present iff cfg.engine == ChipEngine::Parallel; built before
+     *  the cores so they can bind its per-core ports. */
+    std::unique_ptr<QuantumEngine> par;
     std::vector<std::unique_ptr<CycleSim>> cores;
 };
 

@@ -81,6 +81,16 @@ uncoreConfig(const UarchConfig &c, unsigned num_cores)
     return m;
 }
 
+const char *
+chipEngineName(ChipEngine e)
+{
+    switch (e) {
+      case ChipEngine::Serial: return "serial";
+      case ChipEngine::Parallel: return "parallel";
+    }
+    TRIPS_PANIC("bad ChipEngine");
+}
+
 std::string
 ChipConfig::validate() const
 {
@@ -88,10 +98,13 @@ ChipConfig::validate() const
     if (!cerr_.empty())
         return "core: " + cerr_;
     std::ostringstream os;
-    if (numCores < 1 || numCores > 8) {
-        os << "numCores must be in [1, 8]";
+    if (numCores < 1 || numCores > 16) {
+        os << "numCores must be in [1, 16] (the OCN attach table and "
+              "the per-bank arbitration arrays hold 16 core ports)";
     } else if (bankServicePeriod < 1) {
         os << "bankServicePeriod must be >= 1";
+    } else if (quantum < 1) {
+        os << "quantum must be >= 1 cycle";
     } else {
         return uncore().validate();
     }
@@ -106,6 +119,7 @@ ChipConfig::uncore() const
         m.ocn.hopLatency = ocnHopLatency;
     m.bankServicePeriod = bankServicePeriod;
     m.physStride = physStride;
+    m.physAddrBits = physAddrBits;
     return m;
 }
 

@@ -92,9 +92,25 @@ mem::MemorySystemConfig uncoreConfig(const UarchConfig &c,
                                      unsigned num_cores = 1);
 
 /**
- * Configuration of a ChipSim: N identical cores sharing one uncore,
- * clocked in lockstep. The prototype chip is two processors over the
- * 1MB NUCA L2 (paper Table 1).
+ * Chip stepping discipline. Serial is the lockstep reference: one
+ * thread steps all cores in core-id order each chip cycle (the
+ * historical, bit-pinned mode). Parallel is the relaxed-quantum
+ * engine: one worker thread per core advances up to `quantum` cycles
+ * between barrier syncs, with shared-uncore traffic buffered and
+ * replayed in pinned order at each barrier (see uarch/chip_parallel.hh
+ * and DESIGN.md §11) -- architecturally identical to Serial and
+ * deterministic for a fixed (mix, config, quantum), independent of
+ * thread count and scheduling.
+ */
+enum class ChipEngine : u8 { Serial, Parallel };
+
+const char *chipEngineName(ChipEngine e);
+
+/**
+ * Configuration of a ChipSim: N identical cores (1..16) sharing one
+ * uncore. The prototype chip is two processors over the 1MB NUCA L2
+ * (paper Table 1); larger counts model the consolidation chips the
+ * paper never built.
  */
 struct ChipConfig
 {
@@ -106,6 +122,20 @@ struct ChipConfig
     unsigned bankServicePeriod = 1;
     /** Per-core physical offset; see MemorySystemConfig::physStride. */
     Addr physStride = Addr{1} << 30;
+    /** Physical map width; numCores x physStride must fit (see
+     *  MemorySystemConfig::physAddrBits). */
+    unsigned physAddrBits = 34;
+
+    // Stepping engine (timing-policy only: architectural results are
+    // engine-invariant, asserted by tests/test_chip_parallel.cc).
+    ChipEngine engine = ChipEngine::Serial;
+    /** Parallel engine: cycles a core may advance between barrier
+     *  syncs. Larger = less sync overhead, coarser cross-core
+     *  contention timing; ignored by the Serial engine. */
+    unsigned quantum = 1024;
+    /** Parallel engine: cap on concurrently-stepping worker threads
+     *  (0 = one per core). Any value yields identical results. */
+    unsigned threads = 0;
 
     /** "" when usable, else the first violated constraint. ChipSim
      *  fatals on an invalid config. */

@@ -150,7 +150,7 @@ CycleSim::CycleSim(const isa::Program &prog, MemImage &mem,
 }
 
 CycleSim::CycleSim(const isa::Program &prog, MemImage &mem,
-                   const UarchConfig &cfg_, mem::MemorySystem &uncore_,
+                   const UarchConfig &cfg_, mem::UncorePort &uncore_,
                    unsigned core_id)
     : prog(prog), mem(mem), cfg(checkedConfig(cfg_)),
       frames(cfg.numFrames),

@@ -112,11 +112,13 @@ class CycleSim
     CycleSim(const isa::Program &prog, MemImage &mem,
              const UarchConfig &cfg = UarchConfig{});
 
-    /** Chip core: attaches to a shared uncore as @p core_id. The
-     *  uncore must outlive the core; ChipSim drives these in
-     *  lockstep via stepCycle()/done()/finish(). */
+    /** Chip core: attaches to a shared uncore port as @p core_id (the
+     *  MemorySystem itself under the serial lockstep engine, or a
+     *  per-core buffering proxy under the parallel engine). The port
+     *  must outlive the core; ChipSim drives these via
+     *  stepCycle()/done()/finish(). */
     CycleSim(const isa::Program &prog, MemImage &mem,
-             const UarchConfig &cfg, mem::MemorySystem &uncore_,
+             const UarchConfig &cfg, mem::UncorePort &uncore_,
              unsigned core_id);
 
     ~CycleSim();
@@ -331,9 +333,10 @@ class CycleSim
     std::vector<mem::Cache> l1d;      ///< 4 banks (private)
     /** Port to the uncore (shared NUCA L2 + OCN + DRAM). Solo cores
      *  own a private single-core instance; chip cores attach to the
-     *  ChipSim's shared one. */
+     *  ChipSim's shared one (directly, or through the parallel
+     *  engine's per-core proxy). */
     std::unique_ptr<mem::MemorySystem> ownedUncore;
-    mem::MemorySystem *uncore;
+    mem::UncorePort *uncore;
     unsigned coreId = 0;
     pred::NextBlockPredictor predictor;
     pred::DependencePredictor depPred;

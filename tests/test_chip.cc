@@ -18,6 +18,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "compiler/codegen.hh"
 #include "core/machines.hh"
 #include "harness/diff.hh"
@@ -379,11 +381,18 @@ TEST(ChipConfigValidation, RejectsImpossibleChips)
         return c.validate();
     };
     EXPECT_NE(bad([](auto &c) { c.numCores = 0; }), "");
-    EXPECT_NE(bad([](auto &c) { c.numCores = 9; }), "");
+    EXPECT_NE(bad([](auto &c) { c.numCores = 17; }), "");
     EXPECT_NE(bad([](auto &c) { c.bankServicePeriod = 0; }), "");
     EXPECT_NE(bad([](auto &c) { c.physStride = 0; }), "");
     EXPECT_NE(bad([](auto &c) { c.physStride = 12345; }), "");
     EXPECT_NE(bad([](auto &c) { c.core.numFrames = 0; }), "");
+    EXPECT_NE(bad([](auto &c) { c.quantum = 0; }), "");
+
+    // Every core count the OCN attach table holds is now legal (the
+    // pre-PR-9 chip stopped at 8).
+    for (unsigned n = 1; n <= 16; ++n)
+        EXPECT_EQ(bad([n](auto &c) { c.numCores = n; }), "")
+            << "numCores=" << n;
 
     mem::MemorySystemConfig mc;
     mc.numBanks = 48;
@@ -391,6 +400,70 @@ TEST(ChipConfigValidation, RejectsImpossibleChips)
     mc = mem::MemorySystemConfig{};
     mc.l2Bank.assoc = 0;
     EXPECT_NE(mc.validate(), "");
+}
+
+TEST(ChipConfigValidation, RejectsPhysicalAddressMapOverflow)
+{
+    // 16 cores x 1GB stride exactly fills the default 34-bit map;
+    // shrinking the map (or growing the stride) must fatal with a
+    // message naming the limit, because the upper cores' strided
+    // ranges would wrap and alias the lower cores' lines.
+    uarch::ChipConfig c;
+    c.numCores = 16;
+    EXPECT_EQ(c.validate(), "");
+
+    c.physAddrBits = 33;               // 8GB: only 8 cores fit at 1GB
+    std::string err = c.validate();
+    EXPECT_NE(err, "");
+    EXPECT_NE(err.find("physical address map"), std::string::npos) << err;
+    EXPECT_NE(err.find("33-bit"), std::string::npos) << err;
+
+    c.numCores = 8;
+    EXPECT_EQ(c.validate(), "");
+
+    c.physStride = Addr{1} << 31;      // 8 cores x 2GB > 8GB
+    EXPECT_NE(c.validate(), "");
+
+    // And out-of-range map widths are themselves rejected.
+    c = uarch::ChipConfig{};
+    c.physAddrBits = 8;
+    EXPECT_NE(c.validate(), "");
+}
+
+TEST(OcnAttachPoints, GridMappingIsDistinctAndPreservesPrototype)
+{
+    using net::OcnModel;
+    // Core 0 and 1 keep the historical mirrored corner profiles
+    // bit-identically (the N=2 timing pins depend on it).
+    EXPECT_EQ(OcnModel::attachPoint(0), (std::pair<unsigned, unsigned>{0, 0}));
+    EXPECT_EQ(OcnModel::attachPoint(1), (std::pair<unsigned, unsigned>{3, 3}));
+
+    net::OcnConfig oc;
+    OcnModel ocn(oc, 16);
+    for (unsigned bank = 0; bank < 16; ++bank) {
+        unsigned row = bank / 4, col = bank % 4;
+        EXPECT_EQ(ocn.requestHops(0, bank), row + col);
+        EXPECT_EQ(ocn.requestHops(1, bank), (3 - row) + (3 - col));
+    }
+
+    // Regression for the even/odd corner mirroring: every core now
+    // owns a distinct attach cell (pre-PR-9, cores 2/4/6.. all sat on
+    // core 0's corner and 3/5/7.. on core 1's).
+    std::set<std::pair<unsigned, unsigned>> seen;
+    for (unsigned core = 0; core < 16; ++core) {
+        auto at = OcnModel::attachPoint(core);
+        EXPECT_LT(at.first, 4u);
+        EXPECT_LT(at.second, 4u);
+        EXPECT_TRUE(seen.insert(at).second)
+            << "cores share attach point (" << at.first << ","
+            << at.second << ")";
+    }
+
+    // Hop distances from any attach point stay within the 4x4 mesh
+    // diameter, so the NUCA latency bound is unchanged.
+    for (unsigned core = 0; core < 16; ++core)
+        for (unsigned bank = 0; bank < 16; ++bank)
+            EXPECT_LE(ocn.requestHops(core, bank), 6u);
 }
 
 TEST(ChipConfigValidation, ChipSimThrowsOnBadConfigOrJobs)
