@@ -6,7 +6,9 @@
 #include <memory>
 #include <vector>
 
+#include "compiler/codegen.hh"
 #include "core/machines.hh"
+#include "obs/obs.hh"
 #include "uarch/chip_sim.hh"
 #include "wir/interp.hh"
 using namespace trips;
@@ -54,6 +56,60 @@ static void BM_CycleSim(benchmark::State &state) {
     }
 }
 BENCHMARK(BM_CycleSim)->Unit(benchmark::kMillisecond);
+
+// The observability pair: identical CycleSim-only bodies, one with
+// the full observer set attached (trace + metrics + stalls), one
+// detached. The detached run is the null-sink fast path — its cost
+// relative to the pre-instrumentation BM_CycleSim is recorded (and
+// gated < 2%) in the BENCH_simspeed.json baselines; the traced run
+// shows what full tracing costs when you actually ask for it.
+namespace {
+
+struct ObsBenchFixture {
+    wir::Module mod;
+    isa::Program prog;
+
+    ObsBenchFixture()
+        : prog((workloads::find("a2time").build(mod),
+                compiler::compileToTrips(mod,
+                                         compiler::Options::compiled())))
+    {}
+
+    u64 run(bool observed) {
+        obs::TraceSink sink;
+        obs::MetricRegistry metrics;
+        obs::StallCollector stalls;
+        obs::CoreObs co;
+        co.trace = &sink;
+        co.metrics = &metrics;
+        co.stalls = &stalls;
+        co.samplePeriod = 4096;
+        MemImage mem;
+        wir::Interp::loadGlobals(mod, mem);
+        uarch::CycleSim sim(prog, mem);
+        if (observed)
+            sim.attachObs(&co);
+        auto r = sim.run();
+        benchmark::DoNotOptimize(sink.events());
+        return r.cycles;
+    }
+};
+
+} // namespace
+
+static void BM_CycleSim_untraced(benchmark::State &state) {
+    ObsBenchFixture fx;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fx.run(false));
+}
+BENCHMARK(BM_CycleSim_untraced)->Unit(benchmark::kMillisecond);
+
+static void BM_CycleSim_traced(benchmark::State &state) {
+    ObsBenchFixture fx;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fx.run(true));
+}
+BENCHMARK(BM_CycleSim_traced)->Unit(benchmark::kMillisecond);
 
 // The serial/parallel ChipSim pair drives the multicore CI perf gate:
 // same 4-core mix, lockstep reference vs the relaxed-quantum engine.

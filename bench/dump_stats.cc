@@ -16,12 +16,26 @@
  * simulation and must print byte-identical stats — the CI campaign
  * stage diffs exactly that. Cache hit/miss counts go to stderr so
  * stdout stays diffable.
+ *
+ * Observability (obs/, README "Observability"): --trace FILE writes a
+ * Chrome trace-event JSON of the default entry set, --metrics FILE a
+ * metric time-series (JSONL, or CSV when FILE ends in .csv; --period N
+ * sets the sampling period in cycles), --stalls appends the per-run
+ * stall breakdown + hottest-blocks report to stdout after each entry's
+ * stats. With any of these the entries run through CycleSim with the
+ * observers attached; the stats text stays byte-identical to an
+ * unobserved run (the CI trace-smoke stage diffs exactly that), so
+ * these flags exclude --all/--cache rather than silently changing
+ * what is simulated.
  */
 #include <cstdio>
 #include <cstring>
 
+#include "compiler/codegen.hh"
 #include "core/machines.hh"
+#include "obs/obs.hh"
 #include "sim/campaign.hh"
+#include "wir/interp.hh"
 
 using namespace trips;
 
@@ -90,37 +104,132 @@ dump(const char *name, const char *preset, const uarch::UarchResult &r)
         dumpDist(cls[c], r.opnHops[c]);
 }
 
+/** The default entry set (mixed suites and both compiler presets; the
+ *  hand-preset entries stress LSQ forwarding and dense blocks). */
+struct Entry
+{
+    const char *name;
+    bool hand;
+};
+static const Entry entries[] = {
+    {"a2time", false},  {"autocor", false}, {"gcc", false},
+    {"fft", false},     {"vadd", true},     {"matrix", true},
+};
+
+/** Observed mode: the default entry set through CycleSim with obs
+ *  attached. The dump() text must stay byte-identical to the
+ *  unobserved path — CI diffs it. */
+static int
+runObserved(const std::string &trace_path, const std::string &metrics_path,
+            bool stalls, u64 period)
+{
+    obs::TraceSink sink;
+    obs::TraceSink *trace = trace_path.empty() ? nullptr : &sink;
+    obs::MetricRegistry metrics;
+    obs::MetricRegistry *mreg = metrics_path.empty() ? nullptr : &metrics;
+
+    for (const auto &e : entries) {
+        const auto &w = workloads::find(e.name);
+        auto opts = e.hand ? compiler::Options::hand()
+                           : compiler::Options::compiled();
+        wir::Module mod;
+        w.build(mod);
+        auto prog = compiler::compileToTrips(mod, opts);
+        MemImage mem;
+        wir::Interp::loadGlobals(mod, mem);
+        uarch::CycleSim csim(prog, mem);
+
+        // One trace process row and one metric prefix per entry; one
+        // stall collector per entry so breakdowns stay per-run.
+        obs::StallCollector stall;
+        obs::CoreObs co;
+        co.trace = trace;
+        co.metrics = mreg;
+        co.stalls = stalls ? &stall : nullptr;
+        co.samplePeriod = period;
+        co.pid = static_cast<u32>(&e - entries);
+        co.metricPrefix = std::string(e.name) + ".";
+        if (trace)
+            sink.setProcessName(co.pid, e.name);
+        csim.attachObs(&co);
+
+        auto r = csim.run();
+        dump(e.name, e.hand ? "hand" : "compiled", r);
+        if (stalls) {
+            std::vector<std::string> labels;
+            for (u32 b = 0; b < prog.numBlocks(); ++b)
+                labels.push_back(prog.block(b).label);
+            stall.report(stdout, labels);
+            if (stall.total() != r.cycles) {
+                std::fprintf(stderr,
+                             "stall breakdown total %llu != cycles %llu\n",
+                             (unsigned long long)stall.total(),
+                             (unsigned long long)r.cycles);
+                return 1;
+            }
+        }
+    }
+
+    if (trace && !sink.writeFile(trace_path)) {
+        std::fprintf(stderr, "cannot write trace %s\n",
+                     trace_path.c_str());
+        return 1;
+    }
+    if (mreg) {
+        bool csv = metrics_path.size() > 4 &&
+            metrics_path.compare(metrics_path.size() - 4, 4, ".csv") == 0;
+        bool ok = csv ? metrics.writeCsv(metrics_path)
+                      : metrics.writeJsonl(metrics_path);
+        if (!ok) {
+            std::fprintf(stderr, "cannot write metrics %s\n",
+                         metrics_path.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}
+
 int
 main(int argc, char **argv)
 {
     bool all = false;
-    std::string cacheDir;
+    bool stalls = false;
+    u64 period = 0;
+    std::string cacheDir, tracePath, metricsPath;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--all")) {
             all = true;
         } else if (!std::strcmp(argv[i], "--cache") && i + 1 < argc) {
             cacheDir = argv[++i];
+        } else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc) {
+            tracePath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--metrics") && i + 1 < argc) {
+            metricsPath = argv[++i];
+        } else if (!std::strcmp(argv[i], "--stalls")) {
+            stalls = true;
+        } else if (!std::strcmp(argv[i], "--period") && i + 1 < argc) {
+            period = std::strtoull(argv[++i], nullptr, 10);
         } else {
             std::fprintf(stderr,
-                         "usage: dump_stats [--all] [--cache DIR]\n");
+                         "usage: dump_stats [--all] [--cache DIR]\n"
+                         "                  [--trace FILE] [--metrics FILE]"
+                         " [--stalls] [--period N]\n");
             return 2;
         }
     }
+    bool observed = !tracePath.empty() || !metricsPath.empty() || stalls;
+    if (observed && (all || !cacheDir.empty())) {
+        std::fprintf(stderr, "--trace/--metrics/--stalls run the default "
+                             "entry set uncached; drop --all/--cache\n");
+        return 2;
+    }
+    if (observed)
+        return runObserved(tracePath, metricsPath, stalls, period);
+
     sim::Campaign campaign = cacheDir.empty()
         ? sim::Campaign::fromEnv() : sim::Campaign(cacheDir);
 
     if (!all) {
-        struct Entry
-        {
-            const char *name;
-            bool hand;
-        };
-        // Mixed suites and both compiler presets; the hand-preset
-        // entries stress LSQ forwarding and dense blocks.
-        static const Entry entries[] = {
-            {"a2time", false},  {"autocor", false}, {"gcc", false},
-            {"fft", false},     {"vadd", true},     {"matrix", true},
-        };
         for (const auto &e : entries) {
             const auto &w = workloads::find(e.name);
             auto opts = e.hand ? compiler::Options::hand()

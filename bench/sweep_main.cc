@@ -87,16 +87,20 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/machines.hh"
 #include "harness/diff.hh"
 #include "harness/guard.hh"
+#include "obs/obs.hh"
+#include "obs/progress.hh"
 #include "sim/campaign.hh"
 #include "sim/faultio.hh"
 #include "sim/sampling.hh"
@@ -108,6 +112,7 @@
 
 using namespace trips;
 using Clock = std::chrono::steady_clock;
+namespace fs = std::filesystem;
 
 namespace {
 
@@ -155,6 +160,9 @@ struct Args
     u64 timeoutMs = 0;
     unsigned retries = 0;
     std::string quarantineFile;
+    // Observability (obs/): per-mix chip traces + sweep heartbeat.
+    std::string traceDir;
+    bool progress = false;
     bool faultInject = false;
     u64 faultSeed = 1;
     unsigned faultPeriod = 4;
@@ -182,6 +190,7 @@ usage()
         << "                  [--cache DIR] [--cache-fsck]\n"
         << "                  [--timeout-ms N] [--retries N]\n"
         << "                  [--quarantine FILE]\n"
+        << "                  [--trace-dir DIR] [--progress]\n"
         << "                  [--fault-seed S] [--fault-period N]\n"
         << "                  (--figures [--json] | --fuzz N [--out F]\n"
         << "                   | --repro SEED [--shrink K]\n"
@@ -215,7 +224,13 @@ usage()
         << "ledger of quarantined seeds); --fault-seed S installs the\n"
         << "deterministic I/O fault plan (--fault-period N: ~1/N ops\n"
         << "faulted) under checkpoint/cache file I/O; --cache-fsck\n"
-        << "repairs a --cache DIR left by a mid-sweep kill.\n";
+        << "repairs a --cache DIR left by a mid-sweep kill.\n"
+        << "observability: --trace-dir DIR writes one Perfetto-loadable\n"
+        << "Chrome trace-event JSON per chip mix (--mix/--mix-suite;\n"
+        << "block spans, memory instants, quantum barriers — see README\n"
+        << "\"Observability\"); --progress prints a rate-limited stderr\n"
+        << "heartbeat (done/total, elapsed, ETA, quarantine count) for\n"
+        << "long --fuzz / --mix-suite sweeps.\n";
     std::exit(2);
 }
 
@@ -313,6 +328,10 @@ parse(int argc, char **argv)
             a.retries = static_cast<unsigned>(std::stoul(val(i)));
         } else if (!std::strcmp(argv[i], "--quarantine")) {
             a.quarantineFile = val(i);
+        } else if (!std::strcmp(argv[i], "--trace-dir")) {
+            a.traceDir = val(i);
+        } else if (!std::strcmp(argv[i], "--progress")) {
+            a.progress = true;
         } else if (!std::strcmp(argv[i], "--fault-seed")) {
             a.faultInject = true;
             a.faultSeed = std::stoull(val(i));
@@ -515,15 +534,18 @@ runFuzz(const Args &a)
     harness::QuarantineLedger ledger(a.quarantineFile);
 
     auto t0 = Clock::now();
+    obs::ProgressMeter prog(a.fuzzCount, a.progress);
     std::vector<harness::DiffResult> bad;
     harness::GuardedSweepResult g;
     if (guarded) {
         g = harness::sweepDiffGuarded(pool, a.seed, a.fuzzCount, shape,
-                                      opts, gcfg, ledger);
+                                      opts, gcfg, ledger, &prog);
         bad = std::move(g.divergences);
     } else {
-        bad = harness::sweepDiff(pool, a.seed, a.fuzzCount, shape, opts);
+        bad = harness::sweepDiff(pool, a.seed, a.fuzzCount, shape, opts,
+                                 &prog);
     }
+    prog.finish(ledger.entries());
     double wallMs = msSince(t0);
 
     // With --json the summary goes to stdout as one machine-readable
@@ -634,7 +656,36 @@ runOneMix(const std::vector<const workloads::Workload *> &ws,
         jobs[i] = {&progs[i], &chipMem[i]};
     }
     uarch::ChipSim chip(jobs, ccfg);
+
+    // --trace-dir: record the chip run (per-core block spans + memory
+    // instants, quantum barriers under --parallel) into one Chrome
+    // trace-event JSON named after the mix. Attaching never changes
+    // results, so the mix-vs-solo oracle below still holds.
+    obs::TraceSink sink;
+    std::string mixName = ws[0]->name;
+    for (size_t i = 1; i < n; ++i)
+        mixName += "+" + ws[i]->name;
+    std::unique_ptr<obs::ChipObs> obsb;
+    if (!a.traceDir.empty()) {
+        obsb = std::make_unique<obs::ChipObs>(
+            static_cast<unsigned>(n), &sink, /*metrics=*/false,
+            /*sample_period=*/0, /*stalls=*/false);
+        for (size_t i = 0; i < n; ++i)
+            sink.setProcessName(static_cast<u32>(i),
+                                "core " + std::to_string(i) + " " +
+                                    ws[i]->name);
+        chip.attachObs(*obsb);
+    }
+
     auto cr = chip.run();
+
+    if (!a.traceDir.empty()) {
+        std::error_code ec;
+        fs::create_directories(a.traceDir, ec);
+        std::string path = a.traceDir + "/" + mixName + ".json";
+        if (!sink.writeFile(path))
+            std::fprintf(stderr, "cannot write trace %s\n", path.c_str());
+    }
 
     rep.chipCycles = cr.cycles;
     rep.bankConflicts = cr.uncore.bankConflicts;
@@ -769,9 +820,12 @@ runMixSuite(const Args &a)
     std::vector<MixReport> reps(mixes.size());
     harness::SweepPool pool(a.jobs);
     auto t0 = Clock::now();
+    obs::ProgressMeter prog(mixes.size(), a.progress);
     pool.parallelFor(mixes.size(), [&](u64 i) {
         reps[i] = runOneMix(mixes[i], a, /*print=*/false);
+        prog.tick();
     });
+    prog.finish();
     double wallMs = msSince(t0);
 
     std::ostream &human = a.json ? std::cerr : std::cout;
@@ -831,8 +885,10 @@ runChipFuzz(const Args &a)
     harness::SweepPool pool(a.jobs);
 
     auto t0 = Clock::now();
+    obs::ProgressMeter prog(a.fuzzCount, a.progress);
     auto bad = harness::sweepChipDiff(pool, a.seed, a.fuzzCount, shape,
-                                      opts);
+                                      opts, &prog);
+    prog.finish();
     double wallMs = msSince(t0);
 
     std::cout << "chip-fuzzed " << a.fuzzCount << " mixes of "

@@ -1,9 +1,11 @@
 #include "harness/diff.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 #include "core/machines.hh"
+#include "obs/progress.hh"
 #include "sim/checkpoint.hh"
 #include "uarch/chip_sim.hh"
 #include "wir/interp.hh"
@@ -503,12 +505,14 @@ minimizeDivergence(const DiffResult &bad, const DiffOptions &opts)
 
 std::vector<DiffResult>
 sweepDiff(SweepPool &pool, u64 base, u64 count, const ShapeConfig &shape,
-          const DiffOptions &opts)
+          const DiffOptions &opts, obs::ProgressMeter *progress)
 {
     // One pre-sized slot per index: workers never touch shared state.
     std::vector<DiffResult> all(count);
     pool.parallelFor(count, [&](u64 i) {
         all[i] = diffOne(taskSeed(base, i), shape, opts);
+        if (progress)
+            progress->tick();
     });
     std::vector<DiffResult> bad;
     for (auto &r : all) {
@@ -520,7 +524,8 @@ sweepDiff(SweepPool &pool, u64 base, u64 count, const ShapeConfig &shape,
 
 std::vector<DiffResult>
 sweepChipDiff(SweepPool &pool, u64 base, u64 count,
-              const ShapeConfig &shape, const DiffOptions &opts)
+              const ShapeConfig &shape, const DiffOptions &opts,
+              obs::ProgressMeter *progress)
 {
     const unsigned n = opts.chipCores ? opts.chipCores : 2;
     std::vector<DiffResult> all(count);
@@ -529,6 +534,8 @@ sweepChipDiff(SweepPool &pool, u64 base, u64 count,
         for (unsigned k = 0; k < n; ++k)
             seeds[k] = taskSeed(base, n * i + k);
         all[i] = diffChipMix(seeds, shape, opts);
+        if (progress)
+            progress->tick();
     });
     std::vector<DiffResult> bad;
     for (auto &r : all) {
@@ -541,10 +548,14 @@ sweepChipDiff(SweepPool &pool, u64 base, u64 count,
 GuardedSweepResult
 sweepDiffGuarded(SweepPool &pool, u64 base, u64 count,
                  const ShapeConfig &shape, const DiffOptions &opts,
-                 const GuardConfig &gcfg, QuarantineLedger &ledger)
+                 const GuardConfig &gcfg, QuarantineLedger &ledger,
+                 obs::ProgressMeter *progress)
 {
     std::vector<DiffResult> all(count);
     std::vector<TaskOutcome> outcomes(count);
+    // Ledger records happen in the serial post-pass below, so the
+    // heartbeat counts failed outcomes live instead.
+    std::atomic<u64> failedSoFar{0};
     pool.parallelFor(count, [&](u64 i) {
         u64 seed = taskSeed(base, i);
         // The task captures by value and writes heap state: on a
@@ -556,6 +567,10 @@ sweepDiffGuarded(SweepPool &pool, u64 base, u64 count,
         });
         if (outcomes[i].ok)
             all[i] = *slot;
+        else
+            failedSoFar.fetch_add(1, std::memory_order_relaxed);
+        if (progress)
+            progress->tick(failedSoFar.load(std::memory_order_relaxed));
     });
 
     GuardedSweepResult res;

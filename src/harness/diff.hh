@@ -43,6 +43,10 @@
 #include "trips/func_sim.hh"
 #include "uarch/config.hh"
 
+namespace trips::obs {
+class ProgressMeter;
+}
+
 namespace trips::harness {
 
 /**
@@ -177,7 +181,8 @@ DiffResult minimizeDivergence(const DiffResult &bad,
  */
 std::vector<DiffResult> sweepDiff(SweepPool &pool, u64 base, u64 count,
                                   const ShapeConfig &shape = ShapeConfig{},
-                                  const DiffOptions &opts = DiffOptions{});
+                                  const DiffOptions &opts = DiffOptions{},
+                                  obs::ProgressMeter *progress = nullptr);
 
 /**
  * Chip-mode sweep: `count` mixes of opts.chipCores generated programs
@@ -189,7 +194,8 @@ std::vector<DiffResult> sweepDiff(SweepPool &pool, u64 base, u64 count,
 std::vector<DiffResult> sweepChipDiff(
     SweepPool &pool, u64 base, u64 count,
     const ShapeConfig &shape = ShapeConfig{},
-    const DiffOptions &opts = DiffOptions{});
+    const DiffOptions &opts = DiffOptions{},
+    obs::ProgressMeter *progress = nullptr);
 
 /** What a guarded sweep did besides diverge. */
 struct GuardedSweepResult
@@ -212,7 +218,7 @@ struct GuardedSweepResult
 GuardedSweepResult sweepDiffGuarded(
     SweepPool &pool, u64 base, u64 count, const ShapeConfig &shape,
     const DiffOptions &opts, const GuardConfig &gcfg,
-    QuarantineLedger &ledger);
+    QuarantineLedger &ledger, obs::ProgressMeter *progress = nullptr);
 
 } // namespace trips::harness
 

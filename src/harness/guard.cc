@@ -6,6 +6,8 @@
 #include <memory>
 #include <thread>
 
+#include "obs/obs.hh"
+
 namespace trips::harness {
 
 namespace {
@@ -132,7 +134,17 @@ QuarantineLedger::record(u64 seed, const std::string &shape,
                          const Status &err, const std::string &repro)
 {
     std::lock_guard<std::mutex> lk(mu_);
-    ++entries_;
+    u64 seq = entries_.fetch_add(1, std::memory_order_relaxed) + 1;
+    u64 elapsed = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+    if (trace_) {
+        trace_->instant(obs::TRACE_PID_HARNESS, 0, elapsed,
+                        std::string("quarantine ") + errCodeName(err.code),
+                        "guard", "seq", static_cast<double>(seq), "seed",
+                        static_cast<double>(seed));
+    }
     if (path_.empty())
         return;
     std::FILE *f = std::fopen(path_.c_str(), "a");
@@ -145,12 +157,15 @@ QuarantineLedger::record(u64 seed, const std::string &shape,
     }
     std::fprintf(
         f,
-        "{\"seed\":%llu,\"shape\":\"%s\",\"subsys\":\"%s\","
-        "\"code\":\"%s\",\"message\":\"%s\",\"repro\":\"%s\"}\n",
+        "{\"seq\":%llu,\"seed\":%llu,\"shape\":\"%s\",\"subsys\":\"%s\","
+        "\"code\":\"%s\",\"message\":\"%s\",\"repro\":\"%s\","
+        "\"elapsed_ms\":%llu}\n",
+        static_cast<unsigned long long>(seq),
         static_cast<unsigned long long>(seed),
         jsonEscape(shape).c_str(), subsysName(err.subsys),
         errCodeName(err.code), jsonEscape(err.message).c_str(),
-        jsonEscape(repro).c_str());
+        jsonEscape(repro).c_str(),
+        static_cast<unsigned long long>(elapsed));
     std::fclose(f);
 }
 

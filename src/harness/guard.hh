@@ -28,12 +28,18 @@
 #ifndef TRIPSIM_HARNESS_GUARD_HH
 #define TRIPSIM_HARNESS_GUARD_HH
 
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <mutex>
 #include <string>
 
 #include "support/common.hh"
 #include "support/error.hh"
+
+namespace trips::obs {
+class TraceSink;
+}
 
 namespace trips::harness {
 
@@ -63,10 +69,15 @@ TaskOutcome runGuarded(const GuardConfig &cfg,
 
 /**
  * Append-only JSONL quarantine ledger. Thread-safe: sweep workers
- * record concurrently. Each line is one self-contained JSON object:
+ * record concurrently. Each line is one self-contained JSON object,
+ * led by a monotonic per-ledger sequence number and closed by the
+ * wall-clock milliseconds since the ledger was constructed (so triage
+ * can order and place failures in a long campaign even when several
+ * workers record in the same instant):
  *
- *   {"seed":123,"shape":"...","subsys":"compiler",
- *    "code":"resource-exhausted","message":"...","repro":"..."}
+ *   {"seq":1,"seed":123,"shape":"...","subsys":"compiler",
+ *    "code":"resource-exhausted","message":"...","repro":"...",
+ *    "elapsed_ms":4182}
  *
  * Opened lazily per record (append + close), so every entry is
  * durable the moment record() returns.
@@ -86,12 +97,21 @@ class QuarantineLedger
     void record(u64 seed, const std::string &shape, const Status &err,
                 const std::string &repro);
 
-    u64 entries() const { return entries_; }
+    /** Records so far (atomic: progress heartbeats read it while
+     *  sweep workers append). */
+    u64 entries() const { return entries_.load(std::memory_order_relaxed); }
+
+    /** Also emit each quarantine as a trace instant (obs/trace.hh);
+     *  null detaches. The sink must outlive the ledger. */
+    void attachTrace(obs::TraceSink *t) { trace_ = t; }
 
   private:
     std::string path_;
     std::mutex mu_;
-    u64 entries_ = 0;
+    std::atomic<u64> entries_{0};
+    obs::TraceSink *trace_ = nullptr;
+    std::chrono::steady_clock::time_point t0_ =
+        std::chrono::steady_clock::now();
 };
 
 /** Minimal JSON string escaping (quotes, backslash, control chars). */

@@ -105,6 +105,8 @@ MemorySystem::access(const MemRequest &req, Cycle now)
     auto r = banks[bank].access(phys, req.isWrite);
     MemResponse resp;
     resp.queuedCycles = start - now;
+    resp.bank = static_cast<u8>(bank);
+    resp.hops = static_cast<u8>(ocn_.requestHops(req.coreId, bank));
     if (r.writeback) {
         resp.l2Writeback = true;
         ++st.l2Writebacks;

@@ -62,6 +62,10 @@ struct MemResponse
     bool l2Hit = false;
     bool l2Writeback = false;   ///< a dirty L2 victim was evicted
     Cycle queuedCycles = 0;     ///< cross-core bank-conflict delay
+    // Routing facts for observability (trace annotations only; the
+    // core's timing never reads them).
+    u8 bank = 0;                ///< L2 bank the request mapped to
+    u8 hops = 0;                ///< OCN request-leg hop count
 };
 
 struct MemorySystemConfig

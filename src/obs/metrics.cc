@@ -1,0 +1,198 @@
+#include "obs/metrics.hh"
+
+#include "harness/guard.hh"
+
+namespace trips::obs {
+
+MetricId
+MetricRegistry::add(std::string name, MetricKind kind, unsigned buckets)
+{
+    TRIPS_ASSERT(find(name) == NO_METRIC, "metric registered twice: ",
+                 name);
+    Metric m;
+    m.name = std::move(name);
+    m.kind = kind;
+    if (kind == MetricKind::Histogram)
+        m.hist = Distribution(buckets);
+    metrics_.push_back(std::move(m));
+    MetricId id = static_cast<MetricId>(metrics_.size() - 1);
+    if (kind != MetricKind::Histogram)
+        scalarIds_.push_back(id);
+    return id;
+}
+
+MetricId
+MetricRegistry::addCounter(const std::string &name)
+{
+    return add(name, MetricKind::Counter, 0);
+}
+
+MetricId
+MetricRegistry::addGauge(const std::string &name)
+{
+    return add(name, MetricKind::Gauge, 0);
+}
+
+MetricId
+MetricRegistry::addHistogram(const std::string &name, unsigned num_buckets)
+{
+    return add(name, MetricKind::Histogram, num_buckets);
+}
+
+MetricId
+MetricRegistry::find(const std::string &name) const
+{
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+        if (metrics_[i].name == name)
+            return static_cast<MetricId>(i);
+    }
+    return NO_METRIC;
+}
+
+void
+MetricRegistry::inc(MetricId id, double v)
+{
+    metrics_.at(id).value += v;
+}
+
+void
+MetricRegistry::set(MetricId id, double v)
+{
+    metrics_.at(id).value = v;
+}
+
+void
+MetricRegistry::sampleHist(MetricId id, u64 value, u64 weight)
+{
+    metrics_.at(id).hist.sample(value, weight);
+}
+
+double
+MetricRegistry::value(MetricId id) const
+{
+    return metrics_.at(id).value;
+}
+
+const Distribution &
+MetricRegistry::histogram(MetricId id) const
+{
+    return metrics_.at(id).hist;
+}
+
+const std::string &
+MetricRegistry::name(MetricId id) const
+{
+    return metrics_.at(id).name;
+}
+
+MetricKind
+MetricRegistry::kind(MetricId id) const
+{
+    return metrics_.at(id).kind;
+}
+
+void
+MetricRegistry::snapshot(u64 cycle)
+{
+    Row row;
+    row.cycle = cycle;
+    row.values.reserve(scalarIds_.size());
+    for (u32 id : scalarIds_)
+        row.values.push_back(metrics_[id].value);
+    series_.push_back(std::move(row));
+}
+
+namespace {
+
+void
+printNumber(std::FILE *f, double v)
+{
+    if (v == static_cast<double>(static_cast<long long>(v)))
+        std::fprintf(f, "%lld", static_cast<long long>(v));
+    else
+        std::fprintf(f, "%.9g", v);
+}
+
+} // namespace
+
+void
+MetricRegistry::writeJsonl(std::FILE *f) const
+{
+    for (const auto &row : series_) {
+        std::fprintf(f, "{\"cycle\":%llu,\"metrics\":{",
+                     static_cast<unsigned long long>(row.cycle));
+        // A row carries the scalars registered when it was taken;
+        // later registrations simply don't appear in earlier rows.
+        for (size_t i = 0; i < row.values.size(); ++i) {
+            std::fprintf(f, "%s\"%s\":", i ? "," : "",
+                         harness::jsonEscape(
+                             metrics_[scalarIds_[i]].name).c_str());
+            printNumber(f, row.values[i]);
+        }
+        std::fprintf(f, "}}\n");
+    }
+    std::fprintf(f, "{\"final\":true,\"metrics\":{");
+    bool first = true;
+    for (const auto &m : metrics_) {
+        if (!first)
+            std::fprintf(f, ",");
+        first = false;
+        if (m.kind == MetricKind::Histogram) {
+            std::fprintf(
+                f,
+                "\"%s\":{\"samples\":%llu,\"mean\":%.9g,"
+                "\"p50\":%llu,\"p90\":%llu,\"p99\":%llu}",
+                harness::jsonEscape(m.name).c_str(),
+                static_cast<unsigned long long>(m.hist.samples()),
+                m.hist.mean(),
+                static_cast<unsigned long long>(m.hist.p50()),
+                static_cast<unsigned long long>(m.hist.p90()),
+                static_cast<unsigned long long>(m.hist.p99()));
+        } else {
+            std::fprintf(f, "\"%s\":",
+                         harness::jsonEscape(m.name).c_str());
+            printNumber(f, m.value);
+        }
+    }
+    std::fprintf(f, "}}\n");
+}
+
+bool
+MetricRegistry::writeJsonl(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    writeJsonl(f);
+    return std::fclose(f) == 0;
+}
+
+void
+MetricRegistry::writeCsv(std::FILE *f) const
+{
+    std::fprintf(f, "cycle");
+    for (u32 id : scalarIds_)
+        std::fprintf(f, ",%s", metrics_[id].name.c_str());
+    std::fprintf(f, "\n");
+    for (const auto &row : series_) {
+        std::fprintf(f, "%llu",
+                     static_cast<unsigned long long>(row.cycle));
+        for (double v : row.values) {
+            std::fprintf(f, ",");
+            printNumber(f, v);
+        }
+        std::fprintf(f, "\n");
+    }
+}
+
+bool
+MetricRegistry::writeCsv(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    writeCsv(f);
+    return std::fclose(f) == 0;
+}
+
+} // namespace trips::obs

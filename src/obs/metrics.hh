@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unified metric registry: named counters, gauges and histograms
+ * registered per subsystem, sampled on a cycle period into a
+ * time-series, and exported as JSONL or CSV. The software mirror of
+ * the paper's performance-counter methodology — every number the
+ * simulators report flows through one structured schema instead of
+ * ad-hoc report() strings.
+ *
+ * Naming scheme (DESIGN.md §12): dot-separated lower_snake paths,
+ * `<subsys>.<metric>` with an optional instance prefix, e.g.
+ *
+ *   core0.uarch.blocks_committed     counter
+ *   core0.uarch.insts_in_flight     gauge
+ *   core0.mem.l1d_misses            counter
+ *   chip.uncore.bank_conflicts      counter
+ *   chip.ocn.read_req_hops          histogram
+ *
+ * Kinds: a *counter* is monotonically accumulated (set() with the
+ * running total is also fine); a *gauge* is an instantaneous level; a
+ * *histogram* wraps support/stats.hh Distribution and exports samples,
+ * mean and the p50/p90/p99 percentiles.
+ *
+ * Time-series: snapshot(cycle) appends one row of every scalar metric
+ * (counters + gauges, registration order). CycleSim drives this on
+ * CoreObs::samplePeriod. Registries are not thread-safe by design:
+ * under the parallel chip engine each core samples into its own
+ * per-core registry (obs::ChipObs owns one per core).
+ */
+
+#ifndef TRIPSIM_OBS_METRICS_HH
+#define TRIPSIM_OBS_METRICS_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/stats.hh"
+
+namespace trips::obs {
+
+enum class MetricKind : u8 { Counter, Gauge, Histogram };
+
+/** Dense handle into a MetricRegistry (stable for its lifetime). */
+using MetricId = u32;
+
+class MetricRegistry
+{
+  public:
+    MetricId addCounter(const std::string &name);
+    MetricId addGauge(const std::string &name);
+    MetricId addHistogram(const std::string &name,
+                          unsigned num_buckets = 16);
+
+    /** Registered id of @p name, or NO_METRIC. */
+    static constexpr MetricId NO_METRIC = ~MetricId{0};
+    MetricId find(const std::string &name) const;
+
+    void inc(MetricId id, double v = 1.0);
+    void set(MetricId id, double v);
+    void sampleHist(MetricId id, u64 value, u64 weight = 1);
+
+    double value(MetricId id) const;
+    const Distribution &histogram(MetricId id) const;
+    size_t size() const { return metrics_.size(); }
+    const std::string &name(MetricId id) const;
+    MetricKind kind(MetricId id) const;
+
+    /** Append one time-series row: every scalar metric at @p cycle. */
+    void snapshot(u64 cycle);
+    size_t rows() const { return series_.size(); }
+
+    /**
+     * JSONL export: one {"cycle":..,"metrics":{name:value,..}} line
+     * per time-series row, then one {"final":true,...} line with every
+     * scalar's terminal value and every histogram's summary
+     * (samples/mean/p50/p90/p99).
+     */
+    bool writeJsonl(const std::string &path) const;
+    void writeJsonl(std::FILE *f) const;
+
+    /** CSV export: header `cycle,<scalar names...>`, one row per
+     *  snapshot (histograms are summarized only in the JSONL form). */
+    bool writeCsv(const std::string &path) const;
+    void writeCsv(std::FILE *f) const;
+
+  private:
+    struct Metric
+    {
+        std::string name;
+        MetricKind kind;
+        double value = 0;
+        Distribution hist{0};
+    };
+
+    struct Row
+    {
+        u64 cycle;
+        std::vector<double> values;  ///< scalars, registration order
+    };
+
+    MetricId add(std::string name, MetricKind kind, unsigned buckets);
+
+    std::vector<Metric> metrics_;
+    std::vector<u32> scalarIds_;     ///< counters+gauges, in order
+    std::vector<Row> series_;
+};
+
+} // namespace trips::obs
+
+#endif // TRIPSIM_OBS_METRICS_HH

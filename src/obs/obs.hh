@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Observability attachment points: the plumbing that threads one
+ * TraceSink / MetricRegistry / StallCollector set through CycleSim,
+ * ChipSim and the parallel engine.
+ *
+ * A CycleSim holds one nullable `const CoreObs *` — the null-sink
+ * fast path. When it is null (the default), every instrumentation
+ * site in the core reduces to a single predicated pointer test and
+ * the simulation is bit-identical to an uninstrumented build. When
+ * attached, the hooks only *read* simulator state: attaching
+ * observability never changes simulation results (pinned by
+ * tests/test_obs.cc across every workload, serial and parallel).
+ *
+ * ChipObs owns the per-core pieces for an N-core chip: one shared
+ * thread-safe TraceSink, and per-core MetricRegistry/StallCollector
+ * instances so parallel-engine workers never share a mutable
+ * registry.
+ */
+
+#ifndef TRIPSIM_OBS_OBS_HH
+#define TRIPSIM_OBS_OBS_HH
+
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/stall.hh"
+#include "obs/trace.hh"
+
+namespace trips::obs {
+
+/** What one core samples into; any member may be null (off). */
+struct CoreObs
+{
+    TraceSink *trace = nullptr;
+    MetricRegistry *metrics = nullptr;
+    StallCollector *stalls = nullptr;
+    /** Cycle period of metric time-series snapshots (0 = terminal
+     *  values only). */
+    u64 samplePeriod = 0;
+    /** Trace process row of this core (block spans, mem instants). */
+    u32 pid = 0;
+    /** Metric name prefix; "" = the default "core<id>.". Needed when
+     *  several solo (core-id 0) runs share one registry. */
+    std::string metricPrefix;
+};
+
+/** Observability bundle for an N-core ChipSim run. */
+class ChipObs
+{
+  public:
+    /** @p trace may be null (metrics/stalls only). Each core gets its
+     *  own registry and stall collector iff the flags ask for them. */
+    ChipObs(unsigned num_cores, TraceSink *trace, bool metrics,
+            u64 sample_period, bool stalls)
+        : trace_(trace)
+    {
+        if (metrics)
+            metricsStore_.resize(num_cores);
+        if (stalls)
+            stallStore_.resize(num_cores);
+        cores_.resize(num_cores);
+        for (unsigned i = 0; i < num_cores; ++i) {
+            cores_[i].trace = trace;
+            cores_[i].metrics = metrics ? &metricsStore_[i] : nullptr;
+            cores_[i].stalls = stalls ? &stallStore_[i] : nullptr;
+            cores_[i].samplePeriod = sample_period;
+            cores_[i].pid = i;
+            if (trace)
+                trace->setProcessName(i, "core " + std::to_string(i));
+        }
+    }
+
+    CoreObs *core(unsigned i) { return &cores_.at(i); }
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+    TraceSink *trace() { return trace_; }
+    MetricRegistry *metrics(unsigned i)
+    {
+        return metricsStore_.empty() ? nullptr : &metricsStore_.at(i);
+    }
+    StallCollector *stalls(unsigned i)
+    {
+        return stallStore_.empty() ? nullptr : &stallStore_.at(i);
+    }
+
+    /** Chip-wide stall aggregate (sum of the per-core collectors). */
+    StallCollector
+    mergedStalls() const
+    {
+        StallCollector m;
+        for (const auto &s : stallStore_)
+            m.merge(s);
+        return m;
+    }
+
+  private:
+    TraceSink *trace_;
+    std::vector<MetricRegistry> metricsStore_;
+    std::vector<StallCollector> stallStore_;
+    std::vector<CoreObs> cores_;
+};
+
+/** Trace process-row ids for non-core rows (cores use their id). */
+enum : u32 {
+    TRACE_PID_ENGINE = 100,   ///< parallel-engine quanta/barriers
+    TRACE_PID_UNCORE = 101,   ///< shared L2/OCN counter tracks
+    TRACE_PID_HARNESS = 102,  ///< campaign cache + guard events
+};
+
+} // namespace trips::obs
+
+#endif // TRIPSIM_OBS_OBS_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Rate-limited progress heartbeat for long sweeps (`sweep_main
+ * --progress`): a single stderr line per interval with done/total,
+ * elapsed wall time, a linear ETA, and the quarantine count. Off by
+ * default; when disabled tick() is one atomic increment and a relaxed
+ * load. Thread-safe: sweep workers tick concurrently and the printing
+ * is serialized by a try-lock (a contended print is simply skipped —
+ * the next tick reports the newer number anyway).
+ */
+
+#ifndef TRIPSIM_OBS_PROGRESS_HH
+#define TRIPSIM_OBS_PROGRESS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "support/common.hh"
+
+namespace trips::obs {
+
+class ProgressMeter
+{
+  public:
+    /** @p enabled off => tick() only counts. @p interval_ms floors the
+     *  time between heartbeat lines. */
+    explicit ProgressMeter(u64 total, bool enabled = false,
+                           u64 interval_ms = 1000)
+        : total_(total), enabled_(enabled), intervalMs_(interval_ms),
+          start_(Clock::now())
+    {}
+
+    /** One task finished; @p quarantined is the current ledger count. */
+    void
+    tick(u64 quarantined = 0)
+    {
+        u64 done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (!enabled_)
+            return;
+        maybePrint(done, quarantined, /*force=*/done == total_);
+    }
+
+    u64 done() const { return done_.load(std::memory_order_relaxed); }
+
+    /** Final line + newline (the heartbeat line ends in '\r'). */
+    void
+    finish(u64 quarantined = 0)
+    {
+        if (!enabled_)
+            return;
+        std::lock_guard<std::mutex> lk(mu_);
+        print(done_.load(std::memory_order_relaxed), quarantined);
+        std::fputc('\n', stderr);
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    void
+    maybePrint(u64 done, u64 quarantined, bool force)
+    {
+        double ms = elapsedMs();
+        double last = lastPrintMs_.load(std::memory_order_relaxed);
+        if (!force && ms - last < static_cast<double>(intervalMs_))
+            return;
+        // A contended heartbeat is droppable; never block a worker.
+        if (!mu_.try_lock())
+            return;
+        lastPrintMs_.store(ms, std::memory_order_relaxed);
+        print(done, quarantined);
+        mu_.unlock();
+    }
+
+    void
+    print(u64 done, u64 quarantined)
+    {
+        double ms = elapsedMs();
+        double rate = ms > 0 ? static_cast<double>(done) / ms : 0;
+        double etaMs = (rate > 0 && total_ > done)
+            ? static_cast<double>(total_ - done) / rate : 0;
+        std::fprintf(stderr,
+                     "progress: %llu/%llu (%.0f%%) elapsed %.1fs "
+                     "eta %.1fs quarantined %llu   \r",
+                     static_cast<unsigned long long>(done),
+                     static_cast<unsigned long long>(total_),
+                     total_ ? 100.0 * static_cast<double>(done) /
+                                  static_cast<double>(total_)
+                            : 100.0,
+                     ms / 1000.0, etaMs / 1000.0,
+                     static_cast<unsigned long long>(quarantined));
+        std::fflush(stderr);
+    }
+
+    double
+    elapsedMs() const
+    {
+        return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                         start_)
+            .count();
+    }
+
+    u64 total_;
+    bool enabled_;
+    u64 intervalMs_;
+    Clock::time_point start_;
+    std::atomic<u64> done_{0};
+    std::atomic<double> lastPrintMs_{0};
+    std::mutex mu_;
+};
+
+} // namespace trips::obs
+
+#endif // TRIPSIM_OBS_PROGRESS_HH

@@ -1,0 +1,89 @@
+#include "obs/stall.hh"
+
+#include <algorithm>
+
+namespace trips::obs {
+
+const char *
+stallCatName(StallCat c)
+{
+    switch (c) {
+      case StallCat::Commit:       return "commit";
+      case StallCat::Drain:        return "drain";
+      case StallCat::Fetch:        return "fetch";
+      case StallCat::BankConflict: return "bank_conflict";
+      case StallCat::Ocn:          return "ocn";
+      case StallCat::Lsq:          return "lsq";
+      case StallCat::Operand:      return "operand";
+      case StallCat::Control:      return "control";
+      case StallCat::NUM:          break;
+    }
+    return "?";
+}
+
+void
+StallCollector::merge(const StallCollector &o)
+{
+    for (size_t c = 0; c < STALL_NUM_CATS; ++c)
+        counts_[c] += o.counts_[c];
+    total_ += o.total_;
+    if (o.perBlock_.size() > perBlock_.size())
+        perBlock_.resize(o.perBlock_.size());
+    for (size_t b = 0; b < o.perBlock_.size(); ++b) {
+        for (size_t c = 0; c < STALL_NUM_CATS; ++c)
+            perBlock_[b].counts[c] += o.perBlock_[b].counts[c];
+    }
+}
+
+void
+StallCollector::report(std::FILE *f,
+                       const std::vector<std::string> &labels,
+                       unsigned top_n) const
+{
+    std::fprintf(f, "  stall breakdown (%llu cycles):\n",
+                 static_cast<unsigned long long>(total_));
+    for (size_t c = 0; c < STALL_NUM_CATS; ++c) {
+        double pct = total_
+            ? 100.0 * static_cast<double>(counts_[c]) / total_ : 0.0;
+        std::fprintf(f, "    %-13s %12llu  %6.2f%%\n",
+                     stallCatName(static_cast<StallCat>(c)),
+                     static_cast<unsigned long long>(counts_[c]), pct);
+    }
+
+    std::vector<u32> order;
+    for (u32 b = 0; b < perBlock_.size(); ++b) {
+        if (perBlock_[b].total())
+            order.push_back(b);
+    }
+    std::sort(order.begin(), order.end(), [&](u32 a, u32 b) {
+        u64 ta = perBlock_[a].total(), tb = perBlock_[b].total();
+        return ta != tb ? ta > tb : a < b;
+    });
+    if (order.size() > top_n)
+        order.resize(top_n);
+    if (order.empty())
+        return;
+    std::fprintf(f, "  hottest blocks (cycles as oldest in flight):\n");
+    for (u32 b : order) {
+        const BlockRow &row = perBlock_[b];
+        std::string label = b < labels.size() && !labels[b].empty()
+            ? labels[b] : "block" + std::to_string(b);
+        // The block's dominant non-commit limiter, for the one-line
+        // "why is this block hot" read.
+        size_t worst = 0;
+        u64 worstCount = 0;
+        for (size_t c = 1; c < STALL_NUM_CATS; ++c) {
+            if (row.counts[c] > worstCount) {
+                worstCount = row.counts[c];
+                worst = c;
+            }
+        }
+        std::fprintf(f, "    %-24s %12llu cyc  top=%s\n", label.c_str(),
+                     static_cast<unsigned long long>(row.total()),
+                     worstCount
+                         ? stallCatName(static_cast<StallCat>(worst))
+                         : "commit");
+    }
+}
+
+} // namespace trips::obs

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Per-cycle stall attribution for the cycle-level core: every cycle
+ * that does not commit a block is charged to exactly one limiter
+ * category, so the per-run breakdown sums to total cycles by
+ * construction — the simulator-side reconstruction of the cycle
+ * breakdowns the TRIPS evaluation derived from prototype performance
+ * counters.
+ *
+ * Taxonomy (classified in CycleSim::obsCycleTick, first match wins;
+ * see DESIGN.md §12 for the rationale of the priority order):
+ *
+ *   Commit        a block committed this cycle (useful work)
+ *   Drain         the commit protocol is draining (commitLatency +
+ *                 store-drain cycles of the completion protocol)
+ *   Fetch         no frame in flight, or the oldest frame is still
+ *                 fetching/dispatching (I-cache misses, redirect
+ *                 bubbles, GDN dispatch bandwidth)
+ *   BankConflict  an outstanding uncore request of this core was
+ *                 queued behind another core at an L2 bank ingress
+ *   Ocn           an outstanding uncore request is traversing the
+ *                 OCN / L2 / DRAM (secondary-memory latency)
+ *   Lsq           the oldest frame waits on memory-side completion
+ *                 inside the core: undrained stores or queued DT/LSQ
+ *                 requests
+ *   Operand       the oldest frame's register writes are still being
+ *                 produced or routed (dataflow operand wait)
+ *   Control       the oldest frame's next-block target is unresolved
+ *                 (branch/RET resolution), or any remaining limiter
+ *
+ * Attribution: each stall cycle is also charged to the oldest
+ * in-flight block (the commit bottleneck), giving the top-N
+ * hottest-blocks report.
+ */
+
+#ifndef TRIPSIM_OBS_STALL_HH
+#define TRIPSIM_OBS_STALL_HH
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/common.hh"
+
+namespace trips::obs {
+
+enum class StallCat : u8 {
+    Commit,
+    Drain,
+    Fetch,
+    BankConflict,
+    Ocn,
+    Lsq,
+    Operand,
+    Control,
+    NUM
+};
+
+constexpr size_t STALL_NUM_CATS = static_cast<size_t>(StallCat::NUM);
+
+const char *stallCatName(StallCat c);
+
+class StallCollector
+{
+  public:
+    static constexpr u32 NO_BLOCK = ~u32{0};
+
+    /** Charge one cycle to @p cat, attributed to block @p block
+     *  (NO_BLOCK: chip-level only, no per-block row). */
+    void
+    tick(StallCat cat, u32 block)
+    {
+        ++counts_[static_cast<size_t>(cat)];
+        ++total_;
+        if (block == NO_BLOCK)
+            return;
+        if (block >= perBlock_.size())
+            perBlock_.resize(block + 1);
+        ++perBlock_[block].counts[static_cast<size_t>(cat)];
+    }
+
+    u64 total() const { return total_; }
+    u64
+    count(StallCat cat) const
+    {
+        return counts_[static_cast<size_t>(cat)];
+    }
+
+    /** Per-block attribution row (index = block index). */
+    struct BlockRow
+    {
+        std::array<u64, STALL_NUM_CATS> counts{};
+
+        u64
+        total() const
+        {
+            u64 t = 0;
+            for (u64 c : counts)
+                t += c;
+            return t;
+        }
+    };
+
+    const std::vector<BlockRow> &perBlock() const { return perBlock_; }
+
+    /** Accumulate another collector (chip-level aggregation). */
+    void merge(const StallCollector &o);
+
+    /**
+     * Human-readable report: the category breakdown (cycles + percent,
+     * with the "sums to total" identity stated) followed by the top-N
+     * hottest blocks. @p labels maps block index -> label ("" entries
+     * fall back to "block<i>").
+     */
+    void report(std::FILE *f, const std::vector<std::string> &labels,
+                unsigned top_n = 10) const;
+
+  private:
+    std::array<u64, STALL_NUM_CATS> counts_{};
+    u64 total_ = 0;
+    std::vector<BlockRow> perBlock_;
+};
+
+} // namespace trips::obs
+
+#endif // TRIPSIM_OBS_STALL_HH

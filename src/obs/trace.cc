@@ -1,0 +1,516 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "harness/guard.hh"
+
+namespace trips::obs {
+
+void
+TraceSink::setProcessName(u32 pid, const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    processNames_[pid] = name;
+}
+
+void
+TraceSink::setThreadName(u32 pid, u32 tid, const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    threadNames_[{pid, tid}] = name;
+}
+
+void
+TraceSink::complete(u32 pid, u32 tid, u64 ts, u64 dur, std::string name,
+                    const char *cat, const char *k1, double v1,
+                    const char *k2, double v2)
+{
+    TraceEvent e;
+    e.name = std::move(name);
+    e.cat = cat;
+    e.ph = 'X';
+    e.ts = ts;
+    e.dur = dur;
+    e.pid = pid;
+    e.tid = tid;
+    e.k1 = k1;
+    e.v1 = v1;
+    e.k2 = k2;
+    e.v2 = v2;
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSink::instant(u32 pid, u32 tid, u64 ts, std::string name,
+                   const char *cat, const char *k1, double v1,
+                   const char *k2, double v2)
+{
+    TraceEvent e;
+    e.name = std::move(name);
+    e.cat = cat;
+    e.ph = 'i';
+    e.ts = ts;
+    e.pid = pid;
+    e.tid = tid;
+    e.k1 = k1;
+    e.v1 = v1;
+    e.k2 = k2;
+    e.v2 = v2;
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSink::counter(u32 pid, u64 ts, const char *name, const char *key,
+                   double value)
+{
+    TraceEvent e;
+    e.name = name;
+    e.cat = "counter";
+    e.ph = 'C';
+    e.ts = ts;
+    e.pid = pid;
+    e.k1 = key;
+    e.v1 = value;
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.push_back(std::move(e));
+}
+
+size_t
+TraceSink::events() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return events_.size();
+}
+
+namespace {
+
+/** %g-style shortest representation that still round-trips counters
+ *  and cycle counts exactly (they are integers in practice). */
+void
+appendNumber(std::string &out, double v)
+{
+    char buf[32];
+    if (v == static_cast<double>(static_cast<long long>(v)))
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(v));
+    else
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+    out += buf;
+}
+
+void
+appendEvent(std::string &out, const TraceEvent &e)
+{
+    out += "{\"name\":\"";
+    out += harness::jsonEscape(e.name);
+    out += "\",\"cat\":\"";
+    out += e.cat;
+    out += "\",\"ph\":\"";
+    out += e.ph;
+    out += "\",\"ts\":";
+    appendNumber(out, static_cast<double>(e.ts));
+    if (e.ph == 'X') {
+        out += ",\"dur\":";
+        appendNumber(out, static_cast<double>(e.dur));
+    }
+    out += ",\"pid\":";
+    appendNumber(out, e.pid);
+    out += ",\"tid\":";
+    appendNumber(out, e.tid);
+    if (e.k1 || e.k2) {
+        out += ",\"args\":{";
+        if (e.k1) {
+            out += '"';
+            out += e.k1;
+            out += "\":";
+            appendNumber(out, e.v1);
+        }
+        if (e.k2) {
+            if (e.k1)
+                out += ',';
+            out += '"';
+            out += e.k2;
+            out += "\":";
+            appendNumber(out, e.v2);
+        }
+        out += '}';
+    }
+    out += '}';
+}
+
+void
+appendMeta(std::string &out, const char *what, u32 pid, u32 tid,
+           const std::string &name)
+{
+    out += "{\"name\":\"";
+    out += what;
+    out += "\",\"cat\":\"__metadata\",\"ph\":\"M\",\"ts\":0,\"pid\":";
+    appendNumber(out, pid);
+    out += ",\"tid\":";
+    appendNumber(out, tid);
+    out += ",\"args\":{\"name\":\"";
+    out += harness::jsonEscape(name);
+    out += "\"}}";
+}
+
+} // namespace
+
+bool
+TraceSink::writeFile(const std::string &path) const
+{
+    std::vector<TraceEvent> sorted;
+    std::map<u32, std::string> pnames;
+    std::map<std::pair<u32, u32>, std::string> tnames;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        sorted = events_;
+        pnames = processNames_;
+        tnames = threadNames_;
+    }
+    // Canonical order: the append order interleaves worker threads
+    // nondeterministically under the parallel engine, but the event
+    // *set* is deterministic, and within one (pid, tid) row events
+    // were appended by a single thread in cycle order. A stable sort
+    // by (ts, pid, tid) therefore yields schedule-independent bytes.
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         if (a.ts != b.ts)
+                             return a.ts < b.ts;
+                         if (a.pid != b.pid)
+                             return a.pid < b.pid;
+                         return a.tid < b.tid;
+                     });
+
+    std::string out;
+    out.reserve(sorted.size() * 96 + 256);
+    out += "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto &[pid, name] : pnames) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        appendMeta(out, "process_name", pid, 0, name);
+    }
+    for (const auto &[key, name] : tnames) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        appendMeta(out, "thread_name", key.first, key.second, name);
+    }
+    for (const auto &e : sorted) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        appendEvent(out, e);
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}\n";
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    size_t n = std::fwrite(out.data(), 1, out.size(), f);
+    bool ok = n == out.size();
+    ok &= std::fclose(f) == 0;
+    return ok;
+}
+
+// ---------------------------------------------------------------------
+// Schema checker: a tiny recursive-descent JSON parser plus the
+// trace-event shape contract. Kept dependency-free so both the unit
+// tests and the CI smoke stage can validate without python/jq.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct JsonChecker
+{
+    const char *begin;
+    const char *p;
+    const char *end;
+    std::string err;
+    /** Required-key bitmask of the event object being scanned. */
+    static constexpr unsigned K_NAME = 1, K_PH = 2, K_TS = 4, K_PID = 8,
+                              K_DUR = 16;
+
+    bool fail(const std::string &m)
+    {
+        if (err.empty())
+            err = m + " at byte " +
+                  std::to_string(static_cast<size_t>(p - begin));
+        return false;
+    }
+
+    void ws()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            ++p;
+    }
+
+    bool literal(const char *s)
+    {
+        size_t n = std::char_traits<char>::length(s);
+        if (static_cast<size_t>(end - p) < n ||
+            std::char_traits<char>::compare(p, s, n) != 0)
+            return fail(std::string("expected '") + s + "'");
+        p += n;
+        return true;
+    }
+
+    bool string(std::string *out)
+    {
+        if (p >= end || *p != '"')
+            return fail("expected string");
+        ++p;
+        std::string s;
+        while (p < end && *p != '"') {
+            if (*p == '\\') {
+                ++p;
+                if (p >= end)
+                    return fail("truncated escape");
+                if (*p == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++p;
+                        if (p >= end || !std::isxdigit(
+                                static_cast<unsigned char>(*p)))
+                            return fail("bad \\u escape");
+                    }
+                }
+            }
+            s += *p++;
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p;
+        if (out)
+            *out = std::move(s);
+        return true;
+    }
+
+    bool number()
+    {
+        const char *start = p;
+        if (p < end && (*p == '-' || *p == '+'))
+            ++p;
+        bool digits = false;
+        while (p < end && (std::isdigit(static_cast<unsigned char>(*p)) ||
+                           *p == '.' || *p == 'e' || *p == 'E' ||
+                           *p == '-' || *p == '+'))
+            digits |= std::isdigit(static_cast<unsigned char>(*p)), ++p;
+        if (!digits) {
+            p = start;
+            return fail("expected number");
+        }
+        return true;
+    }
+
+    bool value(unsigned *keys = nullptr)
+    {
+        ws();
+        if (p >= end)
+            return fail("unexpected end of input");
+        switch (*p) {
+          case '{': return object(keys);
+          case '[': return array();
+          case '"': return string(nullptr);
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default:  return number();
+        }
+    }
+
+    bool object(unsigned *keys)
+    {
+        ++p;  // '{'
+        ws();
+        if (p < end && *p == '}') {
+            ++p;
+            return true;
+        }
+        while (true) {
+            ws();
+            std::string key;
+            if (!string(&key))
+                return false;
+            if (keys) {
+                if (key == "name") *keys |= K_NAME;
+                else if (key == "ph") *keys |= K_PH;
+                else if (key == "ts") *keys |= K_TS;
+                else if (key == "pid") *keys |= K_PID;
+                else if (key == "dur") *keys |= K_DUR;
+            }
+            ws();
+            if (p >= end || *p != ':')
+                return fail("expected ':'");
+            ++p;
+            // The 'ph' value feeds the dur requirement; capture it.
+            if (keys && key == "ph") {
+                ws();
+                std::string ph;
+                if (!string(&ph))
+                    return false;
+                if (ph == "X")
+                    *keys |= 1u << 8;  // remember: dur required
+            } else if (!value(nullptr)) {
+                return false;
+            }
+            ws();
+            if (p < end && *p == ',') {
+                ++p;
+                continue;
+            }
+            if (p < end && *p == '}') {
+                ++p;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool array()
+    {
+        ++p;  // '['
+        ws();
+        if (p < end && *p == ']') {
+            ++p;
+            return true;
+        }
+        while (true) {
+            if (!value(nullptr))
+                return false;
+            ws();
+            if (p < end && *p == ',') {
+                ++p;
+                ws();
+                continue;
+            }
+            if (p < end && *p == ']') {
+                ++p;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    /** One event object: JSON-valid and carrying the required keys. */
+    bool event(size_t index)
+    {
+        unsigned keys = 0;
+        ws();
+        if (p >= end || *p != '{')
+            return fail("event " + std::to_string(index) +
+                        " is not an object");
+        if (!object(&keys))
+            return false;
+        unsigned need = K_NAME | K_PH | K_TS | K_PID;
+        if ((keys & need) != need)
+            return fail("event " + std::to_string(index) +
+                        " missing a required key (name/ph/ts/pid)");
+        if ((keys & (1u << 8)) && !(keys & K_DUR))
+            return fail("event " + std::to_string(index) +
+                        " is 'X' but has no dur");
+        return true;
+    }
+};
+
+} // namespace
+
+bool
+TraceSink::validateJson(const std::string &text, std::string *err)
+{
+    JsonChecker c{text.data(), text.data(), text.data() + text.size(),
+                  {}};
+    auto bad = [&](const std::string &m) {
+        if (err)
+            *err = c.err.empty() ? m : c.err;
+        return false;
+    };
+    c.ws();
+    if (c.p >= c.end || *c.p != '{')
+        return bad("top level is not an object");
+    ++c.p;
+    bool sawEvents = false;
+    c.ws();
+    if (c.p < c.end && *c.p == '}')
+        return bad("missing traceEvents");
+    while (true) {
+        c.ws();
+        std::string key;
+        if (!c.string(&key))
+            return bad("bad top-level key");
+        c.ws();
+        if (c.p >= c.end || *c.p != ':')
+            return bad("expected ':'");
+        ++c.p;
+        c.ws();
+        if (key == "traceEvents") {
+            sawEvents = true;
+            if (c.p >= c.end || *c.p != '[')
+                return bad("traceEvents is not an array");
+            ++c.p;
+            c.ws();
+            size_t i = 0;
+            if (c.p < c.end && *c.p == ']') {
+                ++c.p;
+            } else {
+                while (true) {
+                    if (!c.event(i++))
+                        return bad("bad event");
+                    c.ws();
+                    if (c.p < c.end && *c.p == ',') {
+                        ++c.p;
+                        continue;
+                    }
+                    if (c.p < c.end && *c.p == ']') {
+                        ++c.p;
+                        break;
+                    }
+                    return bad("expected ',' or ']' in traceEvents");
+                }
+            }
+        } else if (!c.value(nullptr)) {
+            return bad("bad top-level value");
+        }
+        c.ws();
+        if (c.p < c.end && *c.p == ',') {
+            ++c.p;
+            continue;
+        }
+        if (c.p < c.end && *c.p == '}') {
+            ++c.p;
+            break;
+        }
+        return bad("expected ',' or '}' at top level");
+    }
+    c.ws();
+    if (c.p != c.end)
+        return bad("trailing bytes after top-level object");
+    if (!sawEvents)
+        return bad("missing traceEvents");
+    if (err)
+        err->clear();
+    return true;
+}
+
+bool
+TraceSink::validateFile(const std::string &path, std::string *err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (err)
+            *err = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return validateJson(ss.str(), err);
+}
+
+} // namespace trips::obs

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Cycle-domain event tracing for the simulator stack, emitted as
+ * Chrome trace-event JSON (load the file straight into Perfetto or
+ * chrome://tracing). The software analogue of the TRIPS prototype's
+ * performance-counter taps: where the paper's cycle breakdowns came
+ * from counting *when* things happened on real hardware, a TraceSink
+ * records when they happen in simulation.
+ *
+ * Event model (DESIGN.md §12):
+ *
+ *   complete ('X')  a span with a start cycle and a duration — block
+ *                   fetch->commit lifetimes, parallel-engine quantum
+ *                   windows.
+ *   instant  ('i')  a point event — memory requests (annotated with
+ *                   bank + OCN hops + queuing delay), flushes, barrier
+ *                   completions, shadow reclones, cache hits/misses,
+ *                   guard quarantines.
+ *   counter  ('C')  a sampled value rendered as a counter track —
+ *                   cumulative bank-conflict cycles per core.
+ *
+ * The cycle domain maps 1:1 onto the trace's microsecond timestamps
+ * (1 cycle = 1 us), so Perfetto's time axis reads directly in cycles.
+ *
+ * Null-sink fast path: nothing here is consulted when tracing is
+ * disabled. Instrumented code holds a nullable pointer (CycleSim's
+ * `obs_`, the engine's `trace_`) and every hook is predicated on it,
+ * so a run without a sink pays one pointer test per instrumented
+ * site and the simulation is bit-identical traced vs untraced (the
+ * hooks only *read* simulator state; asserted by tests/test_obs.cc).
+ *
+ * Thread safety: append paths take an internal mutex (the parallel
+ * chip engine records from one thread per core). writeFile() orders
+ * events canonically by (ts, pid, tid) with a stable sort, so a
+ * traced parallel run writes the same bytes regardless of thread
+ * scheduling — trace files diff cleanly across runs.
+ */
+
+#ifndef TRIPSIM_OBS_TRACE_HH
+#define TRIPSIM_OBS_TRACE_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/common.hh"
+
+namespace trips::obs {
+
+/** One recorded trace event (Chrome trace-event "phase" subset). */
+struct TraceEvent
+{
+    std::string name;
+    const char *cat = "sim";
+    char ph = 'i';          ///< 'X' complete, 'i' instant, 'C' counter
+    u64 ts = 0;             ///< cycle (written as microseconds)
+    u64 dur = 0;            ///< span length ('X' only)
+    u32 pid = 0;
+    u32 tid = 0;
+    /** Up to two numeric args (bank, hops, seq, ...). */
+    const char *k1 = nullptr;
+    double v1 = 0;
+    const char *k2 = nullptr;
+    double v2 = 0;
+};
+
+class TraceSink
+{
+  public:
+    TraceSink() = default;
+
+    /** Metadata: names shown on Perfetto's process/thread rows. */
+    void setProcessName(u32 pid, const std::string &name);
+    void setThreadName(u32 pid, u32 tid, const std::string &name);
+
+    /** Span [ts, ts+dur) on row (pid, tid). */
+    void complete(u32 pid, u32 tid, u64 ts, u64 dur, std::string name,
+                  const char *cat, const char *k1 = nullptr, double v1 = 0,
+                  const char *k2 = nullptr, double v2 = 0);
+
+    /** Point event at ts on row (pid, tid). */
+    void instant(u32 pid, u32 tid, u64 ts, std::string name,
+                 const char *cat, const char *k1 = nullptr, double v1 = 0,
+                 const char *k2 = nullptr, double v2 = 0);
+
+    /** Counter-track sample: @p name is the track, @p key the series. */
+    void counter(u32 pid, u64 ts, const char *name, const char *key,
+                 double value);
+
+    size_t events() const;
+
+    /** Write {"traceEvents":[...]} (canonical order); false on I/O
+     *  failure. The sink stays intact and can be written again. */
+    bool writeFile(const std::string &path) const;
+
+    /**
+     * Minimal schema checker for tests and the CI trace-smoke stage:
+     * full JSON syntax validation plus the trace-event contract (top
+     * level is an object with a "traceEvents" array; every event is
+     * an object carrying "name", "ph", "ts" and "pid"; 'X' events
+     * also carry "dur"). On failure @p err (if non-null) receives a
+     * description. No external JSON library involved.
+     */
+    static bool validateFile(const std::string &path,
+                             std::string *err = nullptr);
+    static bool validateJson(const std::string &text,
+                             std::string *err = nullptr);
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<TraceEvent> events_;
+    std::map<u32, std::string> processNames_;
+    std::map<std::pair<u32, u32>, std::string> threadNames_;
+};
+
+} // namespace trips::obs
+
+#endif // TRIPSIM_OBS_TRACE_HH

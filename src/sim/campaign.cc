@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "obs/obs.hh"
 #include "sim/checkpoint.hh"
 
 namespace trips::sim {
@@ -506,11 +507,22 @@ Campaign::runTrips(const wir::Module &mod, const compiler::Options &opts,
     if (cache_.enabled()) {
         key = campaignKey(mod, opts, ucfg, cycle_level);
         core::TripsRun cached;
-        if (cache_.lookup(key, cached))
+        if (cache_.lookup(key, cached)) {
+            if (trace_) {
+                trace_->instant(obs::TRACE_PID_HARNESS, 1,
+                                cache_.hits() + cache_.misses(),
+                                "cache hit", "campaign");
+            }
             return cached;
+        }
     }
     core::TripsRun run = core::runTrips(mod, opts, cycle_level, ucfg);
     cache_.store(key, run);
+    if (trace_) {
+        trace_->instant(obs::TRACE_PID_HARNESS, 1,
+                        cache_.hits() + cache_.misses(), "cache miss",
+                        "campaign");
+    }
     return run;
 }
 

@@ -34,6 +34,10 @@
 #include "core/machines.hh"
 #include "sim/serial.hh"
 
+namespace trips::obs {
+class TraceSink;
+}
+
 namespace trips::sim {
 
 /** Semantic version of the simulators + compiler. Part of every cache
@@ -178,8 +182,14 @@ class Campaign
      *  degraded-writes=0" (hits/misses first — CI parses them). */
     std::string report() const;
 
+    /** Emit a trace instant per cache lookup (hit or miss; see
+     *  obs/trace.hh); null detaches. Timestamps are the lookup
+     *  ordinal, not cycles — the campaign has no cycle domain. */
+    void attachTrace(obs::TraceSink *t) { trace_ = t; }
+
   private:
     CampaignCache cache_;
+    obs::TraceSink *trace_ = nullptr;
 };
 
 } // namespace trips::sim

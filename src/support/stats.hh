@@ -94,6 +94,39 @@ class Distribution
         weighted_sum = 0;
     }
 
+    /**
+     * Nearest-rank percentile over the bucketed samples: the smallest
+     * bucket value v such that at least ceil(q/100 * N) samples fall
+     * in buckets <= v. Clamped samples report the last bucket's index
+     * (the same saturation sample() applied). 0 on an empty
+     * distribution. @p q must be in (0, 100].
+     */
+    u64
+    percentile(double q) const
+    {
+        if (!total)
+            return 0;
+        // ceil(q/100 * N) without floating-point edge drift for the
+        // common integer cases (q = 50, 90, 99).
+        u64 rank = static_cast<u64>(q * static_cast<double>(total) / 100.0);
+        if (static_cast<double>(rank) * 100.0 <
+            q * static_cast<double>(total))
+            ++rank;
+        if (rank == 0)
+            rank = 1;
+        u64 cum = 0;
+        for (unsigned b = 0; b < buckets.size(); ++b) {
+            cum += buckets[b];
+            if (cum >= rank)
+                return b;
+        }
+        return buckets.size() - 1;  // unreachable: cum == total >= rank
+    }
+
+    u64 p50() const { return percentile(50); }
+    u64 p90() const { return percentile(90); }
+    u64 p99() const { return percentile(99); }
+
     // Raw state access for exact serialization (campaign cache):
     // clamped samples make the weighted sum unrecoverable from the
     // buckets alone, so it round-trips explicitly.

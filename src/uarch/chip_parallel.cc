@@ -3,9 +3,16 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/obs.hh"
 #include "uarch/cycle_sim.hh"
 
 namespace trips::uarch {
+
+namespace {
+/** Trace thread row of the barrier inside the engine's process row
+ *  (workers use their core index). */
+enum : u32 { TID_BARRIER = 99 };
+} // namespace
 
 // ---------------------------------------------------------------------
 // QuantumPort
@@ -108,10 +115,23 @@ QuantumEngine::workerLoop(unsigned i, CycleSim &core)
     while (!core.done()) {
         if (core.currentCycle() >= wend) {
             releaseSlot();
+            if (trace_) {
+                trace_->complete(obs::TRACE_PID_ENGINE, i,
+                                 wend - quantum, quantum, "quantum",
+                                 "engine", "cycle",
+                                 static_cast<double>(
+                                     core.currentCycle()));
+            }
             SyncOut s = sync(i);
             wend = s.windowEnd;
-            if (s.reclone)
+            if (s.reclone) {
+                if (trace_) {
+                    trace_->instant(obs::TRACE_PID_ENGINE, i,
+                                    s.windowEnd - quantum, "reclone",
+                                    "engine");
+                }
                 reclone(i);
+            }
             acquireSlot();
             continue;
         }
@@ -151,6 +171,17 @@ void
 QuantumEngine::completeLocked()
 {
     applyLogsLocked();
+    if (trace_) {
+        // scratch still holds this window's replay stream (cleared at
+        // the start of the next applyLogsLocked). The sink's mutex is
+        // a leaf lock, so recording under `mu` cannot deadlock.
+        trace_->instant(obs::TRACE_PID_ENGINE, TID_BARRIER, windowEnd,
+                        "barrier", "engine", "replayed",
+                        static_cast<double>(scratch.size()));
+        trace_->counter(obs::TRACE_PID_ENGINE, windowEnd,
+                        "replayed_ops", "ops",
+                        static_cast<double>(scratch.size()));
+    }
     windowEnd += quantum;
     arrived = 0;
     ++gen;
@@ -206,6 +237,20 @@ QuantumEngine::applyPending()
 {
     std::lock_guard<std::mutex> lk(mu);
     applyLogsLocked();
+}
+
+void
+QuantumEngine::attachTrace(obs::TraceSink *t)
+{
+    trace_ = t;
+    if (!trace_)
+        return;
+    trace_->setProcessName(obs::TRACE_PID_ENGINE, "quantum engine");
+    for (unsigned i = 0; i < ports.size(); ++i) {
+        trace_->setThreadName(obs::TRACE_PID_ENGINE, i,
+                              "core " + std::to_string(i) + " quanta");
+    }
+    trace_->setThreadName(obs::TRACE_PID_ENGINE, TID_BARRIER, "barrier");
 }
 
 void

@@ -36,6 +36,10 @@
 #include "mem/memsys.hh"
 #include "uarch/config.hh"
 
+namespace trips::obs {
+class TraceSink;
+}
+
 namespace trips::uarch {
 
 class CycleSim;
@@ -105,6 +109,16 @@ class QuantumEngine
      *  MemorySystem's final state. */
     void applyPending();
 
+    /**
+     * Record engine events (quantum-window spans per core, barrier
+     * completions with replayed-op counts, shadow reclones) into
+     * @p t; null detaches. Call before run(). The sink's internal
+     * mutex is a leaf lock, so recording under the barrier mutex is
+     * safe, and events carry engine-deterministic cycles only — the
+     * written trace is independent of thread count and scheduling.
+     */
+    void attachTrace(obs::TraceSink *t);
+
   private:
     struct SyncOut
     {
@@ -123,6 +137,7 @@ class QuantumEngine
 
     mem::MemorySystem &real;
     unsigned quantum;
+    obs::TraceSink *trace_ = nullptr;
     std::vector<std::unique_ptr<QuantumPort>> ports;
 
     // Quantum barrier (workers not in sync()/drop() never touch the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hh"
 #include "support/error.hh"
 #include "uarch/chip_parallel.hh"
 
@@ -46,6 +47,18 @@ ChipSim::ChipSim(const std::vector<ChipJob> &jobs, const ChipConfig &cfg_)
 }
 
 ChipSim::~ChipSim() = default;
+
+void
+ChipSim::attachObs(obs::ChipObs &obs)
+{
+    TRIPS_ASSERT(obs.numCores() >= cores.size(),
+                 "ChipObs sized for ", obs.numCores(), " cores, chip has ",
+                 cores.size());
+    for (size_t i = 0; i < cores.size(); ++i)
+        cores[i]->attachObs(obs.core(static_cast<unsigned>(i)));
+    if (par)
+        par->attachTrace(obs.trace());
+}
 
 ChipResult
 ChipSim::run()

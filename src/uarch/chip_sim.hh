@@ -32,6 +32,10 @@
 #include "mem/memsys.hh"
 #include "uarch/cycle_sim.hh"
 
+namespace trips::obs {
+class ChipObs;
+}
+
 namespace trips::uarch {
 
 /** One core's program assignment in a multi-programmed mix. */
@@ -70,6 +74,14 @@ class ChipSim
     ~ChipSim();
 
     ChipResult run();
+
+    /**
+     * Attach observability (obs/obs.hh) to every core — and, under
+     * the parallel engine, the quantum-barrier trace — before run().
+     * @p obs must be sized for at least this chip's core count and
+     * outlive the run. Attaching never changes simulation results.
+     */
+    void attachObs(obs::ChipObs &obs);
 
     const mem::MemorySystem &uncore() const { return msys; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hh"
 #include "sim/checkpoint.hh"
 #include "support/error.hh"
 #include "trips/exec_core.hh"
@@ -17,6 +18,10 @@ using isa::Target;
 namespace {
 
 enum : u8 { TOK_EMPTY = 0, TOK_VALUE = 1, TOK_NULL = 2 };
+
+/** Trace thread row for a core's memory instants (frame slots own
+ *  rows 0..numFrames-1). */
+enum : u32 { OBS_TID_MEM = 100 };
 enum : u8 { IS_WAITING = 0, IS_READY = 1, IS_ISSUED = 2, IS_FIRED = 3,
             IS_DEAD = 4 };
 
@@ -70,6 +75,7 @@ struct CycleSim::Frame
     u32 epoch = 0;
     u32 predictedNext = 0;
     u32 actualNext = 0;
+    Cycle fetchedAt = 0;    ///< stamp for obs block spans (write-only)
     const Block *blk = nullptr;
     const InstMeta *im = nullptr;   ///< per-inst static facts (cached)
 
@@ -365,6 +371,7 @@ CycleSim::startFetch(u32 block_idx)
     f.branchResolved = f.retPending = f.nextKnown = false;
     f.isCall = f.isRet = f.haltsCandidate = false;
     f.firedCount = 0;
+    f.fetchedAt = now;
 
     frameQueue.push_back(static_cast<unsigned>(slot));
     fetchingFrame = slot;
@@ -884,6 +891,8 @@ CycleSim::portAccess(Addr addr, bool is_write, unsigned requester_bank,
     rq.srcBank = static_cast<u8>(requester_bank);
     rq.isWrite = is_write;
     auto resp = uncore->access(rq, now);
+    if (obs_)
+        obsNoteMem(resp, cls);
 
     const auto &ucfg = uncore->config();
     res.bytesL2 += ucfg.l2Bank.lineBytes;
@@ -1280,6 +1289,10 @@ void
 CycleSim::squashFrame(unsigned idx)
 {
     Frame &f = frames[idx];
+    if (obs_ && obs_->trace) {
+        obs_->trace->instant(obs_->pid, idx, now, "flush", "block",
+                             "block_idx", f.blockIdx);
+    }
     liveInsts -= f.dispatchedCount;
     if (f.retPending) {
         f.retPending = false;
@@ -1369,6 +1382,8 @@ CycleSim::tickCommit()
         halted = true;
         res.retVal = static_cast<i64>(regfile[3]);
     }
+    if (obs_)
+        obsBlockCommit(f);
     liveInsts -= f.dispatchedCount;
     f.st = Frame::St::Free;
     ++f.epoch;
@@ -1400,6 +1415,9 @@ CycleSim::stepCycle()
     sumInstsInFlight += static_cast<double>(liveInsts);
     res.peakInstsInFlight =
         std::max(res.peakInstsInFlight, liveInsts);
+
+    if (obs_)
+        obsCycleTick();
 
     ++now;
 }
@@ -1440,7 +1458,137 @@ CycleSim::finish()
     for (size_t c = 0; c < res.opnHops.size(); ++c)
         res.opnHops[c].merge(opn.hopDist(static_cast<net::OpnClass>(c)));
     res.opnPackets = opn.packetsSent();
+    if (obs_ && obs_->metrics)
+        obsSample();
     return res;
+}
+
+// ---------------------------------------------------------------------
+// Observability (obs/obs.hh). Every hook only *reads* simulator state,
+// so an attached run is bit-identical to a detached one; the obs*
+// members written here are never consulted by the simulation proper.
+// ---------------------------------------------------------------------
+
+void
+CycleSim::attachObs(const obs::CoreObs *o)
+{
+    TRIPS_ASSERT(now == 0, "attachObs must precede the first cycle");
+    obs_ = o;
+    if (!obs_)
+        return;
+    if (obs_->metrics) {
+        auto &m = *obs_->metrics;
+        std::string p = obs_->metricPrefix.empty()
+            ? "core" + std::to_string(coreId) + "."
+            : obs_->metricPrefix;
+        obsMid_[0] = m.addCounter(p + "uarch.blocks_committed");
+        obsMid_[1] = m.addCounter(p + "uarch.insts_fired");
+        obsMid_[2] = m.addCounter(p + "uarch.blocks_flushed");
+        obsMid_[3] = m.addGauge(p + "uarch.blocks_in_flight");
+        obsMid_[4] = m.addGauge(p + "uarch.insts_in_flight");
+        obsMid_[5] = m.addCounter(p + "mem.l1d_misses");
+        obsMid_[6] = m.addCounter(p + "mem.l2_misses");
+        obsMid_[7] = m.addCounter(p + "mem.bank_conflict_cycles");
+    }
+    if (obs_->trace) {
+        auto *t = obs_->trace;
+        for (unsigned i = 0; i < frames.size(); ++i)
+            t->setThreadName(obs_->pid, i, "frame " + std::to_string(i));
+        t->setThreadName(obs_->pid, OBS_TID_MEM, "mem");
+        // Seed the conflict counter track so it exists (and reads 0)
+        // even on runs that never contend.
+        t->counter(obs_->pid, 0, "bank_conflict_cycles", "cycles", 0);
+    }
+}
+
+void
+CycleSim::obsNoteMem(const mem::MemResponse &resp, net::OcnClass cls)
+{
+    if (resp.queuedCycles) {
+        obsConflictUntil =
+            std::max(obsConflictUntil, now + resp.queuedCycles);
+        obsConflictCycles += resp.queuedCycles;
+    }
+    obsMemBusyUntil = std::max(obsMemBusyUntil, resp.done);
+    if (obs_->trace) {
+        obs_->trace->instant(obs_->pid, OBS_TID_MEM, now,
+                             net::ocnClassName(cls), "mem", "bank",
+                             resp.bank, "hops", resp.hops);
+        if (resp.queuedCycles) {
+            obs_->trace->counter(
+                obs_->pid, now, "bank_conflict_cycles", "cycles",
+                static_cast<double>(obsConflictCycles));
+        }
+    }
+}
+
+void
+CycleSim::obsBlockCommit(const Frame &f)
+{
+    obsLastCommitBlock = f.blockIdx;
+    if (obs_->trace) {
+        unsigned slot = static_cast<unsigned>(&f - frames.data());
+        obs_->trace->complete(
+            obs_->pid, slot, f.fetchedAt, now - f.fetchedAt + 1,
+            f.blk->label, "block", "block_idx", f.blockIdx, "insts",
+            static_cast<double>(f.blk->insts.size()));
+    }
+}
+
+void
+CycleSim::obsCycleTick()
+{
+    if (obs_->stalls) {
+        using obs::StallCat;
+        StallCat cat;
+        u32 blk = obs::StallCollector::NO_BLOCK;
+        if (res.blocksCommitted != obsLastCommitted) {
+            // A block committed this cycle: useful work, charged to
+            // the block that committed.
+            obsLastCommitted = res.blocksCommitted;
+            cat = StallCat::Commit;
+            blk = obsLastCommitBlock;
+        } else if (frameQueue.empty()) {
+            cat = StallCat::Fetch;
+        } else {
+            const Frame &f = frames[frameQueue.front()];
+            blk = f.blockIdx;
+            if (committing)
+                cat = StallCat::Drain;
+            else if (f.st != Frame::St::Executing)
+                cat = StallCat::Fetch;
+            else if (now < obsConflictUntil)
+                cat = StallCat::BankConflict;
+            else if (now < obsMemBusyUntil)
+                cat = StallCat::Ocn;
+            else if (f.storesDone < f.storesNeeded || dtBusy)
+                cat = StallCat::Lsq;
+            else if (f.writesDone < f.writesNeeded)
+                cat = StallCat::Operand;
+            else
+                cat = StallCat::Control;
+        }
+        obs_->stalls->tick(cat, blk);
+    }
+    if (obs_->metrics && obs_->samplePeriod &&
+        now % obs_->samplePeriod == 0) {
+        obsSample();
+    }
+}
+
+void
+CycleSim::obsSample()
+{
+    auto &m = *obs_->metrics;
+    m.set(obsMid_[0], static_cast<double>(res.blocksCommitted));
+    m.set(obsMid_[1], static_cast<double>(res.instsFired));
+    m.set(obsMid_[2], static_cast<double>(res.blocksFlushed));
+    m.set(obsMid_[3], static_cast<double>(frameQueue.size()));
+    m.set(obsMid_[4], static_cast<double>(liveInsts));
+    m.set(obsMid_[5], static_cast<double>(res.l1dMisses));
+    m.set(obsMid_[6], static_cast<double>(res.l2Misses));
+    m.set(obsMid_[7], static_cast<double>(obsConflictCycles));
+    m.snapshot(now);
 }
 
 UarchResult

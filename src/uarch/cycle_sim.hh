@@ -53,6 +53,10 @@ namespace trips::sim {
 struct Checkpoint;
 }
 
+namespace trips::obs {
+struct CoreObs;
+}
+
 namespace trips::uarch {
 
 /** Aggregate results of a cycle-level run. */
@@ -145,6 +149,15 @@ class CycleSim
      * fuelExhausted; used for bounded detailed sampling intervals.
      */
     void stopAfterBlocks(u64 n) { stopAtBlocks = n; }
+
+    /**
+     * Attach observability (obs/obs.hh: event tracing, sampled
+     * metrics, stall attribution); call before the first cycle, or
+     * with nullptr to detach. The hooks only read simulator state:
+     * results are bit-identical attached vs not (the null-sink fast
+     * path is one predicated pointer test per instrumented site).
+     */
+    void attachObs(const obs::CoreObs *o);
 
     // Lockstep driving (ChipSim): one cycle at a time.
     void stepCycle();
@@ -366,6 +379,21 @@ class CycleSim
     // Commit engine.
     Cycle commitDoneAt = 0;
     bool committing = false;
+
+    // Observability (null = disabled: the fast path). The obs*
+    // members are written only while attached and are never read by
+    // the simulation proper.
+    void obsCycleTick();
+    void obsBlockCommit(const Frame &f);
+    void obsNoteMem(const mem::MemResponse &resp, net::OcnClass cls);
+    void obsSample();
+    const obs::CoreObs *obs_ = nullptr;
+    u64 obsLastCommitted = 0;     ///< commit-cycle edge detector
+    u32 obsLastCommitBlock = 0;
+    Cycle obsConflictUntil = 0;   ///< youngest bank-conflict release
+    Cycle obsMemBusyUntil = 0;    ///< youngest uncore completion
+    u64 obsConflictCycles = 0;    ///< cumulative (counter track)
+    std::array<u32, 8> obsMid_{}; ///< registered metric ids
 
     // Window occupancy, maintained incrementally (no per-cycle walk).
     u64 liveInsts = 0;                ///< dispatched insts in queued frames

@@ -355,14 +355,21 @@ TEST(QuarantineLedger, AppendsSelfContainedJsonLines)
     ASSERT_TRUE(std::getline(in, l2));
     EXPECT_FALSE(std::getline(in, extra));
 
-    EXPECT_EQ(l1,
-              "{\"seed\":7,\"shape\":\"funcs=1 top=2\","
-              "\"subsys\":\"harness\",\"code\":\"timeout\","
-              "\"message\":\"task exceeded deadline\","
-              "\"repro\":\"build/sweep_main --repro 7\"}");
+    // The deterministic prefix is pinned exactly; the trailing
+    // elapsed_ms field is wall-clock so only its presence is checked.
+    std::string prefix1 =
+        "{\"seq\":1,\"seed\":7,\"shape\":\"funcs=1 top=2\","
+        "\"subsys\":\"harness\",\"code\":\"timeout\","
+        "\"message\":\"task exceeded deadline\","
+        "\"repro\":\"build/sweep_main --repro 7\",\"elapsed_ms\":";
+    EXPECT_EQ(l1.substr(0, prefix1.size()), prefix1) << l1;
+    EXPECT_EQ(l1.back(), '}');
+    // Records carry a monotonic sequence number.
+    EXPECT_EQ(l2.substr(0, 9), "{\"seq\":2,") << l2;
     // Embedded quotes and newlines must stay on one escaped line.
     EXPECT_NE(l2.find("\\\"quoted\\\""), std::string::npos) << l2;
     EXPECT_NE(l2.find("line1\\nline2"), std::string::npos) << l2;
+    EXPECT_NE(l2.find("\"elapsed_ms\":"), std::string::npos) << l2;
     fs::remove(path);
 }
 
